@@ -1,0 +1,19 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Each benchmark module regenerates one figure or table of the paper (see
+DESIGN.md's experiment index).  Conventions:
+
+* every benchmark asserts the *claim* (the verdict / ordering /
+  reuse fact the paper reports) in addition to timing the run;
+* quantitative observations are attached to ``benchmark.extra_info`` so
+  ``pytest benchmarks/ --benchmark-only`` output doubles as the data
+  source for EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def record(benchmark, **info):
+    """Attach reproduction observations to the benchmark record."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,121 @@
+"""T-reuse — the model-construction savings claim (Sections 1, 3, 6).
+
+Claim reproduced: across a sequence of design iterations, component
+models are constructed once and reused, block models come from the
+pre-defined library, and each connector-only revision pays for at most
+the single new block it introduces.
+"""
+
+import pytest
+
+from conftest import record
+
+from repro.core import (
+    AsynBlockingSend,
+    AsynCheckingSend,
+    DesignIterationLog,
+    FifoQueue,
+    SingleSlotBuffer,
+    SynBlockingSend,
+    SynCheckingSend,
+)
+from repro.systems.bridge import (
+    BridgeConfig,
+    bridge_safety_prop,
+    build_at_most_n_bridge,
+    build_exactly_n_bridge,
+    fix_exactly_n_bridge,
+)
+from repro.systems.producer_consumer import simple_pair
+
+
+def test_bridge_design_iteration_reuse(benchmark):
+    """The paper's own iteration sequence, with exact accounting."""
+    config = BridgeConfig(1, 1, trips=1)
+    safety = bridge_safety_prop()
+
+    def run():
+        log = DesignIterationLog()
+        arch = build_exactly_n_bridge(config)
+        log.run("Fig13 initial", arch, invariants=[safety], fused=True)
+        fix_exactly_n_bridge(arch)
+        log.run("Fig13 fixed", arch, invariants=[safety], fused=True)
+        arch14 = build_at_most_n_bridge(config)
+        log.run("Fig14 at-most-N", arch14, invariants=[safety], fused=True)
+        return log
+
+    log = benchmark.pedantic(run, rounds=1, iterations=1)
+    fix_iteration = log.iterations[1]
+    assert fix_iteration.component_models_built() == 0
+    assert fix_iteration.reuse_ratio > 0.8
+    record(
+        benchmark,
+        fix_reuse_ratio=round(fix_iteration.reuse_ratio, 3),
+        fix_models_built=fix_iteration.models_built,
+        fix_component_models_built=fix_iteration.component_models_built(),
+        overall_reuse_ratio=round(log.overall_reuse_ratio(), 3),
+        table=log.table(),
+    )
+
+
+def test_long_revision_session_amortizes_to_high_reuse(benchmark):
+    """Eight successive connector revisions of one design."""
+    revisions = [
+        ("swap to sync send", lambda a: a.swap_send_port(
+            "link", "Producer0", SynBlockingSend())),
+        ("grow buffer to 2", lambda a: a.swap_channel("link", FifoQueue(size=2))),
+        ("checking send", lambda a: a.swap_send_port(
+            "link", "Producer0", AsynCheckingSend())),
+        ("back to single slot", lambda a: a.swap_channel(
+            "link", SingleSlotBuffer())),
+        ("sync checking send", lambda a: a.swap_send_port(
+            "link", "Producer0", SynCheckingSend())),
+        ("grow buffer to 3", lambda a: a.swap_channel("link", FifoQueue(size=3))),
+        ("async blocking again", lambda a: a.swap_send_port(
+            "link", "Producer0", AsynBlockingSend())),
+        ("back to sync", lambda a: a.swap_send_port(
+            "link", "Producer0", SynBlockingSend())),
+    ]
+
+    def run():
+        log = DesignIterationLog()
+        arch = simple_pair(AsynBlockingSend(), SingleSlotBuffer(), messages=1)
+        log.run("initial", arch, check_deadlock=False)
+        for label, revise in revisions:
+            revise(arch)
+            log.run(label, arch, check_deadlock=False)
+        return log
+
+    log = benchmark(run)
+    assert log.component_rebuilds_after_first() == 0
+    # late iterations should be 100% reused (all blocks already cached)
+    assert log.iterations[-1].models_built == 0
+    record(
+        benchmark,
+        iterations=len(log.iterations),
+        overall_reuse_ratio=round(log.overall_reuse_ratio(), 3),
+        total_models_built=log.total_built,
+        total_models_reused=log.total_reused,
+    )
+
+
+def test_reverification_time_drops_with_cache(benchmark):
+    """Elaboration with a warm library is cheaper than a cold one."""
+    import time
+
+    def run():
+        from repro.core import ModelLibrary
+        arch = simple_pair(SynBlockingSend(), FifoQueue(size=2), messages=1)
+        lib = ModelLibrary()
+        t0 = time.perf_counter()
+        arch.to_system(lib)
+        cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        arch.to_system(lib)
+        warm = time.perf_counter() - t0
+        return cold, warm
+
+    cold, warm = benchmark(run)
+    record(benchmark, cold_elaboration_s=round(cold, 6),
+           warm_elaboration_s=round(warm, 6),
+           speedup=round(cold / warm, 2) if warm else None)

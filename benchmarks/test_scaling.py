@@ -1,0 +1,86 @@
+"""T-scale — state-space growth (the paper's Section 6 concern).
+
+The paper worries that block-level composition "may be restricted to
+only small systems" without optimization.  These benchmarks chart how
+the state space grows with the workload and configuration parameters,
+for both the composed and fused encodings, giving the quantitative
+backdrop for the T-opt reduction factors.
+"""
+
+import pytest
+
+from conftest import record
+
+from repro.core import FifoQueue, ModelLibrary, SynBlockingSend
+from repro.mc import count_states
+from repro.systems.bridge import (
+    BridgeConfig,
+    bridge_safety_prop,
+    build_exactly_n_bridge,
+    fix_exactly_n_bridge,
+)
+from repro.systems.producer_consumer import simple_pair
+
+
+@pytest.mark.parametrize("messages", [1, 2, 3, 4], ids=lambda m: f"msgs{m}")
+def test_growth_in_messages_composed(benchmark, messages):
+    arch = simple_pair(SynBlockingSend(), FifoQueue(size=2), messages=messages)
+    system = arch.to_system()
+
+    def run():
+        return count_states(system)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, messages=messages, encoding="composed",
+           states=stats.states_stored, transitions=stats.transitions)
+
+
+@pytest.mark.parametrize("buffer_size", [1, 2, 3, 4], ids=lambda b: f"buf{b}")
+def test_growth_in_buffer_size_composed(benchmark, buffer_size):
+    arch = simple_pair(SynBlockingSend(), FifoQueue(size=buffer_size),
+                       messages=3)
+    system = arch.to_system()
+
+    def run():
+        return count_states(system)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, buffer_size=buffer_size, encoding="composed",
+           states=stats.states_stored)
+
+
+@pytest.mark.parametrize("config,label", [
+    (BridgeConfig(1, 1, trips=1), "cars1-trips1"),
+    (BridgeConfig(1, 1, trips=2), "cars1-trips2"),
+    (BridgeConfig(2, 1, trips=1), "cars2-trips1"),
+], ids=lambda c: c if isinstance(c, str) else "")
+def test_bridge_growth_fused(benchmark, config, label):
+    arch = fix_exactly_n_bridge(build_exactly_n_bridge(config))
+    system = arch.to_system(fused=True)
+
+    def run():
+        return count_states(system)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, config=label, encoding="fused",
+           states=stats.states_stored, transitions=stats.transitions)
+
+
+def test_bridge_composed_vs_fused_growth(benchmark):
+    """One side-by-side data point quantifying the §6 warning."""
+    config = BridgeConfig(1, 1, trips=1)
+
+    def run():
+        arch = fix_exactly_n_bridge(build_exactly_n_bridge(config))
+        composed = count_states(arch.to_system(ModelLibrary(), fused=False))
+        fused = count_states(arch.to_system(ModelLibrary(), fused=True))
+        return composed, fused
+
+    composed, fused = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        benchmark,
+        composed_states=composed.states_stored,
+        fused_states=fused.states_stored,
+        composition_overhead_factor=round(
+            composed.states_stored / fused.states_stored, 1),
+    )

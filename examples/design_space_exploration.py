@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Sweep the connector design space and tabulate verification verdicts.
+
+The PnP approach exists to make "experimenting with alternative design
+choices of interaction semantics" cheap.  This example takes one fixed
+pair of components (a producer that must deliver 2 messages and a
+consumer that expects them) and verifies *every* send-port/channel
+combination from the library against three requirements:
+
+* no deadlock / invalid end state;
+* no assertion failures;
+* completion — every execution eventually delivers both messages (LTL).
+
+All 20 verification runs share one model library, so the sweep costs a
+handful of block models plus two component models — the paper's reuse
+claim working at design-exploration scale.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import time
+
+from repro.core import (
+    AsynBlockingSend,
+    AsynCheckingSend,
+    AsynNonblockingSend,
+    DroppingBuffer,
+    FifoQueue,
+    ModelLibrary,
+    SingleSlotBuffer,
+    SynBlockingSend,
+    SynCheckingSend,
+    verify_ltl,
+    verify_safety,
+)
+from repro.mc import global_prop
+from repro.systems.producer_consumer import simple_pair
+
+SEND_PORTS = [
+    AsynNonblockingSend(),
+    AsynBlockingSend(),
+    AsynCheckingSend(),
+    SynBlockingSend(),
+    SynCheckingSend(),
+]
+CHANNELS = [
+    SingleSlotBuffer(),
+    FifoQueue(size=2),
+    DroppingBuffer(size=1),
+    DroppingBuffer(size=2),
+]
+
+K = 2
+
+
+def main() -> None:
+    library = ModelLibrary()
+    delivered = global_prop(
+        "delivered", lambda v: v.global_("consumed_0") == K, "consumed_0")
+
+    header = f"{'send port':26s}{'channel':22s}{'safety':10s}{'completion':12s}{'states':>8s}"
+    print(header)
+    print("-" * len(header))
+    t0 = time.perf_counter()
+    # ONE architecture, revised plug-and-play style for every combination:
+    # the components are designed once and their models built once.
+    arch = simple_pair(SEND_PORTS[0], CHANNELS[0], messages=K)
+    for channel in CHANNELS:
+        arch.swap_channel("link", channel)
+        for port in SEND_PORTS:
+            arch.swap_send_port("link", "Producer0", port)
+            safety = verify_safety(arch, library=library, fused=True)
+            completion = verify_ltl(arch, "F delivered",
+                                    {"delivered": delivered},
+                                    library=library, fused=True)
+            print(
+                f"{port.kind:26s}{channel.display_name():22s}"
+                f"{'ok' if safety.ok else 'DEADLOCK':10s}"
+                f"{'ok' if completion.ok else 'CAN HANG':12s}"
+                f"{safety.result.stats.states_stored:8d}"
+            )
+    elapsed = time.perf_counter() - t0
+    built, hits = library.stats.misses, library.stats.hits
+    print("-" * len(header))
+    print(f"{len(CHANNELS) * len(SEND_PORTS) * 2} verification runs in "
+          f"{elapsed:.1f}s; models built {built}, reused {hits}")
+    print("\nReading the table: only blocking/checking sends over lossless")
+    print("channels guarantee completion; dropping buffers silently defeat")
+    print("even synchronous senders (they hang, which safety flags), and")
+    print("fire-and-forget sends can lose messages on any bounded channel.")
+
+
+if __name__ == "__main__":
+    main()

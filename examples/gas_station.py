@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""The gas station: choosing *receive* semantics by verification.
+
+The automated gas station is the classic benchmark of the paper's
+authors' research group, so it makes a fitting demonstration of the
+block the other examples haven't exercised: **selective receive**.
+
+Customers prepay the operator; the operator activates the pump; the
+pump's deliveries to all customers share one connector.  With plain
+receives, whoever asks first takes whatever delivery is at the head of
+the queue — including somebody else's gas.  Verification catches the
+crossed delivery as an assertion failure; switching the customers to
+selective (tag-matching) receive requests makes the design verify.
+
+Run:  python examples/gas_station.py
+"""
+
+from repro.core import explain_trace, verify_safety
+from repro.mc import find_state
+from repro.systems.gas_station import all_fueled_prop, build_gas_station
+
+
+def main() -> None:
+    print("=== plain receives: first-come, first-served deliveries ===")
+    arch = build_gas_station(customers=2, selective_delivery=False)
+    print(arch.describe())
+    report = verify_safety(arch, check_deadlock=True, fused=True)
+    print()
+    print(report.summary())
+    assert not report.ok
+
+    system = arch.to_system(fused=True)
+    print("\nthe crossed delivery, step by step (tail of the trace):")
+    trace = report.result.trace
+    print(explain_trace(trace, arch, system, max_steps=14))
+
+    print("\n=== selective receives: each customer matches its own tag ===")
+    arch = build_gas_station(customers=2, selective_delivery=True)
+    report = verify_safety(arch, check_deadlock=True, fused=True)
+    print(report.summary())
+    assert report.ok
+
+    witness = find_state(arch.to_system(fused=True), all_fueled_prop(2))
+    print(f"\nboth customers fueled (witness in {len(witness)} steps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Export a composed architecture as Promela source (paper Figures 5-11).
+
+The paper models every building block in Promela; this reproduction
+defines them once in PSL and can pretty-print any composed system back
+into Promela, demonstrating the formalism-independence the paper claims
+(they also re-encoded the blocks in FSP for LTSA).
+
+The exported model for the Figure 2(a) connector shows the same
+structural landmarks as the paper's figures: the ``SynChan`` pairs, the
+pid-tagged signal protocol, and the port/channel/component proctypes.
+
+Run:  python examples/promela_export.py [output.pml]
+"""
+
+import sys
+
+from repro.codegen import system_to_promela
+from repro.core import AsynBlockingSend, SingleSlotBuffer
+from repro.systems.producer_consumer import simple_pair
+
+
+def main() -> None:
+    # Figure 2(a): AsynBlockingSend + single-slot buffer + BlockingReceive.
+    arch = simple_pair(AsynBlockingSend(), SingleSlotBuffer(), messages=1)
+    source = system_to_promela(arch.to_system())
+
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "w") as fh:
+            fh.write(source + "\n")
+        print(f"wrote {len(source.splitlines())} lines to {sys.argv[1]}")
+    else:
+        print(source)
+
+    # Point out the paper's landmarks in the generated text.
+    landmarks = [
+        "proctype AsynBlSendPort",
+        "proctype BlRecvPort",
+        "proctype single_slot_buffer",
+        "chan_sig??IN_OK,eval(_pid)",
+        "comp_sig!SEND_SUCC,-1",
+        "sender_sig!RECV_OK,b_sender",
+    ]
+    print("\n/* landmark check:", file=sys.stderr)
+    for landmark in landmarks:
+        status = "found" if landmark in source else "MISSING"
+        print(f"   {status:8s} {landmark}", file=sys.stderr)
+    print("*/", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

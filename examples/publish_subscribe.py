@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Publish/subscribe through the same standard interfaces (paper §6).
+
+The paper argues its standard component interfaces are not specific to
+message passing — "these interfaces can be used for other kinds of
+interactions such as RPC and publish/subscribe".  This example builds a
+two-subscriber event system on the :class:`EventPool` channel block and
+verifies three characteristic pub/sub properties:
+
+* **fan-out** — every subscriber can receive every event;
+* **decoupling** — the publisher finishes regardless of whether anyone
+  consumes (reachable state: publisher done, nothing received);
+* **best-effort delivery** — a subscriber with a full event store
+  misses events rather than blocking the publisher.
+
+Run:  python examples/publish_subscribe.py
+"""
+
+from repro.core import verify_safety
+from repro.mc import check_safety, find_state, global_prop, prop
+from repro.systems.pubsub import build_pubsub
+
+
+def main() -> None:
+    arch = build_pubsub(publishers=1, subscribers=2, events_each=1, depth=2)
+    print(arch.describe())
+    print()
+
+    print("=== safety: no deadlock, assertions hold ===")
+    report = verify_safety(arch)
+    print(report.summary())
+
+    system = arch.to_system()
+
+    print("\n=== fan-out: both subscribers can get the event ===")
+    fanout = prop(
+        "both_received",
+        lambda v: v.global_("received_0") == 1 and v.global_("received_1") == 1,
+    )
+    trace = find_state(system, fanout)
+    print("reachable!" if trace is not None else "NOT reachable (bug)")
+    assert trace is not None
+
+    print("\n=== decoupling: publisher can finish before any delivery ===")
+    decoupled = prop(
+        "published_unconsumed",
+        lambda v: (v.global_("published_0") == 1
+                   and v.global_("received_0") == 0
+                   and v.global_("received_1") == 0),
+    )
+    trace = find_state(system, decoupled)
+    print("reachable!" if trace is not None else "NOT reachable (bug)")
+    assert trace is not None
+
+    print("\n=== best effort: a full store misses events silently ===")
+    tight = build_pubsub(publishers=1, subscribers=1, events_each=2, depth=1)
+    missed = prop(
+        "missed_event",
+        lambda v: (v.global_("published_0") == 2
+                   and v.chan_len("events.store0") == 1
+                   and v.global_("received_0") == 0),
+    )
+    trace = find_state(tight.to_system(), missed)
+    print("event loss state reachable!" if trace is not None else "no loss")
+    assert trace is not None
+    print("\n(the publisher was never blocked or notified — classic "
+          "best-effort pub/sub, captured by block composition alone)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The single-lane bridge case study (paper Section 4, Figures 12-14).
+
+Reproduces the paper's full design narrative:
+
+1. **Figure 13 (initial design)** — cars request bridge entry through
+   *asynchronous* blocking send ports.  A car then drives onto the
+   bridge as soon as its request is buffered, before any grant, and
+   verification finds two opposing cars on the bridge.
+2. **The fix** — swap the enter-request send ports to *synchronous*
+   blocking, a connector-only change.  Verification now passes, and the
+   model library shows every component model was reused.
+3. **Figure 14 (at-most-N design)** — controllers yield idle turns via
+   two new controller-to-controller connectors; verification confirms
+   the more efficient design is still safe.
+
+Run:  python examples/single_lane_bridge.py
+"""
+
+from repro.core import DesignIterationLog, explain_trace
+from repro.systems.bridge import (
+    BridgeConfig,
+    bridge_safety_prop,
+    build_at_most_n_bridge,
+    build_exactly_n_bridge,
+    fix_exactly_n_bridge,
+)
+
+
+def main() -> None:
+    config = BridgeConfig(cars_per_side=1, n_per_turn=1, trips=1)
+    safety = bridge_safety_prop()
+    log = DesignIterationLog()
+
+    print("=== Figure 13: exactly-N-cars-per-turn, initial design ===")
+    arch = build_exactly_n_bridge(config)
+    print(arch.describe())
+    record = log.run("Fig13 initial (async enter sends)", arch,
+                     invariants=[safety], fused=True)
+    print()
+    print(record.report.summary())
+    trace = record.report.result.trace
+    if trace is not None:
+        print("\nhow the crash happens (architectural trace):")
+        print(explain_trace(trace, arch, arch.to_system(log.library, fused=True),
+                            max_steps=18))
+
+    print("\n=== The plug-and-play fix: synchronous enter-request sends ===")
+    fix_exactly_n_bridge(arch)  # swaps 2 send ports; zero component changes
+    record = log.run("Fig13 fixed (sync enter sends)", arch,
+                     invariants=[safety], fused=True)
+    print(record.report.summary())
+
+    print("\n=== Figure 14: at-most-N-cars-per-turn ===")
+    arch14 = build_at_most_n_bridge(config)
+    record = log.run("Fig14 at-most-N", arch14, invariants=[safety],
+                     fused=True)
+    print(record.report.summary())
+
+    print("\n=== Design-iteration reuse accounting (the paper's cost claim) ===")
+    print(log.table())
+    print(
+        f"\ncomponent models rebuilt by the fix iteration: "
+        f"{log.iterations[1].component_models_built()} "
+        f"(the fix touched only connectors; Figure 14 is a new design with "
+        f"genuinely new components)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — Plug-and-Play architectural design and verification.
+
+A from-scratch Python reproduction of *"Plug-and-Play Architectural
+Design and Verification"* (Wang, Avrunin & Clarke):
+
+* :mod:`repro.core` — the PnP layer: connector building blocks (send
+  ports, receive ports, channels), standard component interfaces,
+  architectures with plug-and-play revision, design-time verification
+  with model reuse, fused-connector optimization, and counterexample
+  explanation;
+* :mod:`repro.psl` — the Promela-like process modeling substrate;
+* :mod:`repro.mc` — the finite-state verification engine (safety BFS,
+  LTL via Büchi + nested DFS, partial-order reduction);
+* :mod:`repro.codegen` — Promela source generation;
+* :mod:`repro.msc` — message-sequence-chart extraction;
+* :mod:`repro.systems` — complete example systems, including the
+  paper's single-lane bridge case study.
+
+Quickstart::
+
+    from repro.core import *
+    from repro.systems import simple_pair
+
+    arch = simple_pair(AsynBlockingSend(), SingleSlotBuffer())
+    report = verify_safety(arch)
+    print(report.summary())
+
+    arch.swap_send_port("link", "Producer0", SynBlockingSend())
+    print(verify_safety(arch).summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

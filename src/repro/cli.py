@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``catalog`` — print the building-block library (the paper's Figure 1);
+* ``bridge [--variant V] [--cars N] [--trips T] [--composed]`` — build
+  and verify one of the single-lane-bridge designs;
+* ``sweep [--messages K]`` — verify every send-port/channel combination
+  on a producer/consumer pair and tabulate the verdicts;
+* ``export [--out FILE]`` — emit the Promela model of a Figure 2(a)
+  connector system;
+* ``graph {block KIND | bridge} [--out FILE]`` — emit Graphviz/DOT for
+  a block's state machine or the bridge topology.
+
+The CLI is a thin veneer over the library — everything it does is two
+or three calls on the public API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    from repro.core import figure1_table
+    print(figure1_table())
+    return 0
+
+
+def _cmd_bridge(args: argparse.Namespace) -> int:
+    from repro.core import verify_safety
+    from repro.systems.bridge import (
+        BridgeConfig,
+        bridge_safety_prop,
+        build_at_most_n_bridge,
+        build_exactly_n_bridge,
+        fix_exactly_n_bridge,
+    )
+
+    config = BridgeConfig(cars_per_side=args.cars, n_per_turn=args.n,
+                          trips=args.trips)
+    if args.variant == "initial":
+        arch = build_exactly_n_bridge(config)
+    elif args.variant == "fixed":
+        arch = fix_exactly_n_bridge(build_exactly_n_bridge(config))
+    else:
+        arch = build_at_most_n_bridge(config)
+    print(arch.describe())
+    report = verify_safety(
+        arch,
+        invariants=[bridge_safety_prop()],
+        check_deadlock=args.variant != "initial",
+        fused=not args.composed,
+    )
+    print()
+    print(report.summary())
+    if not report.ok and report.result.trace is not None:
+        from repro.core import explain_trace
+        print("\ncounterexample:")
+        system = arch.to_system(fused=not args.composed)
+        print(explain_trace(report.result.trace, arch, system, max_steps=20))
+    return 0 if report.ok == (args.variant != "initial") else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core import (
+        ModelLibrary,
+        verify_safety,
+    )
+    from repro.core.channels import CHANNEL_SPECS
+    from repro.core.ports import SEND_PORT_SPECS
+    from repro.systems.producer_consumer import simple_pair
+
+    library = ModelLibrary()
+    header = f"{'send port':26s}{'channel':28s}{'verdict':10s}{'states':>8s}"
+    print(header)
+    print("-" * len(header))
+    failures = 0
+    arch = simple_pair(SEND_PORT_SPECS[0], CHANNEL_SPECS[0],
+                       messages=args.messages)
+    for channel in CHANNEL_SPECS:
+        arch.swap_channel("link", channel)
+        for port in SEND_PORT_SPECS:
+            arch.swap_send_port("link", "Producer0", port)
+            report = verify_safety(arch, library=library, fused=True)
+            verdict = "ok" if report.ok else report.result.kind.upper()
+            failures += 0 if report.ok else 1
+            print(f"{port.kind:26s}{channel.display_name():28s}{verdict:10s}"
+                  f"{report.result.stats.states_stored:8d}")
+    stats = library.stats
+    print("-" * len(header))
+    print(f"models built {stats.misses}, reused {stats.hits} "
+          f"({stats.reuse_ratio:.0%} reuse)")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.codegen import system_to_promela
+    from repro.core import AsynBlockingSend, SingleSlotBuffer
+    from repro.systems.producer_consumer import simple_pair
+
+    arch = simple_pair(AsynBlockingSend(), SingleSlotBuffer(), messages=1)
+    source = system_to_promela(arch.to_system())
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(source + "\n")
+        print(f"wrote {len(source.splitlines())} lines to {args.out}")
+    else:
+        print(source)
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from repro.codegen import architecture_to_dot, automaton_to_dot
+
+    if args.what == "bridge":
+        from repro.systems.bridge import BridgeConfig, build_exactly_n_bridge
+        dot = architecture_to_dot(
+            build_exactly_n_bridge(BridgeConfig(1, 1, trips=1)))
+    else:
+        from repro.core import make_block
+        dot = automaton_to_dot(make_block(args.what).build_def())
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(dot + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(dot)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Plug-and-Play architectural design and verification",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("catalog", help="print the block library (Figure 1)")
+
+    bridge = sub.add_parser("bridge", help="verify a single-lane bridge design")
+    bridge.add_argument("--variant", choices=["initial", "fixed", "atmostn"],
+                        default="initial")
+    bridge.add_argument("--cars", type=int, default=1,
+                        help="cars per side (default 1)")
+    bridge.add_argument("--n", type=int, default=1,
+                        help="cars per turn (default 1)")
+    bridge.add_argument("--trips", type=int, default=1,
+                        help="trips per car; 0 = cycle forever (default 1)")
+    bridge.add_argument("--composed", action="store_true",
+                        help="use composed block models instead of fused")
+
+    sweep = sub.add_parser("sweep", help="verify all port/channel combos")
+    sweep.add_argument("--messages", type=int, default=2)
+
+    export = sub.add_parser("export", help="emit Promela for Figure 2(a)")
+    export.add_argument("--out", default=None)
+
+    graph = sub.add_parser("graph", help="emit Graphviz DOT")
+    graph.add_argument("what",
+                       help="a block kind (e.g. syn_blocking_send) or 'bridge'")
+    graph.add_argument("--out", default=None)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "catalog": _cmd_catalog,
+        "bridge": _cmd_bridge,
+        "sweep": _cmd_sweep,
+        "export": _cmd_export,
+        "graph": _cmd_graph,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

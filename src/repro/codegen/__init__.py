@@ -1,0 +1,11 @@
+"""Code generation back-ends for PSL systems."""
+
+from .dot import architecture_to_dot, automaton_to_dot
+from .promela import PromelaEmitter, system_to_promela
+
+__all__ = [
+    "PromelaEmitter",
+    "architecture_to_dot",
+    "automaton_to_dot",
+    "system_to_promela",
+]

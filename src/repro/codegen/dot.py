@@ -1,0 +1,89 @@
+"""Graphviz (DOT) rendering: automata and architecture topology.
+
+Two views, both pure structure (no simulation involved):
+
+* :func:`automaton_to_dot` — the compiled control-flow automaton of one
+  process definition, with end locations double-circled and edges
+  labeled by their operations.  Useful for inspecting the building-block
+  models (the state machines behind the paper's Figures 6-11).
+* :func:`architecture_to_dot` — the component-and-connector topology of
+  an architecture (the paper's Figures 2/13/14 box diagrams):
+  components as boxes, connectors as (channel-labeled) ellipses, port
+  kinds on the edges.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.architecture import Architecture
+from ..psl.system import ProcessDef
+
+
+def _esc(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def automaton_to_dot(definition: ProcessDef, max_label: int = 40) -> str:
+    """Render a process definition's automaton as a DOT digraph."""
+    auto = definition.automaton
+    lines: List[str] = [
+        f'digraph "{_esc(definition.name)}" {{',
+        "    rankdir=TB;",
+        '    node [shape=circle, fontsize=10];',
+        f'    __start [shape=point, label=""];',
+        f"    __start -> L{auto.initial};",
+    ]
+    for loc in range(auto.n_locations):
+        if not auto.edges_from[loc] and loc not in auto.end_locations:
+            # unreachable/removed location: skip unless referenced
+            if not any(e.dst == loc or e.src == loc for e in auto.edges):
+                continue
+        shape = "doublecircle" if loc in auto.end_locations else "circle"
+        lines.append(f'    L{loc} [shape={shape}, label="{loc}"];')
+    for edge in auto.edges:
+        label = edge.describe()
+        if len(label) > max_label:
+            label = label[: max_label - 3] + "..."
+        lines.append(
+            f'    L{edge.src} -> L{edge.dst} [label="{_esc(label)}", '
+            f"fontsize=9];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def architecture_to_dot(architecture: Architecture) -> str:
+    """Render an architecture's component/connector topology as DOT."""
+    architecture.validate()
+    lines: List[str] = [
+        f'digraph "{_esc(architecture.name)}" {{',
+        "    rankdir=LR;",
+        '    node [fontsize=11];',
+    ]
+    for name in sorted(architecture.components):
+        lines.append(
+            f'    "{_esc(name)}" [shape=box, style=filled, '
+            f'fillcolor=lightblue];'
+        )
+    for conn_name in sorted(architecture.connectors):
+        conn = architecture.connectors[conn_name]
+        label = f"{conn_name}\\n{conn.channel.display_name()}"
+        lines.append(
+            f'    "{_esc(conn_name)}" [shape=ellipse, style=filled, '
+            f'fillcolor=lightyellow, label="{_esc(label)}"];'
+        )
+        for att in conn.senders:
+            lines.append(
+                f'    "{_esc(att.component)}" -> "{_esc(conn_name)}" '
+                f'[label="{_esc(att.port)}\\n{_esc(att.spec.display_name())}", '
+                f"fontsize=9];"
+            )
+        for att in conn.receivers:
+            lines.append(
+                f'    "{_esc(conn_name)}" -> "{_esc(att.component)}" '
+                f'[label="{_esc(att.port)}\\n{_esc(att.spec.display_name())}", '
+                f"fontsize=9];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,261 @@
+"""Promela source generation for PSL systems.
+
+The paper models its building blocks in Promela (Figures 5-11) and
+notes that the approach "is not tied to any particular model checker or
+modeling language" (they also encoded the blocks in FSP for LTSA).  The
+reproduction's blocks are defined once in PSL; this emitter demonstrates
+the same formalism-independence by pretty-printing any composed system —
+blocks, components, wiring — back into Promela.
+
+The output is intended to be read (and diffed against the paper's
+figures) and to be loadable by SPIN with two caveats, called out with
+comments in the generated source:
+
+* PSL's guarded receive (``Recv(..., when=...)``, used by the optimized
+  channel models) has no single-statement Promela equivalent; it is
+  emitted as an ``atomic { guard -> receive }`` pair, which differs from
+  PSL semantics in that the guard and receive are evaluated at two
+  instants.  Faithful-variant models never use guarded receives and emit
+  verbatim.
+* PSL symbols become one global ``mtype`` declaration; data fields are
+  emitted as ``int`` and symbol values as their mtype constants.
+
+Channel-valued process parameters are emitted as ``chan`` parameters and
+bound in the ``init`` block, exactly mirroring the paper's composition
+scheme (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from ..psl.channels import Channel
+from ..psl.expr import BinOp, Const, Expr, Not, Var
+from ..psl.stmt import (
+    AnyField,
+    Assert,
+    Assign,
+    Bind,
+    Branch,
+    Break,
+    Do,
+    DStep,
+    Else,
+    EndLabel,
+    Guard,
+    If,
+    MatchEq,
+    Recv,
+    Send,
+    Seq,
+    Skip,
+    Stmt,
+)
+from ..psl.system import ProcessDef, System
+
+_INDENT = "    "
+
+
+def _collect_symbols_expr(expr: Expr, out: Set[str]) -> None:
+    if isinstance(expr, Const) and isinstance(expr.value, str):
+        out.add(expr.value)
+    elif isinstance(expr, BinOp):
+        _collect_symbols_expr(expr.left, out)
+        _collect_symbols_expr(expr.right, out)
+    elif isinstance(expr, Not):
+        _collect_symbols_expr(expr.operand, out)
+
+
+def _collect_symbols_stmt(stmt: Stmt, out: Set[str]) -> None:
+    if isinstance(stmt, Seq):
+        for s in stmt.stmts:
+            _collect_symbols_stmt(s, out)
+    elif isinstance(stmt, (If, Do)):
+        for b in stmt.branches:
+            _collect_symbols_stmt(b.body, out)
+    elif isinstance(stmt, (Assign, Guard, Assert)):
+        _collect_symbols_expr(stmt.expr, out)
+    elif isinstance(stmt, Send):
+        for a in stmt.args:
+            _collect_symbols_expr(a, out)
+    elif isinstance(stmt, Recv):
+        for p in stmt.patterns:
+            if isinstance(p, MatchEq):
+                _collect_symbols_expr(p.expr, out)
+        if stmt.when is not None:
+            _collect_symbols_expr(stmt.when, out)
+    elif isinstance(stmt, DStep):
+        for s in stmt.stmts:
+            _collect_symbols_stmt(s, out)
+
+
+class PromelaEmitter:
+    """Pretty-prints a PSL :class:`System` as Promela source."""
+
+    def __init__(self, system: System) -> None:
+        system.finalize()
+        self.system = system
+        self._end_label_count = 0
+
+    # -- top level -------------------------------------------------------
+
+    def emit(self) -> str:
+        parts: List[str] = [
+            f"/* Promela model generated from PSL system {self.system.name!r} */",
+            "",
+        ]
+        symbols = self._symbols()
+        if symbols:
+            parts.append("mtype = { " + ", ".join(sorted(symbols)) + " };")
+            parts.append("")
+        for gname, ginit in self.system.global_vars.items():
+            parts.append(f"int {gname} = {self._value(ginit)};")
+        if self.system.global_vars:
+            parts.append("")
+        for chan in self.system.channels:
+            parts.append(self._channel_decl(chan))
+        if self.system.channels:
+            parts.append("")
+        for definition in self.system.definitions():
+            parts.append(self.emit_proctype(definition))
+            parts.append("")
+        parts.append(self._init_block())
+        return "\n".join(parts)
+
+    def _symbols(self) -> Set[str]:
+        out: Set[str] = set()
+        for definition in self.system.definitions():
+            _collect_symbols_stmt(definition.body, out)
+        for inst in self.system.instances:
+            for value in inst.value_bindings.values():
+                if isinstance(value, str):
+                    out.add(value)
+        return out
+
+    def _channel_decl(self, chan: Channel) -> str:
+        fields = ", ".join("int" for _ in chan.fields)
+        comment = f"  /* fields: {', '.join(chan.fields)} */"
+        return f"chan {self._chan_name(chan)} = [{chan.capacity}] of {{ {fields} }};{comment}"
+
+    def _chan_name(self, chan: Channel) -> str:
+        return chan.name.replace(".", "_").replace("-", "_")
+
+    def _proc_name(self, name: str) -> str:
+        return name.replace(".", "_").replace("-", "_")
+
+    def _init_block(self) -> str:
+        lines = ["init {", _INDENT + "atomic {"]
+        for inst in self.system.instances:
+            args: List[str] = []
+            for param in inst.definition.chan_params:
+                args.append(self._chan_name(inst.chan_bindings[param]))
+            for param in inst.definition.params:
+                args.append(self._value(inst.value_bindings[param]))
+            arg_txt = ", ".join(args)
+            lines.append(
+                f"{_INDENT * 2}run {self._proc_name(inst.definition.name)}"
+                f"({arg_txt});  /* {inst.name} */"
+            )
+        lines.append(_INDENT + "}")
+        lines.append("}")
+        return "\n".join(lines)
+
+    # -- proctypes ------------------------------------------------------------
+
+    def emit_proctype(self, definition: ProcessDef) -> str:
+        # Promela labels are scoped per proctype; numbering restarts so a
+        # definition's text is independent of what was emitted before it.
+        self._end_label_count = 0
+        params: List[str] = [f"chan {p}" for p in definition.chan_params]
+        params.extend(f"int {p}" for p in definition.params)
+        header = f"proctype {self._proc_name(definition.name)}({'; '.join(params)})"
+        lines = [header + " {"]
+        for var, init in definition.local_vars.items():
+            lines.append(f"{_INDENT}int {var} = {self._value(init)};")
+        body_lines = self._stmt(definition.body, 1)
+        lines.extend(body_lines)
+        lines.append("}")
+        return "\n".join(lines)
+
+    def _value(self, value) -> str:
+        return str(value)
+
+    # -- statements --------------------------------------------------------------
+
+    def _stmt(self, stmt: Stmt, depth: int) -> List[str]:
+        pad = _INDENT * depth
+        comment = f"  /* {stmt.comment} */" if stmt.comment else ""
+        if isinstance(stmt, Seq):
+            out: List[str] = []
+            for s in stmt.stmts:
+                out.extend(self._stmt(s, depth))
+            return out
+        if isinstance(stmt, Assign):
+            return [f"{pad}{stmt.name} = {stmt.expr.to_promela()};{comment}"]
+        if isinstance(stmt, Guard):
+            return [f"{pad}({stmt.expr.to_promela()});{comment}"]
+        if isinstance(stmt, Else):
+            return [f"{pad}else{comment}"]
+        if isinstance(stmt, Send):
+            args = ",".join(a.to_promela() for a in stmt.args)
+            return [f"{pad}{stmt.chan}!{args};{comment}"]
+        if isinstance(stmt, Recv):
+            return self._recv(stmt, depth, comment)
+        if isinstance(stmt, Assert):
+            return [f"{pad}assert({stmt.expr.to_promela()});{comment}"]
+        if isinstance(stmt, Skip):
+            return [f"{pad}skip;{comment}"]
+        if isinstance(stmt, Break):
+            return [f"{pad}break;{comment}"]
+        if isinstance(stmt, EndLabel):
+            self._end_label_count += 1
+            return [f"{pad[:-len(_INDENT)] if len(pad) else ''}end{self._end_label_count}:{comment}"]
+        if isinstance(stmt, DStep):
+            out = [f"{pad}d_step {{{comment}"]
+            for s in stmt.stmts:
+                out.extend(self._stmt(s, depth + 1))
+            out.append(f"{pad}}}")
+            return out
+        if isinstance(stmt, If):
+            return self._selection("if", "fi", stmt.branches, depth, comment)
+        if isinstance(stmt, Do):
+            return self._selection("do", "od", stmt.branches, depth, comment)
+        raise TypeError(f"cannot emit {type(stmt).__name__}")
+
+    def _selection(
+        self, open_kw: str, close_kw: str, branches: Sequence[Branch],
+        depth: int, comment: str,
+    ) -> List[str]:
+        pad = _INDENT * depth
+        out = [f"{pad}{open_kw}{comment}"]
+        for branch in branches:
+            stmts = list(branch.body.stmts)
+            first_lines = self._stmt(stmts[0], depth + 1)
+            # attach the '::' to the first statement of the branch
+            stripped = first_lines[0].lstrip()
+            out.append(f"{pad}:: {stripped}")
+            out.extend(first_lines[1:])
+            for s in stmts[1:]:
+                out.extend(self._stmt(s, depth + 1))
+        out.append(f"{pad}{close_kw};")
+        return out
+
+    def _recv(self, stmt: Recv, depth: int, comment: str) -> List[str]:
+        pad = _INDENT * depth
+        op = "??" if stmt.matching else "?"
+        pats = ",".join(p.to_promela() for p in stmt.patterns)
+        core = f"{stmt.chan}{op}<{pats}>" if stmt.peek else f"{stmt.chan}{op}{pats}"
+        if stmt.when is None:
+            return [f"{pad}{core};{comment}"]
+        # Guarded receive: no single-statement Promela equivalent.
+        return [
+            f"{pad}atomic {{  /* PSL guarded receive: guard and receive "
+            f"are one operation in PSL */",
+            f"{pad}{_INDENT}({stmt.when.to_promela()}) -> {core};{comment}",
+            f"{pad}}}",
+        ]
+
+
+def system_to_promela(system: System) -> str:
+    """Emit Promela source for a composed PSL system."""
+    return PromelaEmitter(system).emit()

@@ -1,0 +1,139 @@
+"""The PnP (Plug-and-Play) architectural design and verification layer.
+
+This is the paper's primary contribution: connectors composed from a
+library of reusable building blocks (send ports, receive ports,
+channels) behind standard component interfaces, with design-time
+finite-state verification that reuses block and component models across
+design iterations.
+
+Typical usage::
+
+    from repro.core import (
+        Architecture, Component, ModelLibrary,
+        AsynBlockingSend, SynBlockingSend, BlockingReceive,
+        SingleSlotBuffer, FifoQueue,
+        send_message, receive_message, verify_safety,
+    )
+"""
+
+from .architecture import Architecture, ArchitectureError
+from .channels import (
+    CHANNEL_SPECS,
+    ChannelSpec,
+    DroppingBuffer,
+    FifoQueue,
+    PriorityQueue,
+    SingleSlotBuffer,
+)
+from .component import Component, RECEIVE, SEND
+from .connector import Attachment, Connector
+from .interface import (
+    INTERFACE_LOCALS,
+    RECV_STATUS_VAR,
+    SEND_STATUS_VAR,
+    port_channel_params,
+    receive_message,
+    send_message,
+)
+from .library import block_kinds, catalog, figure1_table, make_block
+from .ports import (
+    RECEIVE_PORT_SPECS,
+    SEND_PORT_SPECS,
+    AsynBlockingSend,
+    AsynCheckingSend,
+    AsynNonblockingSend,
+    BlockingReceive,
+    NonblockingReceive,
+    ReceivePortSpec,
+    SendPortSpec,
+    SynBlockingSend,
+    SynCheckingSend,
+)
+from .signals import (
+    DATA_FIELDS,
+    IN_FAIL,
+    IN_OK,
+    OUT_FAIL,
+    OUT_OK,
+    RECV_FAIL,
+    RECV_OK,
+    RECV_SUCC,
+    SEND_FAIL,
+    SEND_SUCC,
+    SIGNALS,
+    SIGNAL_FIELDS,
+)
+from .explain import (
+    classify_processes,
+    diagnose_deadlock,
+    explain_step,
+    explain_trace,
+)
+from .optimize import FusedUnsupported, build_fused_def, fused_key
+from .reuse import DesignIterationLog, IterationRecord
+from .spec import BlockSpec, LibraryStats, ModelLibrary
+from .verify import VerificationReport, verify_ltl, verify_safety
+
+__all__ = [
+    "Architecture",
+    "ArchitectureError",
+    "AsynBlockingSend",
+    "AsynCheckingSend",
+    "AsynNonblockingSend",
+    "Attachment",
+    "BlockSpec",
+    "BlockingReceive",
+    "CHANNEL_SPECS",
+    "ChannelSpec",
+    "Component",
+    "Connector",
+    "DATA_FIELDS",
+    "DroppingBuffer",
+    "FifoQueue",
+    "INTERFACE_LOCALS",
+    "IN_FAIL",
+    "IN_OK",
+    "LibraryStats",
+    "ModelLibrary",
+    "NonblockingReceive",
+    "OUT_FAIL",
+    "OUT_OK",
+    "PriorityQueue",
+    "RECEIVE",
+    "RECEIVE_PORT_SPECS",
+    "RECV_FAIL",
+    "RECV_OK",
+    "RECV_STATUS_VAR",
+    "RECV_SUCC",
+    "ReceivePortSpec",
+    "SEND",
+    "SEND_FAIL",
+    "SEND_PORT_SPECS",
+    "SEND_STATUS_VAR",
+    "SEND_SUCC",
+    "SIGNALS",
+    "SIGNAL_FIELDS",
+    "SendPortSpec",
+    "SingleSlotBuffer",
+    "SynBlockingSend",
+    "SynCheckingSend",
+    "DesignIterationLog",
+    "FusedUnsupported",
+    "IterationRecord",
+    "VerificationReport",
+    "block_kinds",
+    "build_fused_def",
+    "classify_processes",
+    "diagnose_deadlock",
+    "explain_step",
+    "explain_trace",
+    "fused_key",
+    "catalog",
+    "figure1_table",
+    "make_block",
+    "port_channel_params",
+    "receive_message",
+    "send_message",
+    "verify_ltl",
+    "verify_safety",
+]

@@ -1,0 +1,326 @@
+"""Architectures: components + connectors, elaborated to a formal model.
+
+An :class:`Architecture` is the design-level object the PnP approach
+revolves around: a set of components, a set of connectors composed from
+library building blocks, and attachments between them.  Its two jobs:
+
+* support *plug-and-play revision* — swapping ports and channels without
+  touching component designs (delegated to
+  :class:`~repro.core.connector.Connector`);
+* *elaborate* the design into a closed PSL :class:`~repro.psl.system.System`
+  for verification, reusing cached block and component models from a
+  :class:`~repro.core.spec.ModelLibrary`.
+
+Elaboration wiring (per connector, mirroring the paper's Section 3.4):
+
+* one shared ``senderChan`` pair between all the connector's send ports
+  and the channel process, and one shared ``receiverChan`` pair on the
+  receive side — data channels rendezvous, signal channels buffered and
+  sized so the channel process can never be blocked on a signal it owes
+  a port (see :mod:`repro.core.signals` for why);
+* one dedicated rendezvous ``componentChan`` pair per attachment;
+* internal store channels as requested by the channel spec.
+
+Process naming is systematic: ``<connector>.channel``,
+``<connector>.<component>.<port>`` for ports, and the bare component
+name for components — traces and counterexample explanations rely on
+this scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..psl.channels import Channel, buffered, rendezvous
+from ..psl.system import ProcessInstance, System
+from ..psl.values import Value
+from .channels import ChannelSpec
+from .component import Component
+from .connector import Attachment, Connector
+from .ports import ReceivePortSpec, SendPortSpec
+from .signals import DATA_FIELDS, SIGNAL_FIELDS
+from .spec import ModelLibrary
+
+
+class ArchitectureError(ValueError):
+    """Raised for ill-formed architectures (dangling ports, duplicates)."""
+
+
+class Architecture:
+    """A complete architectural design, revisable plug-and-play style."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.components: Dict[str, Component] = {}
+        self.connectors: Dict[str, Connector] = {}
+        self.global_vars: Dict[str, Value] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_component(self, component: Component) -> Component:
+        if component.name in self.components:
+            raise ArchitectureError(f"duplicate component {component.name!r}")
+        self.components[component.name] = component
+        return component
+
+    def add_global(self, name: str, init: Value = 0) -> str:
+        if name in self.global_vars:
+            raise ArchitectureError(f"duplicate global {name!r}")
+        self.global_vars[name] = init
+        return name
+
+    def add_connector(self, name: str, channel: ChannelSpec) -> Connector:
+        if name in self.connectors:
+            raise ArchitectureError(f"duplicate connector {name!r}")
+        conn = Connector(name, channel)
+        self.connectors[name] = conn
+        return conn
+
+    def connector(self, name: str) -> Connector:
+        try:
+            return self.connectors[name]
+        except KeyError:
+            raise KeyError(f"no connector named {name!r}") from None
+
+    def component(self, name: str) -> Component:
+        try:
+            return self.components[name]
+        except KeyError:
+            raise KeyError(f"no component named {name!r}") from None
+
+    # -- plug-and-play revision (connector-level, components untouched) --
+
+    def swap_channel(self, connector: str, channel: ChannelSpec) -> "Architecture":
+        self.connector(connector).swap_channel(channel)
+        return self
+
+    def swap_send_port(
+        self, connector: str, component: str, spec: SendPortSpec,
+        port: Optional[str] = None,
+    ) -> "Architecture":
+        self.connector(connector).swap_send_port(component, spec, port)
+        return self
+
+    def swap_receive_port(
+        self, connector: str, component: str, spec: ReceivePortSpec,
+        port: Optional[str] = None,
+    ) -> "Architecture":
+        self.connector(connector).swap_receive_port(component, spec, port)
+        return self
+
+    def replace_component(self, component: Component) -> "Architecture":
+        """Install a revised component design (a genuine component change)."""
+        if component.name not in self.components:
+            raise KeyError(f"no component named {component.name!r}")
+        self.components[component.name] = component
+        return self
+
+    # -- validation -------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check every interaction point is attached exactly once."""
+        seen: Dict[Tuple[str, str], str] = {}
+        for conn in self.connectors.values():
+            for att in conn.senders + conn.receivers:
+                if att.component not in self.components:
+                    raise ArchitectureError(
+                        f"connector {conn.name!r} references unknown component "
+                        f"{att.component!r}"
+                    )
+                comp = self.components[att.component]
+                if att.port not in comp.ports:
+                    raise ArchitectureError(
+                        f"connector {conn.name!r} references unknown port "
+                        f"{att.component}.{att.port}"
+                    )
+                key = (att.component, att.port)
+                if key in seen:
+                    raise ArchitectureError(
+                        f"{att.component}.{att.port} is attached to both "
+                        f"{seen[key]!r} and {conn.name!r}"
+                    )
+                seen[key] = conn.name
+        for comp in self.components.values():
+            for port in comp.ports:
+                if (comp.name, port) not in seen:
+                    raise ArchitectureError(
+                        f"interaction point {comp.name}.{port} is not attached "
+                        f"to any connector"
+                    )
+
+    # -- elaboration --------------------------------------------------------
+
+    def to_system(
+        self,
+        library: Optional[ModelLibrary] = None,
+        fused: bool = False,
+    ) -> System:
+        """Elaborate the architecture into a verifiable PSL system.
+
+        Passing the same :class:`ModelLibrary` across design iterations
+        reuses the formal models of unchanged blocks and components; the
+        library's stats record exactly what was rebuilt.
+
+        ``fused=True`` elaborates each connector as a single optimized
+        process (see :mod:`repro.core.optimize`) instead of composing
+        the building-block models, falling back to the composed encoding
+        for connectors whose block combination has no fused model.  The
+        component models are identical either way.
+        """
+        self.validate()
+        library = library if library is not None else ModelLibrary()
+        system = System(self.name)
+        for gname, ginit in self.global_vars.items():
+            system.add_global(gname, ginit)
+
+        # component attachment wiring: (component, port) -> channel pair
+        comp_links: Dict[Tuple[str, str], Tuple[Channel, Channel]] = {}
+
+        for conn_name in sorted(self.connectors):
+            conn = self.connectors[conn_name]
+            if fused:
+                try:
+                    self._elaborate_fused_connector(system, library, conn,
+                                                    comp_links)
+                    continue
+                except Exception as exc:
+                    from .optimize import FusedUnsupported
+                    if not isinstance(exc, FusedUnsupported):
+                        raise
+            self._elaborate_connector(system, library, conn, comp_links)
+
+        for comp_name in sorted(self.components):
+            comp = self.components[comp_name]
+            chans: Dict[str, Channel] = {}
+            for port in comp.ports:
+                sig, dat = comp_links[(comp.name, port)]
+                chans[f"{port}_sig"] = sig
+                chans[f"{port}_data"] = dat
+            model = library.get_custom(comp.model_key(), comp.build_def)
+            system.spawn(model, comp.name, chans=chans)
+
+        system.finalize()
+        return system
+
+    def _elaborate_connector(
+        self,
+        system: System,
+        library: ModelLibrary,
+        conn: Connector,
+        comp_links: Dict[Tuple[str, str], Tuple[Channel, Channel]],
+    ) -> None:
+        if not conn.senders or not conn.receivers:
+            raise ArchitectureError(
+                f"connector {conn.name!r} needs at least one sender and one "
+                f"receiver attachment"
+            )
+        capacity = conn.channel.capacity
+        n_send = len(conn.senders)
+        n_recv = len(conn.receivers)
+
+        # Shared port<->channel links.  Signal channels are buffered and
+        # sized so the channel process can always emit a signal a port has
+        # not yet drained (see repro.core.signals for the bound).
+        sender_sig = system.add_channel(
+            buffered(f"{conn.name}.snd_sig", capacity + n_send + 2, *SIGNAL_FIELDS)
+        )
+        sender_data = system.add_channel(
+            rendezvous(f"{conn.name}.snd_data", *DATA_FIELDS)
+        )
+        recv_sig = system.add_channel(
+            buffered(f"{conn.name}.rcv_sig", n_recv + 1, *SIGNAL_FIELDS)
+        )
+        recv_data = system.add_channel(
+            rendezvous(f"{conn.name}.rcv_data", *DATA_FIELDS)
+        )
+
+        chan_bindings: Dict[str, Channel] = {
+            "sender_sig": sender_sig,
+            "sender_data": sender_data,
+            "recv_sig": recv_sig,
+            "recv_data": recv_data,
+        }
+        for store_name, store_cap in conn.channel.internal_stores().items():
+            chan_bindings[store_name] = system.add_channel(
+                buffered(f"{conn.name}.{store_name}", store_cap, *DATA_FIELDS)
+            )
+
+        channel_model = library.get(conn.channel)
+        system.spawn(channel_model, f"{conn.name}.channel", chans=chan_bindings)
+
+        for att, is_sender in (
+            [(a, True) for a in conn.senders] + [(a, False) for a in conn.receivers]
+        ):
+            prefix = f"{conn.name}.{att.component}.{att.port}"
+            comp_sig = system.add_channel(rendezvous(f"{prefix}_sig", *SIGNAL_FIELDS))
+            comp_data = system.add_channel(rendezvous(f"{prefix}_data", *DATA_FIELDS))
+            port_model = library.get(att.spec)
+            if is_sender:
+                port_chans = {
+                    "comp_sig": comp_sig,
+                    "comp_data": comp_data,
+                    "chan_sig": sender_sig,
+                    "chan_data": sender_data,
+                }
+            else:
+                port_chans = {
+                    "comp_sig": comp_sig,
+                    "comp_data": comp_data,
+                    "chan_sig": recv_sig,
+                    "chan_data": recv_data,
+                }
+            system.spawn(port_model, f"{prefix}.port", chans=port_chans)
+            comp_links[(att.component, att.port)] = (comp_sig, comp_data)
+
+    def _elaborate_fused_connector(
+        self,
+        system: System,
+        library: ModelLibrary,
+        conn: Connector,
+        comp_links: Dict[Tuple[str, str], Tuple[Channel, Channel]],
+    ) -> None:
+        """Spawn one optimized process for the whole connector."""
+        from .optimize import build_fused_def, fused_internal_stores, fused_key
+
+        if not conn.senders or not conn.receivers:
+            raise ArchitectureError(
+                f"connector {conn.name!r} needs at least one sender and one "
+                f"receiver attachment"
+            )
+        model = library.get_custom(fused_key(conn), lambda: build_fused_def(conn))
+        chans: Dict[str, Channel] = {}
+        for i, att in enumerate(conn.senders):
+            prefix = f"{conn.name}.{att.component}.{att.port}"
+            sig = system.add_channel(rendezvous(f"{prefix}_sig", *SIGNAL_FIELDS))
+            dat = system.add_channel(rendezvous(f"{prefix}_data", *DATA_FIELDS))
+            chans[f"s{i}_sig"] = sig
+            chans[f"s{i}_data"] = dat
+            comp_links[(att.component, att.port)] = (sig, dat)
+        for j, att in enumerate(conn.receivers):
+            prefix = f"{conn.name}.{att.component}.{att.port}"
+            sig = system.add_channel(rendezvous(f"{prefix}_sig", *SIGNAL_FIELDS))
+            dat = system.add_channel(rendezvous(f"{prefix}_data", *DATA_FIELDS))
+            chans[f"r{j}_sig"] = sig
+            chans[f"r{j}_data"] = dat
+            comp_links[(att.component, att.port)] = (sig, dat)
+        for store_name, cap in fused_internal_stores(conn).items():
+            chans[store_name] = system.add_channel(
+                buffered(f"{conn.name}.{store_name}", cap, *DATA_FIELDS)
+            )
+        system.spawn(model, f"{conn.name}.connector", chans=chans)
+
+    # -- introspection --------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [f"architecture {self.name}"]
+        lines.append(f"  components: {', '.join(sorted(self.components)) or '(none)'}")
+        for name in sorted(self.connectors):
+            conn = self.connectors[name]
+            lines.extend("  " + line for line in conn.describe().splitlines())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Architecture({self.name!r}, {len(self.components)} components, "
+            f"{len(self.connectors)} connectors)"
+        )

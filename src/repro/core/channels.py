@@ -1,0 +1,617 @@
+"""Channel building blocks: the storage media of Figure 1.
+
+Architecture-level *channels* capture what happens to a message between
+send and receive ports: how it is buffered, in what order it is
+delivered, and what happens when the buffer is full.  As the paper
+stresses (Section 3), these are much richer than the underlying Promela
+channels: they notify ports of buffer status (``IN_OK``/``IN_FAIL``),
+confirm deliveries to the original sender (``RECV_OK``), support
+selective (tag-matching) retrieval, copy-vs-remove delivery, and
+priority ordering.
+
+Kinds (each an elaboration of the paper's Figure 11 model):
+
+* :class:`SingleSlotBuffer` — holds one message; rejects (``IN_FAIL``)
+  when occupied;
+* :class:`FifoQueue` — FIFO queue of capacity N; rejects when full;
+* :class:`PriorityQueue` — N-capacity queue delivering the most urgent
+  message first (the ``tag`` field is the priority, 0 = most urgent);
+* :class:`DroppingBuffer` — FIFO queue that silently discards new
+  messages when full *without telling the sender* — the paper's
+  Section 6 example of a block whose interaction with synchronous send
+  ports produces hangs that verification should diagnose.
+
+Every kind comes in two model variants, selected by the ``faithful``
+flag:
+
+* **optimized** (default) — the channel accepts an operation flagged
+  ``park=1`` (coming from a *blocking* port) only when it can actually
+  be served, using PSL's guarded receive.  The blocking port then waits
+  inside the handshake instead of spinning through
+  ``IN_FAIL``/``OUT_FAIL`` retry rounds.  This implements the paper's
+  Section 6 observation that the proof-of-concept models "have
+  unnecessary blocking statements" that optimization should remove; the
+  component-visible semantics are unchanged (see the T-opt experiment).
+  One exception: a *selective* receive request is always accepted and
+  may still be answered ``OUT_FAIL`` (match-dependent servability can't
+  be expressed as a state guard), so selective blocking receives retry
+  exactly as in the faithful models.
+* **faithful** — the Figure 11 protocol verbatim: every operation is
+  accepted immediately and answered ``IN_FAIL``/``OUT_FAIL`` when it
+  cannot be served, driving the ports' retry loops and their state-space
+  blow-up.
+
+Queue-backed channels keep their contents in *internal* buffered PSL
+channels (declared per connector instance and bound to the ``store``
+parameters), plus a ``count`` local for capacity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..psl.expr import C, Expr, V
+from ..psl.stmt import (
+    AnyField,
+    Assign,
+    Bind,
+    Branch,
+    Do,
+    DStep,
+    Else,
+    EndLabel,
+    Guard,
+    If,
+    MatchEq,
+    Pattern,
+    Recv,
+    Send,
+    Seq,
+    Stmt,
+)
+from ..psl.system import ProcessDef
+from .signals import IN_FAIL, IN_OK, OUT_FAIL, OUT_OK, RECV_OK
+from .spec import BlockSpec
+
+#: Channel parameters shared by every channel model (plus internal stores).
+CHANNEL_CHAN_PARAMS: Tuple[str, ...] = (
+    "sender_sig",
+    "sender_data",
+    "recv_sig",
+    "recv_data",
+)
+
+_REQUEST_LOCALS = {"r_sender": 0, "r_sel": 0, "r_tag": 0, "r_remove": 0}
+_INCOMING_LOCALS = {"m_data": 0, "m_sender": 0, "m_sel": 0, "m_tag": 0, "m_remove": 0}
+_BUFFER_LOCALS = {"b_data": 0, "b_sender": 0, "b_sel": 0, "b_tag": 0, "b_remove": 0}
+
+
+def _request_patterns(park) -> List[Pattern]:
+    """Receive-request patterns; ``park`` is 0, 1, or None (any)."""
+    return [
+        AnyField(), Bind("r_sender"), Bind("r_sel"), Bind("r_tag"),
+        Bind("r_remove"),
+        AnyField() if park is None else MatchEq(park),
+    ]
+
+
+def _incoming_patterns(park) -> List[Pattern]:
+    """Incoming-message patterns; ``park`` is 0, 1, or None (any)."""
+    return [
+        Bind("m_data"), Bind("m_sender"), Bind("m_sel"), Bind("m_tag"),
+        Bind("m_remove"),
+        AnyField() if park is None else MatchEq(park),
+    ]
+
+
+def _recv_request(park, when: Optional[Expr] = None) -> Stmt:
+    return Recv(
+        "recv_data",
+        _request_patterns(park),
+        when=when,
+        comment="receives a recvRequest from a receive port",
+    )
+
+
+def _recv_incoming(park, when: Optional[Expr] = None) -> Stmt:
+    return Recv(
+        "sender_data",
+        _incoming_patterns(park),
+        when=when,
+        comment="receives a message m from a send port",
+    )
+
+
+def _deliver() -> Stmt:
+    """Confirm, deliver to the requesting port, and notify the sender."""
+    return Seq([
+        Send("recv_sig", [C(OUT_OK), V("r_sender")],
+             comment="sends an OUT_OK signal to the receive port"),
+        Send("recv_data",
+             [V("b_data"), V("r_sender"), V("b_sel"), V("b_tag"), V("b_remove"),
+              C(0)],
+             comment="delivers the buffered message to the receive port"),
+        Send("sender_sig", [C(RECV_OK), V("b_sender")],
+             comment="sends a RECV_OK signal to the send port"),
+    ])
+
+
+def _reject_request() -> Stmt:
+    return Send("recv_sig", [C(OUT_FAIL), V("r_sender")],
+                comment="sends OUT_FAIL to the receive port")
+
+
+def _accept_signal() -> Stmt:
+    return Send("sender_sig", [C(IN_OK), V("m_sender")],
+                comment="sends an IN_OK signal to the send port")
+
+
+def _reject_signal() -> Stmt:
+    return Send("sender_sig", [C(IN_FAIL), V("m_sender")],
+                comment="sends an IN_FAIL signal to the send port")
+
+
+# ---------------------------------------------------------------------------
+# Single-slot buffer (Fig. 11)
+# ---------------------------------------------------------------------------
+
+def _slot_serve() -> Stmt:
+    """Serve a request against the single slot, or reject it.
+
+    The flush decision is folded into a ``d_step`` so the whole local
+    bookkeeping costs one transition (the paper's Section 6 notes these
+    models "can often be simplified and optimized ... to reduce the
+    state space").
+    """
+    matches = (V("r_sel") == 0) | (V("b_tag") == V("r_tag"))
+    return If(
+        Branch(
+            Guard((V("buffer_empty") == 0) & matches,
+                  comment="buffer is non-empty and matches the request"),
+            _deliver(),
+            If(
+                Branch(DStep([
+                    Guard(V("r_remove") == 1),
+                    Assign("buffer_empty", 1, comment="flushes the buffer"),
+                ])),
+                Branch(Else()),  # copy receive: keep the message
+            ),
+        ),
+        Branch(Else(), _reject_request()),
+    )
+
+
+def _slot_store() -> Stmt:
+    """Store an incoming message in the slot, or reject it."""
+    return If(
+        Branch(
+            DStep([
+                Guard(V("buffer_empty") == 1),
+                Assign("b_data", V("m_data"), comment="stores the message"),
+                Assign("b_sender", V("m_sender")),
+                Assign("b_sel", V("m_sel")),
+                Assign("b_tag", V("m_tag")),
+                Assign("b_remove", V("m_remove")),
+                Assign("buffer_empty", 0),
+            ]),
+            _accept_signal(),
+        ),
+        Branch(Else(), _reject_signal()),
+    )
+
+
+def _single_slot_body(faithful: bool) -> Stmt:
+    if faithful:
+        branches = [
+            Branch(_recv_request(park=None), _slot_serve()),
+            Branch(_recv_incoming(park=None), _slot_store()),
+        ]
+    else:
+        branches = [
+            # Blocking ports park in the handshake until the slot is occupied
+            # (selective mismatch still answers OUT_FAIL; see module docs).
+            Branch(_recv_request(park=1, when=(V("buffer_empty") == 0)),
+                   _slot_serve()),
+            Branch(_recv_request(park=0), _slot_serve()),
+            Branch(_recv_incoming(park=1, when=(V("buffer_empty") == 1)),
+                   _slot_store()),
+            Branch(_recv_incoming(park=0), _slot_store()),
+        ]
+    return Seq([EndLabel(), Do(*branches)])
+
+
+# ---------------------------------------------------------------------------
+# Queue-backed channels (FIFO / dropping / priority)
+# ---------------------------------------------------------------------------
+
+def _queue_serve(store: str) -> Stmt:
+    """Serve a request from a FIFO store: head or first tag match."""
+    bind_all = [Bind("b_data"), Bind("b_sender"), Bind("b_sel"), Bind("b_tag"),
+                Bind("b_remove"), AnyField()]
+    bind_tagged = [Bind("b_data"), Bind("b_sender"), Bind("b_sel"),
+                   MatchEq(V("r_tag")), Bind("b_remove"), AnyField()]
+    drop_head = Recv(store, [AnyField()] * 6, comment="removes the delivered head")
+    drop_tagged = Recv(
+        store,
+        [AnyField(), AnyField(), AnyField(), MatchEq(V("r_tag")), AnyField(),
+         AnyField()],
+        matching=True,
+        comment="removes the delivered matching message",
+    )
+    return If(
+        Branch(
+            Guard(V("r_sel") == 0, comment="not a selective receive"),
+            If(
+                Branch(
+                    Recv(store, bind_all, peek=True,
+                         comment="peeks the head of the queue"),
+                    If(
+                        Branch(Guard(V("r_remove") == 1), drop_head,
+                               Assign("count", V("count") - 1)),
+                        Branch(Else()),
+                    ),
+                    _deliver(),
+                ),
+                Branch(Else(), _reject_request()),
+            ),
+        ),
+        Branch(
+            Else(),  # selective receive: first message with the matching tag
+            If(
+                Branch(
+                    Recv(store, bind_tagged, matching=True, peek=True,
+                         comment="peeks the first matching message"),
+                    Assign("b_tag", V("r_tag")),
+                    If(
+                        Branch(Guard(V("r_remove") == 1), drop_tagged,
+                               Assign("count", V("count") - 1)),
+                        Branch(Else()),
+                    ),
+                    _deliver(),
+                ),
+                Branch(Else(), _reject_request()),
+            ),
+        ),
+    )
+
+
+def _queue_store(store: str, capacity: int, drop_when_full: bool) -> Stmt:
+    forward = Send(
+        store,
+        [V("m_data"), V("m_sender"), V("m_sel"), V("m_tag"), V("m_remove"), C(0)],
+        comment="stores the message in the queue",
+    )
+    if drop_when_full:
+        full_branch = Branch(
+            Else(),
+            Send("sender_sig", [C(IN_OK), V("m_sender")],
+                 comment="pretends to accept, silently dropping the message"),
+        )
+    else:
+        full_branch = Branch(Else(), _reject_signal())
+    return If(
+        Branch(
+            Guard(V("count") < capacity),
+            _accept_signal(),
+            forward,
+            Assign("count", V("count") + 1),
+        ),
+        full_branch,
+    )
+
+
+def _fifo_body(capacity: int, drop_when_full: bool, faithful: bool) -> Stmt:
+    if faithful or drop_when_full:
+        # A dropping buffer never rejects, so parking doesn't apply to its
+        # insert side; blocking requests still park in the optimized variant.
+        insert_branches = [
+            Branch(_recv_incoming(park=None),
+                   _queue_store("store", capacity, drop_when_full)),
+        ]
+    else:
+        insert_branches = [
+            Branch(_recv_incoming(park=1, when=(V("count") < capacity)),
+                   _queue_store("store", capacity, drop_when_full)),
+            Branch(_recv_incoming(park=0),
+                   _queue_store("store", capacity, drop_when_full)),
+        ]
+    if faithful:
+        request_branches = [
+            Branch(_recv_request(park=None), _queue_serve("store")),
+        ]
+    else:
+        request_branches = [
+            Branch(_recv_request(park=1, when=(V("count") > 0)),
+                   _queue_serve("store")),
+            Branch(_recv_request(park=0), _queue_serve("store")),
+        ]
+    return Seq([EndLabel(), Do(*(request_branches + insert_branches))])
+
+
+def _priority_body(capacity: int, levels: int, faithful: bool) -> Stmt:
+    """Priority channel: one internal FIFO store per priority level.
+
+    Retrieval scans levels from most urgent (0) to least; insertion
+    routes by the message's tag (tags beyond the last level share the
+    least-urgent store).  Selective receive interprets the request tag
+    as the priority class to retrieve from.
+    """
+    stores = [f"store{k}" for k in range(levels)]
+    bind_all = [Bind("b_data"), Bind("b_sender"), Bind("b_sel"), Bind("b_tag"),
+                Bind("b_remove"), AnyField()]
+
+    def level_serve(k: int, fallback: Stmt) -> Stmt:
+        return If(
+            Branch(
+                Recv(stores[k], bind_all, peek=True,
+                     comment=f"peeks the head of priority level {k}"),
+                If(
+                    Branch(Guard(V("r_remove") == 1),
+                           Recv(stores[k], [AnyField()] * 6,
+                                comment="removes the delivered head"),
+                           Assign("count", V("count") - 1)),
+                    Branch(Else()),
+                ),
+                _deliver(),
+            ),
+            Branch(Else(), fallback),
+        )
+
+    def try_retrieve(level: int) -> Stmt:
+        fallback = (
+            _reject_request() if level == levels - 1 else try_retrieve(level + 1)
+        )
+        return level_serve(level, fallback)
+
+    def selective_retrieve() -> Stmt:
+        branches = []
+        for k in range(levels):
+            branches.append(Branch(
+                Guard(V("r_tag") == k),
+                level_serve(k, _reject_request()),
+            ))
+        branches.append(Branch(Else(), _reject_request()))
+        return If(*branches)
+
+    def serve() -> Stmt:
+        return If(
+            Branch(Guard(V("r_sel") == 0), try_retrieve(0)),
+            Branch(Else(), selective_retrieve()),
+        )
+
+    def store_msg() -> Stmt:
+        route = []
+        for k in range(levels - 1):
+            route.append(Branch(
+                Guard(V("m_tag") == k),
+                Send(stores[k],
+                     [V("m_data"), V("m_sender"), V("m_sel"), V("m_tag"),
+                      V("m_remove"), C(0)],
+                     comment=f"stores at priority level {k}"),
+            ))
+        route.append(Branch(
+            Else(),
+            Send(stores[levels - 1],
+                 [V("m_data"), V("m_sender"), V("m_sel"), V("m_tag"),
+                  V("m_remove"), C(0)],
+                 comment="stores at the least-urgent level"),
+        ))
+        return If(
+            Branch(
+                Guard(V("count") < capacity),
+                _accept_signal(),
+                If(*route),
+                Assign("count", V("count") + 1),
+            ),
+            Branch(Else(), _reject_signal()),
+        )
+
+    if faithful:
+        branches = [
+            Branch(_recv_request(park=None), serve()),
+            Branch(_recv_incoming(park=None), store_msg()),
+        ]
+    else:
+        branches = [
+            Branch(_recv_request(park=1, when=(V("count") > 0)), serve()),
+            Branch(_recv_request(park=0), serve()),
+            Branch(_recv_incoming(park=1, when=(V("count") < capacity)),
+                   store_msg()),
+            Branch(_recv_incoming(park=0), store_msg()),
+        ]
+    return Seq([EndLabel(), Do(*branches)])
+
+
+# ---------------------------------------------------------------------------
+# Specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChannelSpec(BlockSpec):
+    """Base class for channel specifications.
+
+    ``faithful=True`` selects the verbatim Figure-11 protocol (every
+    operation accepted, failures answered and retried); the default
+    builds the Section-6-style optimized model.
+    """
+
+    role = "channel"
+    faithful: bool = False
+
+    @property
+    def capacity(self) -> int:
+        """How many messages the channel can hold (used to size buffers)."""
+        raise NotImplementedError
+
+    def internal_stores(self) -> Dict[str, int]:
+        """Internal buffered channels required: param name -> capacity."""
+        return {}
+
+    @property
+    def chan_params(self) -> Tuple[str, ...]:
+        return CHANNEL_CHAN_PARAMS + tuple(self.internal_stores())
+
+    def _variant_suffix(self) -> str:
+        return "_faithful" if self.faithful else ""
+
+
+@dataclass(frozen=True)
+class SingleSlotBuffer(ChannelSpec):
+    """Fig. 1/11: a buffer of size 1."""
+
+    kind = "single_slot_buffer"
+    description = "A buffer of size 1."
+
+    @property
+    def capacity(self) -> int:
+        return 1
+
+    def key(self) -> Hashable:
+        return (self.kind, self.faithful)
+
+    def build_def(self) -> ProcessDef:
+        return ProcessDef(
+            f"single_slot_buffer{self._variant_suffix()}",
+            _single_slot_body(self.faithful),
+            chan_params=self.chan_params,
+            local_vars={
+                "buffer_empty": 1,
+                **_REQUEST_LOCALS,
+                **_INCOMING_LOCALS,
+                **_BUFFER_LOCALS,
+            },
+        )
+
+
+@dataclass(frozen=True)
+class FifoQueue(ChannelSpec):
+    """Fig. 1: a FIFO queue of size N."""
+
+    kind = "fifo_queue"
+    description = "A FIFO queue of size N."
+    size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("FifoQueue size must be >= 1")
+
+    @property
+    def capacity(self) -> int:
+        return self.size
+
+    def internal_stores(self) -> Dict[str, int]:
+        return {"store": self.size}
+
+    def key(self) -> Hashable:
+        return (self.kind, self.size, self.faithful)
+
+    def display_name(self) -> str:
+        return f"fifo_queue({self.size})"
+
+    def build_def(self) -> ProcessDef:
+        return ProcessDef(
+            f"fifo_queue_{self.size}{self._variant_suffix()}",
+            _fifo_body(self.size, drop_when_full=False, faithful=self.faithful),
+            chan_params=self.chan_params,
+            local_vars={
+                "count": 0,
+                **_REQUEST_LOCALS,
+                **_INCOMING_LOCALS,
+                **_BUFFER_LOCALS,
+            },
+        )
+
+
+@dataclass(frozen=True)
+class DroppingBuffer(ChannelSpec):
+    """A queue that silently drops new messages when full (Section 6)."""
+
+    kind = "dropping_buffer"
+    description = (
+        "A FIFO queue of size N that silently drops messages sent after its "
+        "buffer becomes full, without notifying the sender."
+    )
+    size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("DroppingBuffer size must be >= 1")
+
+    @property
+    def capacity(self) -> int:
+        return self.size
+
+    def internal_stores(self) -> Dict[str, int]:
+        return {"store": self.size}
+
+    def key(self) -> Hashable:
+        return (self.kind, self.size, self.faithful)
+
+    def display_name(self) -> str:
+        return f"dropping_buffer({self.size})"
+
+    def build_def(self) -> ProcessDef:
+        return ProcessDef(
+            f"dropping_buffer_{self.size}{self._variant_suffix()}",
+            _fifo_body(self.size, drop_when_full=True, faithful=self.faithful),
+            chan_params=self.chan_params,
+            local_vars={
+                "count": 0,
+                **_REQUEST_LOCALS,
+                **_INCOMING_LOCALS,
+                **_BUFFER_LOCALS,
+            },
+        )
+
+
+@dataclass(frozen=True)
+class PriorityQueue(ChannelSpec):
+    """Fig. 1: a priority queue of size N (tag = priority, 0 most urgent)."""
+
+    kind = "priority_queue"
+    description = "A priority queue of size N."
+    size: int = 1
+    levels: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("PriorityQueue size must be >= 1")
+        if self.levels < 2:
+            raise ValueError("PriorityQueue needs at least 2 priority levels")
+
+    @property
+    def capacity(self) -> int:
+        return self.size
+
+    def internal_stores(self) -> Dict[str, int]:
+        return {f"store{k}": self.size for k in range(self.levels)}
+
+    def key(self) -> Hashable:
+        return (self.kind, self.size, self.levels, self.faithful)
+
+    def display_name(self) -> str:
+        return f"priority_queue({self.size}, levels={self.levels})"
+
+    def build_def(self) -> ProcessDef:
+        return ProcessDef(
+            f"priority_queue_{self.size}_{self.levels}{self._variant_suffix()}",
+            _priority_body(self.size, self.levels, self.faithful),
+            chan_params=self.chan_params,
+            local_vars={
+                "count": 0,
+                **_REQUEST_LOCALS,
+                **_INCOMING_LOCALS,
+                **_BUFFER_LOCALS,
+            },
+        )
+
+
+#: All channel kinds, for the Figure 1 catalog (representative sizes).
+CHANNEL_SPECS = (
+    SingleSlotBuffer(),
+    FifoQueue(size=2),
+    PriorityQueue(size=2, levels=2),
+    DroppingBuffer(size=1),
+)

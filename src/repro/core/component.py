@@ -1,0 +1,109 @@
+"""Components: the computational units of an architecture.
+
+A :class:`Component` is an abstract unit of computation with named
+*interaction points* (the paper's component interfaces).  Its body is a
+PSL statement tree written against the standard interface of
+:mod:`repro.core.interface`; it never mentions ports, channels, or
+protocol signals directly, which is what lets connectors be swapped
+underneath it.
+
+Components carry a ``version`` so the model cache can tell "the same
+component model, reused" apart from "the designer modified this
+component" across design iterations: connector-only changes leave every
+component's version untouched, and the reuse experiment measures
+exactly that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from ..psl.stmt import Stmt
+from ..psl.system import ProcessDef
+from ..psl.values import Value
+from .interface import INTERFACE_LOCALS, port_channel_params
+
+#: Interaction-point directions.
+SEND = "send"
+RECEIVE = "receive"
+
+
+@dataclass
+class Component:
+    """A component design: interaction points plus a computation body.
+
+    Parameters
+    ----------
+    name:
+        Instance name in the architecture (also the process name).
+    ports:
+        Mapping of interaction-point name to direction (``"send"`` or
+        ``"receive"``).
+    body:
+        The computation, written with
+        :func:`~repro.core.interface.send_message` /
+        :func:`~repro.core.interface.receive_message` against the
+        declared interaction points.
+    local_vars:
+        The component's local variables (the standard interface status
+        variables are added automatically).
+    version:
+        Bumped whenever the designer changes the component; used by the
+        model cache.
+    """
+
+    name: str
+    ports: Mapping[str, str]
+    body: Stmt
+    local_vars: Dict[str, Value] = field(default_factory=dict)
+    version: int = 1
+
+    _uid_counter = itertools.count(1)
+
+    def __post_init__(self) -> None:
+        for port, direction in self.ports.items():
+            if direction not in (SEND, RECEIVE):
+                raise ValueError(
+                    f"component {self.name!r}: port {port!r} has invalid "
+                    f"direction {direction!r} (use 'send' or 'receive')"
+                )
+        # Distinguishes same-named components from *different designs*
+        # (e.g. two bridge variants both naming their "BlueController")
+        # in the model cache.  A component object reused across design
+        # iterations keeps its uid, so its model is reused; `modified`
+        # produces a new design and therefore a new uid.
+        self._uid = next(Component._uid_counter)
+
+    @property
+    def chan_params(self) -> Tuple[str, ...]:
+        out = []
+        for port in self.ports:
+            out.extend(port_channel_params(port))
+        return tuple(out)
+
+    def model_key(self) -> Hashable:
+        """Cache key for this component's formal model."""
+        return ("component", self.name, self._uid, self.version)
+
+    def build_def(self) -> ProcessDef:
+        """Build this component's formal model (a process template)."""
+        return ProcessDef(
+            self.name,
+            self.body,
+            chan_params=self.chan_params,
+            local_vars={**INTERFACE_LOCALS, **self.local_vars},
+        )
+
+    def modified(self, body: Optional[Stmt] = None,
+                 local_vars: Optional[Dict[str, Value]] = None,
+                 ports: Optional[Mapping[str, str]] = None) -> "Component":
+        """A new design iteration of this component (version bumped)."""
+        return Component(
+            name=self.name,
+            ports=dict(ports if ports is not None else self.ports),
+            body=body if body is not None else self.body,
+            local_vars=dict(local_vars if local_vars is not None else self.local_vars),
+            version=self.version + 1,
+        )

@@ -1,0 +1,167 @@
+"""Connectors: composed interaction glue (Figure 2).
+
+A :class:`Connector` is an abstract unit representing specified
+interaction semantics, *composed* from building blocks: one send port
+per attached sender, one channel, and one receive port per attached
+receiver.  Following the paper, modifying a connector's semantics means
+adding, removing, or replacing one of its blocks — never touching the
+attached components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .channels import ChannelSpec
+from .component import Component, RECEIVE, SEND
+from .ports import ReceivePortSpec, SendPortSpec
+
+
+@dataclass
+class Attachment:
+    """One component interaction point plugged into a connector port."""
+
+    component: str
+    port: str  # the component's interaction-point name
+    spec: object  # SendPortSpec or ReceivePortSpec
+
+    def label(self) -> str:
+        return f"{self.component}.{self.port}"
+
+
+class Connector:
+    """A connector under construction or revision.
+
+    Use :meth:`attach_sender` / :meth:`attach_receiver` to plug
+    components in, and the ``swap_*`` methods to revise semantics
+    plug-and-play style.
+    """
+
+    def __init__(self, name: str, channel: ChannelSpec) -> None:
+        if not isinstance(channel, ChannelSpec):
+            raise TypeError(f"connector {name!r}: {channel!r} is not a ChannelSpec")
+        self.name = name
+        self.channel = channel
+        self.senders: List[Attachment] = []
+        self.receivers: List[Attachment] = []
+
+    # -- construction --------------------------------------------------
+
+    def attach_sender(
+        self, component: Component, port: str, spec: SendPortSpec
+    ) -> "Connector":
+        self._check_attach(component, port, SEND, spec, SendPortSpec)
+        self.senders.append(Attachment(component.name, port, spec))
+        return self
+
+    def attach_receiver(
+        self, component: Component, port: str, spec: ReceivePortSpec
+    ) -> "Connector":
+        self._check_attach(component, port, RECEIVE, spec, ReceivePortSpec)
+        self.receivers.append(Attachment(component.name, port, spec))
+        return self
+
+    def _check_attach(self, component, port, direction, spec, spec_type) -> None:
+        if not isinstance(component, Component):
+            raise TypeError(
+                f"connector {self.name!r}: expected a Component, got {component!r}"
+            )
+        if port not in component.ports:
+            raise KeyError(
+                f"component {component.name!r} has no interaction point {port!r}"
+            )
+        if component.ports[port] != direction:
+            raise ValueError(
+                f"component {component.name!r} port {port!r} is "
+                f"{component.ports[port]!r}, cannot attach as {direction!r}"
+            )
+        if not isinstance(spec, spec_type):
+            raise TypeError(
+                f"connector {self.name!r}: {spec!r} is not a {spec_type.__name__}"
+            )
+        for att in self.senders + self.receivers:
+            if att.component == component.name and att.port == port:
+                raise ValueError(
+                    f"{component.name}.{port} is already attached to "
+                    f"connector {self.name!r}"
+                )
+
+    # -- plug-and-play revision -----------------------------------------
+
+    def swap_channel(self, channel: ChannelSpec) -> "Connector":
+        """Replace this connector's channel block."""
+        if not isinstance(channel, ChannelSpec):
+            raise TypeError(f"{channel!r} is not a ChannelSpec")
+        self.channel = channel
+        return self
+
+    def swap_send_port(
+        self, component: str, spec: SendPortSpec, port: Optional[str] = None
+    ) -> "Connector":
+        """Replace the send port serving a component's attachment."""
+        att = self._find(self.senders, component, port)
+        if not isinstance(spec, SendPortSpec):
+            raise TypeError(f"{spec!r} is not a SendPortSpec")
+        att.spec = spec
+        return self
+
+    def swap_receive_port(
+        self, component: str, spec: ReceivePortSpec, port: Optional[str] = None
+    ) -> "Connector":
+        """Replace the receive port serving a component's attachment."""
+        att = self._find(self.receivers, component, port)
+        if not isinstance(spec, ReceivePortSpec):
+            raise TypeError(f"{spec!r} is not a ReceivePortSpec")
+        att.spec = spec
+        return self
+
+    def swap_all_send_ports(self, spec: SendPortSpec) -> "Connector":
+        """Replace every send port of this connector with the same kind."""
+        if not isinstance(spec, SendPortSpec):
+            raise TypeError(f"{spec!r} is not a SendPortSpec")
+        for att in self.senders:
+            att.spec = spec
+        return self
+
+    def swap_all_receive_ports(self, spec: ReceivePortSpec) -> "Connector":
+        """Replace every receive port of this connector with the same kind."""
+        if not isinstance(spec, ReceivePortSpec):
+            raise TypeError(f"{spec!r} is not a ReceivePortSpec")
+        for att in self.receivers:
+            att.spec = spec
+        return self
+
+    def _find(self, attachments: List[Attachment], component: str,
+              port: Optional[str]) -> Attachment:
+        matches = [
+            a for a in attachments
+            if a.component == component and (port is None or a.port == port)
+        ]
+        if not matches:
+            raise KeyError(
+                f"connector {self.name!r}: no attachment for component "
+                f"{component!r}" + (f" port {port!r}" if port else "")
+            )
+        if len(matches) > 1:
+            raise KeyError(
+                f"connector {self.name!r}: component {component!r} has several "
+                f"attachments; specify the port name"
+            )
+        return matches[0]
+
+    # -- introspection ----------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [f"connector {self.name}: channel={self.channel.display_name()}"]
+        for att in self.senders:
+            lines.append(f"  sender   {att.label()} via {att.spec.display_name()}")
+        for att in self.receivers:
+            lines.append(f"  receiver {att.label()} via {att.spec.display_name()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Connector({self.name!r}, {self.channel.display_name()}, "
+            f"{len(self.senders)} senders, {len(self.receivers)} receivers)"
+        )

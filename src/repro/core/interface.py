@@ -1,0 +1,113 @@
+"""The standard component interfaces of Figure 3 (and Figures 9-10).
+
+The PnP approach keeps components unchanged across connector swaps by
+fixing *how a component talks to whatever port it is attached to*:
+
+* **Sending** (Fig. 3a / Fig. 9): the component sends its message on the
+  port's data channel, then immediately blocks for a ``SendStatus``
+  signal.  Whether that signal arrives at message-accepted time
+  (asynchronous ports) or at delivery time (synchronous ports) — and
+  whether it can be ``SEND_FAIL`` (checking ports) — is entirely the
+  port's business.
+
+* **Receiving** (Fig. 3b / Fig. 10): the component sends a receive
+  request, blocks for a ``RecvStatus`` signal, then receives a data
+  message — the real message on ``RECV_SUCC``, an empty stub on
+  ``RECV_FAIL`` (nonblocking ports) that it must not use.
+
+This module provides these two protocols as reusable statement
+fragments for component bodies.  A component that uses
+``send_message("enter", ...)`` declares an interaction point named
+``enter``; the architecture binds it to a concrete port at attachment
+time via the channel parameters ``enter_sig`` / ``enter_data``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..psl.expr import C, as_expr
+from ..psl.stmt import AnyField, Bind, EndLabel, Recv, Send, Seq, Stmt
+from .signals import NO_PID, NULL_DATA
+
+#: Default local variable components use for send statuses (Fig. 9).
+SEND_STATUS_VAR = "send_status"
+#: Default local variable components use for receive statuses (Fig. 10).
+RECV_STATUS_VAR = "recv_status"
+
+#: Locals a component needs to use both interface protocols.
+INTERFACE_LOCALS = {SEND_STATUS_VAR: 0, RECV_STATUS_VAR: 0}
+
+
+def port_channel_params(port: str) -> Tuple[str, str]:
+    """Channel parameter names an interaction point expands to."""
+    return (f"{port}_sig", f"{port}_data")
+
+
+def send_message(
+    port: str,
+    data,
+    tag=0,
+    status_var: str = SEND_STATUS_VAR,
+) -> Stmt:
+    """The standard sending protocol (Fig. 3a).
+
+    Sends ``data`` (tagged with ``tag`` for selective receivers /
+    priority channels) through the named interaction point, then blocks
+    for the SendStatus signal, stored into ``status_var``
+    (``SEND_SUCC`` or ``SEND_FAIL`` depending on the attached port).
+    """
+    sig, dat = port_channel_params(port)
+    return Seq([
+        Send(dat, [as_expr(data), C(NO_PID), C(0), as_expr(tag), C(1), C(0)],
+             comment=f"sends a message through port {port!r}"),
+        Recv(sig, [Bind(status_var), AnyField()],
+             comment="receives the SendStatus message"),
+    ])
+
+
+def receive_message(
+    port: str,
+    into: str,
+    status_var: str = RECV_STATUS_VAR,
+    selective_tag=None,
+    quiescible: bool = True,
+) -> Stmt:
+    """The standard receiving protocol (Fig. 3b).
+
+    Requests a message from the named interaction point, blocks for the
+    RecvStatus signal (into ``status_var``), then receives the data
+    message into ``into``.  When ``status_var`` ends up ``RECV_FAIL``
+    (possible with nonblocking receive ports), ``into`` holds stub data
+    that must not be used.
+
+    ``selective_tag`` turns the request into a selective receive: only
+    messages whose tag equals the given value (an int constant or an
+    expression over the component's variables) are retrieved.
+
+    ``quiescible`` (default true) marks the two wait points of the
+    protocol as valid end states, Promela ``end:``-label style: a
+    component idling because no message has arrived yet is legitimate
+    quiescence, not a deadlock.  Pass ``False`` when a pending receive
+    going unanswered *should* be reported as an invalid end state.
+    """
+    sig, dat = port_channel_params(port)
+    selective = 0 if selective_tag is None else 1
+    tag = 0 if selective_tag is None else selective_tag
+    stmts = []
+    if quiescible:
+        stmts.append(EndLabel())
+    stmts.append(
+        Send(dat, [C(NULL_DATA), C(NO_PID), C(selective), as_expr(tag), C(1), C(0)],
+             comment=f"sends a receive request to port {port!r}")
+    )
+    if quiescible:
+        stmts.append(EndLabel())
+    stmts.extend([
+        Recv(sig, [Bind(status_var), AnyField()],
+             comment="waits for the RecvStatus message"),
+        Recv(dat, [Bind(into), AnyField(), AnyField(), AnyField(), AnyField(),
+                   AnyField()],
+             comment="receives the data message (stub when RECV_FAIL)"),
+    ])
+    return Seq(stmts)

@@ -1,0 +1,100 @@
+"""The building-block catalog (the paper's Figure 1).
+
+This module is the user-facing index of every predefined building
+block: it can enumerate the catalog, look blocks up by kind name, and
+render the Figure 1 table.  The actual model cache lives in
+:class:`~repro.core.spec.ModelLibrary`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+from .channels import (
+    CHANNEL_SPECS,
+    ChannelSpec,
+    DroppingBuffer,
+    FifoQueue,
+    PriorityQueue,
+    SingleSlotBuffer,
+)
+from .ports import (
+    RECEIVE_PORT_SPECS,
+    SEND_PORT_SPECS,
+    AsynBlockingSend,
+    AsynCheckingSend,
+    AsynNonblockingSend,
+    BlockingReceive,
+    NonblockingReceive,
+    ReceivePortSpec,
+    SendPortSpec,
+    SynBlockingSend,
+    SynCheckingSend,
+)
+from .spec import BlockSpec
+
+#: Parameterless spec classes by kind name (parameterized kinds listed
+#: with their defaults).
+_KIND_TABLE: Dict[str, Type[BlockSpec]] = {
+    "asyn_nonblocking_send": AsynNonblockingSend,
+    "asyn_blocking_send": AsynBlockingSend,
+    "asyn_checking_send": AsynCheckingSend,
+    "syn_blocking_send": SynBlockingSend,
+    "syn_checking_send": SynCheckingSend,
+    "blocking_receive": BlockingReceive,
+    "nonblocking_receive": NonblockingReceive,
+    "single_slot_buffer": SingleSlotBuffer,
+    "fifo_queue": FifoQueue,
+    "priority_queue": PriorityQueue,
+    "dropping_buffer": DroppingBuffer,
+}
+
+
+def block_kinds() -> List[str]:
+    """All block kind names in the library."""
+    return list(_KIND_TABLE)
+
+
+def make_block(kind: str, **params) -> BlockSpec:
+    """Instantiate a block spec by kind name, e.g. ``make_block("fifo_queue", size=5)``."""
+    try:
+        cls = _KIND_TABLE[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown block kind {kind!r}; available: {sorted(_KIND_TABLE)}"
+        ) from None
+    return cls(**params)
+
+
+def catalog() -> List[BlockSpec]:
+    """Representative instances of every block kind (Figure 1)."""
+    return list(SEND_PORT_SPECS) + list(RECEIVE_PORT_SPECS) + list(CHANNEL_SPECS)
+
+
+def iter_send_ports() -> Iterator[SendPortSpec]:
+    return iter(SEND_PORT_SPECS)
+
+
+def iter_receive_ports() -> Iterator[ReceivePortSpec]:
+    return iter(RECEIVE_PORT_SPECS)
+
+
+def iter_channels() -> Iterator[ChannelSpec]:
+    return iter(CHANNEL_SPECS)
+
+
+def figure1_table() -> str:
+    """Render the catalog as text, in the spirit of the paper's Figure 1."""
+    sections: List[Tuple[str, List[BlockSpec]]] = [
+        ("Send ports", list(SEND_PORT_SPECS)),
+        ("Receive ports", list(RECEIVE_PORT_SPECS)),
+        ("Channels", list(CHANNEL_SPECS)),
+    ]
+    lines: List[str] = []
+    for title, specs in sections:
+        lines.append(title)
+        lines.append("-" * len(title))
+        for spec in specs:
+            lines.append(f"  {spec.display_name():32s} {spec.description}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,512 @@
+"""Port building blocks: the send and receive ports of Figure 1.
+
+Ports are the connector parts that capture *synchronization* semantics:
+when a component blocks, when it is told its message was accepted, and
+when a receiver learns that no message is available.  Each port kind
+below is a faithful port of the paper's Promela models (Figures 6-8),
+with the signal-addressing corrections documented in
+:mod:`repro.core.signals`.
+
+Send ports (between a sender component and a channel):
+
+* **synchronous blocking** (Fig. 6) — retries until the channel stores
+  the message, then waits for ``RECV_OK`` (the receiver got it) before
+  confirming ``SEND_SUCC`` to the component;
+* **asynchronous blocking** — retries until the channel stores the
+  message, then immediately confirms; delivery notifications are
+  drained later;
+* **asynchronous nonblocking** (Fig. 7) — confirms immediately, before
+  even forwarding; the message "may or may not be accepted";
+* **asynchronous checking** — forwards once and reports ``SEND_FAIL``
+  if the channel is full, ``SEND_SUCC`` once stored;
+* **synchronous checking** — like checking, but a successful store is
+  confirmed only after the receiver has received the message.
+
+Receive ports (between a channel and a receiver component):
+
+* **blocking** (Fig. 8) — retries the receive request until a desired
+  message is retrieved;
+* **nonblocking** — reports ``RECV_FAIL`` and delivers an empty stub
+  message when nothing is available.
+
+Both receive kinds come in *remove* (default) and *copy* variants,
+controlled by the ``remove`` flag they stamp on forwarded requests.
+Selective receive is requested by the component through the standard
+interface (see :mod:`repro.core.interface`) and passes through any port.
+
+Async ports drain stale channel signals *before* accepting new work
+(an ``Else``-guarded accept branch); this keeps the number of
+undelivered signals bounded by the channel capacity, which is what the
+connector assembly sizes the signal buffers for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+from ..psl.expr import C, V
+from ..psl.stmt import (
+    AnyField,
+    Bind,
+    Branch,
+    Break,
+    Do,
+    Else,
+    EndLabel,
+    If,
+    MatchEq,
+    Recv,
+    Send,
+    Seq,
+    Stmt,
+)
+from ..psl.system import ProcessDef
+from .signals import (
+    IN_FAIL,
+    IN_OK,
+    NO_PID,
+    NULL_DATA,
+    OUT_FAIL,
+    OUT_OK,
+    RECV_FAIL,
+    RECV_OK,
+    RECV_SUCC,
+    SEND_FAIL,
+    SEND_SUCC,
+)
+from .spec import BlockSpec
+
+#: Channel parameters shared by every port model.
+PORT_CHAN_PARAMS: Tuple[str, ...] = ("comp_sig", "comp_data", "chan_sig", "chan_data")
+
+_MSG_LOCALS = {"m_data": 0, "m_sel": 0, "m_tag": 0, "m_remove": 0}
+_REQ_LOCALS = {"r_sel": 0, "r_tag": 0}
+_DELIVERY_LOCALS = {"d_data": 0, "d_sel": 0, "d_tag": 0, "d_remove": 0}
+
+
+# -- protocol fragments ------------------------------------------------------
+
+def _recv_from_component() -> Stmt:
+    """Accept a data message from the sending component."""
+    return Recv(
+        "comp_data",
+        [Bind("m_data"), AnyField(), Bind("m_sel"), Bind("m_tag"), Bind("m_remove"),
+         AnyField()],
+        comment="receives m from the sending component",
+    )
+
+
+def _forward_to_channel(park: bool) -> Stmt:
+    """Forward the message to the channel, stamped with our pid.
+
+    ``park`` tells optimized channels this port blocks until acceptance,
+    so the channel may defer the handshake instead of replying IN_FAIL.
+    """
+    return Send(
+        "chan_data",
+        [V("m_data"), V("_pid"), V("m_sel"), V("m_tag"), V("m_remove"),
+         C(int(park))],
+        comment="forwards m to the channel",
+    )
+
+
+def _signal(sig: str) -> Stmt:
+    """Matching receive of a channel signal addressed to this port."""
+    return Recv(
+        "chan_sig",
+        [MatchEq(sig), MatchEq(V("_pid"))],
+        matching=True,
+        comment=f"receives {sig} from the channel",
+    )
+
+
+def _drain() -> Stmt:
+    """Consume any stale channel signal addressed to this port."""
+    return Recv(
+        "chan_sig",
+        [AnyField(), MatchEq(V("_pid"))],
+        matching=True,
+        comment="drains a stale signal from the channel",
+    )
+
+
+def _confirm(status: str) -> Stmt:
+    """Send a SendStatus signal back to the component."""
+    return Send(
+        "comp_sig",
+        [C(status), C(NO_PID)],
+        comment=f"sends {status} to the sending component",
+    )
+
+
+def _store_retry_loop() -> Stmt:
+    """Forward to the channel, retrying until it stores the message.
+
+    Blocking ports forward with ``park=1``; against an optimized channel
+    the forward handshake itself waits for buffer space and the
+    ``IN_FAIL`` branch is never taken, while a faithful Figure-11
+    channel exercises the retry exactly as in the paper.
+    """
+    return Do(
+        Branch(
+            _forward_to_channel(park=True),
+            If(
+                Branch(_signal(IN_OK), Break()),
+                Branch(_signal(IN_FAIL)),  # buffer full: retry
+            ),
+        )
+    )
+
+
+# -- send-port bodies --------------------------------------------------------
+
+def _syn_blocking_send_body() -> Stmt:
+    return Seq([
+        EndLabel(),
+        Do(Branch(
+            _recv_from_component(),
+            _store_retry_loop(),
+            _signal(RECV_OK),
+            _confirm(SEND_SUCC),
+        )),
+    ])
+
+
+def _asyn_blocking_send_body() -> Stmt:
+    return Seq([
+        EndLabel(),
+        Do(
+            Branch(_drain()),
+            Branch(
+                Else(),
+                EndLabel(),  # idling for the next component message
+                _recv_from_component(),
+                _store_retry_loop(),
+                _confirm(SEND_SUCC),
+            ),
+        ),
+    ])
+
+
+def _asyn_nonblocking_send_body() -> Stmt:
+    return Seq([
+        EndLabel(),
+        Do(
+            Branch(_drain()),
+            Branch(
+                Else(),
+                EndLabel(),  # idling for the next component message
+                _recv_from_component(),
+                _confirm(SEND_SUCC),
+                _forward_to_channel(park=False),
+            ),
+        ),
+    ])
+
+
+def _asyn_checking_send_body() -> Stmt:
+    return Seq([
+        EndLabel(),
+        Do(
+            Branch(_drain()),
+            Branch(
+                Else(),
+                EndLabel(),  # idling for the next component message
+                _recv_from_component(),
+                _forward_to_channel(park=False),
+                If(
+                    Branch(_signal(IN_OK), _confirm(SEND_SUCC)),
+                    Branch(_signal(IN_FAIL), _confirm(SEND_FAIL)),
+                ),
+            ),
+        ),
+    ])
+
+
+def _syn_checking_send_body() -> Stmt:
+    return Seq([
+        EndLabel(),
+        Do(Branch(
+            _recv_from_component(),
+            _forward_to_channel(park=False),
+            If(
+                Branch(_signal(IN_OK), _signal(RECV_OK), _confirm(SEND_SUCC)),
+                Branch(_signal(IN_FAIL), _confirm(SEND_FAIL)),
+            ),
+        )),
+    ])
+
+
+# -- receive-port bodies ------------------------------------------------------
+
+def _recv_request_from_component() -> Stmt:
+    return Recv(
+        "comp_data",
+        [AnyField(), AnyField(), Bind("r_sel"), Bind("r_tag"), AnyField(),
+         AnyField()],
+        comment="receives a receive request from the component",
+    )
+
+
+def _forward_request(remove: bool, park: bool) -> Stmt:
+    return Send(
+        "chan_data",
+        [C(NULL_DATA), V("_pid"), V("r_sel"), V("r_tag"), C(int(remove)),
+         C(int(park))],
+        comment="forwards the receive request to the channel",
+    )
+
+
+def _recv_delivery() -> Stmt:
+    """Receive the delivered message, addressed to this port."""
+    return Recv(
+        "chan_data",
+        [Bind("d_data"), MatchEq(V("_pid")), Bind("d_sel"), Bind("d_tag"),
+         Bind("d_remove"), AnyField()],
+        comment="receives the message from the channel",
+    )
+
+
+def _deliver_to_component(status: str, empty: bool = False) -> Stmt:
+    if empty:
+        data_msg = Send(
+            "comp_data",
+            [C(NULL_DATA), C(NO_PID), C(0), C(0), C(0), C(0)],
+            comment="sends an empty stub message to the component",
+        )
+    else:
+        data_msg = Send(
+            "comp_data",
+            [V("d_data"), C(NO_PID), V("d_sel"), V("d_tag"), V("d_remove"), C(0)],
+            comment="sends the requested message to the component",
+        )
+    return Seq([
+        Send("comp_sig", [C(status), C(NO_PID)],
+             comment=f"sends a {status} signal to the component"),
+        data_msg,
+    ])
+
+
+def _blocking_receive_body(remove: bool) -> Stmt:
+    return Seq([
+        EndLabel(),
+        Do(Branch(
+            _recv_request_from_component(),
+            Do(Branch(
+                # A parked request (channel not ready) is valid quiescence.
+                EndLabel(),
+                _forward_request(remove, park=True),
+                If(
+                    Branch(_signal(OUT_OK), _recv_delivery(), Break()),
+                    Branch(_signal(OUT_FAIL)),  # nothing available: retry
+                ),
+            )),
+            _deliver_to_component(RECV_SUCC),
+        )),
+    ])
+
+
+def _nonblocking_receive_body(remove: bool) -> Stmt:
+    return Seq([
+        EndLabel(),
+        Do(Branch(
+            _recv_request_from_component(),
+            _forward_request(remove, park=False),
+            If(
+                Branch(_signal(OUT_OK), _recv_delivery(),
+                       _deliver_to_component(RECV_SUCC)),
+                Branch(_signal(OUT_FAIL),
+                       _deliver_to_component(RECV_FAIL, empty=True)),
+            ),
+        )),
+    ])
+
+
+# -- specs ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SendPortSpec(BlockSpec):
+    """Base class for send-port specifications."""
+
+    role = "send_port"
+
+    def key(self) -> Hashable:
+        return (self.kind,)
+
+    def display_name(self) -> str:
+        return self.kind
+
+
+@dataclass(frozen=True)
+class SynBlockingSend(SendPortSpec):
+    """Fig. 1: confirms after the receiver has received the message."""
+
+    kind = "syn_blocking_send"
+    description = (
+        "Waits for a message from the sender and sends a confirmation back "
+        "AFTER it is notified by the channel that the message has been "
+        "received by the receiver."
+    )
+
+    def build_def(self) -> ProcessDef:
+        return ProcessDef(
+            "SynBlSendPort",
+            _syn_blocking_send_body(),
+            chan_params=PORT_CHAN_PARAMS,
+            local_vars=dict(_MSG_LOCALS),
+        )
+
+
+@dataclass(frozen=True)
+class AsynBlockingSend(SendPortSpec):
+    """Fig. 1: confirms after the channel has accepted the message."""
+
+    kind = "asyn_blocking_send"
+    description = (
+        "Waits for a message from the sender and sends a confirmation back "
+        "AFTER the message has been accepted by the channel."
+    )
+
+    def build_def(self) -> ProcessDef:
+        return ProcessDef(
+            "AsynBlSendPort",
+            _asyn_blocking_send_body(),
+            chan_params=PORT_CHAN_PARAMS,
+            local_vars=dict(_MSG_LOCALS),
+        )
+
+
+@dataclass(frozen=True)
+class AsynNonblockingSend(SendPortSpec):
+    """Fig. 1/7: confirms immediately; the message may be lost."""
+
+    kind = "asyn_nonblocking_send"
+    description = (
+        "Waits for a message from the sender and sends a confirmation back "
+        "immediately; the message may or may not be accepted."
+    )
+
+    def build_def(self) -> ProcessDef:
+        return ProcessDef(
+            "AsynNbSendPort",
+            _asyn_nonblocking_send_body(),
+            chan_params=PORT_CHAN_PARAMS,
+            local_vars=dict(_MSG_LOCALS),
+        )
+
+
+@dataclass(frozen=True)
+class AsynCheckingSend(SendPortSpec):
+    """Fig. 1: notifies the sender when the channel cannot accept."""
+
+    kind = "asyn_checking_send"
+    description = (
+        "Forwards the message to the channel; if it cannot be accepted, "
+        "returns and sends a notification to the sender.  Otherwise blocks "
+        "until the message is accepted and confirms."
+    )
+
+    def build_def(self) -> ProcessDef:
+        return ProcessDef(
+            "AsynChkSendPort",
+            _asyn_checking_send_body(),
+            chan_params=PORT_CHAN_PARAMS,
+            local_vars=dict(_MSG_LOCALS),
+        )
+
+
+@dataclass(frozen=True)
+class SynCheckingSend(SendPortSpec):
+    """Fig. 1: checking send that also waits for receipt on success."""
+
+    kind = "syn_checking_send"
+    description = (
+        "Like asynchronous checking send, except that when the message can "
+        "be accepted by the channel, it blocks until the message is received "
+        "by the receiver and then sends a confirmation back to the sender."
+    )
+
+    def build_def(self) -> ProcessDef:
+        return ProcessDef(
+            "SynChkSendPort",
+            _syn_checking_send_body(),
+            chan_params=PORT_CHAN_PARAMS,
+            local_vars=dict(_MSG_LOCALS),
+        )
+
+
+@dataclass(frozen=True)
+class ReceivePortSpec(BlockSpec):
+    """Base class for receive-port specifications."""
+
+    role = "receive_port"
+    #: remove the delivered message from the buffer (False = copy receive)
+    remove: bool = True
+
+    def key(self) -> Hashable:
+        return (self.kind, self.remove)
+
+    def display_name(self) -> str:
+        return f"{self.kind}({'remove' if self.remove else 'copy'})"
+
+
+@dataclass(frozen=True)
+class BlockingReceive(ReceivePortSpec):
+    """Fig. 1/8: blocks until a desired message is retrieved."""
+
+    kind = "blocking_receive"
+    description = (
+        "Waits for a receive request from the receiver and forwards it to "
+        "the channel.  Blocks until a desired message is retrieved and "
+        "sends a confirmation to the receiver."
+    )
+
+    def build_def(self) -> ProcessDef:
+        suffix = "" if self.remove else "Copy"
+        return ProcessDef(
+            f"BlRecvPort{suffix}",
+            _blocking_receive_body(self.remove),
+            chan_params=PORT_CHAN_PARAMS,
+            local_vars={**_REQ_LOCALS, **_DELIVERY_LOCALS},
+        )
+
+
+@dataclass(frozen=True)
+class NonblockingReceive(ReceivePortSpec):
+    """Fig. 1: returns immediately with a notification if nothing matches."""
+
+    kind = "nonblocking_receive"
+    description = (
+        "Like blocking receive, except that it returns immediately if no "
+        "desired message can be retrieved currently, sending a notification "
+        "along with an empty message to the receiver."
+    )
+
+    def build_def(self) -> ProcessDef:
+        suffix = "" if self.remove else "Copy"
+        return ProcessDef(
+            f"NbRecvPort{suffix}",
+            _nonblocking_receive_body(self.remove),
+            chan_params=PORT_CHAN_PARAMS,
+            local_vars={**_REQ_LOCALS, **_DELIVERY_LOCALS},
+        )
+
+
+#: All send-port kinds, for the Figure 1 catalog.
+SEND_PORT_SPECS = (
+    AsynNonblockingSend(),
+    AsynBlockingSend(),
+    AsynCheckingSend(),
+    SynBlockingSend(),
+    SynCheckingSend(),
+)
+
+#: All receive-port kinds, for the Figure 1 catalog.
+RECEIVE_PORT_SPECS = (
+    BlockingReceive(remove=True),
+    BlockingReceive(remove=False),
+    NonblockingReceive(remove=True),
+    NonblockingReceive(remove=False),
+)

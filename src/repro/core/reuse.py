@@ -1,0 +1,142 @@
+"""Model-reuse accounting across design iterations (the T-reuse experiment).
+
+The paper's central cost claim (Sections 1, 3, 6): because connectors
+are composed from library blocks with pre-defined models, and because
+connector changes don't touch components, re-verifying a revised design
+only pays for genuinely new models.  This module measures that claim
+directly: a :class:`DesignIterationLog` wraps a shared
+:class:`~repro.core.spec.ModelLibrary` and records, per iteration, how
+many models were rebuilt versus reused and *which* ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..mc.props import Prop
+from ..mc.result import VerificationResult
+from .architecture import Architecture
+from .spec import ModelLibrary
+from .verify import VerificationReport, verify_safety
+
+
+@dataclass
+class IterationRecord:
+    """Reuse accounting for one design-verify iteration."""
+
+    label: str
+    report: VerificationReport
+    built_keys: List[object] = field(default_factory=list)
+
+    @property
+    def models_built(self) -> int:
+        return self.report.models_built
+
+    @property
+    def models_reused(self) -> int:
+        return self.report.models_reused
+
+    @property
+    def reuse_ratio(self) -> float:
+        total = self.models_built + self.models_reused
+        return self.models_reused / total if total else 0.0
+
+    def component_models_built(self) -> int:
+        """How many of the built models were *component* models."""
+        return sum(
+            1 for key in self.built_keys
+            if isinstance(key, tuple) and len(key) >= 2
+            and isinstance(key[1], tuple) and key[1][:1] == ("component",)
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.label}: {'PASS' if self.report.ok else 'FAIL'} | "
+            f"{self.models_reused} reused, {self.models_built} built "
+            f"({self.reuse_ratio:.0%} reuse), "
+            f"{self.component_models_built()} component models rebuilt"
+        )
+
+
+class DesignIterationLog:
+    """Runs a sequence of design-verify iterations against one library.
+
+    Usage::
+
+        log = DesignIterationLog()
+        log.run("initial design", arch, invariants=[safety])
+        arch.swap_send_port("BlueEnter", "BlueCar1", SynBlockingSend())
+        log.run("sync enter sends", arch, invariants=[safety])
+        print(log.table())
+    """
+
+    def __init__(self, library: Optional[ModelLibrary] = None) -> None:
+        self.library = library if library is not None else ModelLibrary()
+        self.iterations: List[IterationRecord] = []
+
+    def run(
+        self,
+        label: str,
+        architecture: Architecture,
+        invariants: Sequence[Prop] = (),
+        check_deadlock: bool = True,
+        fused: bool = False,
+        max_states: Optional[int] = None,
+    ) -> IterationRecord:
+        """Verify one design iteration and record its reuse accounting."""
+        built_before = len(self.library.stats.built_keys)
+        report = verify_safety(
+            architecture,
+            invariants=invariants,
+            check_deadlock=check_deadlock,
+            library=self.library,
+            fused=fused,
+            max_states=max_states,
+        )
+        record = IterationRecord(
+            label=label,
+            report=report,
+            built_keys=list(self.library.stats.built_keys[built_before:]),
+        )
+        self.iterations.append(record)
+        return record
+
+    @property
+    def total_built(self) -> int:
+        return sum(r.models_built for r in self.iterations)
+
+    @property
+    def total_reused(self) -> int:
+        return sum(r.models_reused for r in self.iterations)
+
+    def overall_reuse_ratio(self) -> float:
+        total = self.total_built + self.total_reused
+        return self.total_reused / total if total else 0.0
+
+    def component_rebuilds_after_first(self) -> int:
+        """Component models rebuilt in iterations 2..n.
+
+        The paper's claim is that connector-only changes leave this at
+        zero: component models are constructed once and reused.
+        """
+        return sum(r.component_models_built() for r in self.iterations[1:])
+
+    def table(self) -> str:
+        header = (
+            f"{'iteration':32s} {'verdict':8s} {'reused':>7s} {'built':>6s} "
+            f"{'reuse%':>7s} {'comp rebuilt':>13s}"
+        )
+        lines = [header, "-" * len(header)]
+        for r in self.iterations:
+            lines.append(
+                f"{r.label:32s} {'PASS' if r.report.ok else 'FAIL':8s} "
+                f"{r.models_reused:7d} {r.models_built:6d} "
+                f"{r.reuse_ratio:7.0%} {r.component_models_built():13d}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'total':32s} {'':8s} {self.total_reused:7d} "
+            f"{self.total_built:6d} {self.overall_reuse_ratio():7.0%}"
+        )
+        return "\n".join(lines)

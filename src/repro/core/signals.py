@@ -1,0 +1,105 @@
+"""Protocol signals and message layout shared by all PnP building blocks.
+
+The paper's building blocks communicate over pairs of channels (its
+``SynChan`` typedef): a *data* channel carrying application messages and
+a *signal* channel carrying delivery-status signals.  This module pins
+down the exact message layouts used throughout the reproduction:
+
+Data messages (and receive requests) have six fields — the paper's
+``DataMsg`` plus a ``park`` flag used by the optimized channel models::
+
+    (data, sender_id, selective, tag, remove, park)
+
+* ``data`` — the application payload (int or symbol);
+* ``sender_id`` — pid of the send port that forwarded the message
+  (``-1`` when coming straight from a component); channels use it to
+  address ``RECV_OK`` notifications, and deliveries to receive ports
+  reuse the field to address the destination port;
+* ``selective`` — 1 when a receive request asks for tag-matching
+  retrieval (the paper's *selective receive*); stored messages carry the
+  flag they were sent with;
+* ``tag`` — the paper's ``selectiveData``: the matching tag for
+  selective receive, also interpreted as the priority level by the
+  priority-queue channel (0 = most urgent);
+* ``remove`` — 1 when delivery should remove the message from the
+  buffer (*remove receive*), 0 to keep it (*copy receive*);
+* ``park`` — 1 when the operation comes from a *blocking* port, telling
+  an optimized channel model it may defer accepting the operation until
+  it can be served instead of replying ``IN_FAIL``/``OUT_FAIL`` and
+  forcing a busy retry (the paper's Section 6 optimization; faithful
+  Figure-11 channel models ignore the flag).  Checking and nonblocking
+  ports always send 0 because they need the failure replies.
+
+Signal messages have two fields, matching the paper's ``InternalMsg``::
+
+    (signal, port_pid)
+
+where ``signal`` is one of the nine protocol signals of Figure 5/6 and
+``port_pid`` addresses the signal to a specific port (``-1`` for
+signals travelling to components, whose links are dedicated).
+
+Deviation from the paper (documented in DESIGN.md): the paper declares
+all internal channels as rendezvous and its Figure 11 channel sends
+``IN_OK`` with port id ``-1``; taken literally, those models deadlock
+whenever a channel tries to deliver ``RECV_OK`` to a port that is
+concurrently forwarding its next message, and the untagged ``IN_OK``
+never matches the ports' ``eval(_pid)`` receive.  The reproduction
+(a) tags every channel→port signal with the destination port pid and
+(b) buffers the port↔channel *signal* channels (data channels and all
+component↔port links remain rendezvous), with async ports draining
+stale signals before accepting new work.  Figure 4's orderings — the
+observable semantics — are preserved; see the F4 experiment.
+"""
+
+from __future__ import annotations
+
+from ..psl.values import Mtype, NO_PID
+
+#: The nine protocol signals of the paper's Figure 5/6 ``mtype``.
+SIGNALS = Mtype(
+    "SEND_SUCC",
+    "SEND_FAIL",
+    "IN_OK",
+    "IN_FAIL",
+    "OUT_OK",
+    "OUT_FAIL",
+    "RECV_OK",
+    "RECV_SUCC",
+    "RECV_FAIL",
+)
+
+SEND_SUCC = SIGNALS.SEND_SUCC
+SEND_FAIL = SIGNALS.SEND_FAIL
+IN_OK = SIGNALS.IN_OK
+IN_FAIL = SIGNALS.IN_FAIL
+OUT_OK = SIGNALS.OUT_OK
+OUT_FAIL = SIGNALS.OUT_FAIL
+RECV_OK = SIGNALS.RECV_OK
+RECV_SUCC = SIGNALS.RECV_SUCC
+RECV_FAIL = SIGNALS.RECV_FAIL
+
+#: Field names of data messages / receive requests, in order.
+DATA_FIELDS = ("data", "sender_id", "selective", "tag", "remove", "park")
+
+#: Field names of signal messages, in order.
+SIGNAL_FIELDS = ("signal", "port_pid")
+
+#: Payload value used in receive requests and empty stub deliveries.
+NULL_DATA = 0
+
+__all__ = [
+    "DATA_FIELDS",
+    "IN_FAIL",
+    "IN_OK",
+    "NO_PID",
+    "NULL_DATA",
+    "OUT_FAIL",
+    "OUT_OK",
+    "RECV_FAIL",
+    "RECV_OK",
+    "RECV_SUCC",
+    "SEND_FAIL",
+    "SEND_SUCC",
+    "SIGNALS",
+    "SIGNAL_FIELDS",
+]

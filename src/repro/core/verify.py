@@ -1,0 +1,114 @@
+"""Design-time verification of architectures (one-call entry points).
+
+The paper's workflow is: propose a design, verify it, adjust connector
+blocks, re-verify — with component models and building-block models
+reused between iterations.  These helpers wrap the model checker so
+that workflow is one call per iteration::
+
+    library = ModelLibrary()
+    result = verify_safety(arch, invariants=[safety], library=library)
+    arch.swap_send_port("BlueEnter", "BlueCar", SynBlockingSend())
+    result = verify_safety(arch, invariants=[safety], library=library)
+
+Passing the same library across calls is what realizes the model-reuse
+savings; each call reports the library's hit/miss delta in its
+:class:`VerificationReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Union
+
+from ..mc.explore import check_safety
+from ..mc.ltl import Formula
+from ..mc.ndfs import check_ltl
+from ..mc.por import check_safety_por
+from ..mc.props import Prop
+from ..mc.result import VerificationResult
+from .architecture import Architecture
+from .spec import ModelLibrary
+
+
+@dataclass
+class VerificationReport:
+    """A verification result plus model-construction accounting."""
+
+    result: VerificationResult
+    models_reused: int = 0
+    models_built: int = 0
+    elaboration_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+    def __bool__(self) -> bool:
+        return self.result.ok
+
+    def summary(self) -> str:
+        return (
+            f"{self.result.summary()} | models: {self.models_reused} reused, "
+            f"{self.models_built} built"
+        )
+
+
+def verify_safety(
+    architecture: Architecture,
+    invariants: Sequence[Prop] = (),
+    check_deadlock: bool = True,
+    library: Optional[ModelLibrary] = None,
+    use_por: bool = False,
+    max_states: Optional[int] = None,
+    fused: bool = False,
+) -> VerificationReport:
+    """Check assertions, invariants, and deadlock-freedom of a design.
+
+    ``fused=True`` verifies against the optimized fused connector models
+    (see :mod:`repro.core.optimize`) instead of the composed block
+    models.
+    """
+    library = library if library is not None else ModelLibrary()
+    hits0, misses0 = library.stats.hits, library.stats.misses
+    t0 = time.perf_counter()
+    system = architecture.to_system(library, fused=fused)
+    elab = time.perf_counter() - t0
+    if use_por:
+        result = check_safety_por(
+            system, invariants=invariants, check_deadlock=check_deadlock,
+            max_states=max_states,
+        )
+    else:
+        result = check_safety(
+            system, invariants=invariants, check_deadlock=check_deadlock,
+            max_states=max_states,
+        )
+    return VerificationReport(
+        result=result,
+        models_reused=library.stats.hits - hits0,
+        models_built=library.stats.misses - misses0,
+        elaboration_seconds=elab,
+    )
+
+
+def verify_ltl(
+    architecture: Architecture,
+    formula: Union[str, Formula],
+    props: Union[Mapping[str, Prop], Sequence[Prop]],
+    library: Optional[ModelLibrary] = None,
+    fused: bool = False,
+) -> VerificationReport:
+    """Check an LTL property over all executions of a design."""
+    library = library if library is not None else ModelLibrary()
+    hits0, misses0 = library.stats.hits, library.stats.misses
+    t0 = time.perf_counter()
+    system = architecture.to_system(library, fused=fused)
+    elab = time.perf_counter() - t0
+    result = check_ltl(system, formula, props)
+    return VerificationReport(
+        result=result,
+        models_reused=library.stats.hits - hits0,
+        models_built=library.stats.misses - misses0,
+        elaboration_seconds=elab,
+    )

@@ -1,0 +1,307 @@
+"""LTL to Büchi automaton translation (GPVW tableau construction).
+
+Implements the classic algorithm of Gerth, Peled, Vardi & Wolper,
+*Simple On-the-fly Automatic Verification of Linear Temporal Logic*
+(PSTV 1995) — the same construction SPIN uses — followed by the standard
+counter-based degeneralization from a generalized Büchi automaton to an
+ordinary one.
+
+The resulting automaton is *state-labeled*: each automaton state carries
+a set of literals (positive and negated atomic propositions) that must
+hold in the system state read at that position of the run.  The product
+construction in :mod:`repro.mc.ndfs` advances the system and the
+automaton in lock-step, admitting an automaton state only when the
+current system state satisfies its literals.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .ltl import (
+    AndF,
+    Ap,
+    FalseF,
+    Formula,
+    NotF,
+    Next,
+    OrF,
+    Release,
+    TrueF,
+    Until,
+    is_literal,
+    nnf,
+)
+
+
+@dataclass(frozen=True)
+class BuchiState:
+    """One state of the (degeneralized) Büchi automaton."""
+
+    id: int
+    #: propositions that must be true in the system state read here
+    positive: FrozenSet[str]
+    #: propositions that must be false in the system state read here
+    negative: FrozenSet[str]
+    accepting: bool
+
+    def satisfied_by(self, valuation: Dict[str, bool]) -> bool:
+        """Does a truth assignment of the APs satisfy this state's label?"""
+        for name in self.positive:
+            if not valuation.get(name, False):
+                return False
+        for name in self.negative:
+            if valuation.get(name, False):
+                return False
+        return True
+
+
+@dataclass
+class BuchiAutomaton:
+    """A state-labeled Büchi automaton.
+
+    ``initial`` are the states the automaton may start in (reading the
+    first system state); ``successors[s.id]`` are the states reachable
+    in one step.
+    """
+
+    states: List[BuchiState]
+    initial: List[BuchiState]
+    successors: Dict[int, List[BuchiState]]
+    formula: Formula
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def n_accepting(self) -> int:
+        return sum(1 for s in self.states if s.accepting)
+
+    def __repr__(self) -> str:
+        return (
+            f"BuchiAutomaton({self.formula}, {self.n_states} states, "
+            f"{self.n_accepting} accepting)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# GPVW tableau nodes
+# ---------------------------------------------------------------------------
+
+_INIT = -1  # pseudo-id marking "initial" incoming edges
+
+
+@dataclass
+class _Node:
+    id: int
+    incoming: Set[int] = field(default_factory=set)
+    new: Set[Formula] = field(default_factory=set)
+    old: Set[Formula] = field(default_factory=set)
+    next: Set[Formula] = field(default_factory=set)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self._ids = itertools.count()
+        self.nodes: List[_Node] = []
+
+    def fresh(self, incoming: Set[int], new: Set[Formula], old: Set[Formula],
+              nxt: Set[Formula]) -> _Node:
+        return _Node(next(self._ids), set(incoming), set(new), set(old), set(nxt))
+
+    def expand(self, node: _Node) -> None:
+        if not node.new:
+            for existing in self.nodes:
+                if existing.old == node.old and existing.next == node.next:
+                    existing.incoming |= node.incoming
+                    return
+            self.nodes.append(node)
+            successor = self.fresh({node.id}, set(node.next), set(), set())
+            self.expand(successor)
+            return
+
+        eta = node.new.pop()
+        if isinstance(eta, FalseF):
+            return  # contradiction: discard
+        if is_literal(eta):
+            if _contradicts(eta, node.old):
+                return
+            if not isinstance(eta, TrueF):
+                node.old.add(eta)
+            self.expand(node)
+            return
+        if isinstance(eta, AndF):
+            for sub in (eta.left, eta.right):
+                if sub not in node.old:
+                    node.new.add(sub)
+            node.old.add(eta)
+            self.expand(node)
+            return
+        if isinstance(eta, Next):
+            node.old.add(eta)
+            node.next.add(eta.operand)
+            self.expand(node)
+            return
+        if isinstance(eta, OrF):
+            n1 = self.fresh(node.incoming, node.new | _fresh_subs({eta.left}, node.old),
+                            node.old | {eta}, node.next)
+            n2 = self.fresh(node.incoming, node.new | _fresh_subs({eta.right}, node.old),
+                            node.old | {eta}, node.next)
+            self.expand(n1)
+            self.expand(n2)
+            return
+        if isinstance(eta, Until):
+            # l U r  =  r  |  (l & X(l U r))
+            n1 = self.fresh(node.incoming, node.new | _fresh_subs({eta.left}, node.old),
+                            node.old | {eta}, node.next | {eta})
+            n2 = self.fresh(node.incoming, node.new | _fresh_subs({eta.right}, node.old),
+                            node.old | {eta}, node.next)
+            self.expand(n1)
+            self.expand(n2)
+            return
+        if isinstance(eta, Release):
+            # l R r  =  (l & r)  |  (r & X(l R r))
+            n1 = self.fresh(node.incoming,
+                            node.new | _fresh_subs({eta.left, eta.right}, node.old),
+                            node.old | {eta}, node.next)
+            n2 = self.fresh(node.incoming, node.new | _fresh_subs({eta.right}, node.old),
+                            node.old | {eta}, node.next | {eta})
+            self.expand(n1)
+            self.expand(n2)
+            return
+        raise TypeError(f"formula not in NNF: {eta}")
+
+
+def _fresh_subs(formulas: Set[Formula], old: Set[Formula]) -> Set[Formula]:
+    return {f for f in formulas if f not in old}
+
+
+def _contradicts(literal: Formula, old: Set[Formula]) -> bool:
+    if isinstance(literal, Ap):
+        return NotF(literal) in old
+    if isinstance(literal, NotF):
+        return literal.operand in old
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Public construction
+# ---------------------------------------------------------------------------
+
+def ltl_to_buchi(formula: Formula) -> BuchiAutomaton:
+    """Translate an LTL formula into a (degeneralized) Büchi automaton.
+
+    The input is normalized with :func:`~repro.mc.ltl.nnf` internally, so
+    any formula is accepted.  The automaton accepts exactly the infinite
+    AP-sequences satisfying the formula.
+    """
+    normalized = nnf(formula)
+    builder = _Builder()
+    root = builder.fresh({_INIT}, {normalized}, set(), set())
+    builder.expand(root)
+    nodes = builder.nodes
+
+    # Generalized acceptance: one set per Until subformula.
+    untils = _until_subformulas(normalized)
+    acceptance_sets: List[Set[int]] = []
+    for u in untils:
+        acceptance_sets.append(
+            {n.id for n in nodes if u not in n.old or u.right in n.old or
+             (isinstance(u.right, TrueF))}
+        )
+    k = len(acceptance_sets)
+
+    # Adjacency of the generalized automaton: q -> q' iff q in q'.incoming.
+    gba_succ: Dict[int, List[_Node]] = {n.id: [] for n in nodes}
+    gba_init: List[_Node] = []
+    for n in nodes:
+        for src in n.incoming:
+            if src == _INIT:
+                gba_init.append(n)
+            elif src in gba_succ:
+                gba_succ[src].append(n)
+
+    # Degeneralize with the standard acceptance counter.
+    def advance(counter: int, node_id: int) -> int:
+        if counter == k:
+            counter = 0
+        while counter < k and node_id in acceptance_sets[counter]:
+            counter += 1
+        return counter
+
+    node_by_id = {n.id: n for n in nodes}
+    ba_states: Dict[Tuple[int, int], BuchiState] = {}
+    ba_succ: Dict[int, List[BuchiState]] = {}
+    sid = itertools.count()
+
+    def get_state(node_id: int, counter: int) -> BuchiState:
+        key = (node_id, counter)
+        existing = ba_states.get(key)
+        if existing is not None:
+            return existing
+        node = node_by_id[node_id]
+        pos = frozenset(f.name for f in node.old if isinstance(f, Ap))
+        neg = frozenset(
+            f.operand.name
+            for f in node.old
+            if isinstance(f, NotF) and isinstance(f.operand, Ap)
+        )
+        state = BuchiState(
+            id=next(sid), positive=pos, negative=neg, accepting=(counter == k)
+        )
+        ba_states[key] = state
+        ba_succ[state.id] = []
+        return state
+
+    # Build reachable part of the degeneralized automaton.
+    initial_states: List[BuchiState] = []
+    work: List[Tuple[int, int]] = []
+    for n in gba_init:
+        counter = advance(0, n.id)
+        st = get_state(n.id, counter)
+        if st not in initial_states:
+            initial_states.append(st)
+        work.append((n.id, counter))
+    seen: Set[Tuple[int, int]] = set(work)
+    while work:
+        node_id, counter = work.pop()
+        src_state = get_state(node_id, counter)
+        base = 0 if counter == k else counter
+        for succ_node in gba_succ[node_id]:
+            succ_counter = advance(base, succ_node.id)
+            dst_state = get_state(succ_node.id, succ_counter)
+            if dst_state not in ba_succ[src_state.id]:
+                ba_succ[src_state.id].append(dst_state)
+            key = (succ_node.id, succ_counter)
+            if key not in seen:
+                seen.add(key)
+                work.append(key)
+
+    return BuchiAutomaton(
+        states=list(ba_states.values()),
+        initial=initial_states,
+        successors=ba_succ,
+        formula=formula,
+    )
+
+
+def _until_subformulas(formula: Formula) -> List[Until]:
+    out: List[Until] = []
+    seen: Set[Formula] = set()
+
+    def visit(f: Formula) -> None:
+        if f in seen:
+            return
+        seen.add(f)
+        if isinstance(f, Until):
+            out.append(f)
+        for attr in ("operand", "left", "right"):
+            sub = getattr(f, attr, None)
+            if isinstance(sub, Formula):
+                visit(sub)
+
+    visit(formula)
+    return out

@@ -1,0 +1,296 @@
+"""Exhaustive safety exploration: assertions, invariants, deadlocks.
+
+This is the reproduction's stand-in for a SPIN safety run.  It performs a
+breadth-first search over the reachable state space of a PSL system,
+checking:
+
+* **embedded assertions** — ``Assert`` statements inside process bodies
+  (reported when the asserting transition executes);
+* **invariants** — named :class:`~repro.mc.props.Prop` predicates that
+  must hold in every reachable state;
+* **deadlock** — a state with no outgoing transitions in which at least
+  one process is not at a valid end location (Promela's "invalid end
+  state").
+
+BFS yields shortest counterexamples, mirroring SPIN's ``-i`` iterative
+shortening in spirit.  Exploration stops at the first violation unless
+``stop_at_first=False``, in which case all violations are collected and
+the full space is swept.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..psl.interp import Interpreter, TransitionLabel
+from ..psl.state import State
+from ..psl.system import System
+from .props import Prop
+from .result import (
+    Statistics,
+    Trace,
+    TraceStep,
+    VerificationResult,
+    VIOLATION_ASSERTION,
+    VIOLATION_DEADLOCK,
+    VIOLATION_INVARIANT,
+)
+
+
+class StateLimitExceeded(Exception):
+    """Raised when exploration exceeds the configured state bound."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"state limit of {limit} states exceeded")
+        self.limit = limit
+
+
+@dataclass
+class SafetyReport:
+    """Full report of a safety sweep (possibly multiple violations)."""
+
+    results: List[VerificationResult] = field(default_factory=list)
+    stats: Statistics = field(default_factory=Statistics)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results) if self.results else True
+
+
+def _as_interp(target: Union[System, Interpreter]) -> Interpreter:
+    if isinstance(target, Interpreter):
+        return target
+    return Interpreter(target)
+
+
+def _rebuild_trace(
+    initial: State,
+    violating: State,
+    parents: Dict[State, Tuple[Optional[State], Optional[TransitionLabel]]],
+    extra: Optional[TraceStep] = None,
+) -> Trace:
+    steps: List[TraceStep] = []
+    cur: Optional[State] = violating
+    while cur is not None and cur != initial:
+        prev, label = parents[cur]
+        assert label is not None
+        steps.append(TraceStep(label, cur))
+        cur = prev
+    steps.reverse()
+    if extra is not None:
+        steps.append(extra)
+    return Trace(initial=initial, steps=steps)
+
+
+def check_safety(
+    target: Union[System, Interpreter],
+    invariants: Sequence[Prop] = (),
+    check_deadlock: bool = True,
+    check_assertions: bool = True,
+    max_states: Optional[int] = None,
+    stop_at_first: bool = True,
+) -> VerificationResult:
+    """Run a safety sweep and return the first (or only) result.
+
+    When ``stop_at_first`` is false and several violations exist, the
+    returned result is the first one found; use :func:`sweep_safety` for
+    the full report.
+    """
+    report = sweep_safety(
+        target,
+        invariants=invariants,
+        check_deadlock=check_deadlock,
+        check_assertions=check_assertions,
+        max_states=max_states,
+        stop_at_first=stop_at_first,
+    )
+    for r in report.results:
+        if not r.ok:
+            return r
+    return VerificationResult(
+        ok=True,
+        message="no assertion, invariant, or deadlock violations",
+        stats=report.stats,
+        property_text=_property_text(invariants, check_deadlock),
+    )
+
+
+def _property_text(invariants: Sequence[Prop], check_deadlock: bool) -> str:
+    parts = [f"invariant {p.name}" for p in invariants]
+    if check_deadlock:
+        parts.append("deadlock-freedom")
+    return ", ".join(parts) if parts else "assertions"
+
+
+def sweep_safety(
+    target: Union[System, Interpreter],
+    invariants: Sequence[Prop] = (),
+    check_deadlock: bool = True,
+    check_assertions: bool = True,
+    max_states: Optional[int] = None,
+    stop_at_first: bool = True,
+) -> SafetyReport:
+    """Breadth-first safety exploration; see :func:`check_safety`."""
+    interp = _as_interp(target)
+    system = interp.system
+    start = time.perf_counter()
+
+    initial = interp.initial_state()
+    parents: Dict[State, Tuple[Optional[State], Optional[TransitionLabel]]] = {
+        initial: (None, None)
+    }
+    queue: deque[State] = deque([initial])
+    stats = Statistics(states_stored=1, max_frontier=1)
+    report = SafetyReport(stats=stats)
+
+    def fail(kind: str, message: str, trace: Trace) -> bool:
+        """Record a violation; return True if exploration should stop."""
+        stats.elapsed_seconds = time.perf_counter() - start
+        report.results.append(
+            VerificationResult(
+                ok=False,
+                kind=kind,
+                message=message,
+                trace=trace,
+                stats=stats,
+                property_text=_property_text(invariants, check_deadlock),
+            )
+        )
+        return stop_at_first
+
+    # Check invariants on the initial state before exploring.
+    for p in invariants:
+        if not p.evaluate(system, initial):
+            if fail(
+                VIOLATION_INVARIANT,
+                f"invariant {p.name!r} violated in the initial state",
+                Trace(initial=initial),
+            ):
+                stats.elapsed_seconds = time.perf_counter() - start
+                return report
+
+    while queue:
+        state = queue.popleft()
+        transitions = interp.transitions(state)
+        stats.transitions += len(transitions)
+
+        if not transitions and check_deadlock and not interp.is_valid_end_state(state):
+            blocked = ", ".join(i.name for i in interp.blocked_processes(state))
+            if fail(
+                VIOLATION_DEADLOCK,
+                f"invalid end state (deadlock); blocked processes: {blocked}",
+                _rebuild_trace(initial, state, parents),
+            ):
+                return report
+
+        for t in transitions:
+            if check_assertions and t.violation:
+                trace = _rebuild_trace(
+                    initial, state, parents, extra=TraceStep(t.label, t.target)
+                )
+                if fail(VIOLATION_ASSERTION, t.violation, trace):
+                    return report
+            if t.target in parents:
+                continue
+            parents[t.target] = (state, t.label)
+            stats.states_stored += 1
+            if max_states is not None and stats.states_stored > max_states:
+                raise StateLimitExceeded(max_states)
+            for p in invariants:
+                if not p.evaluate(system, t.target):
+                    trace = _rebuild_trace(initial, t.target, parents)
+                    if fail(
+                        VIOLATION_INVARIANT,
+                        f"invariant {p.name!r} violated",
+                        trace,
+                    ):
+                        return report
+            queue.append(t.target)
+            stats.max_frontier = max(stats.max_frontier, len(queue))
+
+    stats.elapsed_seconds = time.perf_counter() - start
+    return report
+
+
+def count_states(
+    target: Union[System, Interpreter], max_states: Optional[int] = None
+) -> Statistics:
+    """Count reachable states/transitions without checking anything."""
+    interp = _as_interp(target)
+    start = time.perf_counter()
+    initial = interp.initial_state()
+    seen = {initial}
+    queue: deque[State] = deque([initial])
+    stats = Statistics(states_stored=1, max_frontier=1)
+    while queue:
+        state = queue.popleft()
+        for t in interp.transitions(state):
+            stats.transitions += 1
+            if t.target not in seen:
+                seen.add(t.target)
+                stats.states_stored += 1
+                if max_states is not None and stats.states_stored > max_states:
+                    raise StateLimitExceeded(max_states)
+                queue.append(t.target)
+        stats.max_frontier = max(stats.max_frontier, len(queue))
+    stats.elapsed_seconds = time.perf_counter() - start
+    return stats
+
+
+def reachable_states(
+    target: Union[System, Interpreter], max_states: Optional[int] = None
+) -> List[State]:
+    """Materialize the reachable state set (testing/analysis helper)."""
+    interp = _as_interp(target)
+    initial = interp.initial_state()
+    seen = {initial}
+    order = [initial]
+    queue: deque[State] = deque([initial])
+    while queue:
+        state = queue.popleft()
+        for t in interp.transitions(state):
+            if t.target not in seen:
+                seen.add(t.target)
+                order.append(t.target)
+                if max_states is not None and len(seen) > max_states:
+                    raise StateLimitExceeded(max_states)
+                queue.append(t.target)
+    return order
+
+
+def find_state(
+    target: Union[System, Interpreter],
+    predicate: Prop,
+    max_states: Optional[int] = None,
+) -> Optional[Trace]:
+    """Search for a reachable state satisfying *predicate*.
+
+    Returns the shortest trace to such a state, or ``None`` if no
+    reachable state satisfies it.  This is the existential dual of an
+    invariant check and is used by the Figure-4 scenario experiments
+    ("there exists an execution where SEND_SUCC precedes delivery").
+    """
+    interp = _as_interp(target)
+    system = interp.system
+    initial = interp.initial_state()
+    if predicate.evaluate(system, initial):
+        return Trace(initial=initial)
+    parents: Dict[State, Tuple[Optional[State], Optional[TransitionLabel]]] = {
+        initial: (None, None)
+    }
+    queue: deque[State] = deque([initial])
+    while queue:
+        state = queue.popleft()
+        for t in interp.transitions(state):
+            if t.target in parents:
+                continue
+            parents[t.target] = (state, t.label)
+            if max_states is not None and len(parents) > max_states:
+                raise StateLimitExceeded(max_states)
+            if predicate.evaluate(system, t.target):
+                return _rebuild_trace(initial, t.target, parents)
+            queue.append(t.target)
+    return None

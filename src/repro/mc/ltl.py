@@ -1,0 +1,408 @@
+"""Linear Temporal Logic: AST, parser, and normal forms.
+
+The property language matches what the paper uses with SPIN ("The safety
+property of the bridge example is described in LTL"):
+
+========  =============================  =========================
+Syntax    Meaning                        Also accepted
+========  =============================  =========================
+``G f``   always / globally              ``[] f``
+``F f``   eventually                     ``<> f``
+``X f``   next
+``f U g`` (strong) until
+``f W g`` weak until
+``f R g`` release                        ``f V g``
+``!``     not
+``&&``    and                            ``&``
+``||``    or                             ``|``
+``->``    implies
+``<->``   iff
+========  =============================  =========================
+
+Atomic propositions are identifiers bound to :class:`~repro.mc.props.Prop`
+predicates at check time.  Formulas are immutable and hashable; the
+Büchi construction (``repro.mc.buchi``) consumes the *negation normal
+form* produced by :func:`nnf`, which contains only literals, ``And``,
+``Or``, ``Next``, ``Until`` and ``Release``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Union
+
+
+class LtlSyntaxError(ValueError):
+    """Raised for malformed LTL formula text."""
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+class Formula:
+    """Base class for LTL formulas; immutable and hashable."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        raise NotImplementedError
+
+    def atoms(self) -> FrozenSet[str]:
+        """Names of all atomic propositions in the formula."""
+        out = set()
+        for sub in walk(self):
+            if isinstance(sub, Ap):
+                out.add(sub.name)
+        return frozenset(out)
+
+
+@dataclass(frozen=True)
+class TrueF(Formula):
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseF(Formula):
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Ap(Formula):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class NotF(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"!{_paren(self.operand)}"
+
+
+@dataclass(frozen=True)
+class AndF(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} && {self.right})"
+
+
+@dataclass(frozen=True)
+class OrF(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} || {self.right})"
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"X {_paren(self.operand)}"
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} U {self.right})"
+
+
+@dataclass(frozen=True)
+class Release(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} R {self.right})"
+
+
+@dataclass(frozen=True)
+class Eventually(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"F {_paren(self.operand)}"
+
+
+@dataclass(frozen=True)
+class Globally(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"G {_paren(self.operand)}"
+
+
+@dataclass(frozen=True)
+class WeakUntil(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} W {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} -> {self.right})"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} <-> {self.right})"
+
+
+def _paren(f: Formula) -> str:
+    text = str(f)
+    if isinstance(f, (Ap, TrueF, FalseF, NotF)) or text.startswith("("):
+        return text
+    return f"({text})"
+
+
+def walk(f: Formula) -> Iterator[Formula]:
+    """Yield *f* and all subformulas, pre-order."""
+    yield f
+    for attr in ("operand", "left", "right"):
+        sub = getattr(f, attr, None)
+        if isinstance(sub, Formula):
+            yield from walk(sub)
+
+
+# ---------------------------------------------------------------------------
+# Negation normal form
+# ---------------------------------------------------------------------------
+
+def nnf(f: Formula) -> Formula:
+    """Negation normal form over {literal, And, Or, Next, Until, Release}.
+
+    Derived operators are desugared first: ``F a = true U a``,
+    ``G a = false R a``, ``a W b = b R (a || b)``, ``a -> b = !a || b``,
+    ``a <-> b = (a && b) || (!a && !b)``.
+    """
+    return _nnf(f, negate=False)
+
+
+def _nnf(f: Formula, negate: bool) -> Formula:
+    if isinstance(f, TrueF):
+        return FalseF() if negate else TrueF()
+    if isinstance(f, FalseF):
+        return TrueF() if negate else FalseF()
+    if isinstance(f, Ap):
+        return NotF(f) if negate else f
+    if isinstance(f, NotF):
+        return _nnf(f.operand, not negate)
+    if isinstance(f, AndF):
+        l, r = _nnf(f.left, negate), _nnf(f.right, negate)
+        return OrF(l, r) if negate else AndF(l, r)
+    if isinstance(f, OrF):
+        l, r = _nnf(f.left, negate), _nnf(f.right, negate)
+        return AndF(l, r) if negate else OrF(l, r)
+    if isinstance(f, Next):
+        return Next(_nnf(f.operand, negate))
+    if isinstance(f, Until):
+        l, r = _nnf(f.left, negate), _nnf(f.right, negate)
+        return Release(l, r) if negate else Until(l, r)
+    if isinstance(f, Release):
+        l, r = _nnf(f.left, negate), _nnf(f.right, negate)
+        return Until(l, r) if negate else Release(l, r)
+    if isinstance(f, Eventually):
+        return _nnf(Until(TrueF(), f.operand), negate)
+    if isinstance(f, Globally):
+        return _nnf(Release(FalseF(), f.operand), negate)
+    if isinstance(f, WeakUntil):
+        # a W b  ==  b R (a || b)
+        return _nnf(Release(f.right, OrF(f.left, f.right)), negate)
+    if isinstance(f, Implies):
+        return _nnf(OrF(NotF(f.left), f.right), negate)
+    if isinstance(f, Iff):
+        both = AndF(f.left, f.right)
+        neither = AndF(NotF(f.left), NotF(f.right))
+        return _nnf(OrF(both, neither), negate)
+    raise TypeError(f"unknown formula node {type(f).__name__}")
+
+
+def negate(f: Formula) -> Formula:
+    """The NNF of ``!f`` (what the emptiness check actually explores)."""
+    return _nnf(f, negate=True)
+
+
+def is_literal(f: Formula) -> bool:
+    return isinstance(f, (Ap, TrueF, FalseF)) or (
+        isinstance(f, NotF) and isinstance(f.operand, Ap)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<lpar>\()|(?P<rpar>\))|(?P<iff><->)|(?P<implies>->)"
+    r"|(?P<and>&&|&)|(?P<or>\|\||\|)|(?P<not>!)"
+    r"|(?P<box>\[\])|(?P<diamond><>)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_]*))"
+)
+
+_UNARY = {"G", "F", "X"}
+_BINARY_TEMPORAL = {"U", "W", "R", "V"}
+_RESERVED = _UNARY | _BINARY_TEMPORAL | {"true", "false"}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            if text[pos:].strip() == "":
+                break
+            raise LtlSyntaxError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ident":
+            tokens.append(m.group("ident"))
+        elif kind == "box":
+            tokens.append("G")
+        elif kind == "diamond":
+            tokens.append("F")
+        elif kind == "and":
+            tokens.append("&&")
+        elif kind == "or":
+            tokens.append("||")
+        else:
+            tokens.append(m.group(0).strip())
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str], source: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+
+    def peek(self) -> Union[str, None]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise LtlSyntaxError(f"unexpected end of formula: {self.source!r}")
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.take()
+        if got != tok:
+            raise LtlSyntaxError(f"expected {tok!r}, got {got!r} in {self.source!r}")
+
+    # precedence: <-> , -> , || , && , U/W/R , unary
+    def parse(self) -> Formula:
+        f = self.parse_iff()
+        if self.peek() is not None:
+            raise LtlSyntaxError(f"trailing input {self.peek()!r} in {self.source!r}")
+        return f
+
+    def parse_iff(self) -> Formula:
+        left = self.parse_implies()
+        while self.peek() == "<->":
+            self.take()
+            left = Iff(left, self.parse_implies())
+        return left
+
+    def parse_implies(self) -> Formula:
+        left = self.parse_or()
+        if self.peek() == "->":
+            self.take()
+            return Implies(left, self.parse_implies())
+        return left
+
+    def parse_or(self) -> Formula:
+        left = self.parse_and()
+        while self.peek() == "||":
+            self.take()
+            left = OrF(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Formula:
+        left = self.parse_until()
+        while self.peek() == "&&":
+            self.take()
+            left = AndF(left, self.parse_until())
+        return left
+
+    def parse_until(self) -> Formula:
+        left = self.parse_unary()
+        tok = self.peek()
+        if tok in _BINARY_TEMPORAL:
+            self.take()
+            right = self.parse_until()
+            if tok == "U":
+                return Until(left, right)
+            if tok == "W":
+                return WeakUntil(left, right)
+            return Release(left, right)  # R and V
+        return left
+
+    def parse_unary(self) -> Formula:
+        tok = self.peek()
+        if tok == "!":
+            self.take()
+            return NotF(self.parse_unary())
+        if tok in _UNARY:
+            self.take()
+            inner = self.parse_unary()
+            if tok == "G":
+                return Globally(inner)
+            if tok == "F":
+                return Eventually(inner)
+            return Next(inner)
+        return self.parse_atom()
+
+    def parse_atom(self) -> Formula:
+        tok = self.take()
+        if tok == "(":
+            inner = self.parse_iff()
+            self.expect(")")
+            return inner
+        if tok == "true":
+            return TrueF()
+        if tok == "false":
+            return FalseF()
+        if tok in _RESERVED:
+            raise LtlSyntaxError(f"{tok!r} is reserved and cannot name a proposition")
+        if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", tok):
+            return Ap(tok)
+        raise LtlSyntaxError(f"unexpected token {tok!r} in {self.source!r}")
+
+
+def parse_ltl(text: str) -> Formula:
+    """Parse LTL formula text into a :class:`Formula`."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise LtlSyntaxError("empty formula")
+    return _Parser(tokens, text).parse()

@@ -1,0 +1,303 @@
+"""LTL model checking: product construction and nested depth-first search.
+
+To check a system against an LTL formula φ we follow SPIN's automata-
+theoretic recipe:
+
+1. translate ¬φ to a Büchi automaton (:mod:`repro.mc.buchi`);
+2. build the synchronous product of the system's transition system with
+   that automaton on the fly;
+3. search the product for a reachable *accepting cycle* with the nested
+   depth-first search of Courcoubetis, Vardi, Wolper & Yannakakis (in
+   the improved formulation of Schwoon & Esparza that detects cycles
+   against the blue-DFS stack).
+
+A reachable accepting cycle is a system execution violating φ; it is
+reported as a *lasso* counterexample (stem + cycle).  If no accepting
+cycle exists, φ holds on all (infinite) executions.
+
+Finite executions are handled by *stutter extension*: a state with no
+successors repeats itself forever, which is the standard way to give
+LTL semantics to deadlocking runs (SPIN's "trailing stutter").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..psl.interp import Interpreter, TransitionLabel
+from ..psl.state import State
+from ..psl.system import System
+from .buchi import BuchiAutomaton, BuchiState, ltl_to_buchi
+from .ltl import Formula, negate, parse_ltl
+from .props import Prop
+from .result import (
+    Statistics,
+    Trace,
+    TraceStep,
+    VerificationResult,
+    VIOLATION_ACCEPTANCE_CYCLE,
+)
+
+#: A product node: (system state, Büchi state id).
+ProductNode = Tuple[State, int]
+
+_STUTTER = TransitionLabel(
+    pid=-1, process="(system)", kind="stutter", desc="deadlock stutter"
+)
+
+
+class _Product:
+    """On-the-fly product of a system with a state-labeled Büchi automaton."""
+
+    def __init__(
+        self,
+        interp: Interpreter,
+        automaton: BuchiAutomaton,
+        props: Mapping[str, Prop],
+    ) -> None:
+        self.interp = interp
+        self.automaton = automaton
+        self.props = props
+        self.by_id: Dict[int, BuchiState] = {s.id: s for s in automaton.states}
+        self._val_cache: Dict[State, Dict[str, bool]] = {}
+        self.stats = Statistics()
+
+    def valuation(self, state: State) -> Dict[str, bool]:
+        cached = self._val_cache.get(state)
+        if cached is None:
+            cached = {
+                name: p.evaluate(self.interp.system, state)
+                for name, p in self.props.items()
+            }
+            self._val_cache[state] = cached
+        return cached
+
+    def initial_nodes(self) -> List[ProductNode]:
+        s0 = self.interp.initial_state()
+        self.stats.states_stored += 1
+        v0 = self.valuation(s0)
+        return [
+            (s0, q.id) for q in self.automaton.initial if q.satisfied_by(v0)
+        ]
+
+    def successors(
+        self, node: ProductNode
+    ) -> Iterator[Tuple[TransitionLabel, ProductNode]]:
+        state, qid = node
+        transitions = self.interp.transitions(state)
+        self.stats.transitions += len(transitions)
+        if transitions:
+            moves: Iterable[Tuple[TransitionLabel, State]] = (
+                (t.label, t.target) for t in transitions
+            )
+        else:
+            moves = [(_STUTTER, state)]  # stutter extension
+        buchi_next = self.automaton.successors[qid]
+        for label, target in moves:
+            valuation = self.valuation(target)
+            for q in buchi_next:
+                if q.satisfied_by(valuation):
+                    yield label, (target, q.id)
+
+    def is_accepting(self, node: ProductNode) -> bool:
+        return self.by_id[node[1]].accepting
+
+
+@dataclass
+class _Lasso:
+    stem: List[Tuple[TransitionLabel, ProductNode]]
+    cycle: List[Tuple[TransitionLabel, ProductNode]]
+
+
+def _ndfs(product: _Product) -> Optional[_Lasso]:
+    """Iterative nested DFS; returns a lasso if an accepting cycle exists."""
+    blue: set = set()
+    red: set = set()
+
+    for init in product.initial_nodes():
+        if init in blue:
+            continue
+        lasso = _blue_dfs(product, init, blue, red)
+        if lasso is not None:
+            return lasso
+    return None
+
+
+def _blue_dfs(
+    product: _Product, root: ProductNode, blue: set, red: set
+) -> Optional[_Lasso]:
+    # Stack entries: (node, iterator over successors)
+    cyan: set = {root}
+    path: List[Tuple[TransitionLabel, ProductNode]] = []  # edge into each node
+    stack: List[Tuple[ProductNode, Iterator]] = [(root, product.successors(root))]
+
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for label, succ in it:
+            if succ in cyan and (product.is_accepting(node) or product.is_accepting(succ)):
+                # Early cycle detection against the blue stack.
+                cycle = _cut_cycle(path, root, succ) + [(label, succ)]
+                stem = _cut_stem(path, root, succ)
+                return _Lasso(stem=stem, cycle=cycle)
+            if succ not in blue and succ not in cyan:
+                cyan.add(succ)
+                path.append((label, succ))
+                stack.append((succ, product.successors(succ)))
+                advanced = True
+                break
+        if advanced:
+            continue
+        # Post-order on `node`.
+        stack.pop()
+        if product.is_accepting(node):
+            hit = _red_dfs(product, node, cyan, red)
+            if hit is not None:
+                red_path, target = hit
+                # stem: root -> node ; cycle: node ->(red) target ->(blue) node
+                stem = list(path)
+                back = _cut_cycle(path, root, target) if target != node else []
+                # `back` walks target -> ... -> node along the blue stack.
+                cycle = red_path + back
+                return _Lasso(stem=stem, cycle=cycle)
+        blue.add(node)
+        cyan.discard(node)
+        if path:
+            path.pop()
+    return None
+
+
+def _cut_stem(
+    path: List[Tuple[TransitionLabel, ProductNode]], root: ProductNode, target: ProductNode
+) -> List[Tuple[TransitionLabel, ProductNode]]:
+    """Prefix of the blue path from root up to (and including) target."""
+    if target == root:
+        return []
+    out = []
+    for label, node in path:
+        out.append((label, node))
+        if node == target:
+            break
+    return out
+
+
+def _cut_cycle(
+    path: List[Tuple[TransitionLabel, ProductNode]], root: ProductNode, start: ProductNode
+) -> List[Tuple[TransitionLabel, ProductNode]]:
+    """Suffix of the blue path strictly after `start` (start -> ... -> top)."""
+    if start == root:
+        return list(path)
+    for i, (_, node) in enumerate(path):
+        if node == start:
+            return list(path[i + 1:])
+    return list(path)
+
+
+def _red_dfs(
+    product: _Product, seed: ProductNode, cyan: set, red: set
+) -> Optional[Tuple[List[Tuple[TransitionLabel, ProductNode]], ProductNode]]:
+    """Search from an accepting seed for the seed itself or any cyan node.
+
+    Returns the red path (edges from seed) and the node hit, or None.
+    """
+    path: List[Tuple[TransitionLabel, ProductNode]] = []
+    on_path: set = {seed}
+    stack: List[Tuple[ProductNode, Iterator]] = [(seed, product.successors(seed))]
+    visited: set = set()
+
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for label, succ in it:
+            if succ == seed or succ in cyan:
+                path.append((label, succ))
+                return path, succ
+            if succ not in red and succ not in visited and succ not in on_path:
+                visited.add(succ)
+                on_path.add(succ)
+                path.append((label, succ))
+                stack.append((succ, product.successors(succ)))
+                advanced = True
+                break
+        if advanced:
+            continue
+        stack.pop()
+        on_path.discard(node)
+        red.add(node)
+        if path:
+            path.pop()
+    return None
+
+
+def check_ltl(
+    target: Union[System, Interpreter],
+    formula: Union[str, Formula],
+    props: Union[Mapping[str, Prop], Sequence[Prop]],
+    weak_fairness: bool = False,
+) -> VerificationResult:
+    """Check that every execution of the system satisfies the LTL formula.
+
+    ``props`` binds the formula's atomic propositions to state
+    predicates; it may be a mapping ``name -> Prop`` or a sequence of
+    props (bound by their own names).
+
+    ``weak_fairness=True`` restricts attention to weakly fair runs — a
+    process that is continuously enabled must eventually execute — via
+    the counter construction of :mod:`repro.mc.fairness` (SPIN's ``-f``).
+    This multiplies the product by roughly the process count; use it for
+    liveness properties that an unfair scheduler could trivially defeat.
+    """
+    interp = target if isinstance(target, Interpreter) else Interpreter(target)
+    parsed = parse_ltl(formula) if isinstance(formula, str) else formula
+    prop_map = _as_prop_map(props)
+    missing = parsed.atoms() - set(prop_map)
+    if missing:
+        raise KeyError(f"formula uses unbound propositions: {sorted(missing)}")
+
+    start = time.perf_counter()
+    automaton = ltl_to_buchi(negate(parsed))
+    if weak_fairness:
+        from .fairness import FairProduct
+        product = FairProduct(interp, automaton, prop_map)
+        val_cache = product._plain._val_cache
+    else:
+        product = _Product(interp, automaton, prop_map)
+        val_cache = product._val_cache
+    lasso = _ndfs(product)
+    stats = product.stats
+    stats.states_stored = len(val_cache)
+    stats.elapsed_seconds = time.perf_counter() - start
+
+    fairness_note = " (under weak fairness)" if weak_fairness else ""
+    if lasso is None:
+        return VerificationResult(
+            ok=True,
+            message=("no accepting cycle: property holds on all executions"
+                     + fairness_note),
+            stats=stats,
+            property_text=str(parsed),
+        )
+    initial = interp.initial_state()
+    steps = [
+        TraceStep(label, node[0]) for label, node in lasso.stem + lasso.cycle
+    ]
+    trace = Trace(initial=initial, steps=steps, cycle_start=len(lasso.stem))
+    return VerificationResult(
+        ok=False,
+        kind=VIOLATION_ACCEPTANCE_CYCLE,
+        message=(f"execution violating {parsed} found (lasso counterexample)"
+                 + fairness_note),
+        trace=trace,
+        stats=stats,
+        property_text=str(parsed),
+    )
+
+
+def _as_prop_map(
+    props: Union[Mapping[str, Prop], Sequence[Prop]]
+) -> Dict[str, Prop]:
+    if isinstance(props, Mapping):
+        return dict(props)
+    return {p.name: p for p in props}

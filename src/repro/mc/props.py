@@ -1,0 +1,123 @@
+"""State observation: views and atomic propositions.
+
+The model checker evaluates properties against raw interpreter states,
+which are positional tuples.  :class:`StateView` wraps a state together
+with its system so that predicates can be written by *name*::
+
+    lambda v: v.global_("blue_on_bridge") > 0 and v.global_("red_on_bridge") > 0
+
+:class:`Prop` packages such a predicate with a name (used in LTL
+formulas) and an optional *dependency declaration* — which globals and
+which processes' locals the predicate reads.  Dependencies power the
+partial-order reduction: a transition that cannot change any declared
+dependency of any tracked proposition is *invisible* and may be
+collapsed.  A prop with ``None`` dependencies is treated conservatively
+as depending on everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Optional, Sequence, Tuple
+
+from ..psl.state import State
+from ..psl.system import System
+from ..psl.values import Message, Value
+
+
+class StateView:
+    """Read-only, name-based access to one state of one system."""
+
+    __slots__ = ("system", "state")
+
+    def __init__(self, system: System, state: State) -> None:
+        self.system = system
+        self.state = state
+
+    def global_(self, name: str) -> Value:
+        """Value of a global variable."""
+        idx = self.system.global_index[name]
+        return self.state.globals_[idx]
+
+    def local(self, process: str, var: str) -> Value:
+        """Value of a local variable of a named process instance."""
+        inst = self.system.instance_by_name(process)
+        return self.state.frames[inst.pid][inst.local_index[var]]
+
+    def location(self, process: str) -> int:
+        """Control location of a named process instance."""
+        inst = self.system.instance_by_name(process)
+        return self.state.locs[inst.pid]
+
+    def at_end(self, process: str) -> bool:
+        """True when the named process sits at a valid end location."""
+        inst = self.system.instance_by_name(process)
+        return self.state.locs[inst.pid] in inst.automaton.end_locations
+
+    def terminated(self, process: str) -> bool:
+        """True when the named process has no outgoing edges (finished)."""
+        inst = self.system.instance_by_name(process)
+        return not inst.automaton.edges_from[self.state.locs[inst.pid]]
+
+    def chan_len(self, name: str) -> int:
+        """Number of messages currently buffered on a named channel."""
+        ch = self.system.channel_by_name(name)
+        return len(self.state.chans[ch.index])
+
+    def chan_contents(self, name: str) -> Tuple[Message, ...]:
+        ch = self.system.channel_by_name(name)
+        return self.state.chans[ch.index]
+
+    def chan_full(self, name: str) -> bool:
+        ch = self.system.channel_by_name(name)
+        return len(self.state.chans[ch.index]) >= ch.capacity
+
+    def chan_empty(self, name: str) -> bool:
+        return self.chan_len(name) == 0
+
+
+@dataclass(frozen=True)
+class Prop:
+    """A named atomic proposition over states.
+
+    ``globals_read``/``locals_read`` optionally declare the exact state
+    the predicate inspects; see the module docstring.  ``locals_read``
+    holds process-instance *names* (the predicate may read any local or
+    the control location of those processes).
+    """
+
+    name: str
+    fn: Callable[[StateView], bool] = field(compare=False)
+    globals_read: Optional[FrozenSet[str]] = None
+    locals_read: Optional[FrozenSet[str]] = None
+
+    def evaluate(self, system: System, state: State) -> bool:
+        return bool(self.fn(StateView(system, state)))
+
+    def depends_only_on_globals(self) -> bool:
+        return self.globals_read is not None and self.locals_read == frozenset()
+
+
+def prop(
+    name: str,
+    fn: Callable[[StateView], bool],
+    globals_read: Optional[Sequence[str]] = None,
+    locals_read: Optional[Sequence[str]] = None,
+) -> Prop:
+    """Convenience constructor for :class:`Prop`."""
+    return Prop(
+        name=name,
+        fn=fn,
+        globals_read=frozenset(globals_read) if globals_read is not None else None,
+        locals_read=frozenset(locals_read) if locals_read is not None else None,
+    )
+
+
+def global_prop(name: str, fn: Callable[[StateView], bool], *globals_read: str) -> Prop:
+    """A prop that reads only the named globals (POR-friendly)."""
+    return Prop(
+        name=name,
+        fn=fn,
+        globals_read=frozenset(globals_read),
+        locals_read=frozenset(),
+    )

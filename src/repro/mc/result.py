@@ -1,0 +1,111 @@
+"""Verification results, statistics, and counterexample traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..psl.interp import TransitionLabel
+from ..psl.state import State
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One step of a counterexample: the transition taken and its target."""
+
+    label: TransitionLabel
+    state: State
+
+
+@dataclass
+class Trace:
+    """A counterexample execution.
+
+    ``initial`` is the system's initial state; ``steps`` lead to the
+    violating state.  For liveness (lasso) counterexamples ``cycle_start``
+    is the index into ``steps`` where the repeating suffix begins; it is
+    ``None`` for finite safety counterexamples.
+    """
+
+    initial: State
+    steps: List[TraceStep] = field(default_factory=list)
+    cycle_start: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def final_state(self) -> State:
+        return self.steps[-1].state if self.steps else self.initial
+
+    def states(self) -> List[State]:
+        return [self.initial] + [s.state for s in self.steps]
+
+    def labels(self) -> List[TransitionLabel]:
+        return [s.label for s in self.steps]
+
+    def pretty(self, max_steps: Optional[int] = None) -> str:
+        lines = []
+        steps = self.steps if max_steps is None else self.steps[:max_steps]
+        for i, step in enumerate(steps):
+            marker = ""
+            if self.cycle_start is not None and i == self.cycle_start:
+                marker = "  <-- cycle starts here"
+            lines.append(f"{i + 1:4d}. {step.label.pretty()}{marker}")
+        if max_steps is not None and len(self.steps) > max_steps:
+            lines.append(f"      ... ({len(self.steps) - max_steps} more steps)")
+        return "\n".join(lines)
+
+
+@dataclass
+class Statistics:
+    """Exploration statistics, in the spirit of SPIN's run report."""
+
+    states_stored: int = 0
+    transitions: int = 0
+    max_frontier: int = 0
+    elapsed_seconds: float = 0.0
+
+    def merge(self, other: "Statistics") -> "Statistics":
+        return Statistics(
+            states_stored=self.states_stored + other.states_stored,
+            transitions=self.transitions + other.transitions,
+            max_frontier=max(self.max_frontier, other.max_frontier),
+            elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
+        )
+
+
+#: Violation kinds reported by the checkers.
+VIOLATION_ASSERTION = "assertion"
+VIOLATION_INVARIANT = "invariant"
+VIOLATION_DEADLOCK = "deadlock"
+VIOLATION_ACCEPTANCE_CYCLE = "acceptance-cycle"
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one verification run."""
+
+    ok: bool
+    kind: Optional[str] = None  # one of the VIOLATION_* constants, or None
+    message: str = ""
+    trace: Optional[Trace] = None
+    stats: Statistics = field(default_factory=Statistics)
+    property_text: str = ""
+
+    @property
+    def holds(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else f"FAIL ({self.kind})"
+        prop_part = f" [{self.property_text}]" if self.property_text else ""
+        return (
+            f"{verdict}{prop_part}: {self.message or 'no errors found'} — "
+            f"{self.stats.states_stored} states, "
+            f"{self.stats.transitions} transitions, "
+            f"{self.stats.elapsed_seconds:.3f}s"
+        )
+
+    def __bool__(self) -> bool:
+        return self.ok

@@ -1,0 +1,165 @@
+"""Guided simulation and trace replay.
+
+Model checking answers "can this happen?"; simulation answers "show me
+one run" — SPIN pairs its verifier with `-t` trail replay and random /
+interactive simulation, and so does this reproduction:
+
+* :func:`simulate` — run one execution under a pluggable
+  :class:`Scheduler` (random, round-robin, or interactive via callback),
+  recording the trace;
+* :func:`replay` — re-execute a :class:`~repro.mc.result.Trace` (e.g. a
+  counterexample from the checker) against the interpreter, validating
+  every step — the equivalent of replaying a SPIN trail file;
+* :class:`SimulationRun` — the recorded run, with the same
+  pretty-printing as checker traces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..psl.interp import Interpreter, Transition, TransitionLabel
+from ..psl.state import State
+from ..psl.system import System
+from .result import Trace, TraceStep
+
+
+class ReplayError(ValueError):
+    """A trace step does not correspond to any enabled transition."""
+
+
+#: A scheduler picks one of the enabled transitions (or None to stop).
+Scheduler = Callable[[State, Sequence[Transition], int], Optional[Transition]]
+
+
+def random_scheduler(seed: Optional[int] = None) -> Scheduler:
+    """Uniformly random choice among enabled transitions."""
+    rng = random.Random(seed)
+
+    def choose(state, transitions, step):
+        return rng.choice(transitions)
+
+    return choose
+
+
+def round_robin_scheduler() -> Scheduler:
+    """Rotate priority over processes, taking the first enabled one.
+
+    A deterministic, starvation-averse schedule: at step *k*, the
+    process with pid ``k mod n_alive`` (among those with enabled
+    transitions) goes first.
+    """
+    def choose(state, transitions, step):
+        pids = sorted({t.label.pid for t in transitions})
+        pid = pids[step % len(pids)]
+        for t in transitions:
+            if t.label.pid == pid:
+                return t
+        return transitions[0]  # pragma: no cover - pids derived from list
+
+    return choose
+
+
+def process_priority_scheduler(order: Sequence[str]) -> Scheduler:
+    """Always prefer the earliest-listed process that can move.
+
+    Useful for demonstrating starvation: put the 'spinner' first and
+    watch everything else never run.
+    """
+    ranking = {name: i for i, name in enumerate(order)}
+
+    def choose(state, transitions, step):
+        return min(
+            transitions,
+            key=lambda t: ranking.get(t.label.process, len(ranking)),
+        )
+
+    return choose
+
+
+@dataclass
+class SimulationRun:
+    """One recorded execution."""
+
+    trace: Trace
+    completed: bool  # True when the run quiesced before the step budget
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def steps(self) -> List[TraceStep]:
+        return self.trace.steps
+
+    def pretty(self, max_steps: Optional[int] = None) -> str:
+        return self.trace.pretty(max_steps=max_steps)
+
+
+def simulate(
+    target: Union[System, Interpreter],
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 1000,
+) -> SimulationRun:
+    """Run one execution under the given scheduler (default: random)."""
+    interp = target if isinstance(target, Interpreter) else Interpreter(target)
+    scheduler = scheduler if scheduler is not None else random_scheduler()
+    state = interp.initial_state()
+    steps: List[TraceStep] = []
+    violations: List[str] = []
+    completed = False
+    for step_no in range(max_steps):
+        transitions = interp.transitions(state)
+        if not transitions:
+            completed = True
+            break
+        choice = scheduler(state, transitions, step_no)
+        if choice is None:
+            break
+        if choice.violation:
+            violations.append(choice.violation)
+        steps.append(TraceStep(choice.label, choice.target))
+        state = choice.target
+    return SimulationRun(
+        trace=Trace(initial=interp.initial_state(), steps=steps),
+        completed=completed,
+        violations=violations,
+    )
+
+
+def replay(
+    target: Union[System, Interpreter],
+    trace: Trace,
+) -> SimulationRun:
+    """Re-execute a trace step by step, validating it against the model.
+
+    Every recorded target state must be reachable by one enabled
+    transition whose label matches on (pid, desc); otherwise the trace
+    does not belong to this system and :class:`ReplayError` is raised.
+    Returns the replayed run (with any assertion violations re-observed),
+    which is how counterexamples can be handed to other tooling.
+    """
+    interp = target if isinstance(target, Interpreter) else Interpreter(target)
+    state = interp.initial_state()
+    if state != trace.initial:
+        raise ReplayError("trace initial state does not match the system")
+    steps: List[TraceStep] = []
+    violations: List[str] = []
+    for i, step in enumerate(trace.steps):
+        for t in interp.transitions(state):
+            if t.target == step.state and t.label.pid == step.label.pid \
+                    and t.label.desc == step.label.desc:
+                if t.violation:
+                    violations.append(t.violation)
+                steps.append(TraceStep(t.label, t.target))
+                state = t.target
+                break
+        else:
+            raise ReplayError(
+                f"step {i + 1} ({step.label.pretty()}) is not enabled — "
+                f"the trace does not fit this system"
+            )
+    return SimulationRun(
+        trace=Trace(initial=trace.initial, steps=steps),
+        completed=not interp.transitions(state),
+        violations=violations,
+    )

@@ -1,0 +1,5 @@
+"""Message sequence chart extraction and rendering."""
+
+from .chart import MessageEvent, MessageSequenceChart, chart_from_trace
+
+__all__ = ["MessageEvent", "MessageSequenceChart", "chart_from_trace"]

@@ -1,0 +1,140 @@
+"""Message sequence charts from execution traces (paper Figure 4).
+
+The paper uses "a notation similar to Message Sequence Charts" to show
+how a send port controls the interleaving of messages between the
+component and the channel — the key observable difference between
+asynchronous and synchronous blocking sends (its Figure 4).  This module
+reconstructs such charts from interpreter traces: every rendezvous
+handshake and buffered send/receive becomes a :class:`MessageEvent`, and
+:class:`MessageSequenceChart` renders them as ASCII with one column per
+process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..psl.interp import TransitionLabel
+from ..psl.values import Message
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One message exchange in a trace."""
+
+    index: int
+    source: str
+    target: Optional[str]  # None for buffered sends/receives (async hop)
+    channel: str
+    message: Message
+    kind: str  # 'handshake' | 'send' | 'recv'
+
+    @property
+    def summary(self) -> str:
+        """A short label for the arrow: the message's leading fields."""
+        parts = [str(v) for v in self.message[:2]]
+        return ", ".join(parts)
+
+
+def events_from_trace(
+    steps: Iterable[Tuple[TransitionLabel, object]],
+    processes: Optional[Sequence[str]] = None,
+    channels: Optional[Sequence[str]] = None,
+) -> List[MessageEvent]:
+    """Extract message events from ``(label, state)`` trace steps.
+
+    ``processes``/``channels`` optionally restrict the chart to the
+    named lifelines / channels.
+    """
+    out: List[MessageEvent] = []
+    proc_filter = set(processes) if processes is not None else None
+    chan_filter = set(channels) if channels is not None else None
+    for i, (label, _state) in enumerate(steps):
+        if label.kind not in ("handshake", "send", "recv"):
+            continue
+        if label.chan is None or label.message is None:
+            continue
+        if chan_filter is not None and label.chan not in chan_filter:
+            continue
+        involved = {label.process}
+        if label.partner:
+            involved.add(label.partner)
+        if proc_filter is not None and not (involved & proc_filter):
+            continue
+        out.append(MessageEvent(
+            index=i,
+            source=label.process,
+            target=label.partner,
+            channel=label.chan,
+            message=label.message,
+            kind=label.kind,
+        ))
+    return out
+
+
+class MessageSequenceChart:
+    """An ASCII message sequence chart."""
+
+    def __init__(self, lifelines: Sequence[str], events: Sequence[MessageEvent],
+                 column_width: int = 26) -> None:
+        self.lifelines = list(lifelines)
+        self.events = list(events)
+        self.column_width = column_width
+
+    def render(self) -> str:
+        width = self.column_width
+        header = "".join(name[: width - 2].center(width) for name in self.lifelines)
+        ruler = "".join("|".center(width) for _ in self.lifelines)
+        lines = [header, ruler]
+        col = {name: i for i, name in enumerate(self.lifelines)}
+        for ev in self.events:
+            src = col.get(ev.source)
+            dst = col.get(ev.target) if ev.target else None
+            label = ev.summary
+            if src is None and dst is None:
+                continue
+            if src is None or dst is None or src == dst:
+                # A buffered hop: annotate beside the source lifeline.
+                cells = ["|".center(width) for _ in self.lifelines]
+                note = f"({ev.kind} {label} on {ev.channel})"
+                anchor = src if src is not None else dst
+                cells[anchor] = ("|" + note).ljust(width)[:width]
+                lines.append("".join(cells))
+                continue
+            lo, hi = sorted((src, dst))
+            row = []
+            for i in range(len(self.lifelines)):
+                if i < lo or i > hi:
+                    row.append("|".center(width))
+                    continue
+                if lo == hi:
+                    row.append("|".center(width))
+                    continue
+                if i == lo:
+                    seg = "|" + "-" * (width - 1)
+                elif i == hi:
+                    seg = "-" * (width - 1) + "|"
+                else:
+                    seg = "-" * width
+                row.append(seg)
+            arrow_line = "".join(row)
+            direction = ">" if dst > src else "<"
+            mid = (lo * width + hi * width + width) // 2
+            text = f" {label} {direction} "
+            start = max(0, mid - len(text) // 2)
+            arrow_line = (
+                arrow_line[:start] + text + arrow_line[start + len(text):]
+            )
+            lines.append(arrow_line)
+        return "\n".join(lines)
+
+
+def chart_from_trace(
+    steps: Iterable[Tuple[TransitionLabel, object]],
+    lifelines: Sequence[str],
+    channels: Optional[Sequence[str]] = None,
+) -> MessageSequenceChart:
+    """Build a chart restricted to the given lifelines (and channels)."""
+    events = events_from_trace(steps, processes=lifelines, channels=channels)
+    return MessageSequenceChart(lifelines, events)

@@ -1,0 +1,108 @@
+"""PSL — the Promela-like process modeling substrate.
+
+This subpackage replaces SPIN's input language for the reproduction: it
+provides channels (rendezvous and buffered), guarded-command processes,
+pattern-matching receives, assertions, and an interpreter that generates
+the interleaving transition system the model checker explores.
+
+Typical usage::
+
+    from repro.psl import (
+        System, ProcessDef, rendezvous, buffered,
+        Seq, Do, If, Branch, Send, Recv, Assign, Guard, Break, Else,
+        V, C, MatchEq, AnyField, Bind, Interpreter,
+    )
+"""
+
+from .channels import Channel, buffered, rendezvous
+from .compiler import Automaton, Edge, compile_body
+from .errors import (
+    BindingError,
+    ChannelError,
+    CompileError,
+    EvalError,
+    ExecutionError,
+    PslError,
+)
+from .expr import BinOp, C, Const, Expr, FALSE, Not, TRUE, V, Var, as_expr
+from .interp import Interpreter, Transition, TransitionLabel
+from .state import State
+from .stmt import (
+    AnyField,
+    Assert,
+    Assign,
+    Bind,
+    Branch,
+    Break,
+    Do,
+    DStep,
+    Else,
+    EndLabel,
+    Guard,
+    If,
+    MatchEq,
+    Pattern,
+    Recv,
+    Seq,
+    Send,
+    Skip,
+    Stmt,
+)
+from .system import ProcessDef, ProcessInstance, System
+from .values import Message, Mtype, NO_PID, Value, format_message
+
+__all__ = [
+    "AnyField",
+    "Assert",
+    "Assign",
+    "Automaton",
+    "BinOp",
+    "Bind",
+    "BindingError",
+    "Branch",
+    "Break",
+    "C",
+    "Channel",
+    "ChannelError",
+    "CompileError",
+    "Const",
+    "Do",
+    "DStep",
+    "Edge",
+    "Else",
+    "EndLabel",
+    "EvalError",
+    "ExecutionError",
+    "Expr",
+    "FALSE",
+    "Guard",
+    "If",
+    "Interpreter",
+    "MatchEq",
+    "Message",
+    "Mtype",
+    "NO_PID",
+    "Not",
+    "Pattern",
+    "ProcessDef",
+    "ProcessInstance",
+    "PslError",
+    "Recv",
+    "Seq",
+    "Send",
+    "Skip",
+    "State",
+    "Stmt",
+    "System",
+    "TRUE",
+    "Transition",
+    "TransitionLabel",
+    "V",
+    "Value",
+    "Var",
+    "as_expr",
+    "buffered",
+    "compile_body",
+    "format_message",
+    "rendezvous",
+]

@@ -1,0 +1,93 @@
+"""Channel declarations for PSL systems.
+
+A :class:`Channel` corresponds to a Promela ``chan`` declaration:
+
+* ``capacity == 0`` — a *rendezvous* channel: a send and a matching
+  receive in two different processes execute together as one handshake
+  transition (Promela ``chan c = [0] of {...}``).
+* ``capacity > 0`` — a *buffered* channel holding up to ``capacity``
+  messages in FIFO order; sends block when full, receives block when no
+  message matches.
+
+Every message on a channel is a tuple with one element per declared
+field.  Field names are used by the Promela code generator and by trace
+explanation; the interpreter itself works positionally.
+
+Note the distinction the paper draws (Section 3): these are *Promela
+channels*, the low-level communication primitive.  The architecture-level
+"channel" building blocks of the PnP approach (single-slot buffer, FIFO
+queue, priority queue) are *processes* built on top of these primitives —
+see ``repro.core.channels``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .errors import ChannelError
+from .values import Message
+
+
+class Channel:
+    """A declared communication channel.
+
+    Channels are identified by object identity; the ``index`` attribute is
+    assigned when the channel is registered with a :class:`~repro.psl.system.System`
+    and locates the channel's contents inside the global state vector.
+    """
+
+    __slots__ = ("name", "fields", "capacity", "index")
+
+    def __init__(self, name: str, fields: Tuple[str, ...], capacity: int = 0) -> None:
+        if capacity < 0:
+            raise ChannelError(f"channel {name!r}: capacity must be >= 0")
+        if not fields:
+            raise ChannelError(f"channel {name!r}: must declare at least one field")
+        if len(set(fields)) != len(fields):
+            raise ChannelError(f"channel {name!r}: duplicate field names in {fields}")
+        self.name = name
+        self.fields: Tuple[str, ...] = tuple(fields)
+        self.capacity = capacity
+        self.index: Optional[int] = None
+
+    @property
+    def arity(self) -> int:
+        return len(self.fields)
+
+    @property
+    def is_rendezvous(self) -> bool:
+        return self.capacity == 0
+
+    @property
+    def is_buffered(self) -> bool:
+        return self.capacity > 0
+
+    def check_arity(self, n: int, op: str) -> None:
+        if n != self.arity:
+            raise ChannelError(
+                f"channel {self.name!r}: {op} with {n} fields, declared arity {self.arity}"
+            )
+
+    def initial_contents(self) -> Tuple[Message, ...]:
+        """Contents at system start: always empty."""
+        return ()
+
+    def to_promela(self) -> str:
+        field_types = ", ".join("int" for _ in self.fields)
+        return f"chan {self.name} = [{self.capacity}] of {{ {field_types} }}"
+
+    def __repr__(self) -> str:
+        kind = "rendezvous" if self.is_rendezvous else f"buffered[{self.capacity}]"
+        return f"Channel({self.name!r}, {kind}, fields={self.fields})"
+
+
+def rendezvous(name: str, *fields: str) -> Channel:
+    """Declare a rendezvous (capacity-0) channel."""
+    return Channel(name, tuple(fields), capacity=0)
+
+
+def buffered(name: str, capacity: int, *fields: str) -> Channel:
+    """Declare a buffered channel of the given capacity."""
+    if capacity <= 0:
+        raise ChannelError(f"buffered channel {name!r} needs capacity >= 1")
+    return Channel(name, tuple(fields), capacity=capacity)

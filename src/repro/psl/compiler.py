@@ -1,0 +1,426 @@
+"""Compilation of statement ASTs into control-flow automata.
+
+A process body (a :class:`~repro.psl.stmt.Stmt` tree) is compiled into a
+flat automaton: a set of integer *locations* connected by *edges*, each
+edge carrying a single compiled operation.  The interpreter then treats
+"one enabled edge" as "one transition", which is exactly Promela's
+statement-level interleaving semantics.
+
+Compilation rules (mirroring SPIN):
+
+* a ``Seq`` chains its statements through fresh intermediate locations;
+* an ``If``/``Do`` branch hangs off the selection's entry location, so a
+  branch is *enabled* precisely when its first operation is executable;
+* ``Do`` branches loop back to the loop head; ``Break`` jumps to the
+  loop's exit;
+* ``Else`` compiles to a special operation enabled only when no sibling
+  edge out of the same location is enabled;
+* ``EndLabel`` marks its location as a valid end state (no edge);
+* the implicit final location of the body (process termination) is always
+  a valid end state.
+
+After construction the automaton is *simplified*: pure ``skip`` edges
+that are the only exit of an unobservable location are contracted, which
+recovers SPIN's treatment of ``break``/``goto`` as control transfers
+rather than execution steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .errors import CompileError
+from .expr import Expr
+from .stmt import (
+    Assert,
+    Assign,
+    Branch,
+    Break,
+    Bind,
+    Do,
+    DStep,
+    Else,
+    EndLabel,
+    Guard,
+    If,
+    MatchEq,
+    Pattern,
+    Recv,
+    Seq,
+    Send,
+    Skip,
+    Stmt,
+)
+
+
+# ---------------------------------------------------------------------------
+# Compiled operations
+# ---------------------------------------------------------------------------
+
+class Op:
+    """A compiled, single-transition operation attached to an edge."""
+
+    __slots__ = ("desc",)
+
+    def __init__(self, desc: str) -> None:
+        self.desc = desc
+
+    #: names read / written by this op (locals or globals, resolved later)
+    def reads(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def writes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    @property
+    def chan(self) -> Optional[str]:
+        """Channel parameter name touched by this op, if any."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.desc})"
+
+
+class OpGuard(Op):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, desc: str) -> None:
+        super().__init__(desc)
+        self.expr = expr
+
+    def reads(self) -> FrozenSet[str]:
+        return self.expr.free_vars()
+
+
+class OpElse(Op):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("else")
+
+
+class OpAssign(Op):
+    __slots__ = ("name", "expr")
+
+    def __init__(self, name: str, expr: Expr, desc: str) -> None:
+        super().__init__(desc)
+        self.name = name
+        self.expr = expr
+
+    def reads(self) -> FrozenSet[str]:
+        return self.expr.free_vars()
+
+    def writes(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+
+class OpSend(Op):
+    __slots__ = ("chan_param", "args")
+
+    def __init__(self, chan_param: str, args: Tuple[Expr, ...], desc: str) -> None:
+        super().__init__(desc)
+        self.chan_param = chan_param
+        self.args = args
+
+    def reads(self) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for a in self.args:
+            out |= a.free_vars()
+        return frozenset(out)
+
+    @property
+    def chan(self) -> Optional[str]:
+        return self.chan_param
+
+
+class OpRecv(Op):
+    __slots__ = ("chan_param", "patterns", "matching", "peek", "when")
+
+    def __init__(
+        self,
+        chan_param: str,
+        patterns: Tuple[Pattern, ...],
+        matching: bool,
+        peek: bool,
+        desc: str,
+        when: Optional[Expr] = None,
+    ) -> None:
+        super().__init__(desc)
+        self.chan_param = chan_param
+        self.patterns = patterns
+        self.matching = matching
+        self.peek = peek
+        self.when = when
+
+    def reads(self) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for p in self.patterns:
+            if isinstance(p, MatchEq):
+                out |= p.expr.free_vars()
+        if self.when is not None:
+            out |= self.when.free_vars()
+        return frozenset(out)
+
+    def writes(self) -> FrozenSet[str]:
+        return frozenset(p.name for p in self.patterns if isinstance(p, Bind))
+
+    @property
+    def chan(self) -> Optional[str]:
+        return self.chan_param
+
+
+class OpAssert(Op):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, desc: str) -> None:
+        super().__init__(desc)
+        self.expr = expr
+
+    def reads(self) -> FrozenSet[str]:
+        return self.expr.free_vars()
+
+
+class OpSkip(Op):
+    __slots__ = ()
+
+    def __init__(self, desc: str = "skip") -> None:
+        super().__init__(desc)
+
+
+class OpDStep(Op):
+    """A fused sequence of local ops executed as one transition."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: Tuple[Op, ...], desc: str) -> None:
+        super().__init__(desc)
+        self.ops = ops
+
+    def reads(self) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for op in self.ops:
+            out |= op.reads()
+        return frozenset(out)
+
+    def writes(self) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for op in self.ops:
+            out |= op.writes()
+        return frozenset(out)
+
+
+# ---------------------------------------------------------------------------
+# Automaton
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Edge:
+    """A guarded transition of a process automaton."""
+
+    src: int
+    dst: int
+    op: Op
+
+    def describe(self) -> str:
+        return self.op.desc
+
+
+@dataclass
+class Automaton:
+    """Compiled control-flow automaton of one process definition."""
+
+    n_locations: int
+    edges: Tuple[Edge, ...]
+    initial: int
+    end_locations: FrozenSet[int]
+    edges_from: Tuple[Tuple[Edge, ...], ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        table: List[List[Edge]] = [[] for _ in range(self.n_locations)]
+        for e in self.edges:
+            table[e.src].append(e)
+        self.edges_from = tuple(tuple(es) for es in table)
+
+    def out_edges(self, loc: int) -> Tuple[Edge, ...]:
+        return self.edges_from[loc]
+
+    def bound_names(self) -> FrozenSet[str]:
+        """All variable names read or written anywhere in the automaton."""
+        out: Set[str] = set()
+        for e in self.edges:
+            out |= e.op.reads() | e.op.writes()
+        return frozenset(out)
+
+    def channel_params_used(self) -> FrozenSet[str]:
+        return frozenset(
+            e.op.chan for e in self.edges if e.op.chan is not None
+        )
+
+
+# ---------------------------------------------------------------------------
+# Compiler
+# ---------------------------------------------------------------------------
+
+class _Compiler:
+    def __init__(self) -> None:
+        self._n_locs = 0
+        self._edges: List[Edge] = []
+        self._end_locs: Set[int] = set()
+
+    def fresh(self) -> int:
+        loc = self._n_locs
+        self._n_locs += 1
+        return loc
+
+    def edge(self, src: int, dst: int, op: Op) -> None:
+        self._edges.append(Edge(src, dst, op))
+
+    def compile_body(self, body: Stmt) -> Automaton:
+        entry = self.fresh()
+        final = self.fresh()
+        self._compile(body, entry, final, loop_exits=[])
+        # Process termination is always a valid end state.
+        self._end_locs.add(final)
+        auto = Automaton(
+            n_locations=self._n_locs,
+            edges=tuple(self._edges),
+            initial=entry,
+            end_locations=frozenset(self._end_locs),
+        )
+        return _simplify(auto)
+
+    # -- statement dispatch -------------------------------------------
+
+    def _compile(self, stmt: Stmt, entry: int, exit_: int, loop_exits: List[int]) -> None:
+        if isinstance(stmt, Seq):
+            self._compile_seq(stmt, entry, exit_, loop_exits)
+        elif isinstance(stmt, Assign):
+            self.edge(entry, exit_, OpAssign(stmt.name, stmt.expr, stmt.describe()))
+        elif isinstance(stmt, Guard):
+            self.edge(entry, exit_, OpGuard(stmt.expr, stmt.describe()))
+        elif isinstance(stmt, Else):
+            self.edge(entry, exit_, OpElse())
+        elif isinstance(stmt, Send):
+            self.edge(entry, exit_, OpSend(stmt.chan, stmt.args, stmt.describe()))
+        elif isinstance(stmt, Recv):
+            self.edge(
+                entry,
+                exit_,
+                OpRecv(stmt.chan, stmt.patterns, stmt.matching, stmt.peek,
+                       stmt.describe(), when=stmt.when),
+            )
+        elif isinstance(stmt, Assert):
+            self.edge(entry, exit_, OpAssert(stmt.expr, stmt.describe()))
+        elif isinstance(stmt, Skip):
+            self.edge(entry, exit_, OpSkip())
+        elif isinstance(stmt, DStep):
+            ops = tuple(self._compile_local_op(s) for s in stmt.stmts)
+            self.edge(entry, exit_, OpDStep(ops, stmt.describe()))
+        elif isinstance(stmt, If):
+            for branch in stmt.branches:
+                self._compile(branch.body, entry, exit_, loop_exits)
+        elif isinstance(stmt, Do):
+            # The loop head must be `entry`; every branch loops back to it.
+            for branch in stmt.branches:
+                self._compile(branch.body, entry, entry, loop_exits + [exit_])
+        elif isinstance(stmt, Break):
+            if not loop_exits:
+                raise CompileError("Break used outside of a Do loop")
+            self.edge(entry, loop_exits[-1], OpSkip("break"))
+        elif isinstance(stmt, EndLabel):
+            raise CompileError(
+                "EndLabel must appear inside a Seq (it labels the next location)"
+            )
+        else:
+            raise CompileError(f"cannot compile statement {type(stmt).__name__}")
+
+    def _compile_seq(self, seq: Seq, entry: int, exit_: int, loop_exits: List[int]) -> None:
+        # Filter out EndLabels while tracking which chain locations they mark.
+        stmts = list(seq.stmts)
+        if not stmts:
+            self.edge(entry, exit_, OpSkip())
+            return
+        cur = entry
+        # Identify the last *real* statement so it can target exit_ directly.
+        real_indices = [i for i, s in enumerate(stmts) if not isinstance(s, EndLabel)]
+        if not real_indices:
+            # A Seq of only end-labels: mark entry, then fall through.
+            self._end_locs.add(entry)
+            self.edge(entry, exit_, OpSkip())
+            return
+        last_real = real_indices[-1]
+        for i, s in enumerate(stmts):
+            if isinstance(s, EndLabel):
+                self._end_locs.add(cur)
+                continue
+            if i == last_real:
+                target = exit_
+            else:
+                target = self.fresh()
+            self._compile(s, cur, target, loop_exits)
+            cur = target
+        # Trailing EndLabels after the last real statement mark the exit.
+        for s in stmts[last_real + 1:]:
+            if isinstance(s, EndLabel):
+                self._end_locs.add(exit_)
+
+    def _compile_local_op(self, stmt: Stmt) -> Op:
+        if isinstance(stmt, Assign):
+            return OpAssign(stmt.name, stmt.expr, stmt.describe())
+        if isinstance(stmt, Guard):
+            return OpGuard(stmt.expr, stmt.describe())
+        if isinstance(stmt, Assert):
+            return OpAssert(stmt.expr, stmt.describe())
+        if isinstance(stmt, Skip):
+            return OpSkip()
+        raise CompileError(f"illegal statement in DStep: {type(stmt).__name__}")
+
+
+def _simplify(auto: Automaton) -> Automaton:
+    """Contract pure-skip edges, recovering goto-like ``break`` semantics.
+
+    An edge ``src --skip--> dst`` is contracted when it is the *only*
+    out-edge of ``src``, ``src`` is not the initial location, not an end
+    location, and the edge is not a self-loop.  All edges into ``src`` are
+    redirected to ``dst``.  Iterates to a fixed point.
+    """
+    edges = list(auto.edges)
+    end_locs = set(auto.end_locations)
+    changed = True
+    while changed:
+        changed = False
+        out_count: Dict[int, int] = {}
+        for e in edges:
+            out_count[e.src] = out_count.get(e.src, 0) + 1
+        for e in edges:
+            if (
+                isinstance(e.op, OpSkip)
+                and e.op.desc == "break"
+                and out_count.get(e.src) == 1
+                and e.src != auto.initial
+                and e.src not in end_locs
+                and e.src != e.dst
+            ):
+                src, dst = e.src, e.dst
+                new_edges = []
+                for other in edges:
+                    if other is e:
+                        continue
+                    if other.dst == src:
+                        other = Edge(other.src, dst, other.op)
+                    new_edges.append(other)
+                edges = new_edges
+                changed = True
+                break
+    return Automaton(
+        n_locations=auto.n_locations,
+        edges=tuple(edges),
+        initial=auto.initial,
+        end_locations=frozenset(end_locs),
+    )
+
+
+def compile_body(body: Stmt) -> Automaton:
+    """Compile a process body into its control-flow automaton."""
+    return _Compiler().compile_body(body)

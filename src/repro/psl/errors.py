@@ -1,0 +1,57 @@
+"""Exception hierarchy for the PSL modeling language and interpreter.
+
+PSL (Process Specification Language) is the Promela-like substrate this
+reproduction builds in place of SPIN's input language.  All errors raised
+by the PSL layers derive from :class:`PslError`, so callers can catch one
+type to handle any modeling or interpretation failure.
+"""
+
+from __future__ import annotations
+
+
+class PslError(Exception):
+    """Base class for all PSL errors."""
+
+
+class CompileError(PslError):
+    """A process body could not be compiled to a control-flow automaton.
+
+    Raised for malformed statement trees: a ``Break`` outside a loop, an
+    ``Else`` branch that is not the last branch of a selection, a ``DStep``
+    containing a blocking operation, and similar structural problems.
+    """
+
+
+class EvalError(PslError):
+    """An expression could not be evaluated in the current state.
+
+    Typical causes: reference to an undeclared variable, type mismatch in
+    an arithmetic operation, or division by zero inside a model.
+    """
+
+
+class BindingError(PslError):
+    """A process instantiation is inconsistent with its definition.
+
+    Raised when a channel parameter is left unbound, a value parameter is
+    missing, or a binding refers to a channel from a different system.
+    """
+
+
+class ChannelError(PslError):
+    """A channel operation is malformed.
+
+    Raised when a send/receive arity does not match the channel's declared
+    field count, or a peek/matching receive is applied to a rendezvous
+    channel (rendezvous channels have no stored contents to scan).
+    """
+
+
+class ExecutionError(PslError):
+    """The interpreter reached a state the model must never produce.
+
+    This is distinct from a *property violation* (an assertion failing is
+    reported as a verification result, not an exception).  ExecutionError
+    signals a malformed model, e.g. a ``DStep`` whose non-head statement
+    blocks mid-step.
+    """

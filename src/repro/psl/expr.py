@@ -1,0 +1,266 @@
+"""Expression AST for PSL models.
+
+Expressions are small immutable trees evaluated against an
+:class:`EvalContext` (provided by the interpreter) that resolves variable
+names to values.  The grammar deliberately mirrors the fragment of Promela
+the paper's models use: integer/symbol constants, variables, arithmetic,
+comparisons, and boolean connectives.
+
+Construction helpers on :class:`Expr` allow models to be written with
+Python operators::
+
+    V("count") < C(5)
+    (V("turn") == C("BLUE")) & ~V("done")
+
+``&``, ``|`` and ``~`` are used for boolean and/or/not (Python does not
+allow overriding ``and``/``or``/``not``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Protocol, Tuple
+
+from .errors import EvalError
+from .values import Value, check_value, truthy
+
+
+class EvalContext(Protocol):
+    """What an expression needs from its environment."""
+
+    def lookup(self, name: str) -> Value:  # pragma: no cover - protocol
+        ...
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    __slots__ = ()
+
+    def eval(self, ctx: EvalContext) -> Value:
+        raise NotImplementedError
+
+    def free_vars(self) -> FrozenSet[str]:
+        """Names of all variables this expression reads."""
+        raise NotImplementedError
+
+    def to_promela(self) -> str:
+        raise NotImplementedError
+
+    # -- operator sugar ------------------------------------------------
+
+    def __add__(self, other: "Expr") -> "Expr":
+        return BinOp("+", self, as_expr(other))
+
+    def __radd__(self, other) -> "Expr":
+        return BinOp("+", as_expr(other), self)
+
+    def __sub__(self, other) -> "Expr":
+        return BinOp("-", self, as_expr(other))
+
+    def __rsub__(self, other) -> "Expr":
+        return BinOp("-", as_expr(other), self)
+
+    def __mul__(self, other) -> "Expr":
+        return BinOp("*", self, as_expr(other))
+
+    def __mod__(self, other) -> "Expr":
+        return BinOp("%", self, as_expr(other))
+
+    def __floordiv__(self, other) -> "Expr":
+        return BinOp("/", self, as_expr(other))
+
+    def __eq__(self, other) -> "Expr":  # type: ignore[override]
+        return BinOp("==", self, as_expr(other))
+
+    def __ne__(self, other) -> "Expr":  # type: ignore[override]
+        return BinOp("!=", self, as_expr(other))
+
+    def __lt__(self, other) -> "Expr":
+        return BinOp("<", self, as_expr(other))
+
+    def __le__(self, other) -> "Expr":
+        return BinOp("<=", self, as_expr(other))
+
+    def __gt__(self, other) -> "Expr":
+        return BinOp(">", self, as_expr(other))
+
+    def __ge__(self, other) -> "Expr":
+        return BinOp(">=", self, as_expr(other))
+
+    def __and__(self, other) -> "Expr":
+        return BinOp("&&", self, as_expr(other))
+
+    def __or__(self, other) -> "Expr":
+        return BinOp("||", self, as_expr(other))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    # Expr overrides __eq__, so instances must define an identity hash to
+    # remain usable as dict keys (the compiler stores them in edge tables).
+    def __hash__(self) -> int:
+        return id(self)
+
+
+class Const(Expr):
+    """A literal int or symbol."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Value) -> None:
+        self.value = check_value(value, "Const")
+
+    def eval(self, ctx: EvalContext) -> Value:
+        return self.value
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def to_promela(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+class Var(Expr):
+    """A variable reference, resolved local-first, then global."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise EvalError(f"invalid variable name {name!r}")
+        self.name = name
+
+    def eval(self, ctx: EvalContext) -> Value:
+        return ctx.lookup(self.name)
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def to_promela(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+_ARITH: Dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: _int_div(a, b),
+    "%": lambda a, b: _int_mod(a, b),
+}
+
+_COMPARE: Dict[str, Callable[[Value, Value], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _int_div(a: int, b: int) -> int:
+    if b == 0:
+        raise EvalError("division by zero in model expression")
+    # Promela (C) division truncates toward zero.
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _int_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise EvalError("modulo by zero in model expression")
+    return a - _int_div(a, b) * b
+
+
+class BinOp(Expr):
+    """Binary operation: arithmetic, comparison, or boolean connective."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _ARITH and op not in _COMPARE and op not in ("&&", "||"):
+            raise EvalError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, ctx: EvalContext) -> Value:
+        op = self.op
+        if op == "&&":
+            return int(truthy(self.left.eval(ctx)) and truthy(self.right.eval(ctx)))
+        if op == "||":
+            return int(truthy(self.left.eval(ctx)) or truthy(self.right.eval(ctx)))
+        lhs = self.left.eval(ctx)
+        rhs = self.right.eval(ctx)
+        if op in _COMPARE:
+            if isinstance(lhs, str) != isinstance(rhs, str) and op in ("<", "<=", ">", ">="):
+                raise EvalError(
+                    f"cannot order mixed types: {lhs!r} {op} {rhs!r}"
+                )
+            if op in ("==", "!="):
+                return int(_COMPARE[op](lhs, rhs))
+            return int(_COMPARE[op](lhs, rhs))
+        if not isinstance(lhs, int) or not isinstance(rhs, int):
+            raise EvalError(f"arithmetic on non-integers: {lhs!r} {op} {rhs!r}")
+        return _ARITH[op](lhs, rhs)
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def to_promela(self) -> str:
+        return f"({self.left.to_promela()} {self.op} {self.right.to_promela()})"
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op!r}, {self.left!r}, {self.right!r})"
+
+
+class Not(Expr):
+    """Boolean negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def eval(self, ctx: EvalContext) -> Value:
+        return int(not truthy(self.operand.eval(ctx)))
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.operand.free_vars()
+
+    def to_promela(self) -> str:
+        return f"!({self.operand.to_promela()})"
+
+    def __repr__(self) -> str:
+        return f"Not({self.operand!r})"
+
+
+def as_expr(obj) -> Expr:
+    """Coerce a Python int/str/bool or Expr into an Expr."""
+    if isinstance(obj, Expr):
+        return obj
+    if isinstance(obj, (int, str, bool)):
+        return Const(check_value(obj))
+    raise EvalError(f"cannot convert {obj!r} to a PSL expression")
+
+
+def V(name: str) -> Var:
+    """Shorthand constructor for :class:`Var`."""
+    return Var(name)
+
+
+def C(value: Value) -> Const:
+    """Shorthand constructor for :class:`Const`."""
+    return Const(value)
+
+
+#: Truth constant, usable as an always-enabled guard.
+TRUE: Expr = Const(1)
+#: Falsity constant, usable as a never-enabled guard.
+FALSE: Expr = Const(0)

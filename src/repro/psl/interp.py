@@ -1,0 +1,738 @@
+"""The PSL interpreter: successor-state generation.
+
+This module implements the interleaving semantics of a PSL
+:class:`~repro.psl.system.System`, i.e. the labeled transition system the
+model checker explores:
+
+* one enabled automaton edge of one process = one transition, except
+* a send and a matching receive on a *rendezvous* channel execute
+  together as a single handshake transition (generated from the sender's
+  side, so each handshake appears exactly once), and
+* a ``d_step`` runs its whole local sequence as one transition.
+
+``else`` edges are enabled exactly when no sibling edge out of the same
+control location is enabled — including siblings whose executability
+depends on a rendezvous partner elsewhere in the system.
+
+Assertion statements always execute; a false assertion yields a
+transition whose :attr:`Transition.violation` is set, which the explorer
+reports as a counterexample.  This mirrors SPIN, where ``assert`` is a
+statement, not a state predicate.
+
+Implementation note: model checking spends essentially all its time in
+successor generation, so edges are *compiled* at interpreter start-up —
+variables are resolved to frame/global slot indices, expressions become
+Python closures over ``(frames, globals)``, and channel parameters are
+bound to concrete channels.  States stay the immutable tuples of
+:mod:`repro.psl.state`; successors are built with single-slot tuple
+surgery rather than full copies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .channels import Channel
+from .compiler import (
+    Edge,
+    Op,
+    OpAssert,
+    OpAssign,
+    OpDStep,
+    OpElse,
+    OpGuard,
+    OpRecv,
+    OpSend,
+    OpSkip,
+)
+from .errors import ChannelError, EvalError, ExecutionError
+from .expr import BinOp, Const, Expr, Not, Var
+from .state import State, tuple_set
+from .stmt import AnyField, Bind, MatchEq, Pattern
+from .system import ProcessInstance, System
+from .values import Message, Value, truthy
+
+__all__ = ["Interpreter", "Transition", "TransitionLabel"]
+
+
+@dataclass(frozen=True)
+class TransitionLabel:
+    """Structured description of one transition, used by traces and MSCs."""
+
+    pid: int
+    process: str
+    kind: str  # 'local' | 'send' | 'recv' | 'handshake' | 'else' | 'dstep' | 'assert'
+    desc: str
+    chan: Optional[str] = None
+    message: Optional[Message] = None
+    partner_pid: Optional[int] = None
+    partner: Optional[str] = None
+
+    def pretty(self) -> str:
+        if self.kind == "handshake":
+            return (
+                f"{self.process} -> {self.partner} on {self.chan}: "
+                f"{_fmt_msg(self.message)}"
+            )
+        if self.kind == "send":
+            return f"{self.process} sends {_fmt_msg(self.message)} on {self.chan}"
+        if self.kind == "recv":
+            return f"{self.process} receives {_fmt_msg(self.message)} from {self.chan}"
+        return f"{self.process}: {self.desc}"
+
+
+def _fmt_msg(msg: Optional[Message]) -> str:
+    if msg is None:
+        return "<>"
+    return "<" + ", ".join(str(v) for v in msg) + ">"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A labeled step from an implicit source state to ``target``."""
+
+    label: TransitionLabel
+    target: State
+    violation: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Expression and pattern compilation
+# ---------------------------------------------------------------------------
+
+#: A compiled expression: (frames, globals) -> value.
+CompiledExpr = Callable[[tuple, tuple], Value]
+
+
+def _compile_expr(expr: Expr, pid: int, inst: ProcessInstance,
+                  system: System) -> CompiledExpr:
+    """Resolve variables to slots and build an evaluation closure."""
+    if isinstance(expr, Const):
+        v = expr.value
+        return lambda frames, globals_: v
+    if isinstance(expr, Var):
+        name = expr.name
+        if name == "_pid":
+            return lambda frames, globals_: pid
+        idx = inst.local_index.get(name)
+        if idx is not None:
+            return lambda frames, globals_: frames[pid][idx]
+        gidx = system.global_index.get(name)
+        if gidx is not None:
+            return lambda frames, globals_: globals_[gidx]
+        raise EvalError(
+            f"process {inst.name!r}: unknown variable {name!r}"
+        )
+    if isinstance(expr, Not):
+        sub = _compile_expr(expr.operand, pid, inst, system)
+        return lambda frames, globals_: int(not truthy(sub(frames, globals_)))
+    if isinstance(expr, BinOp):
+        op = expr.op
+        left = _compile_expr(expr.left, pid, inst, system)
+        right = _compile_expr(expr.right, pid, inst, system)
+        if op == "&&":
+            return lambda f, g: int(truthy(left(f, g)) and truthy(right(f, g)))
+        if op == "||":
+            return lambda f, g: int(truthy(left(f, g)) or truthy(right(f, g)))
+        if op == "==":
+            return lambda f, g: int(left(f, g) == right(f, g))
+        if op == "!=":
+            return lambda f, g: int(left(f, g) != right(f, g))
+        if op == "<":
+            return lambda f, g: int(left(f, g) < right(f, g))
+        if op == "<=":
+            return lambda f, g: int(left(f, g) <= right(f, g))
+        if op == ">":
+            return lambda f, g: int(left(f, g) > right(f, g))
+        if op == ">=":
+            return lambda f, g: int(left(f, g) >= right(f, g))
+        if op == "+":
+            return lambda f, g: _arith(left(f, g), right(f, g), "+")
+        if op == "-":
+            return lambda f, g: _arith(left(f, g), right(f, g), "-")
+        if op == "*":
+            return lambda f, g: _arith(left(f, g), right(f, g), "*")
+        # Rare operators fall back to the AST evaluator for exact semantics.
+    ctx_cls = _SlowCtx
+    return lambda frames, globals_: expr.eval(ctx_cls(pid, inst, system, frames, globals_))
+
+
+def _arith(x: Value, y: Value, op: str) -> int:
+    """Typed arithmetic for the compiled fast path.
+
+    Guards against silently applying Python string semantics (e.g.
+    ``0 * "X" == ""``) to a model's type error; the AST evaluator raises
+    in these cases and the compiled path must agree.
+    """
+    if type(x) is int and type(y) is int:
+        if op == "+":
+            return x + y
+        if op == "-":
+            return x - y
+        return x * y
+    raise EvalError(f"arithmetic on non-integers: {x!r} {op} {y!r}")
+
+
+class _SlowCtx:
+    """Fallback evaluation context for uncommon expression forms."""
+
+    __slots__ = ("pid", "inst", "system", "frames", "globals_")
+
+    def __init__(self, pid, inst, system, frames, globals_) -> None:
+        self.pid = pid
+        self.inst = inst
+        self.system = system
+        self.frames = frames
+        self.globals_ = globals_
+
+    def lookup(self, name: str) -> Value:
+        if name == "_pid":
+            return self.pid
+        idx = self.inst.local_index.get(name)
+        if idx is not None:
+            return self.frames[self.pid][idx]
+        gidx = self.system.global_index.get(name)
+        if gidx is not None:
+            return self.globals_[gidx]
+        raise EvalError(f"process {self.inst.name!r}: unknown variable {name!r}")
+
+
+#: Compiled write target: (is_local, slot index).
+Target = Tuple[bool, int]
+
+
+def _compile_target(name: str, inst: ProcessInstance, system: System) -> Target:
+    idx = inst.local_index.get(name)
+    if idx is not None:
+        return (True, idx)
+    gidx = system.global_index.get(name)
+    if gidx is not None:
+        return (False, gidx)
+    raise EvalError(
+        f"process {inst.name!r}: cannot assign unknown variable {name!r}"
+    )
+
+
+# Pattern entry kinds.
+_P_BIND = 0
+_P_MATCH = 1
+_P_ANY = 2
+
+#: Compiled pattern entry: (kind, target-or-None, expr-or-None).
+CompiledPattern = Tuple[int, Optional[Target], Optional[CompiledExpr]]
+
+
+def _compile_patterns(
+    patterns: Sequence[Pattern], pid: int, inst: ProcessInstance, system: System
+) -> Tuple[CompiledPattern, ...]:
+    out: List[CompiledPattern] = []
+    for p in patterns:
+        if isinstance(p, Bind):
+            out.append((_P_BIND, _compile_target(p.name, inst, system), None))
+        elif isinstance(p, MatchEq):
+            out.append((_P_MATCH, None, _compile_expr(p.expr, pid, inst, system)))
+        elif isinstance(p, AnyField):
+            out.append((_P_ANY, None, None))
+        else:  # pragma: no cover - exhaustive
+            raise ExecutionError(f"unknown pattern {p!r}")
+    return tuple(out)
+
+
+# Edge kinds.
+_K_GUARD = 0
+_K_ELSE = 1
+_K_ASSIGN = 2
+_K_SKIP = 3
+_K_ASSERT = 4
+_K_DSTEP = 5
+_K_SEND = 6
+_K_RECV = 7
+
+_KIND_NAMES = {
+    _K_GUARD: "local",
+    _K_ELSE: "else",
+    _K_ASSIGN: "local",
+    _K_SKIP: "local",
+    _K_ASSERT: "assert",
+    _K_DSTEP: "dstep",
+    _K_SEND: "send",
+    _K_RECV: "recv",
+}
+
+
+class CEdge:
+    """A compiled edge of one process instance's automaton."""
+
+    __slots__ = (
+        "pid", "src", "dst", "kind", "desc", "op",
+        "guard", "target", "value", "chan", "args", "patterns",
+        "matching", "peek", "when", "dsteps", "is_local",
+    )
+
+    def __init__(self, pid: int, edge: Edge, inst: ProcessInstance,
+                 system: System) -> None:
+        op = edge.op
+        self.pid = pid
+        self.src = edge.src
+        self.dst = edge.dst
+        self.desc = op.desc
+        self.op = op
+        self.guard: Optional[CompiledExpr] = None
+        self.target: Optional[Target] = None
+        self.value: Optional[CompiledExpr] = None
+        self.chan: Optional[Channel] = None
+        self.args: Optional[Tuple[CompiledExpr, ...]] = None
+        self.patterns: Optional[Tuple[CompiledPattern, ...]] = None
+        self.matching = False
+        self.peek = False
+        self.when: Optional[CompiledExpr] = None
+        self.dsteps: Optional[Tuple[Tuple[int, object, object], ...]] = None
+
+        if isinstance(op, OpGuard):
+            self.kind = _K_GUARD
+            self.guard = _compile_expr(op.expr, pid, inst, system)
+        elif isinstance(op, OpElse):
+            self.kind = _K_ELSE
+        elif isinstance(op, OpAssign):
+            self.kind = _K_ASSIGN
+            self.target = _compile_target(op.name, inst, system)
+            self.value = _compile_expr(op.expr, pid, inst, system)
+        elif isinstance(op, OpSkip):
+            self.kind = _K_SKIP
+        elif isinstance(op, OpAssert):
+            self.kind = _K_ASSERT
+            self.guard = _compile_expr(op.expr, pid, inst, system)
+        elif isinstance(op, OpDStep):
+            self.kind = _K_DSTEP
+            steps = []
+            for sub in op.ops:
+                if isinstance(sub, OpGuard):
+                    steps.append((_K_GUARD, _compile_expr(sub.expr, pid, inst, system),
+                                  sub.desc))
+                elif isinstance(sub, OpAssign):
+                    steps.append((_K_ASSIGN,
+                                  (_compile_target(sub.name, inst, system),
+                                   _compile_expr(sub.expr, pid, inst, system)),
+                                  sub.desc))
+                elif isinstance(sub, OpAssert):
+                    steps.append((_K_ASSERT, _compile_expr(sub.expr, pid, inst, system),
+                                  sub.desc))
+                elif isinstance(sub, OpSkip):
+                    steps.append((_K_SKIP, None, sub.desc))
+                else:  # pragma: no cover - compiler rejects others
+                    raise ExecutionError(f"illegal op in d_step: {sub!r}")
+            self.dsteps = tuple(steps)
+        elif isinstance(op, OpSend):
+            self.kind = _K_SEND
+            self.chan = inst.channel_for(op.chan_param)
+            self.chan.check_arity(len(op.args), "send")
+            self.args = tuple(
+                _compile_expr(a, pid, inst, system) for a in op.args
+            )
+        elif isinstance(op, OpRecv):
+            self.kind = _K_RECV
+            self.chan = inst.channel_for(op.chan_param)
+            self.chan.check_arity(len(op.patterns), "receive")
+            if self.chan.is_rendezvous and (op.matching or op.peek):
+                raise ChannelError(
+                    f"process {inst.name!r}: matching/peek receive on "
+                    f"rendezvous channel {self.chan.name!r}"
+                )
+            self.patterns = _compile_patterns(op.patterns, pid, inst, system)
+            self.matching = op.matching
+            self.peek = op.peek
+            if op.when is not None:
+                self.when = _compile_expr(op.when, pid, inst, system)
+        else:  # pragma: no cover - exhaustive
+            raise ExecutionError(f"unknown op {op!r}")
+
+        # POR metadata: local edges touch no channel and no global state.
+        self.is_local = self.kind in (
+            _K_GUARD, _K_ASSIGN, _K_SKIP, _K_ASSERT, _K_DSTEP
+        ) and all(
+            name == "_pid" or name in inst.local_index
+            for name in (op.reads() | op.writes())
+        )
+
+
+def _match(patterns: Tuple[CompiledPattern, ...], msg: Message,
+           frames: tuple, globals_: tuple) -> bool:
+    for (kind, _target, fn), value in zip(patterns, msg):
+        if kind == _P_MATCH and fn(frames, globals_) != value:
+            return False
+    return True
+
+
+class Interpreter:
+    """Generates the transitions of a finalized :class:`System`."""
+
+    def __init__(self, system: System) -> None:
+        system.finalize()
+        self.system = system
+        self.n_procs = len(system.instances)
+        # cedges[pid][loc] -> tuple of CEdge
+        self.cedges: List[Tuple[Tuple[CEdge, ...], ...]] = []
+        # recv_edges_by_chan[pid][loc] -> {channel index: [CEdge, ...]}
+        self._recv_index: List[Tuple[Dict[int, List[CEdge]], ...]] = []
+        for pid, inst in enumerate(system.instances):
+            per_loc: List[Tuple[CEdge, ...]] = []
+            recv_per_loc: List[Dict[int, List[CEdge]]] = []
+            for loc in range(inst.automaton.n_locations):
+                compiled = tuple(
+                    CEdge(pid, e, inst, system)
+                    for e in inst.automaton.edges_from[loc]
+                )
+                per_loc.append(compiled)
+                index: Dict[int, List[CEdge]] = {}
+                for ce in compiled:
+                    if ce.kind == _K_RECV and ce.chan.is_rendezvous:
+                        index.setdefault(ce.chan.index, []).append(ce)
+                recv_per_loc.append(index)
+            self.cedges.append(tuple(per_loc))
+            self._recv_index.append(tuple(recv_per_loc))
+
+    # -- public API ---------------------------------------------------------
+
+    def initial_state(self) -> State:
+        return self.system.initial_state()
+
+    def transitions(self, state: State) -> List[Transition]:
+        """All transitions enabled in *state*, in deterministic order."""
+        result: List[Transition] = []
+        for pid in range(self.n_procs):
+            self._append_process_transitions(state, pid, result)
+        return result
+
+    def successors(self, state: State) -> List[State]:
+        return [t.target for t in self.transitions(state)]
+
+    def is_valid_end_state(self, state: State) -> bool:
+        """True when every process sits at a valid end location."""
+        for pid, inst in enumerate(self.system.instances):
+            if state.locs[pid] not in inst.automaton.end_locations:
+                return False
+        return True
+
+    def blocked_processes(self, state: State) -> List[ProcessInstance]:
+        """Processes not at an end location (interesting when deadlocked)."""
+        return [
+            inst
+            for pid, inst in enumerate(self.system.instances)
+            if state.locs[pid] not in inst.automaton.end_locations
+        ]
+
+    def random_walk(
+        self, max_steps: int = 1000, seed: Optional[int] = None
+    ) -> List[Tuple[TransitionLabel, State]]:
+        """A random simulation run, for testing and MSC extraction."""
+        rng = random.Random(seed)
+        state = self.initial_state()
+        trace: List[Tuple[TransitionLabel, State]] = []
+        for _ in range(max_steps):
+            trans = self.transitions(state)
+            if not trans:
+                break
+            choice = rng.choice(trans)
+            trace.append((choice.label, choice.target))
+            state = choice.target
+        return trace
+
+    # -- per-process transition generation ----------------------------------
+
+    def _process_transitions(self, state: State, pid: int) -> List[Transition]:
+        out: List[Transition] = []
+        self._append_process_transitions(state, pid, out)
+        return out
+
+    def _append_process_transitions(
+        self, state: State, pid: int, out: List[Transition]
+    ) -> None:
+        edges = self.cedges[pid][state.locs[pid]]
+        if not edges:
+            return
+        else_edges: List[CEdge] = []
+        n_before = len(out)
+        any_enabled = False
+        frames = state.frames
+        globals_ = state.globals_
+        for ce in edges:
+            kind = ce.kind
+            if kind == _K_ELSE:
+                else_edges.append(ce)
+                continue
+            if kind == _K_GUARD:
+                if truthy(ce.guard(frames, globals_)):
+                    any_enabled = True
+                    out.append(self._step_local(state, ce, "local"))
+            elif kind == _K_ASSIGN:
+                any_enabled = True
+                out.append(self._step_assign(state, ce))
+            elif kind == _K_SKIP:
+                any_enabled = True
+                out.append(self._step_local(state, ce, "local"))
+            elif kind == _K_ASSERT:
+                any_enabled = True
+                out.append(self._step_assert(state, ce))
+            elif kind == _K_DSTEP:
+                t = self._step_dstep(state, ce)
+                if t is not None:
+                    any_enabled = True
+                    out.append(t)
+            elif kind == _K_SEND:
+                if self._append_send(state, ce, out):
+                    any_enabled = True
+            elif kind == _K_RECV:
+                if ce.chan.is_rendezvous:
+                    # Handshakes fire from the sender's side; a ready
+                    # sender still suppresses `else`.
+                    if not any_enabled and else_edges is not None:
+                        if self._rendezvous_sender_ready(state, ce):
+                            any_enabled = True
+                else:
+                    if self._append_buffered_recv(state, ce, out):
+                        any_enabled = True
+        if else_edges and not any_enabled:
+            # Re-check rendezvous receives that were skipped above only
+            # when any_enabled was already true at that point.
+            for ce in edges:
+                if ce.kind == _K_RECV and ce.chan.is_rendezvous:
+                    if self._rendezvous_sender_ready(state, ce):
+                        any_enabled = True
+                        break
+        if else_edges and not any_enabled:
+            for ce in else_edges:
+                out.append(self._step_local(state, ce, "else"))
+        del n_before
+
+    # -- step builders -------------------------------------------------------
+
+    def _label(self, ce: CEdge, kind_name: str, chan: Optional[str] = None,
+               message: Optional[Message] = None,
+               partner_pid: Optional[int] = None) -> TransitionLabel:
+        return TransitionLabel(
+            pid=ce.pid,
+            process=self.system.instances[ce.pid].name,
+            kind=kind_name,
+            desc=ce.desc,
+            chan=chan,
+            message=message,
+            partner_pid=partner_pid,
+            partner=(
+                self.system.instances[partner_pid].name
+                if partner_pid is not None else None
+            ),
+        )
+
+    def _step_local(self, state: State, ce: CEdge, kind_name: str) -> Transition:
+        target = state._replace(locs=tuple_set(state.locs, ce.pid, ce.dst))
+        return Transition(self._label(ce, kind_name), target)
+
+    def _step_assign(self, state: State, ce: CEdge) -> Transition:
+        value = ce.value(state.frames, state.globals_)
+        is_local, idx = ce.target
+        if is_local:
+            frame = tuple_set(state.frames[ce.pid], idx, value)
+            target = state._replace(
+                locs=tuple_set(state.locs, ce.pid, ce.dst),
+                frames=tuple_set(state.frames, ce.pid, frame),
+            )
+        else:
+            target = state._replace(
+                locs=tuple_set(state.locs, ce.pid, ce.dst),
+                globals_=tuple_set(state.globals_, idx, value),
+            )
+        return Transition(self._label(ce, "local"), target)
+
+    def _step_assert(self, state: State, ce: CEdge) -> Transition:
+        holds = truthy(ce.guard(state.frames, state.globals_))
+        target = state._replace(locs=tuple_set(state.locs, ce.pid, ce.dst))
+        violation = None
+        if not holds:
+            violation = (
+                f"assertion violated in {self.system.instances[ce.pid].name}: "
+                f"{ce.desc}"
+            )
+        return Transition(self._label(ce, "assert"), target, violation)
+
+    def _step_dstep(self, state: State, ce: CEdge) -> Optional[Transition]:
+        frame = list(state.frames[ce.pid])
+        globals_ = list(state.globals_)
+        frames_view: Optional[tuple] = None
+        violation: Optional[str] = None
+
+        def current_frames() -> tuple:
+            return tuple_set(state.frames, ce.pid, tuple(frame))
+
+        for i, (kind, payload, desc) in enumerate(ce.dsteps):
+            fv = current_frames()
+            gv = tuple(globals_)
+            if kind == _K_GUARD:
+                if truthy(payload(fv, gv)):
+                    continue
+                if i == 0:
+                    return None
+                raise ExecutionError(
+                    f"d_step in {self.system.instances[ce.pid].name} blocked "
+                    f"at statement {i}: {desc}"
+                )
+            if kind == _K_ASSIGN:
+                (is_local, idx), fn = payload
+                value = fn(fv, gv)
+                if is_local:
+                    frame[idx] = value
+                else:
+                    globals_[idx] = value
+            elif kind == _K_ASSERT:
+                if not truthy(payload(fv, gv)):
+                    violation = (
+                        f"assertion violated in d_step of "
+                        f"{self.system.instances[ce.pid].name}: {desc}"
+                    )
+                    break
+            # _K_SKIP: nothing
+        del frames_view
+        target = State(
+            locs=tuple_set(state.locs, ce.pid, ce.dst),
+            frames=tuple_set(state.frames, ce.pid, tuple(frame)),
+            chans=state.chans,
+            globals_=tuple(globals_),
+        )
+        return Transition(self._label(ce, "dstep"), target, violation)
+
+    # -- channel steps ----------------------------------------------------------
+
+    def _append_send(self, state: State, ce: CEdge, out: List[Transition]) -> bool:
+        chan = ce.chan
+        frames = state.frames
+        globals_ = state.globals_
+        msg = tuple(fn(frames, globals_) for fn in ce.args)
+        if chan.is_buffered:
+            contents = state.chans[chan.index]
+            if len(contents) >= chan.capacity:
+                return False
+            target = state._replace(
+                locs=tuple_set(state.locs, ce.pid, ce.dst),
+                chans=tuple_set(state.chans, chan.index, contents + (msg,)),
+            )
+            out.append(Transition(
+                self._label(ce, "send", chan=chan.name, message=msg), target
+            ))
+            return True
+        # Rendezvous: pair with every ready matching receiver.
+        produced = False
+        chan_idx = chan.index
+        for rpid in range(self.n_procs):
+            if rpid == ce.pid:
+                continue
+            recv_edges = self._recv_index[rpid][state.locs[rpid]].get(chan_idx)
+            if not recv_edges:
+                continue
+            for re_ in recv_edges:
+                if re_.when is not None and not truthy(re_.when(frames, globals_)):
+                    continue
+                if not _match(re_.patterns, msg, frames, globals_):
+                    continue
+                new_frames = frames
+                rframe = None
+                for (kind, target_slot, _fn), value in zip(re_.patterns, msg):
+                    if kind == _P_BIND:
+                        is_local, idx = target_slot
+                        if is_local:
+                            if rframe is None:
+                                rframe = list(frames[rpid])
+                            rframe[idx] = value
+                        else:
+                            globals_ = tuple_set(globals_, idx, value)
+                if rframe is not None:
+                    new_frames = tuple_set(frames, rpid, tuple(rframe))
+                locs = list(state.locs)
+                locs[ce.pid] = ce.dst
+                locs[rpid] = re_.dst
+                target = State(
+                    locs=tuple(locs),
+                    frames=new_frames,
+                    chans=state.chans,
+                    globals_=globals_,
+                )
+                globals_ = state.globals_  # reset for next partner
+                out.append(Transition(
+                    self._label(ce, "handshake", chan=chan.name, message=msg,
+                                partner_pid=rpid),
+                    target,
+                ))
+                produced = True
+        return produced
+
+    def _append_buffered_recv(
+        self, state: State, ce: CEdge, out: List[Transition]
+    ) -> bool:
+        frames = state.frames
+        globals_ = state.globals_
+        if ce.when is not None and not truthy(ce.when(frames, globals_)):
+            return False
+        contents = state.chans[ce.chan.index]
+        if not contents:
+            return False
+        index = -1
+        if ce.matching:
+            for i, msg in enumerate(contents):
+                if _match(ce.patterns, msg, frames, globals_):
+                    index = i
+                    break
+        else:
+            if _match(ce.patterns, contents[0], frames, globals_):
+                index = 0
+        if index < 0:
+            return False
+        msg = contents[index]
+        new_chans = state.chans
+        if not ce.peek:
+            new_chans = tuple_set(
+                state.chans, ce.chan.index,
+                contents[:index] + contents[index + 1:],
+            )
+        new_frames = frames
+        new_globals = globals_
+        frame = None
+        for (kind, target_slot, _fn), value in zip(ce.patterns, msg):
+            if kind == _P_BIND:
+                is_local, idx = target_slot
+                if is_local:
+                    if frame is None:
+                        frame = list(frames[ce.pid])
+                    frame[idx] = value
+                else:
+                    new_globals = tuple_set(new_globals, idx, value)
+        if frame is not None:
+            new_frames = tuple_set(frames, ce.pid, tuple(frame))
+        target = State(
+            locs=tuple_set(state.locs, ce.pid, ce.dst),
+            frames=new_frames,
+            chans=new_chans,
+            globals_=new_globals,
+        )
+        out.append(Transition(
+            self._label(ce, "recv", chan=ce.chan.name, message=msg), target
+        ))
+        return True
+
+    # -- rendezvous enabledness (for else / passive receives) -------------------
+
+    def _rendezvous_sender_ready(self, state: State, recv_ce: CEdge) -> bool:
+        chan = recv_ce.chan
+        frames = state.frames
+        globals_ = state.globals_
+        if recv_ce.when is not None and not truthy(recv_ce.when(frames, globals_)):
+            return False
+        for spid in range(self.n_procs):
+            if spid == recv_ce.pid:
+                continue
+            for se in self.cedges[spid][state.locs[spid]]:
+                if se.kind != _K_SEND or se.chan is not chan:
+                    continue
+                msg = tuple(fn(frames, globals_) for fn in se.args)
+                if _match(recv_ce.patterns, msg, frames, globals_):
+                    return True
+        return False

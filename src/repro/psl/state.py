@@ -1,0 +1,52 @@
+"""Canonical immutable global states of a PSL system.
+
+A :class:`State` packs the entire configuration of a system into nested
+tuples so that it is hashable and cheap to compare:
+
+* ``locs[pid]`` — control location of process *pid*;
+* ``frames[pid]`` — tuple of that process's local variable values, in
+  declaration order (parameters first);
+* ``chans[k]`` — contents of channel *k* as a tuple of messages (always
+  ``()`` for rendezvous channels);
+* ``globals_`` — tuple of global variable values, in declaration order.
+
+States carry no behaviour; the interpreter produces successor states and
+the model checker hashes them.  Helper functions implement the only
+mutation pattern needed: replacing a single element of a tuple.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+from .values import Message, Value
+
+
+class State(NamedTuple):
+    """One global state of a PSL system."""
+
+    locs: Tuple[int, ...]
+    frames: Tuple[Tuple[Value, ...], ...]
+    chans: Tuple[Tuple[Message, ...], ...]
+    globals_: Tuple[Value, ...]
+
+
+def tuple_set(t: tuple, index: int, value) -> tuple:
+    """Return a copy of *t* with ``t[index]`` replaced by *value*."""
+    return t[:index] + (value,) + t[index + 1:]
+
+
+def with_loc(state: State, pid: int, loc: int) -> State:
+    return state._replace(locs=tuple_set(state.locs, pid, loc))
+
+
+def with_frame(state: State, pid: int, frame: Tuple[Value, ...]) -> State:
+    return state._replace(frames=tuple_set(state.frames, pid, frame))
+
+
+def with_chan(state: State, index: int, contents: Tuple[Message, ...]) -> State:
+    return state._replace(chans=tuple_set(state.chans, index, contents))
+
+
+def with_global(state: State, index: int, value: Value) -> State:
+    return state._replace(globals_=tuple_set(state.globals_, index, value))

@@ -1,0 +1,388 @@
+"""Statement AST for PSL process bodies.
+
+The statement language is the Promela fragment used by the paper's models
+(Figures 5-11):
+
+* ``Seq`` — sequential composition;
+* ``Assign`` — assignment to a local or global variable;
+* ``Guard`` — an expression statement, executable only when true
+  (Promela's ``(expr)``);
+* ``Send`` / ``Recv`` — channel operations, with Promela's ``?`` FIFO
+  receive, ``??`` matching receive, and ``?<...>`` peek (non-consuming)
+  variants;
+* ``If`` / ``Do`` — guarded selection and repetition with optional
+  ``Else`` branches and ``Break``;
+* ``Assert`` — embedded safety assertion;
+* ``Skip`` — no-op step;
+* ``DStep`` — a deterministic sequence of *local* statements executed as
+  a single indivisible transition (Promela's ``d_step``), used by the
+  optimized connector models;
+* ``EndLabel`` — marks the following control location as a valid end
+  state for deadlock detection (Promela's ``end:`` label).
+
+Receive *patterns* mirror Promela argument forms: ``Bind(x)`` stores a
+message field into variable ``x`` (Promela ``?x``), ``MatchEq(e)``
+requires the field to equal the value of ``e`` (Promela ``?CONST`` /
+``?eval(x)``), and ``AnyField()`` matches anything without binding
+(Promela ``?_``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .errors import CompileError
+from .expr import Expr, as_expr
+
+
+# ---------------------------------------------------------------------------
+# Receive patterns
+# ---------------------------------------------------------------------------
+
+class Pattern:
+    """Base class for receive argument patterns."""
+
+    __slots__ = ()
+
+    def to_promela(self) -> str:
+        raise NotImplementedError
+
+
+class Bind(Pattern):
+    """Bind the message field to a variable (Promela ``?x``)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def to_promela(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Bind({self.name!r})"
+
+
+class MatchEq(Pattern):
+    """Require the field to equal an expression (Promela ``?eval(e)``).
+
+    Constant matches render bare (``?IN_OK``), as Promela distinguishes
+    constants from variables lexically; non-constant expressions need
+    the explicit ``eval(...)`` wrapper.
+    """
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr) -> None:
+        self.expr = as_expr(expr)
+
+    def to_promela(self) -> str:
+        from .expr import Const
+        if isinstance(self.expr, Const):
+            return str(self.expr.value)
+        return f"eval({self.expr.to_promela()})"
+
+    def __repr__(self) -> str:
+        return f"MatchEq({self.expr!r})"
+
+
+class AnyField(Pattern):
+    """Match any field value without binding (Promela ``?_``)."""
+
+    __slots__ = ()
+
+    def to_promela(self) -> str:
+        return "_"
+
+    def __repr__(self) -> str:
+        return "AnyField()"
+
+
+PatternLike = Union[Pattern, str, int, Expr]
+
+
+def as_pattern(obj: PatternLike) -> Pattern:
+    """Coerce shorthand receive arguments to patterns.
+
+    Strings are *bindings* (variable names); ints and Exprs are *matches*.
+    To match a symbolic constant, pass ``MatchEq("SYMBOL")`` explicitly —
+    a bare string always means "bind into this variable", mirroring how
+    Promela distinguishes variables from mtype constants lexically.
+    """
+    if isinstance(obj, Pattern):
+        return obj
+    if isinstance(obj, str):
+        return Bind(obj)
+    if isinstance(obj, (int, Expr)):
+        return MatchEq(obj)
+    raise CompileError(f"cannot interpret {obj!r} as a receive pattern")
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Stmt:
+    """Base class for all statements."""
+
+    __slots__ = ("comment",)
+
+    def __init__(self, comment: Optional[str] = None) -> None:
+        self.comment = comment
+
+    def describe(self) -> str:
+        """One-line human-readable rendering used in traces."""
+        raise NotImplementedError
+
+
+class Seq(Stmt):
+    """Sequential composition of statements."""
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: Sequence[Stmt], comment: Optional[str] = None) -> None:
+        super().__init__(comment)
+        flat: List[Stmt] = []
+        for s in stmts:
+            if isinstance(s, Seq):
+                flat.extend(s.stmts)
+            else:
+                flat.append(s)
+        self.stmts: Tuple[Stmt, ...] = tuple(flat)
+
+    def describe(self) -> str:
+        return "; ".join(s.describe() for s in self.stmts)
+
+
+class Assign(Stmt):
+    """Assignment ``name = expr`` to a local or global variable."""
+
+    __slots__ = ("name", "expr")
+
+    def __init__(self, name: str, expr, comment: Optional[str] = None) -> None:
+        super().__init__(comment)
+        self.name = name
+        self.expr = as_expr(expr)
+
+    def describe(self) -> str:
+        return f"{self.name} = {self.expr.to_promela()}"
+
+
+class Guard(Stmt):
+    """Expression statement: executable iff the expression is true."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, comment: Optional[str] = None) -> None:
+        super().__init__(comment)
+        self.expr = as_expr(expr)
+
+    def describe(self) -> str:
+        return f"({self.expr.to_promela()})"
+
+
+class Else(Stmt):
+    """The ``else`` guard of a selection: executable iff no sibling is."""
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        return "else"
+
+
+class Send(Stmt):
+    """Send a message: ``chan ! e1, e2, ...``.
+
+    ``chan`` names a channel *parameter* of the enclosing process
+    definition; the concrete channel is bound at instantiation.
+    """
+
+    __slots__ = ("chan", "args")
+
+    def __init__(self, chan: str, args: Sequence, comment: Optional[str] = None) -> None:
+        super().__init__(comment)
+        self.chan = chan
+        self.args: Tuple[Expr, ...] = tuple(as_expr(a) for a in args)
+
+    def describe(self) -> str:
+        return f"{self.chan}!{','.join(a.to_promela() for a in self.args)}"
+
+
+class Recv(Stmt):
+    """Receive a message: ``chan ? p1, p2, ...``.
+
+    * ``matching=True`` is Promela's ``??``: take the *first message in
+      the buffer* whose fields satisfy all patterns, rather than
+      requiring the head message to match.
+    * ``peek=True`` is Promela's ``?<...>``: bind/match without removing
+      the message from the buffer.
+    * ``when`` optionally guards the receive: the operation is
+      executable only when the guard expression is true *and* a message
+      is available.  This is a PSL extension beyond Promela (where the
+      idiom requires an ``atomic`` workaround); the optimized connector
+      models use it to accept a blocking port's request only when it can
+      be served, eliminating busy-wait retry loops (paper Section 6).
+
+    ``matching``/``peek`` require a buffered channel.
+    """
+
+    __slots__ = ("chan", "patterns", "matching", "peek", "when")
+
+    def __init__(
+        self,
+        chan: str,
+        patterns: Sequence[PatternLike],
+        matching: bool = False,
+        peek: bool = False,
+        when=None,
+        comment: Optional[str] = None,
+    ) -> None:
+        super().__init__(comment)
+        self.chan = chan
+        self.patterns: Tuple[Pattern, ...] = tuple(as_pattern(p) for p in patterns)
+        self.matching = matching
+        self.peek = peek
+        self.when = as_expr(when) if when is not None else None
+
+    def describe(self) -> str:
+        op = "??" if self.matching else "?"
+        body = ",".join(p.to_promela() for p in self.patterns)
+        text = f"{self.chan}{op}<{body}>" if self.peek else f"{self.chan}{op}{body}"
+        if self.when is not None:
+            return f"[{self.when.to_promela()}] {text}"
+        return text
+
+
+class Branch:
+    """One guarded alternative of an ``If`` or ``Do``."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, *stmts: Stmt) -> None:
+        if not stmts:
+            raise CompileError("a branch needs at least one statement")
+        self.body = Seq(stmts)
+
+    @property
+    def is_else(self) -> bool:
+        return isinstance(self.body.stmts[0], Else)
+
+
+class If(Stmt):
+    """Guarded selection (Promela ``if ... fi``).
+
+    A branch is *enabled* when its first statement is executable; if
+    several branches are enabled one is chosen nondeterministically.  An
+    ``Else`` branch is enabled only when no other branch is.
+    """
+
+    __slots__ = ("branches",)
+
+    def __init__(self, *branches: Branch, comment: Optional[str] = None) -> None:
+        super().__init__(comment)
+        _check_branches(branches, "If")
+        self.branches: Tuple[Branch, ...] = tuple(branches)
+
+    def describe(self) -> str:
+        return f"if/{len(self.branches)} branches"
+
+
+class Do(Stmt):
+    """Guarded repetition (Promela ``do ... od``); exited via ``Break``."""
+
+    __slots__ = ("branches",)
+
+    def __init__(self, *branches: Branch, comment: Optional[str] = None) -> None:
+        super().__init__(comment)
+        _check_branches(branches, "Do")
+        self.branches: Tuple[Branch, ...] = tuple(branches)
+
+    def describe(self) -> str:
+        return f"do/{len(self.branches)} branches"
+
+
+class Break(Stmt):
+    """Exit the innermost ``Do`` loop."""
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        return "break"
+
+
+class Assert(Stmt):
+    """Embedded assertion; a violation is reported by the model checker."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, comment: Optional[str] = None) -> None:
+        super().__init__(comment)
+        self.expr = as_expr(expr)
+
+    def describe(self) -> str:
+        return f"assert({self.expr.to_promela()})"
+
+
+class Skip(Stmt):
+    """A no-op that still takes one transition (Promela ``skip``)."""
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        return "skip"
+
+
+class DStep(Stmt):
+    """A deterministic, indivisible sequence of local statements.
+
+    Only ``Assign``, ``Guard``, ``Assert`` and ``Skip`` may appear inside.
+    The step is executable iff its first statement is; if a *later*
+    statement blocks, the model is erroneous (mirroring Promela's
+    ``d_step`` semantics) and the interpreter raises ``ExecutionError``.
+    """
+
+    __slots__ = ("stmts",)
+
+    _LOCAL_OK = ()  # populated below, after class definitions
+
+    def __init__(self, stmts: Sequence[Stmt], comment: Optional[str] = None) -> None:
+        super().__init__(comment)
+        flat: List[Stmt] = []
+        for s in stmts:
+            if isinstance(s, Seq):
+                flat.extend(s.stmts)
+            else:
+                flat.append(s)
+        for s in flat:
+            if not isinstance(s, (Assign, Guard, Assert, Skip)):
+                raise CompileError(
+                    f"DStep may only contain local statements, got {type(s).__name__}"
+                )
+        if not flat:
+            raise CompileError("DStep needs at least one statement")
+        self.stmts: Tuple[Stmt, ...] = tuple(flat)
+
+    def describe(self) -> str:
+        return "d_step{" + "; ".join(s.describe() for s in self.stmts) + "}"
+
+
+class EndLabel(Stmt):
+    """Mark the *current* control location as a valid end state."""
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        return "end:"
+
+
+def _check_branches(branches: Sequence[Branch], kind: str) -> None:
+    if not branches:
+        raise CompileError(f"{kind} needs at least one branch")
+    for b in branches:
+        if not isinstance(b, Branch):
+            raise CompileError(f"{kind} branches must be Branch instances, got {b!r}")
+    else_count = sum(1 for b in branches if b.is_else)
+    if else_count > 1:
+        raise CompileError(f"{kind} has {else_count} else branches; at most one allowed")
+    if else_count == 1 and not branches[-1].is_else:
+        raise CompileError(f"{kind}: the else branch must be last")

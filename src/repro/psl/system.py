@@ -1,0 +1,276 @@
+"""Process definitions, instances, and whole-system assembly.
+
+A :class:`ProcessDef` is a *template*: a named, parameterized process
+body, compiled once into a control-flow automaton and shared by all of
+its instances.  This mirrors Promela's ``proctype`` and is what makes the
+PnP library's reuse accounting exact — a building block is one
+``ProcessDef``, and instantiating it twice costs one compilation.
+
+A :class:`ProcessInstance` binds a definition's channel parameters to
+concrete :class:`~repro.psl.channels.Channel` objects and its value
+parameters to constants.
+
+A :class:`System` collects global variables, channels, and instances,
+assigns pids and channel indices, validates that every name referenced by
+every instance resolves, and produces the initial :class:`State`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .channels import Channel
+from .compiler import Automaton, compile_body
+from .errors import BindingError, EvalError
+from .state import State
+from .stmt import Stmt
+from .values import Value, check_value
+
+
+class ProcessDef:
+    """A parameterized process template (Promela ``proctype``).
+
+    Parameters
+    ----------
+    name:
+        Template name, used in Promela output and traces.
+    body:
+        The statement tree of the process body.
+    chan_params:
+        Names of channel-valued parameters; every ``Send``/``Recv`` in the
+        body must name one of these.
+    params:
+        Names of value parameters, bound to constants at instantiation.
+    local_vars:
+        Mapping of local variable names to initial values.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        body: Stmt,
+        chan_params: Sequence[str] = (),
+        params: Sequence[str] = (),
+        local_vars: Optional[Mapping[str, Value]] = None,
+    ) -> None:
+        self.name = name
+        self.body = body
+        self.chan_params: Tuple[str, ...] = tuple(chan_params)
+        self.params: Tuple[str, ...] = tuple(params)
+        self.local_vars: Dict[str, Value] = dict(local_vars or {})
+        overlap = set(self.params) & set(self.local_vars)
+        if overlap:
+            raise BindingError(f"proctype {name!r}: params shadow locals: {sorted(overlap)}")
+        self._automaton: Optional[Automaton] = None
+        self._validate()
+
+    @property
+    def automaton(self) -> Automaton:
+        if self._automaton is None:
+            self._automaton = compile_body(self.body)
+        return self._automaton
+
+    @property
+    def local_names(self) -> Tuple[str, ...]:
+        """All local slot names: value params first, then declared locals."""
+        return self.params + tuple(self.local_vars)
+
+    def _validate(self) -> None:
+        used = self.automaton.channel_params_used()
+        undeclared = used - set(self.chan_params)
+        if undeclared:
+            raise BindingError(
+                f"proctype {self.name!r} uses undeclared channel params: {sorted(undeclared)}"
+            )
+
+    def __repr__(self) -> str:
+        return f"ProcessDef({self.name!r})"
+
+
+class ProcessInstance:
+    """One running instance of a :class:`ProcessDef`."""
+
+    def __init__(
+        self,
+        definition: ProcessDef,
+        name: str,
+        chans: Optional[Mapping[str, Channel]] = None,
+        args: Optional[Mapping[str, Value]] = None,
+    ) -> None:
+        self.definition = definition
+        self.name = name
+        self.chan_bindings: Dict[str, Channel] = dict(chans or {})
+        self.value_bindings: Dict[str, Value] = {
+            k: check_value(v, f"instance {name!r} arg {k!r}") for k, v in (args or {}).items()
+        }
+        self.pid: Optional[int] = None
+
+        missing_chans = set(definition.chan_params) - set(self.chan_bindings)
+        if missing_chans:
+            raise BindingError(
+                f"instance {name!r} of {definition.name!r}: "
+                f"unbound channel params {sorted(missing_chans)}"
+            )
+        missing_args = set(definition.params) - set(self.value_bindings)
+        if missing_args:
+            raise BindingError(
+                f"instance {name!r} of {definition.name!r}: "
+                f"unbound value params {sorted(missing_args)}"
+            )
+        extra = set(self.value_bindings) - set(definition.params)
+        if extra:
+            raise BindingError(
+                f"instance {name!r} of {definition.name!r}: unknown params {sorted(extra)}"
+            )
+        # slot map: params first, then locals (matches local_names ordering)
+        self.local_index: Dict[str, int] = {
+            n: i for i, n in enumerate(definition.local_names)
+        }
+
+    @property
+    def automaton(self) -> Automaton:
+        return self.definition.automaton
+
+    def channel_for(self, param: str) -> Channel:
+        try:
+            return self.chan_bindings[param]
+        except KeyError:
+            raise BindingError(
+                f"instance {self.name!r}: no channel bound to param {param!r}"
+            ) from None
+
+    def initial_frame(self) -> Tuple[Value, ...]:
+        values: List[Value] = [self.value_bindings[p] for p in self.definition.params]
+        values.extend(self.definition.local_vars.values())
+        return tuple(values)
+
+    def __repr__(self) -> str:
+        return f"ProcessInstance({self.name!r} : {self.definition.name!r}, pid={self.pid})"
+
+
+class System:
+    """A complete closed system: globals + channels + process instances."""
+
+    def __init__(self, name: str = "system") -> None:
+        self.name = name
+        self.global_vars: Dict[str, Value] = {}
+        self.global_index: Dict[str, int] = {}
+        self.channels: List[Channel] = []
+        self.instances: List[ProcessInstance] = []
+        self._finalized = False
+
+    # -- construction ---------------------------------------------------
+
+    def add_global(self, name: str, init: Value = 0) -> str:
+        """Declare a global variable; returns its name for convenience."""
+        self._check_open()
+        if name in self.global_vars:
+            raise BindingError(f"duplicate global {name!r}")
+        self.global_vars[name] = check_value(init, f"global {name!r}")
+        self.global_index[name] = len(self.global_index)
+        return name
+
+    def add_channel(self, channel: Channel) -> Channel:
+        self._check_open()
+        if channel.index is not None:
+            raise BindingError(f"channel {channel.name!r} already registered")
+        for existing in self.channels:
+            if existing.name == channel.name:
+                raise BindingError(f"duplicate channel name {channel.name!r}")
+        channel.index = len(self.channels)
+        self.channels.append(channel)
+        return channel
+
+    def add_instance(self, instance: ProcessInstance) -> ProcessInstance:
+        self._check_open()
+        for existing in self.instances:
+            if existing.name == instance.name:
+                raise BindingError(f"duplicate instance name {instance.name!r}")
+        instance.pid = len(self.instances)
+        self.instances.append(instance)
+        return instance
+
+    def spawn(
+        self,
+        definition: ProcessDef,
+        name: str,
+        chans: Optional[Mapping[str, Channel]] = None,
+        args: Optional[Mapping[str, Value]] = None,
+    ) -> ProcessInstance:
+        """Create, register, and return an instance in one call."""
+        return self.add_instance(ProcessInstance(definition, name, chans, args))
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise BindingError("system already finalized; cannot modify")
+
+    # -- finalization & validation ---------------------------------------
+
+    def finalize(self) -> "System":
+        """Validate the assembled system and freeze it."""
+        if self._finalized:
+            return self
+        for inst in self.instances:
+            for param, chan in inst.chan_bindings.items():
+                if chan.index is None or (
+                    chan.index >= len(self.channels) or self.channels[chan.index] is not chan
+                ):
+                    raise BindingError(
+                        f"instance {inst.name!r}: channel for param {param!r} "
+                        f"({chan.name!r}) is not registered with this system"
+                    )
+            self._check_names_resolve(inst)
+        self._finalized = True
+        return self
+
+    def _check_names_resolve(self, inst: ProcessInstance) -> None:
+        for name in inst.automaton.bound_names():
+            if name == "_pid":
+                continue
+            if name in inst.local_index:
+                continue
+            if name in self.global_index:
+                continue
+            raise EvalError(
+                f"instance {inst.name!r} ({inst.definition.name!r}) references "
+                f"{name!r}, which is neither a local, a parameter, nor a global"
+            )
+
+    # -- state ------------------------------------------------------------
+
+    def initial_state(self) -> State:
+        self.finalize()
+        return State(
+            locs=tuple(inst.automaton.initial for inst in self.instances),
+            frames=tuple(inst.initial_frame() for inst in self.instances),
+            chans=tuple(ch.initial_contents() for ch in self.channels),
+            globals_=tuple(self.global_vars.values()),
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def instance_by_name(self, name: str) -> ProcessInstance:
+        for inst in self.instances:
+            if inst.name == name:
+                return inst
+        raise KeyError(f"no instance named {name!r}")
+
+    def channel_by_name(self, name: str) -> Channel:
+        for ch in self.channels:
+            if ch.name == name:
+                return ch
+        raise KeyError(f"no channel named {name!r}")
+
+    def definitions(self) -> List[ProcessDef]:
+        """Distinct process definitions, in first-use order."""
+        seen: List[ProcessDef] = []
+        for inst in self.instances:
+            if inst.definition not in seen:
+                seen.append(inst.definition)
+        return seen
+
+    def __repr__(self) -> str:
+        return (
+            f"System({self.name!r}, {len(self.instances)} procs, "
+            f"{len(self.channels)} chans, {len(self.global_vars)} globals)"
+        )

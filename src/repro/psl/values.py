@@ -1,0 +1,106 @@
+"""Runtime values for PSL models.
+
+PSL states must be immutable and hashable so the model checker can store
+them in hash sets.  We therefore restrict runtime values to:
+
+* ``int`` — numbers, booleans (0/1), process ids;
+* ``str`` — symbolic constants, playing the role of Promela's ``mtype``.
+
+Messages travelling on channels are plain tuples of such values, with one
+element per declared channel field.
+
+The :class:`Mtype` helper mirrors Promela's ``mtype`` declaration: it
+declares a closed set of symbolic constants and lets models look them up
+by attribute access (``signals.IN_OK``), catching typos at model-build
+time instead of at verification time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+Value = Union[int, str]
+Message = Tuple[Value, ...]
+
+#: Sentinel used by the protocol models for "no process id" (Promela's -1).
+NO_PID: int = -1
+
+
+def is_value(obj: object) -> bool:
+    """Return True if *obj* is a legal PSL runtime value."""
+    return isinstance(obj, (int, str)) and not isinstance(obj, bool) or isinstance(obj, bool)
+
+
+def check_value(obj: object, context: str = "value") -> Value:
+    """Validate that *obj* is a legal runtime value and return it.
+
+    Booleans are normalized to ints so that states compare canonically
+    (``True`` and ``1`` hash identically in Python, but normalizing keeps
+    reprs and Promela output consistent).
+    """
+    if isinstance(obj, bool):
+        return int(obj)
+    if isinstance(obj, (int, str)):
+        return obj
+    raise TypeError(f"{context}: {obj!r} is not a PSL value (int or symbol)")
+
+
+def truthy(value: Value) -> bool:
+    """Promela truth: nonzero ints are true; symbols are always true."""
+    if isinstance(value, int):
+        return value != 0
+    return True
+
+
+class Mtype:
+    """A closed set of symbolic constants, like Promela's ``mtype``.
+
+    >>> signals = Mtype("SEND_SUCC", "SEND_FAIL")
+    >>> signals.SEND_SUCC
+    'SEND_SUCC'
+    >>> "SEND_FAIL" in signals
+    True
+    """
+
+    def __init__(self, *names: str) -> None:
+        seen = set()
+        for name in names:
+            if not name.isidentifier():
+                raise ValueError(f"mtype symbol {name!r} is not an identifier")
+            if name in seen:
+                raise ValueError(f"duplicate mtype symbol {name!r}")
+            seen.add(name)
+        self._names: Tuple[str, ...] = tuple(names)
+
+    def __getattr__(self, name: str) -> str:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        if name in self._names:
+            return name
+        raise AttributeError(f"unknown mtype symbol {name!r}; declared: {self._names}")
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._names
+
+    def __iter__(self):
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __repr__(self) -> str:
+        return f"Mtype({', '.join(self._names)})"
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self._names
+
+
+def format_value(value: Value) -> str:
+    """Render a value the way the Promela code generator prints it."""
+    return str(value)
+
+
+def format_message(msg: Iterable[Value]) -> str:
+    """Render a channel message as ``<v1, v2, ...>``."""
+    return "<" + ", ".join(format_value(v) for v in msg) + ">"

@@ -1,0 +1,62 @@
+"""Complete example systems built on the PnP layer.
+
+* :mod:`repro.systems.bridge` — the paper's single-lane bridge case
+  study (Section 4, Figures 12-14);
+* :mod:`repro.systems.producer_consumer` — parameterized
+  producer/consumer workloads for the block-semantics experiments;
+* :mod:`repro.systems.pubsub` — publish/subscribe via an event-pool
+  channel block (paper Section 6 extension);
+* :mod:`repro.systems.rpc` — remote procedure call assembled from the
+  message-passing blocks (paper Section 6 extension);
+* :mod:`repro.systems.abp` — the alternating-bit protocol over lossy
+  dropping-buffer channels;
+* :mod:`repro.systems.dining` — dining philosophers: a component-level
+  deadlock found and fixed under unchanged connectors;
+* :mod:`repro.systems.gas_station` — the authors' classic benchmark:
+  a crossed-delivery race fixed by selective receive.
+"""
+
+from .abp import build_abp
+from .dining import build_dining, meals_prop
+from .gas_station import all_fueled_prop, build_gas_station
+from .bridge import (
+    BLUE_ON,
+    BridgeConfig,
+    RED_ON,
+    bridge_safety_prop,
+    build_at_most_n_bridge,
+    build_exactly_n_bridge,
+    crash_prop,
+    fix_exactly_n_bridge,
+)
+from .producer_consumer import (
+    ConsumerSpec,
+    ProducerSpec,
+    build_producer_consumer,
+    simple_pair,
+)
+from .pubsub import EventPool, build_pubsub
+from .rpc import build_rpc
+
+__all__ = [
+    "BLUE_ON",
+    "BridgeConfig",
+    "ConsumerSpec",
+    "EventPool",
+    "ProducerSpec",
+    "RED_ON",
+    "bridge_safety_prop",
+    "build_abp",
+    "build_at_most_n_bridge",
+    "all_fueled_prop",
+    "build_dining",
+    "build_gas_station",
+    "build_exactly_n_bridge",
+    "build_producer_consumer",
+    "build_pubsub",
+    "build_rpc",
+    "crash_prop",
+    "fix_exactly_n_bridge",
+    "meals_prop",
+    "simple_pair",
+]

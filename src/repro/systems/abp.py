@@ -1,0 +1,167 @@
+"""The alternating-bit protocol over lossy PnP channels.
+
+A classic verification workload exercising the lossy-channel block: the
+:class:`~repro.core.channels.DroppingBuffer` silently discards messages
+when full, so a sender that wants reliable delivery must implement
+retransmission on top — exactly the alternating-bit protocol (ABP).
+
+* The ABP sender transmits ``(payload, bit)`` pairs through an
+  asynchronous *nonblocking* send port (fire-and-forget — the lossy
+  medium) over a dropping buffer, then polls for an acknowledgement
+  with a nonblocking receive; on a missing or stale ack it retransmits.
+* The ABP receiver receives frames; a frame with the expected bit is
+  *delivered* (counted) and acknowledged; a duplicate is re-acknowledged
+  but not re-delivered.
+
+The payload encodes the sequence number, and the receiver asserts
+in-order, no-duplicate delivery — the protocol's correctness property.
+Retransmission bounds (``max_sends``) keep the experiment finite; runs
+that exhaust the bound simply stop (the safety property is what is
+checked; message loss means delivery is not guaranteed).
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    Architecture,
+    AsynNonblockingSend,
+    Component,
+    DroppingBuffer,
+    NonblockingReceive,
+    RECEIVE,
+    SEND,
+    receive_message,
+    send_message,
+)
+from ..psl.expr import V
+from ..psl.stmt import (
+    Assert,
+    Assign,
+    Branch,
+    Break,
+    Do,
+    Else,
+    EndLabel,
+    Guard,
+    If,
+    Seq,
+)
+
+#: Frame encoding: payload = 10 * seq + bit, so both survive one field.
+
+
+def build_abp(
+    messages: int = 2,
+    max_sends: int = 4,
+    receiver_polls: int = 0,
+    name: str = "abp",
+) -> Architecture:
+    """An ABP sender/receiver pair over dropping buffers.
+
+    ``messages`` is how many distinct payloads must arrive in order;
+    ``max_sends`` bounds (re)transmissions per message so the state
+    space stays finite under arbitrary loss.  ``receiver_polls`` > 0
+    additionally bounds how many receive attempts the receiver makes
+    (the unbounded-poll receiver is realistic but multiplies the state
+    space; a bound of ``2 * messages * max_sends`` is enough to observe
+    every protocol behaviour).
+    """
+    arch = Architecture(name)
+    delivered = arch.add_global("delivered", 0)
+    arch.add_global("acked_messages", 0)
+
+    sender_body = Seq([
+        Do(
+            Branch(
+                Guard(V("seq") < messages),
+                # (re)transmit the current frame until acked or exhausted
+                Assign("tries", 0),
+                Do(
+                    Branch(
+                        Guard((V("got_ack") == 0) & (V("tries") < max_sends)),
+                        Assign("tries", V("tries") + 1),
+                        send_message("net_out", V("seq") * 10 + V("bit")),
+                        receive_message("ack_in", into="ack"),
+                        If(
+                            Branch(Guard((V("recv_status") == "RECV_SUCC")
+                                         & (V("ack") == V("bit"))),
+                                   Assign("got_ack", 1)),
+                            Branch(Else()),  # lost or stale ack: retry
+                        ),
+                    ),
+                    Branch(Guard((V("got_ack") == 1)
+                                 | (V("tries") == max_sends)),
+                           Break()),
+                ),
+                If(
+                    Branch(Guard(V("got_ack") == 1),
+                           Assign("acked_messages", V("acked_messages") + 1),
+                           Assign("seq", V("seq") + 1),
+                           Assign("bit", 1 - V("bit")),
+                           Assign("got_ack", 0)),
+                    Branch(Else(), Break()),  # gave up on a frame
+                ),
+            ),
+            Branch(Guard(V("seq") == messages), Break()),
+        ),
+        EndLabel(),
+    ])
+    sender = Component(
+        "AbpSender",
+        ports={"net_out": SEND, "ack_in": RECEIVE},
+        body=sender_body,
+        local_vars={"seq": 0, "bit": 0, "tries": 0, "got_ack": 0, "ack": 0},
+    )
+
+    if receiver_polls > 0:
+        poll_guard = [Guard(V("polls") < receiver_polls),
+                      Assign("polls", V("polls") + 1)]
+        stop_branch = [Branch(Guard(V("polls") == receiver_polls), Break())]
+    else:
+        poll_guard = []
+        stop_branch = []
+    receiver_body = Seq([
+        EndLabel(),
+        Do(Branch(
+            *poll_guard,
+            receive_message("net_in", into="frame"),
+            If(
+                Branch(
+                    Guard((V("recv_status") == "RECV_SUCC")
+                          & ((V("frame") % 10) == V("expected_bit"))),
+                    # a new frame: deliver in order, exactly once
+                    Assert((V("frame") // 10) == V("delivered"),
+                           comment="frames must arrive in sequence order"),
+                    Assign("delivered", V("delivered") + 1),
+                    send_message("ack_out", V("expected_bit")),
+                    Assign("expected_bit", 1 - V("expected_bit")),
+                ),
+                Branch(
+                    Guard((V("recv_status") == "RECV_SUCC")
+                          & ((V("frame") % 10) != V("expected_bit"))),
+                    # duplicate of the previous frame: re-ack only
+                    send_message("ack_out", V("frame") % 10),
+                ),
+                Branch(Else()),  # no frame available
+            ),
+        ), *stop_branch),
+    ])
+    receiver = Component(
+        "AbpReceiver",
+        ports={"net_in": RECEIVE, "ack_out": SEND},
+        body=receiver_body,
+        local_vars={"frame": 0, "expected_bit": 0, "polls": 0},
+    )
+
+    arch.add_component(sender)
+    arch.add_component(receiver)
+
+    data_link = arch.add_connector("DataLink", DroppingBuffer(size=1))
+    data_link.attach_sender(sender, "net_out", AsynNonblockingSend())
+    data_link.attach_receiver(receiver, "net_in", NonblockingReceive())
+
+    ack_link = arch.add_connector("AckLink", DroppingBuffer(size=1))
+    ack_link.attach_sender(receiver, "ack_out", AsynNonblockingSend())
+    ack_link.attach_receiver(sender, "ack_in", NonblockingReceive())
+
+    return arch

@@ -1,0 +1,392 @@
+"""The single-lane bridge case study (paper Section 4, Figures 12-14).
+
+A bridge only wide enough for one lane of traffic is controlled by two
+controllers, one at each end.  *Blue* cars enter from one end (managed
+by the blue controller) and notify the *red* controller when they exit;
+red cars mirror this.  The safety property: cars travelling in opposite
+directions must never be on the bridge at the same time.
+
+Two traffic-control designs from the paper:
+
+* **exactly-N-cars-per-turn** (Figure 13): controllers take turns
+  letting exactly N cars from their side enter.  No controller-to-
+  controller communication: each controller starts its turn after
+  counting N exit notifications from the *other* side's cars.  The blue
+  controller starts with the first turn.
+
+* **at-most-N-cars-per-turn** (Figure 14): a controller may yield its
+  turn early when no cars are waiting on its side.  This requires two
+  new connectors between the controllers (the turn-transfer messages,
+  which carry how many cars were granted) and modified controller
+  components that poll with nonblocking receives.
+
+The paper's narrative, reproduced by the F13/F13b/F14 experiments:
+
+1. The initial Figure 13 design uses *asynchronous blocking* send ports
+   for enter requests.  A car then receives ``SEND_SUCC`` as soon as its
+   request is buffered — before the controller grants it — and drives
+   onto the bridge during the other side's turn.  **Verification reports
+   a safety violation.**
+2. Swapping the enter-request send ports to *synchronous blocking* —
+   a connector-only change — makes ``SEND_SUCC`` arrive only after the
+   controller has actually received (granted) the request.  **The
+   property then holds**, and no component model changed.
+3. The at-most-N design (Figure 14) with synchronous sends, nonblocking
+   receives, and single-slot turn connectors also satisfies the
+   property.
+
+Components model the bridge with two global occupancy counters; the
+safety invariant is ``not (blue_on_bridge > 0 and red_on_bridge > 0)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core import (
+    Architecture,
+    AsynBlockingSend,
+    BlockingReceive,
+    Component,
+    FifoQueue,
+    ModelLibrary,
+    NonblockingReceive,
+    RECEIVE,
+    SEND,
+    SendPortSpec,
+    SingleSlotBuffer,
+    SynBlockingSend,
+    receive_message,
+    send_message,
+)
+from ..mc.props import Prop, global_prop
+from ..psl.expr import C, V
+from ..psl.stmt import (
+    Assign,
+    Branch,
+    Break,
+    Do,
+    Else,
+    EndLabel,
+    Guard,
+    If,
+    Seq,
+    Stmt,
+)
+
+#: Global occupancy counters (shared by both design variants).
+BLUE_ON = "blue_on_bridge"
+RED_ON = "red_on_bridge"
+
+
+def bridge_safety_prop() -> Prop:
+    """No cars travelling in opposite directions on the bridge at once."""
+    return global_prop(
+        "bridge_safe",
+        lambda v: not (v.global_(BLUE_ON) > 0 and v.global_(RED_ON) > 0),
+        BLUE_ON,
+        RED_ON,
+    )
+
+
+def crash_prop() -> Prop:
+    """The negation of safety — used to locate crash states explicitly."""
+    return global_prop(
+        "bridge_crash",
+        lambda v: v.global_(BLUE_ON) > 0 and v.global_(RED_ON) > 0,
+        BLUE_ON,
+        RED_ON,
+    )
+
+
+def _car_component(name: str, on_var: str, trips: int) -> Component:
+    """A car: request entry, cross the bridge, notify the far controller.
+
+    The car drives onto the bridge as soon as its enter request is
+    confirmed (``SEND_SUCC``) — which is exactly why the *kind* of send
+    port matters: an asynchronous port confirms at buffering time, a
+    synchronous one only once the controller has received the request.
+    """
+    one_trip = Seq([
+        send_message("enter", 1),
+        Assign(on_var, V(on_var) + 1, comment="drives onto the bridge"),
+        Assign(on_var, V(on_var) - 1, comment="leaves the bridge"),
+        send_message("exits", 1),
+    ])
+    if trips <= 0:
+        # A car that cycles forever.
+        body: Stmt = Seq([EndLabel(), Do(Branch(one_trip))])
+    else:
+        body = Seq([
+            Do(
+                Branch(Guard(V("trips_done") < trips),
+                       one_trip,
+                       Assign("trips_done", V("trips_done") + 1)),
+                Branch(Guard(V("trips_done") == trips), Break()),
+            ),
+        ])
+    return Component(
+        name,
+        ports={"enter": SEND, "exits": SEND},
+        body=body,
+        local_vars={"trips_done": 0},
+    )
+
+
+def _exactly_n_controller(name: str, n: int, starts_with_turn: bool) -> Component:
+    """Figure 13 controller: grant exactly N, then await N far-side exits.
+
+    ``grants``/``exits_seen`` count within the current turn.  The
+    controller that does not start with the turn first waits for N exit
+    notifications from the other side's cars.
+    """
+    grant_phase = Seq([
+        Assign("grants", 0),
+        Do(
+            Branch(Guard(V("grants") < n),
+                   receive_message("enter_req", into="req"),
+                   Assign("grants", V("grants") + 1)),
+            Branch(Guard(V("grants") == n), Break()),
+        ),
+    ])
+    wait_phase = Seq([
+        Assign("exits_seen", 0),
+        Do(
+            Branch(Guard(V("exits_seen") < n),
+                   receive_message("exit_note", into="note"),
+                   Assign("exits_seen", V("exits_seen") + 1)),
+            Branch(Guard(V("exits_seen") == n), Break()),
+        ),
+    ])
+    if starts_with_turn:
+        cycle = Seq([grant_phase, wait_phase])
+    else:
+        cycle = Seq([wait_phase, grant_phase])
+    return Component(
+        name,
+        ports={"enter_req": RECEIVE, "exit_note": RECEIVE},
+        body=Seq([EndLabel(), Do(Branch(cycle))]),
+        local_vars={"grants": 0, "exits_seen": 0, "req": 0, "note": 0},
+    )
+
+
+@dataclass
+class BridgeConfig:
+    """Parameters of a bridge instance."""
+
+    cars_per_side: int = 1
+    n_per_turn: int = 1
+    trips: int = 0  # 0 = cars cycle forever
+    queue_size: Optional[int] = None  # enter-request queue; default: cars_per_side
+
+    @property
+    def enter_queue_size(self) -> int:
+        return self.queue_size if self.queue_size is not None else max(
+            1, self.cars_per_side
+        )
+
+
+def build_exactly_n_bridge(
+    config: BridgeConfig = BridgeConfig(),
+    enter_send: Optional[SendPortSpec] = None,
+) -> Architecture:
+    """The Figure 13 architecture ("exactly-N-cars-per-turn").
+
+    ``enter_send`` chooses the send-port kind for car→controller enter
+    requests; the paper's flawed initial design is the default
+    :class:`AsynBlockingSend`, and its fix is :class:`SynBlockingSend`.
+    Exit notifications always use asynchronous blocking sends, and
+    controllers use blocking receives, as in Figure 13.
+    """
+    enter_send = enter_send if enter_send is not None else AsynBlockingSend()
+    arch = Architecture("single_lane_bridge_exactly_n")
+    arch.add_global(BLUE_ON, 0)
+    arch.add_global(RED_ON, 0)
+
+    blue_ctrl = arch.add_component(
+        _exactly_n_controller("BlueController", config.n_per_turn, True)
+    )
+    red_ctrl = arch.add_component(
+        _exactly_n_controller("RedController", config.n_per_turn, False)
+    )
+
+    blue_cars = [
+        arch.add_component(_car_component(f"BlueCar{i}", BLUE_ON, config.trips))
+        for i in range(1, config.cars_per_side + 1)
+    ]
+    red_cars = [
+        arch.add_component(_car_component(f"RedCar{i}", RED_ON, config.trips))
+        for i in range(1, config.cars_per_side + 1)
+    ]
+
+    # Enter-request connectors: cars -> same-side controller, FIFO queue.
+    blue_enter = arch.add_connector("BlueEnter", FifoQueue(size=config.enter_queue_size))
+    for car in blue_cars:
+        blue_enter.attach_sender(car, "enter", enter_send)
+    blue_enter.attach_receiver(blue_ctrl, "enter_req", BlockingReceive())
+
+    red_enter = arch.add_connector("RedEnter", FifoQueue(size=config.enter_queue_size))
+    for car in red_cars:
+        red_enter.attach_sender(car, "enter", enter_send)
+    red_enter.attach_receiver(red_ctrl, "enter_req", BlockingReceive())
+
+    # Exit-notification connectors: cars -> far-side controller, single slot.
+    # (Blue cars notify the red controller, and vice versa — Fig. 12/13.)
+    blue_exit = arch.add_connector("BlueExit", SingleSlotBuffer())
+    for car in blue_cars:
+        blue_exit.attach_sender(car, "exits", AsynBlockingSend())
+    blue_exit.attach_receiver(red_ctrl, "exit_note", BlockingReceive())
+
+    red_exit = arch.add_connector("RedExit", SingleSlotBuffer())
+    for car in red_cars:
+        red_exit.attach_sender(car, "exits", AsynBlockingSend())
+    red_exit.attach_receiver(blue_ctrl, "exit_note", BlockingReceive())
+
+    return arch
+
+
+def fix_exactly_n_bridge(arch: Architecture) -> Architecture:
+    """Apply the paper's connector-only fix to a Figure 13 architecture.
+
+    Replaces the asynchronous blocking send ports on both enter-request
+    connectors with synchronous blocking ones.  No component is touched.
+    """
+    for conn_name in ("BlueEnter", "RedEnter"):
+        arch.connector(conn_name).swap_all_send_ports(SynBlockingSend())
+    return arch
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: at-most-N-cars-per-turn
+# ---------------------------------------------------------------------------
+
+def _at_most_n_controller(name: str, n: int, starts_with_turn: bool) -> Component:
+    """Figure 14 controller: poll requests, yield early when none waiting.
+
+    During its turn the controller polls its enter-request connector
+    with a *nonblocking* receive; on ``RECV_FAIL`` (no car waiting) or
+    after N grants it sends a turn-transfer message carrying the number
+    of cars granted to the other controller, then waits for the other
+    controller's turn-transfer, collecting the other side's exit
+    notifications it is responsible for.
+
+    Deviation from the paper's prose (recorded in EXPERIMENTS.md): the
+    paper changes *all* controller-side receives to nonblocking, making
+    the controllers poll everything.  Here only the enter-request
+    receive — the one whose failure carries information ("no cars
+    waiting, yield the turn") — is nonblocking; the turn-transfer and
+    exit-note receives are blocking, since the controller has nothing
+    else to do while waiting for them.  This bounds the controllers'
+    polling (one probe per grant decision) instead of leaving them
+    spinning, which is what keeps the design's state space explorable;
+    the granted/yield semantics of Figure 14 are unchanged.
+    """
+    grant_phase = Seq([
+        Assign("grants", 0),
+        Do(
+            Branch(
+                Guard(V("grants") < n),
+                receive_message("enter_req", into="req"),
+                If(
+                    Branch(Guard(V("recv_status") == "RECV_SUCC"),
+                           Assign("grants", V("grants") + 1)),
+                    Branch(Else(), Break()),  # nobody waiting: yield early
+                ),
+            ),
+            Branch(Guard(V("grants") == n), Break()),
+        ),
+        send_message("turn_out", V("grants")),
+    ])
+    wait_phase = Seq([
+        # Learn how many cars the other side granted this turn.
+        receive_message("turn_in", into="other_grants"),
+        # Collect that many exit notifications from the other side's cars.
+        Assign("exits_seen", 0),
+        Do(
+            Branch(Guard(V("exits_seen") < V("other_grants")),
+                   receive_message("exit_note", into="note"),
+                   Assign("exits_seen", V("exits_seen") + 1)),
+            Branch(Guard(V("exits_seen") == V("other_grants")), Break()),
+        ),
+    ])
+    if starts_with_turn:
+        cycle = Seq([grant_phase, wait_phase])
+    else:
+        cycle = Seq([wait_phase, grant_phase])
+    return Component(
+        name,
+        ports={
+            "enter_req": RECEIVE,
+            "exit_note": RECEIVE,
+            "turn_out": SEND,
+            "turn_in": RECEIVE,
+        },
+        body=Seq([EndLabel(), Do(Branch(cycle))]),
+        local_vars={
+            "grants": 0,
+            "exits_seen": 0,
+            "other_grants": 0,
+            "req": 0,
+            "note": 0,
+        },
+    )
+
+
+def build_at_most_n_bridge(config: BridgeConfig = BridgeConfig()) -> Architecture:
+    """The Figure 14 architecture ("at-most-N-cars-per-turn").
+
+    Synchronous blocking sends for enter requests and turn transfers,
+    nonblocking receives everywhere on the controllers (they poll), and
+    two new single-slot connectors ``BlueToRed`` / ``RedToBlue`` between
+    the controllers.
+    """
+    arch = Architecture("single_lane_bridge_at_most_n")
+    arch.add_global(BLUE_ON, 0)
+    arch.add_global(RED_ON, 0)
+
+    blue_ctrl = arch.add_component(
+        _at_most_n_controller("BlueController", config.n_per_turn, True)
+    )
+    red_ctrl = arch.add_component(
+        _at_most_n_controller("RedController", config.n_per_turn, False)
+    )
+    blue_cars = [
+        arch.add_component(_car_component(f"BlueCar{i}", BLUE_ON, config.trips))
+        for i in range(1, config.cars_per_side + 1)
+    ]
+    red_cars = [
+        arch.add_component(_car_component(f"RedCar{i}", RED_ON, config.trips))
+        for i in range(1, config.cars_per_side + 1)
+    ]
+
+    blue_enter = arch.add_connector("BlueEnter", FifoQueue(size=config.enter_queue_size))
+    for car in blue_cars:
+        blue_enter.attach_sender(car, "enter", SynBlockingSend())
+    blue_enter.attach_receiver(blue_ctrl, "enter_req", NonblockingReceive())
+
+    red_enter = arch.add_connector("RedEnter", FifoQueue(size=config.enter_queue_size))
+    for car in red_cars:
+        red_enter.attach_sender(car, "enter", SynBlockingSend())
+    red_enter.attach_receiver(red_ctrl, "enter_req", NonblockingReceive())
+
+    blue_exit = arch.add_connector("BlueExit", SingleSlotBuffer())
+    for car in blue_cars:
+        blue_exit.attach_sender(car, "exits", AsynBlockingSend())
+    blue_exit.attach_receiver(red_ctrl, "exit_note", BlockingReceive())
+
+    red_exit = arch.add_connector("RedExit", SingleSlotBuffer())
+    for car in red_cars:
+        red_exit.attach_sender(car, "exits", AsynBlockingSend())
+    red_exit.attach_receiver(blue_ctrl, "exit_note", BlockingReceive())
+
+    # The two new controller-to-controller turn connectors (Fig. 14).
+    blue_to_red = arch.add_connector("BlueToRed", SingleSlotBuffer())
+    blue_to_red.attach_sender(blue_ctrl, "turn_out", SynBlockingSend())
+    blue_to_red.attach_receiver(red_ctrl, "turn_in", BlockingReceive())
+
+    red_to_blue = arch.add_connector("RedToBlue", SingleSlotBuffer())
+    red_to_blue.attach_sender(red_ctrl, "turn_out", SynBlockingSend())
+    red_to_blue.attach_receiver(blue_ctrl, "turn_in", BlockingReceive())
+
+    return arch

@@ -1,0 +1,152 @@
+"""Dining philosophers assembled from PnP building blocks.
+
+A classic concurrency study recast in the paper's methodology: forks
+are *components* guarding a token, philosophers *request* and *release*
+forks through ordinary message-passing connectors, and design-time
+verification decides whether a seating protocol can deadlock.
+
+Protocol per fork: a fork component repeatedly blocking-receives one
+``acquire`` request (granting the fork — the requester's synchronous
+send completes only when the fork accepts) and then one ``release``
+message.  A philosopher picks up one neighbour fork, then the other,
+eats (bumping a global counter), and releases both.
+
+Two seating protocols:
+
+* :func:`build_dining` with ``symmetric=True`` — every philosopher
+  grabs the left fork first: the textbook circular wait.  Verification
+  finds the deadlock (all philosophers holding one fork, each waiting
+  for a neighbour).
+* ``symmetric=False`` — the last philosopher grabs the right fork
+  first (the standard asymmetry fix): verification proves
+  deadlock-freedom.
+
+Each fork needs two connectors (acquire and release) shared by its two
+neighbouring philosophers — six connectors for three philosophers —
+so this also exercises multi-sender connectors harder than the bridge.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import (
+    Architecture,
+    AsynBlockingSend,
+    BlockingReceive,
+    Component,
+    FifoQueue,
+    RECEIVE,
+    SEND,
+    SynBlockingSend,
+    receive_message,
+    send_message,
+)
+from ..mc.props import Prop, global_prop
+from ..psl.expr import V
+from ..psl.stmt import Assign, Branch, Break, Do, EndLabel, Guard, Seq
+
+#: Global counter of completed meals.
+MEALS = "meals"
+
+
+def meals_prop(target: int) -> Prop:
+    return global_prop(
+        f"meals_{target}", lambda v, t=target: v.global_(MEALS) >= t, MEALS)
+
+
+def _fork_component(index: int) -> Component:
+    """A fork: grant (receive an acquire), then await the release."""
+    return Component(
+        f"Fork{index}",
+        ports={"acquire": RECEIVE, "release": RECEIVE},
+        body=Seq([
+            EndLabel(),
+            Do(Branch(
+                receive_message("acquire", into="holder"),
+                receive_message("release", into="dropped"),
+            )),
+        ]),
+        local_vars={"holder": 0, "dropped": 0},
+    )
+
+
+def _philosopher_component(index: int, first: str, second: str,
+                           meals_each: int) -> Component:
+    """Acquire ``first`` then ``second``, eat, release both.
+
+    ``first``/``second`` name the interaction points ("left"/"right").
+    The acquire sends are synchronous — the philosopher holds a fork
+    exactly when the fork component accepted the request.
+    """
+    body = Seq([
+        Do(
+            Branch(
+                Guard(V("eaten") < meals_each),
+                send_message(f"{first}_acq", index),
+                send_message(f"{second}_acq", index),
+                Assign(MEALS, V(MEALS) + 1, comment="eats"),
+                Assign("eaten", V("eaten") + 1),
+                send_message(f"{first}_rel", index),
+                send_message(f"{second}_rel", index),
+            ),
+            Branch(Guard(V("eaten") == meals_each), Break()),
+        ),
+    ])
+    return Component(
+        f"Philosopher{index}",
+        ports={
+            f"{first}_acq": SEND, f"{first}_rel": SEND,
+            f"{second}_acq": SEND, f"{second}_rel": SEND,
+        },
+        body=body,
+        local_vars={"eaten": 0},
+    )
+
+
+def build_dining(
+    philosophers: int = 3,
+    meals_each: int = 1,
+    symmetric: bool = True,
+    name: str = "dining",
+) -> Architecture:
+    """The dining-philosophers architecture.
+
+    ``symmetric=True`` reproduces the deadlocking protocol (everyone
+    left-first); ``symmetric=False`` applies the asymmetry fix to the
+    last philosopher.
+    """
+    if philosophers < 2:
+        raise ValueError("need at least two philosophers")
+    arch = Architecture(name)
+    arch.add_global(MEALS, 0)
+
+    forks = [arch.add_component(_fork_component(i))
+             for i in range(philosophers)]
+
+    phils: List[Component] = []
+    for i in range(philosophers):
+        left, right = i, (i + 1) % philosophers
+        last = i == philosophers - 1
+        if symmetric or not last:
+            first, second = "left", "right"
+        else:
+            first, second = "right", "left"
+        phils.append(arch.add_component(
+            _philosopher_component(i, first, second, meals_each)))
+
+    # One acquire connector and one release connector per fork, each
+    # shared by the fork's two neighbours.
+    for i, fork in enumerate(forks):
+        left_phil = phils[i]          # phil i uses fork i as its "left"
+        right_phil = phils[(i - 1) % philosophers]  # phil i-1's "right"
+        acq = arch.add_connector(f"Acquire{i}", FifoQueue(size=1))
+        acq.attach_sender(left_phil, "left_acq", SynBlockingSend())
+        acq.attach_sender(right_phil, "right_acq", SynBlockingSend())
+        acq.attach_receiver(fork, "acquire", BlockingReceive())
+        rel = arch.add_connector(f"Release{i}", FifoQueue(size=1))
+        rel.attach_sender(left_phil, "left_rel", AsynBlockingSend())
+        rel.attach_sender(right_phil, "right_rel", AsynBlockingSend())
+        rel.attach_receiver(fork, "release", BlockingReceive())
+
+    return arch

@@ -1,0 +1,165 @@
+"""The gas station — the classic UMass finite-state-verification study.
+
+The automated gas station (Helmbold & Luckham) is the benchmark the
+paper's authors' group used throughout their verification work, so it
+belongs in this reproduction's example set.  Customers prepay an
+operator; the operator activates the pump for one customer at a time;
+the pump delivers gas tagged with the customer it was activated for.
+
+The interesting design decision is the *gas-delivery connector*: the
+pump's deliveries to all customers share one channel.
+
+* With plain (non-selective) receives, a waiting customer can grab a
+  delivery *tagged for someone else* — the classic
+  wrong-customer-gets-the-gas race, caught here by an assertion in the
+  customer (``my gas must carry my id``).
+* Requesting **selective receive** — each customer retrieves only
+  messages tagged with its own id, a capability the PnP receive blocks
+  already provide — removes the race; verification then passes.
+
+Globals ``paid_<i>`` / ``fueled_<i>`` expose the per-customer protocol
+state for properties.
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    Architecture,
+    AsynBlockingSend,
+    BlockingReceive,
+    Component,
+    FifoQueue,
+    RECEIVE,
+    SEND,
+    SynBlockingSend,
+    receive_message,
+    send_message,
+)
+from ..mc.props import Prop, global_prop
+from ..psl.expr import V
+from ..psl.stmt import Assert, Assign, Branch, Break, Do, EndLabel, Guard, Seq
+
+
+def all_fueled_prop(customers: int) -> Prop:
+    """Every customer received gas."""
+    names = [f"fueled_{i}" for i in range(customers)]
+    return Prop(
+        name="all_fueled",
+        fn=lambda v, names=names: all(v.global_(n) == 1 for n in names),
+        globals_read=frozenset(names),
+        locals_read=frozenset(),
+    )
+
+
+def _customer(index: int, selective: bool) -> Component:
+    """Pay, then wait for gas; assert the delivery is really ours.
+
+    The receive loops until it succeeds: a *selective* request may be
+    answered ``RECV_FAIL`` while only other customers' deliveries are
+    buffered (the fused channel models answer immediately rather than
+    parking match-dependent requests), in which case the customer simply
+    asks again.
+    """
+    from ..psl.stmt import Do, Else, If
+
+    receive_gas = Do(
+        Branch(
+            receive_message("gas", into="delivery",
+                            selective_tag=index if selective else None),
+            If(
+                Branch(Guard(V("recv_status") == "RECV_SUCC"), Break()),
+                Branch(Else()),  # nothing for us yet: ask again
+            ),
+        ),
+    )
+    body = Seq([
+        Assign(f"paid_{index}", 1, comment="hands money to the operator"),
+        send_message("pay", index, tag=index),
+        receive_gas,
+        Assert(V("delivery") == index,
+               comment="the gas must be the one pumped for this customer"),
+        Assign(f"fueled_{index}", 1, comment="drives away fueled"),
+    ])
+    return Component(
+        f"Customer{index}",
+        ports={"pay": SEND, "gas": RECEIVE},
+        body=body,
+        local_vars={"delivery": -1},
+    )
+
+
+def _operator(customers: int) -> Component:
+    """Serve payments in order, activating the pump for each."""
+    return Component(
+        "Operator",
+        ports={"payments": RECEIVE, "activate": SEND},
+        body=Seq([
+            Do(
+                Branch(Guard(V("served") < customers),
+                       receive_message("payments", into="who"),
+                       send_message("activate", V("who")),
+                       Assign("served", V("served") + 1)),
+                Branch(Guard(V("served") == customers), Break()),
+            ),
+        ]),
+        local_vars={"served": 0, "who": -1},
+    )
+
+
+def _pump(customers: int) -> Component:
+    """Pump gas for whoever the operator activated, tagging the delivery."""
+    return Component(
+        "Pump",
+        ports={"activations": RECEIVE, "deliver": SEND},
+        body=Seq([
+            Do(
+                Branch(Guard(V("pumped") < customers),
+                       receive_message("activations", into="target"),
+                       send_message("deliver", V("target"), tag=V("target")),
+                       Assign("pumped", V("pumped") + 1)),
+                Branch(Guard(V("pumped") == customers), Break()),
+            ),
+        ]),
+        local_vars={"pumped": 0, "target": -1},
+    )
+
+
+def build_gas_station(
+    customers: int = 2,
+    selective_delivery: bool = False,
+    name: str = "gas_station",
+) -> Architecture:
+    """Assemble the gas station.
+
+    ``selective_delivery=False`` reproduces the classic race (customers
+    take whatever delivery comes first); ``True`` applies the
+    selective-receive fix.
+    """
+    if customers < 1:
+        raise ValueError("need at least one customer")
+    arch = Architecture(name)
+    for i in range(customers):
+        arch.add_global(f"paid_{i}", 0)
+        arch.add_global(f"fueled_{i}", 0)
+
+    operator = arch.add_component(_operator(customers))
+    pump = arch.add_component(_pump(customers))
+    custs = [arch.add_component(_customer(i, selective_delivery))
+             for i in range(customers)]
+
+    pay = arch.add_connector("Pay", FifoQueue(size=max(1, customers)))
+    for cust in custs:
+        pay.attach_sender(cust, "pay", SynBlockingSend())
+    pay.attach_receiver(operator, "payments", BlockingReceive())
+
+    activate = arch.add_connector("Activate", FifoQueue(size=customers))
+    activate.attach_sender(operator, "activate", AsynBlockingSend())
+    activate.attach_receiver(pump, "activations", BlockingReceive())
+
+    # The shared gas-delivery connector: the seat of the classic race.
+    gas = arch.add_connector("Gas", FifoQueue(size=customers))
+    gas.attach_sender(pump, "deliver", AsynBlockingSend())
+    for cust in custs:
+        gas.attach_receiver(cust, "gas", BlockingReceive())
+
+    return arch

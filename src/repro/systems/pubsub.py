@@ -1,0 +1,297 @@
+"""Publish/subscribe built on the PnP standard interfaces (paper §2.2/§6).
+
+The paper claims its standard component interfaces "can be used for
+other kinds of interactions such as RPC and publish/subscribe", and its
+Section 3 notes that a PnP channel "may represent an event pool where
+delivery of events is based on subscription".  This module delivers on
+that claim with a new *channel* building block, :class:`EventPool`:
+
+* every published event is copied into a per-subscriber FIFO store;
+* subscribers pull events through ordinary receive ports using the
+  unchanged standard interface (selective requests filter by topic
+  tag);
+* a subscriber whose store is full simply misses the event (classic
+  best-effort pub/sub) — the publisher is not blocked or notified.
+
+Publisher-side semantics: the pool confirms storage (``IN_OK``) and
+delivery (``RECV_OK``) as soon as the event is filed into the
+subscriber stores, so synchronous and asynchronous publish ports
+coincide — the standard decoupling property of publish/subscribe, which
+the F-pubsub experiment demonstrates.
+
+The pool identifies subscribers dynamically: the first receive request
+from an unknown receive port claims the next subscriber slot.  The spec
+is parameterized by the number of subscriber slots and per-subscriber
+queue depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from ..core import (
+    Architecture,
+    AsynBlockingSend,
+    BlockingReceive,
+    Component,
+    RECEIVE,
+    SEND,
+    SendPortSpec,
+    receive_message,
+    send_message,
+)
+from ..core.channels import CHANNEL_CHAN_PARAMS, ChannelSpec
+from ..core.signals import IN_OK, OUT_FAIL, OUT_OK, RECV_OK, RECV_SUCC
+from ..psl.expr import C, V
+from ..psl.stmt import (
+    AnyField,
+    Assign,
+    Bind,
+    Branch,
+    Break,
+    Do,
+    Else,
+    EndLabel,
+    Guard,
+    If,
+    MatchEq,
+    Recv,
+    Send,
+    Seq,
+    Stmt,
+)
+from ..psl.system import ProcessDef
+
+
+def _event_pool_body(slots: int, depth: int) -> Stmt:
+    """The event-pool channel process.
+
+    Locals ``subpid{k}`` hold the receive-port pid bound to subscriber
+    slot *k* (-1 while unclaimed); ``cnt{k}`` tracks the depth of the
+    slot's store.
+    """
+    store = lambda k: f"store{k}"  # noqa: E731
+
+    def fanout() -> Stmt:
+        """Copy the incoming event into every claimed subscriber store."""
+        copies: List[Stmt] = []
+        for k in range(slots):
+            copies.append(If(
+                Branch(
+                    Guard((V(f"subpid{k}") != -1) & (V(f"cnt{k}") < depth)),
+                    Send(store(k),
+                         [V("m_data"), V("m_sender"), V("m_sel"), V("m_tag"),
+                          V("m_remove"), C(0)],
+                         comment=f"files a copy for subscriber slot {k}"),
+                    Assign(f"cnt{k}", V(f"cnt{k}") + 1),
+                ),
+                Branch(Else()),  # unclaimed slot or full store: copy missed
+            ))
+        return Seq(copies)
+
+    def claim_or_serve() -> Stmt:
+        """Route a receive request to its slot, claiming one if new."""
+        def serve(k: int) -> Stmt:
+            deliver = Seq([
+                Send("recv_sig", [C(OUT_OK), V("r_sender")],
+                     comment="grants the receive request"),
+                Send("recv_data",
+                     [V("b_data"), V("r_sender"), V("b_sel"), V("b_tag"),
+                      V("b_remove"), C(0)],
+                     comment="delivers the event copy"),
+            ])
+            bind_all = [Bind("b_data"), Bind("b_sender"), Bind("b_sel"),
+                        Bind("b_tag"), Bind("b_remove"), AnyField()]
+            bind_tagged = [Bind("b_data"), Bind("b_sender"), Bind("b_sel"),
+                           MatchEq(V("r_tag")), Bind("b_remove"), AnyField()]
+            return If(
+                Branch(
+                    Guard(V("r_sel") == 0),
+                    If(
+                        Branch(Recv(store(k), bind_all,
+                                    comment="takes the oldest event"),
+                               Assign(f"cnt{k}", V(f"cnt{k}") - 1),
+                               deliver),
+                        Branch(Else(),
+                               Send("recv_sig", [C(OUT_FAIL), V("r_sender")],
+                                    comment="no event pending")),
+                    ),
+                ),
+                Branch(
+                    Else(),  # topic-filtered subscription
+                    If(
+                        Branch(Recv(store(k), bind_tagged, matching=True,
+                                    comment="takes the oldest matching event"),
+                               Assign(f"cnt{k}", V(f"cnt{k}") - 1),
+                               Assign("b_tag", V("r_tag")),
+                               deliver),
+                        Branch(Else(),
+                               Send("recv_sig", [C(OUT_FAIL), V("r_sender")])),
+                    ),
+                ),
+            )
+
+        branches = []
+        for k in range(slots):
+            branches.append(Branch(
+                Guard(V(f"subpid{k}") == V("r_sender")), serve(k)
+            ))
+        for k in range(slots):
+            # A new port claims the *first* free slot: every earlier slot
+            # must already be claimed, and by someone else.
+            cond = V(f"subpid{k}") == -1
+            for j in range(k):
+                cond = cond & (V(f"subpid{j}") != -1)
+                cond = cond & (V(f"subpid{j}") != V("r_sender"))
+            branches.append(Branch(
+                Guard(cond),
+                Assign(f"subpid{k}", V("r_sender"),
+                       comment=f"claims subscriber slot {k}"),
+                serve(k),
+            ))
+        branches.append(Branch(
+            Else(),
+            Send("recv_sig", [C(OUT_FAIL), V("r_sender")],
+                 comment="no subscriber slot available"),
+        ))
+        return If(*branches)
+
+    return Seq([
+        EndLabel(),
+        Do(
+            Branch(
+                Recv("sender_data",
+                     [Bind("m_data"), Bind("m_sender"), Bind("m_sel"),
+                      Bind("m_tag"), Bind("m_remove"), AnyField()],
+                     comment="receives a published event"),
+                Send("sender_sig", [C(IN_OK), V("m_sender")],
+                     comment="confirms acceptance into the pool"),
+                fanout(),
+                Send("sender_sig", [C(RECV_OK), V("m_sender")],
+                     comment="publish/subscribe decoupling: delivery is "
+                             "confirmed at fan-out time"),
+            ),
+            Branch(
+                Recv("recv_data",
+                     [AnyField(), Bind("r_sender"), Bind("r_sel"),
+                      Bind("r_tag"), Bind("r_remove"), AnyField()],
+                     comment="receives a subscription pull request"),
+                claim_or_serve(),
+            ),
+        ),
+    ])
+
+
+@dataclass(frozen=True)
+class EventPool(ChannelSpec):
+    """An event-pool channel: per-subscriber copies, pull delivery."""
+
+    kind = "event_pool"
+    description = (
+        "An event service: every published event is copied into a FIFO "
+        "store per subscriber; subscribers pull (optionally filtered by "
+        "topic tag); full stores miss events; publishers are never blocked."
+    )
+    subscribers: int = 2
+    depth: int = 1
+
+    def __post_init__(self) -> None:
+        if self.subscribers < 1:
+            raise ValueError("EventPool needs at least 1 subscriber slot")
+        if self.depth < 1:
+            raise ValueError("EventPool depth must be >= 1")
+
+    @property
+    def capacity(self) -> int:
+        return self.depth
+
+    def internal_stores(self) -> Dict[str, int]:
+        return {f"store{k}": self.depth for k in range(self.subscribers)}
+
+    def key(self) -> Hashable:
+        return (self.kind, self.subscribers, self.depth, self.faithful)
+
+    def display_name(self) -> str:
+        return f"event_pool({self.subscribers} subs, depth {self.depth})"
+
+    def build_def(self) -> ProcessDef:
+        local_vars: Dict[str, int] = {
+            "m_data": 0, "m_sender": 0, "m_sel": 0, "m_tag": 0, "m_remove": 0,
+            "r_sender": 0, "r_sel": 0, "r_tag": 0, "r_remove": 0,
+            "b_data": 0, "b_sender": 0, "b_sel": 0, "b_tag": 0, "b_remove": 0,
+        }
+        for k in range(self.subscribers):
+            local_vars[f"subpid{k}"] = -1
+            local_vars[f"cnt{k}"] = 0
+        return ProcessDef(
+            f"event_pool_{self.subscribers}_{self.depth}",
+            _event_pool_body(self.subscribers, self.depth),
+            chan_params=self.chan_params,
+            local_vars=local_vars,
+        )
+
+
+def build_pubsub(
+    publishers: int = 1,
+    subscribers: int = 2,
+    events_each: int = 1,
+    depth: int = 2,
+    topics: Optional[Sequence[int]] = None,
+    publish_port: Optional[SendPortSpec] = None,
+    name: str = "pubsub",
+) -> Architecture:
+    """A publish/subscribe system on one :class:`EventPool` connector.
+
+    Publisher *i* publishes ``events_each`` events on topic
+    ``topics[i % len(topics)]`` (default: topic = publisher index).
+    Every subscriber pulls until it has received ``publishers *
+    events_each`` events (or its topic's share when filtering).
+    """
+    publish_port = publish_port if publish_port is not None else AsynBlockingSend()
+    topics = list(topics) if topics is not None else list(range(publishers))
+    arch = Architecture(name)
+    pool = arch.add_connector("events", EventPool(subscribers=subscribers,
+                                                  depth=depth))
+
+    for i in range(publishers):
+        published = arch.add_global(f"published_{i}", 0)
+        topic = topics[i % len(topics)]
+        body = Seq([
+            Do(
+                Branch(
+                    Guard(V(published) < events_each),
+                    send_message("out", V(published) + 100 * (i + 1) + 1,
+                                 tag=topic),
+                    Assign(published, V(published) + 1),
+                ),
+                Branch(Guard(V(published) == events_each), Break()),
+            ),
+        ])
+        comp = Component(f"Publisher{i}", ports={"out": SEND}, body=body)
+        arch.add_component(comp)
+        pool.attach_sender(comp, "out", publish_port)
+
+    total = publishers * events_each
+    for j in range(subscribers):
+        got = arch.add_global(f"received_{j}", 0)
+        body = Seq([
+            Do(
+                Branch(
+                    Guard(V(got) < total),
+                    receive_message("inp", into="event"),
+                    If(
+                        Branch(Guard(V("recv_status") == "RECV_SUCC"),
+                               Assign(got, V(got) + 1)),
+                        Branch(Else()),
+                    ),
+                ),
+                Branch(Guard(V(got) == total), Break()),
+            ),
+        ])
+        comp = Component(f"Subscriber{j}", ports={"inp": RECEIVE}, body=body,
+                         local_vars={"event": 0})
+        arch.add_component(comp)
+        pool.attach_receiver(comp, "inp", BlockingReceive())
+
+    return arch

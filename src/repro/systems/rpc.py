@@ -1,0 +1,139 @@
+"""Remote procedure call assembled from PnP building blocks (paper §6).
+
+RPC is a *pattern* over the message-passing blocks rather than a new
+block: a call connector carries requests from clients to the server,
+and one reply connector per client carries results back.  The blocking
+call semantics emerge from the composition:
+
+* the client sends its request through a **synchronous blocking send**
+  (so the call does not proceed until the server has taken the request)
+  and then blocks in a **blocking receive** on its reply connector;
+* the server loops: blocking-receive a request, compute, send the reply
+  through an **asynchronous blocking send** (the server should not wait
+  for the client to pick the result up).
+
+The demo procedure doubles its argument; a client asserts the returned
+value, giving the verification something end-to-end to check.  Clients
+are distinguished by the priority tag on the reply (each client's reply
+connector is separate, so tags are only documentation here).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import (
+    Architecture,
+    AsynBlockingSend,
+    BlockingReceive,
+    Component,
+    FifoQueue,
+    RECEIVE,
+    SEND,
+    SingleSlotBuffer,
+    SynBlockingSend,
+    receive_message,
+    send_message,
+)
+from ..psl.expr import V
+from ..psl.stmt import (
+    Assert,
+    Assign,
+    Branch,
+    Break,
+    Do,
+    Else,
+    EndLabel,
+    Guard,
+    If,
+    Seq,
+)
+
+
+def build_rpc(
+    clients: int = 1,
+    calls_each: int = 1,
+    name: str = "rpc",
+) -> Architecture:
+    """An RPC system: ``clients`` callers of a doubling server.
+
+    Client *i* calls the server ``calls_each`` times with arguments
+    ``10*i + k`` and asserts each reply equals twice the argument.
+    Globals ``calls_done_<i>`` count completed calls per client.
+    """
+    if clients < 1:
+        raise ValueError("need at least one client")
+    arch = Architecture(name)
+
+    # The server tags each reply with the client index it belongs to;
+    # requests carry the client index in their tag field.
+    server_body = Seq([
+        EndLabel(),
+        Do(Branch(
+            receive_message("calls", into="request"),
+            Assign("result", V("request") * 2, comment="the procedure body"),
+            # route the reply to the calling client
+            _reply_switch(clients),
+        )),
+    ])
+    server = Component(
+        "Server",
+        ports={"calls": RECEIVE,
+               **{f"reply{i}": SEND for i in range(clients)}},
+        body=server_body,
+        local_vars={"request": 0, "result": 0, "caller": 0},
+    )
+    arch.add_component(server)
+
+    call_conn = arch.add_connector("Call", FifoQueue(size=max(1, clients)))
+    call_conn.attach_receiver(server, "calls", BlockingReceive())
+
+    for i in range(clients):
+        done = arch.add_global(f"calls_done_{i}", 0)
+        client_body = Seq([
+            Do(
+                Branch(
+                    Guard(V(done) < calls_each),
+                    Assign("arg", V(done) + 10 * i + 1),
+                    send_message("call", V("arg"), tag=i),
+                    receive_message("ret", into="ret_val"),
+                    Assert(V("ret_val") == V("arg") * 2,
+                           comment="the RPC result must be the doubled arg"),
+                    Assign(done, V(done) + 1),
+                ),
+                Branch(Guard(V(done) == calls_each), Break()),
+            ),
+        ])
+        client = Component(
+            f"Client{i}",
+            ports={"call": SEND, "ret": RECEIVE},
+            body=client_body,
+            local_vars={"arg": 0, "ret_val": 0},
+        )
+        arch.add_component(client)
+        call_conn.attach_sender(client, "call", SynBlockingSend())
+
+        reply_conn = arch.add_connector(f"Reply{i}", SingleSlotBuffer())
+        reply_conn.attach_sender(server, f"reply{i}", AsynBlockingSend())
+        reply_conn.attach_receiver(client, "ret", BlockingReceive())
+
+    return arch
+
+
+def _reply_switch(clients: int):
+    """Dispatch the reply to the caller's reply connector.
+
+    The request's *tag* (bound by the standard interface into the
+    message, surfaced here via the ``caller`` variable set from the
+    payload's derived value) identifies the client.  To keep the server
+    generic we recover the caller from the argument range: client *i*
+    sends arguments in ``(10*i, 10*i + 9]``.
+    """
+    branches = []
+    for i in range(clients):
+        branches.append(Branch(
+            Guard((V("request") > 10 * i) & (V("request") <= 10 * i + 9)),
+            send_message(f"reply{i}", V("result")),
+        ))
+    branches.append(Branch(Else(), send_message("reply0", V("result"))))
+    return If(*branches)

@@ -1,0 +1,74 @@
+"""Tests for the DOT/Graphviz emitters."""
+
+import pytest
+
+from repro.codegen.dot import architecture_to_dot, automaton_to_dot
+from repro.core import AsynBlockingSend, SingleSlotBuffer, SynBlockingSend
+from repro.systems.bridge import BridgeConfig, build_exactly_n_bridge
+from repro.systems.producer_consumer import simple_pair
+
+
+class TestAutomatonDot:
+    def test_block_automaton_renders(self):
+        dot = automaton_to_dot(SynBlockingSend().build_def())
+        assert dot.startswith('digraph "SynBlSendPort"')
+        assert "__start" in dot
+        assert "doublecircle" in dot  # the end-labeled idle location
+
+    def test_edges_labeled_with_ops(self):
+        dot = automaton_to_dot(SynBlockingSend().build_def())
+        assert "comp_data?m_data" in dot
+
+    def test_long_labels_truncated(self):
+        dot = automaton_to_dot(SingleSlotBuffer().build_def(), max_label=15)
+        for line in dot.splitlines():
+            if 'label="' in line and "->" in line:
+                label = line.split('label="')[1].split('"')[0]
+                assert len(label) <= 15
+
+    def test_initial_location_marked(self):
+        d = SynBlockingSend().build_def()
+        dot = automaton_to_dot(d)
+        assert f"__start -> L{d.automaton.initial};" in dot
+
+    def test_balanced_braces(self):
+        dot = automaton_to_dot(AsynBlockingSend().build_def())
+        assert dot.count("{") == dot.count("}")
+
+
+class TestArchitectureDot:
+    def test_pair_topology(self):
+        dot = architecture_to_dot(
+            simple_pair(SynBlockingSend(), SingleSlotBuffer()))
+        assert '"Producer0" [shape=box' in dot
+        assert '"Consumer0" [shape=box' in dot
+        assert '"link" [shape=ellipse' in dot
+        assert '"Producer0" -> "link"' in dot
+        assert '"link" -> "Consumer0"' in dot
+
+    def test_port_kinds_on_edges(self):
+        dot = architecture_to_dot(
+            simple_pair(SynBlockingSend(), SingleSlotBuffer()))
+        assert "syn_blocking_send" in dot
+        assert "blocking_receive(remove)" in dot
+
+    def test_channel_kind_in_connector_label(self):
+        dot = architecture_to_dot(
+            simple_pair(SynBlockingSend(), SingleSlotBuffer()))
+        assert "single_slot_buffer" in dot
+
+    def test_bridge_topology(self):
+        cfg = BridgeConfig(1, 1, trips=1)
+        dot = architecture_to_dot(build_exactly_n_bridge(cfg))
+        for node in ("BlueController", "RedController", "BlueCar1",
+                     "BlueEnter", "RedExit"):
+            assert node in dot
+
+    def test_invalid_architecture_rejected(self):
+        from repro.core import Architecture, Component, SEND
+        from repro.core.interface import send_message
+        arch = Architecture("broken")
+        arch.add_component(Component("A", ports={"out": SEND},
+                                     body=send_message("out", 1)))
+        with pytest.raises(Exception):
+            architecture_to_dot(arch)  # dangling port

@@ -1,0 +1,208 @@
+"""Tests for the Promela code generator (formalism independence)."""
+
+import pytest
+
+from repro.codegen import system_to_promela
+from repro.codegen.promela import PromelaEmitter
+from repro.core import (
+    AsynBlockingSend,
+    AsynNonblockingSend,
+    BlockingReceive,
+    FifoQueue,
+    SingleSlotBuffer,
+    SynBlockingSend,
+)
+from repro.core.ports import SynBlockingSend as SynBl
+from repro.psl import (
+    Assert,
+    Assign,
+    Branch,
+    Break,
+    Do,
+    DStep,
+    Else,
+    EndLabel,
+    Guard,
+    If,
+    ProcessDef,
+    Recv,
+    Send,
+    Seq,
+    Skip,
+    System,
+    V,
+    buffered,
+    rendezvous,
+)
+from repro.systems.producer_consumer import simple_pair
+
+
+@pytest.fixture
+def pair_system():
+    return simple_pair(SynBlockingSend(), SingleSlotBuffer()).to_system()
+
+
+class TestTopLevel:
+    def test_mtype_declared(self, pair_system):
+        src = system_to_promela(pair_system)
+        assert "mtype = {" in src
+        for sig in ("SEND_SUCC", "IN_OK", "RECV_OK", "OUT_FAIL"):
+            assert sig in src
+
+    def test_globals_declared(self, pair_system):
+        src = system_to_promela(pair_system)
+        assert "int acked_0 = 0;" in src
+
+    def test_channels_declared_with_capacity(self, pair_system):
+        src = system_to_promela(pair_system)
+        assert "chan link_snd_data = [0] of" in src
+        assert "chan link_snd_sig = [" in src
+
+    def test_proctypes_emitted_once_per_definition(self, pair_system):
+        src = system_to_promela(pair_system)
+        assert src.count("proctype SynBlSendPort(") == 1
+        assert src.count("proctype single_slot_buffer(") == 1
+
+    def test_init_runs_every_instance(self, pair_system):
+        src = system_to_promela(pair_system)
+        assert "init {" in src
+        assert src.count("run ") == len(pair_system.instances)
+        assert "/* Producer0 */" in src
+
+    def test_channel_params_passed(self, pair_system):
+        src = system_to_promela(pair_system)
+        assert "run SynBlSendPort(link_Producer0_out_sig" in src
+
+
+class TestPaperModelShape:
+    """The emitted block models must contain the paper's key lines."""
+
+    def test_syn_bl_send_port_protocol(self):
+        src = PromelaEmitter(
+            simple_pair(SynBlockingSend(), SingleSlotBuffer()).to_system()
+        ).emit()
+        # Figure 6 landmarks
+        assert "comp_data?m_data" in src
+        assert "chan_data!m_data,_pid" in src
+        assert "chan_sig??IN_OK,eval(_pid)" in src
+        assert "chan_sig??RECV_OK,eval(_pid)" in src
+        assert "comp_sig!SEND_SUCC,-1" in src
+
+    def test_asyn_nb_port_confirms_before_forwarding(self):
+        src = PromelaEmitter(
+            simple_pair(AsynNonblockingSend(), SingleSlotBuffer()).to_system()
+        ).emit()
+        confirm = src.index("comp_sig!SEND_SUCC,-1")
+        forward = src.index("chan_data!m_data", src.index("AsynNbSendPort"))
+        assert confirm < forward
+
+    def test_single_slot_buffer_shape(self, pair_system):
+        src = system_to_promela(pair_system)
+        # Figure 11 landmarks
+        assert "recv_sig!OUT_OK,r_sender" in src
+        assert "sender_sig!RECV_OK,b_sender" in src
+        assert "sender_sig!IN_FAIL,m_sender" in src
+        assert "buffer_empty = 0" in src
+
+
+class TestStatementForms:
+    def emit_one(self, body, chan_decls=(), local_vars=None):
+        s = System("one")
+        chans = {}
+        for decl in chan_decls:
+            chans[decl.name] = s.add_channel(decl)
+        d = ProcessDef("proc", body, chan_params=tuple(chans),
+                       local_vars=local_vars or {})
+        s.spawn(d, "i", chans=chans)
+        return system_to_promela(s)
+
+    def test_if_fi(self):
+        src = self.emit_one(If(Branch(Guard(V("g") == 1)), Branch(Else())),
+                            local_vars={"g": 0})
+        assert ":: ((g == 1));" in src
+        assert ":: else" in src
+        assert "fi;" in src
+
+    def test_do_od_with_break(self):
+        src = self.emit_one(Do(Branch(Guard(V("g") == 0), Break())),
+                            local_vars={"g": 0})
+        assert "do" in src and "od;" in src
+        assert "break;" in src
+
+    def test_dstep(self):
+        src = self.emit_one(DStep([Assign("x", 1), Assert(V("x") == 1)]),
+                            local_vars={"x": 0})
+        assert "d_step {" in src
+        assert "assert((x == 1));" in src
+
+    def test_skip_and_assert(self):
+        src = self.emit_one(Seq([Skip(), Assert(V("x") == 0)]),
+                            local_vars={"x": 0})
+        assert "skip;" in src
+
+    def test_end_label(self):
+        src = self.emit_one(Seq([EndLabel(), Skip()]))
+        assert "end1:" in src
+
+    def test_matching_receive_syntax(self):
+        src = self.emit_one(
+            Recv("c", [1, "x"], matching=True),
+            chan_decls=[buffered("c", 1, "a", "b")],
+            local_vars={"x": 0},
+        )
+        assert "c??1,x;" in src
+
+    def test_peek_syntax(self):
+        src = self.emit_one(
+            Recv("c", ["x"], peek=True),
+            chan_decls=[buffered("c", 1, "a")],
+            local_vars={"x": 0},
+        )
+        assert "c?<x>;" in src
+
+    def test_guarded_receive_emits_atomic(self):
+        src = self.emit_one(
+            Recv("c", ["x"], when=(V("n") > 0)),
+            chan_decls=[buffered("c", 1, "a")],
+            local_vars={"x": 0, "n": 0},
+        )
+        assert "atomic {" in src
+        assert "((n > 0)) -> c?x;" in src
+
+    def test_value_params_in_run(self):
+        s = System("p")
+        d = ProcessDef("withparam", Assign("x", V("n")), params=("n",),
+                       local_vars={"x": 0})
+        s.spawn(d, "i", args={"n": 42})
+        src = system_to_promela(s)
+        assert "proctype withparam(int n)" in src
+        assert "run withparam(42);" in src
+
+    def test_comments_carried(self):
+        src = self.emit_one(Assign("x", 1, comment="stores the flag"),
+                            local_vars={"x": 0})
+        assert "/* stores the flag */" in src
+
+
+class TestWholeSystemsEmit:
+    @pytest.mark.parametrize("builder", [
+        lambda: simple_pair(SynBlockingSend(), SingleSlotBuffer()),
+        lambda: simple_pair(AsynBlockingSend(), FifoQueue(size=2)),
+    ])
+    def test_emit_does_not_crash_and_is_substantial(self, builder):
+        src = system_to_promela(builder().to_system())
+        assert len(src.splitlines()) > 60
+
+    def test_fused_system_emits(self):
+        src = system_to_promela(
+            simple_pair(SynBlockingSend(), FifoQueue(size=2))
+            .to_system(fused=True)
+        )
+        assert "proctype fused_fifo_queue_1s1r" in src
+
+    def test_bridge_emits(self):
+        from repro.systems.bridge import BridgeConfig, build_exactly_n_bridge
+        cfg = BridgeConfig(cars_per_side=1, n_per_turn=1, trips=1)
+        src = system_to_promela(build_exactly_n_bridge(cfg).to_system())
+        assert "proctype BlueController" in src
+        assert "proctype fifo_queue_1" in src

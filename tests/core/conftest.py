@@ -1,0 +1,52 @@
+"""Shared fixtures for PnP-layer tests."""
+
+import pytest
+
+from repro.core import BlockingReceive, SingleSlotBuffer, SynBlockingSend
+from repro.mc import check_safety, find_state, global_prop
+from repro.systems.producer_consumer import (
+    ConsumerSpec,
+    ProducerSpec,
+    build_producer_consumer,
+    simple_pair,
+)
+
+
+def acked(i=0):
+    return global_prop(f"acked_{i}_pos",
+                       lambda v, i=i: v.global_(f"acked_{i}") > 0,
+                       f"acked_{i}")
+
+
+def consumed_exactly(j, n):
+    return global_prop(
+        f"consumed_{j}_{n}",
+        lambda v, j=j, n=n: v.global_(f"consumed_{j}") == n,
+        f"consumed_{j}",
+    )
+
+
+def final_counts(arch, fused=False):
+    """Run safety exploration and return the set of terminal observable
+    (acked_0, consumed_0) pairs reachable, by sampling quiescent states."""
+    from repro.psl import Interpreter
+    system = arch.to_system(fused=fused)
+    interp = Interpreter(system)
+    init = interp.initial_state()
+    seen = {init}
+    frontier = [init]
+    terminals = set()
+    gidx = system.global_index
+    while frontier:
+        state = frontier.pop()
+        trans = interp.transitions(state)
+        if not trans:
+            terminals.add(
+                (state.globals_[gidx["acked_0"]],
+                 state.globals_[gidx["consumed_0"]])
+            )
+        for t in trans:
+            if t.target not in seen:
+                seen.add(t.target)
+                frontier.append(t.target)
+    return terminals

@@ -1,0 +1,250 @@
+"""Tests for Architecture/Connector/Component: construction, validation,
+plug-and-play revision, and elaboration structure."""
+
+import pytest
+
+from repro.core import (
+    Architecture,
+    ArchitectureError,
+    AsynBlockingSend,
+    BlockingReceive,
+    Component,
+    FifoQueue,
+    ModelLibrary,
+    NonblockingReceive,
+    RECEIVE,
+    SEND,
+    SingleSlotBuffer,
+    SynBlockingSend,
+    send_message,
+    receive_message,
+)
+from repro.psl.stmt import Seq, Skip
+
+
+def sender_component(name="S"):
+    return Component(name, ports={"out": SEND}, body=send_message("out", 1))
+
+
+def receiver_component(name="R"):
+    return Component(name, ports={"inp": RECEIVE},
+                     body=receive_message("inp", into="m"),
+                     local_vars={"m": 0})
+
+
+def tiny_arch():
+    arch = Architecture("tiny")
+    s = arch.add_component(sender_component())
+    r = arch.add_component(receiver_component())
+    conn = arch.add_connector("c", SingleSlotBuffer())
+    conn.attach_sender(s, "out", AsynBlockingSend())
+    conn.attach_receiver(r, "inp", BlockingReceive())
+    return arch
+
+
+class TestComponent:
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            Component("c", ports={"p": "sideways"}, body=Skip())
+
+    def test_chan_params_derived_from_ports(self):
+        c = sender_component()
+        assert c.chan_params == ("out_sig", "out_data")
+
+    def test_build_def_includes_interface_locals(self):
+        d = receiver_component().build_def()
+        assert "recv_status" in d.local_vars
+        assert "send_status" in d.local_vars
+
+    def test_modified_bumps_version_and_uid(self):
+        c = sender_component()
+        c2 = c.modified(body=Seq([send_message("out", 2)]))
+        assert c2.version == c.version + 1
+        assert c2.model_key() != c.model_key()
+
+    def test_same_named_different_designs_have_distinct_keys(self):
+        a = sender_component("X")
+        b = Component("X", ports={"out": SEND}, body=send_message("out", 9))
+        assert a.model_key() != b.model_key()
+
+
+class TestConnectorValidation:
+    def test_unknown_port_rejected(self):
+        conn = Architecture("a").add_connector("c", SingleSlotBuffer())
+        with pytest.raises(KeyError):
+            conn.attach_sender(sender_component(), "nope", AsynBlockingSend())
+
+    def test_direction_mismatch_rejected(self):
+        conn = Architecture("a").add_connector("c", SingleSlotBuffer())
+        with pytest.raises(ValueError, match="cannot attach"):
+            conn.attach_sender(receiver_component(), "inp", AsynBlockingSend())
+
+    def test_wrong_spec_type_rejected(self):
+        conn = Architecture("a").add_connector("c", SingleSlotBuffer())
+        with pytest.raises(TypeError):
+            conn.attach_sender(sender_component(), "out", BlockingReceive())
+
+    def test_double_attachment_rejected(self):
+        conn = Architecture("a").add_connector("c", SingleSlotBuffer())
+        s = sender_component()
+        conn.attach_sender(s, "out", AsynBlockingSend())
+        with pytest.raises(ValueError, match="already attached"):
+            conn.attach_sender(s, "out", SynBlockingSend())
+
+    def test_non_channelspec_rejected(self):
+        with pytest.raises(TypeError):
+            Architecture("a").add_connector("c", AsynBlockingSend())
+
+    def test_describe_lists_blocks(self):
+        arch = tiny_arch()
+        text = arch.connector("c").describe()
+        assert "asyn_blocking_send" in text
+        assert "single_slot_buffer" in text
+
+
+class TestSwaps:
+    def test_swap_send_port(self):
+        arch = tiny_arch()
+        arch.swap_send_port("c", "S", SynBlockingSend())
+        assert arch.connector("c").senders[0].spec == SynBlockingSend()
+
+    def test_swap_receive_port(self):
+        arch = tiny_arch()
+        arch.swap_receive_port("c", "R", NonblockingReceive())
+        assert arch.connector("c").receivers[0].spec == NonblockingReceive()
+
+    def test_swap_channel(self):
+        arch = tiny_arch()
+        arch.swap_channel("c", FifoQueue(size=4))
+        assert arch.connector("c").channel == FifoQueue(size=4)
+
+    def test_swap_unknown_component_rejected(self):
+        with pytest.raises(KeyError):
+            tiny_arch().swap_send_port("c", "Nobody", SynBlockingSend())
+
+    def test_swap_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            tiny_arch().connector("c").swap_send_port("S", BlockingReceive())
+
+    def test_swap_all_send_ports(self):
+        arch = Architecture("multi")
+        r = arch.add_component(receiver_component())
+        conn = arch.add_connector("c", FifoQueue(size=2))
+        for i in range(3):
+            s = arch.add_component(sender_component(f"S{i}"))
+            conn.attach_sender(s, "out", AsynBlockingSend())
+        conn.attach_receiver(r, "inp", BlockingReceive())
+        conn.swap_all_send_ports(SynBlockingSend())
+        assert all(a.spec == SynBlockingSend() for a in conn.senders)
+
+    def test_swaps_do_not_touch_components(self):
+        arch = tiny_arch()
+        before = {c.model_key() for c in arch.components.values()}
+        arch.swap_send_port("c", "S", SynBlockingSend())
+        arch.swap_channel("c", FifoQueue(size=2))
+        after = {c.model_key() for c in arch.components.values()}
+        assert before == after
+
+    def test_replace_component(self):
+        arch = tiny_arch()
+        revised = arch.component("S").modified()
+        arch.replace_component(revised)
+        assert arch.component("S").version == 2
+
+
+class TestArchitectureValidation:
+    def test_duplicate_component_rejected(self):
+        arch = Architecture("a")
+        arch.add_component(sender_component())
+        with pytest.raises(ArchitectureError, match="duplicate"):
+            arch.add_component(sender_component())
+
+    def test_duplicate_connector_rejected(self):
+        arch = Architecture("a")
+        arch.add_connector("c", SingleSlotBuffer())
+        with pytest.raises(ArchitectureError, match="duplicate"):
+            arch.add_connector("c", SingleSlotBuffer())
+
+    def test_duplicate_global_rejected(self):
+        arch = Architecture("a")
+        arch.add_global("g")
+        with pytest.raises(ArchitectureError):
+            arch.add_global("g")
+
+    def test_unattached_port_rejected(self):
+        arch = Architecture("a")
+        arch.add_component(sender_component())
+        with pytest.raises(ArchitectureError, match="not attached"):
+            arch.validate()
+
+    def test_port_attached_twice_across_connectors_rejected(self):
+        arch = Architecture("a")
+        s = arch.add_component(sender_component())
+        r = arch.add_component(receiver_component())
+        c1 = arch.add_connector("c1", SingleSlotBuffer())
+        c2 = arch.add_connector("c2", SingleSlotBuffer())
+        c1.attach_sender(s, "out", AsynBlockingSend())
+        c2.attach_sender(s, "out", AsynBlockingSend())
+        c1.attach_receiver(r, "inp", BlockingReceive())
+        with pytest.raises(ArchitectureError, match="attached to both"):
+            arch.validate()
+
+    def test_connector_without_receiver_rejected(self):
+        arch = Architecture("a")
+        s = arch.add_component(sender_component())
+        conn = arch.add_connector("c", SingleSlotBuffer())
+        conn.attach_sender(s, "out", AsynBlockingSend())
+        with pytest.raises(ArchitectureError, match="at least one"):
+            arch.to_system()
+
+
+class TestElaboration:
+    def test_process_naming_scheme(self):
+        system = tiny_arch().to_system()
+        names = {i.name for i in system.instances}
+        assert names == {"S", "R", "c.channel", "c.S.out.port", "c.R.inp.port"}
+
+    def test_channel_naming_scheme(self):
+        system = tiny_arch().to_system()
+        names = {c.name for c in system.channels}
+        assert "c.snd_sig" in names
+        assert "c.snd_data" in names
+        assert "c.S.out_data" in names
+
+    def test_internal_store_created_for_fifo(self):
+        arch = tiny_arch()
+        arch.swap_channel("c", FifoQueue(size=3))
+        system = arch.to_system()
+        store = system.channel_by_name("c.store")
+        assert store.capacity == 3
+
+    def test_globals_transferred(self):
+        arch = tiny_arch()
+        arch.add_global("counter", 5)
+        system = arch.to_system()
+        assert system.global_vars["counter"] == 5
+
+    def test_signal_channels_buffered_data_rendezvous(self):
+        system = tiny_arch().to_system()
+        assert system.channel_by_name("c.snd_sig").is_buffered
+        assert system.channel_by_name("c.snd_data").is_rendezvous
+        assert system.channel_by_name("c.S.out_sig").is_rendezvous
+
+    def test_elaboration_is_repeatable(self):
+        arch = tiny_arch()
+        s1 = arch.to_system()
+        s2 = arch.to_system()
+        assert s1.initial_state() == s2.initial_state()
+
+    def test_library_reuse_across_elaborations(self):
+        lib = ModelLibrary()
+        arch = tiny_arch()
+        arch.to_system(lib)
+        misses_first = lib.stats.misses
+        arch.to_system(lib)
+        assert lib.stats.misses == misses_first  # everything cached
+
+    def test_describe(self):
+        text = tiny_arch().describe()
+        assert "architecture tiny" in text
+        assert "S" in text and "R" in text

@@ -1,0 +1,204 @@
+"""Semantic tests for the channel building blocks (Figure 1 / Figure 11)."""
+
+import pytest
+
+from repro.core import (
+    AsynBlockingSend,
+    AsynCheckingSend,
+    BlockingReceive,
+    DroppingBuffer,
+    FifoQueue,
+    PriorityQueue,
+    SingleSlotBuffer,
+    SynBlockingSend,
+)
+from repro.mc import check_safety, find_state, global_prop, prop
+from repro.systems.producer_consumer import (
+    ConsumerSpec,
+    ProducerSpec,
+    build_producer_consumer,
+    simple_pair,
+)
+
+
+class TestSingleSlotBuffer:
+    def test_holds_one_message(self):
+        arch = simple_pair(AsynCheckingSend(), SingleSlotBuffer(),
+                           messages=2, receives=2)
+        # with a checking sender, the second send can fail while the slot
+        # is occupied
+        failed = prop(
+            "fail", lambda v: v.local("Producer0", "send_status") == "SEND_FAIL")
+        assert find_state(arch.to_system(), failed) is not None
+
+    def test_message_passes_through(self):
+        arch = simple_pair(SynBlockingSend(), SingleSlotBuffer(), messages=1)
+        got = global_prop("got", lambda v: v.global_("last_0") == 10, "last_0")
+        assert find_state(arch.to_system(), got) is not None
+
+    def test_deadlock_free_with_blocking_pair(self):
+        arch = simple_pair(SynBlockingSend(), SingleSlotBuffer(), messages=3)
+        assert check_safety(arch.to_system())
+
+
+class TestFifoQueue:
+    def test_delivery_preserves_order(self):
+        """Across ALL interleavings the consumer sees 10 then 11 then 12."""
+        arch = simple_pair(SynBlockingSend(), FifoQueue(size=3), messages=3)
+        out_of_order = prop(
+            "ooo",
+            lambda v: v.global_("last_0") != v.global_("consumed_0") + 9
+            and v.global_("consumed_0") > 0,
+            globals_read=["last_0", "consumed_0"], locals_read=[],
+        )
+        # payload of the n-th consumed message is always 9+n
+        assert find_state(arch.to_system(), out_of_order) is None
+
+    def test_capacity_enforced(self):
+        arch = simple_pair(AsynCheckingSend(), FifoQueue(size=2),
+                           messages=3, receives=3)
+        failed = prop(
+            "fail", lambda v: v.local("Producer0", "send_status") == "SEND_FAIL")
+        assert find_state(arch.to_system(), failed) is not None
+
+    def test_no_loss_with_blocking_sender(self):
+        arch = simple_pair(SynBlockingSend(), FifoQueue(size=1), messages=3)
+        assert check_safety(arch.to_system())
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            FifoQueue(size=0)
+
+
+class TestDroppingBuffer:
+    def test_silent_loss_is_reachable(self):
+        arch = simple_pair(AsynBlockingSend(), DroppingBuffer(size=1),
+                           messages=2, receives=2)
+        # producer fully acked, consumer got nothing, yet only one message
+        # exists anywhere: the other was silently dropped
+        loss = prop(
+            "loss",
+            lambda v: (v.global_("acked_0") == 2
+                       and v.global_("consumed_0") == 0
+                       and v.chan_len("link.store") == 1
+                       and v.chan_len("link.snd_data") == 0),
+        )
+        assert find_state(arch.to_system(), loss) is not None
+
+    def test_never_reports_failure(self):
+        arch = simple_pair(AsynCheckingSend(), DroppingBuffer(size=1),
+                           messages=3, receives=3)
+        failed = prop(
+            "fail", lambda v: v.local("Producer0", "send_status") == "SEND_FAIL")
+        # a dropping buffer always claims success
+        assert find_state(arch.to_system(), failed) is None
+
+    def test_fifo_never_loses_what_dropping_loses(self):
+        """The same workload over FifoQueue conserves messages."""
+        arch = simple_pair(AsynBlockingSend(), FifoQueue(size=1),
+                           messages=2, receives=2)
+        loss = prop(
+            "loss",
+            lambda v: (v.global_("acked_0") == 2
+                       and v.global_("consumed_0") == 0
+                       and v.chan_len("link.store") <= 1
+                       and v.chan_len("link.snd_data") == 0
+                       and v.local("link.Consumer0.inp.port", "d_data") == 0),
+        )
+        assert find_state(arch.to_system(), loss) is None
+
+
+class TestPriorityQueue:
+    def _arch(self):
+        """Producer A sends low-priority (tag 1), B high-priority (tag 0).
+
+        The consumer starts receiving only after both messages are queued
+        (it needs 2 receives; we check the first delivery is the urgent
+        one whenever both were buffered first).
+        """
+        return build_producer_consumer(
+            producers=[
+                ProducerSpec(messages=1, payload_base=10, tag=1,
+                             port=AsynBlockingSend()),
+                ProducerSpec(messages=1, payload_base=20, tag=0,
+                             port=AsynBlockingSend()),
+            ],
+            channel=PriorityQueue(size=2, levels=2),
+            consumers=[ConsumerSpec(receives=2, start_after_acks=True)],
+        )
+
+    def test_urgent_delivered_first_when_both_queued(self):
+        arch = self._arch()
+        # the consumer starts only after both messages are queued, so the
+        # first delivery must be the high-priority payload 20
+        bad = prop(
+            "low_first",
+            lambda v: v.global_("consumed_0") == 1
+            and v.global_("last_0") == 10,
+        )
+        assert find_state(arch.to_system(), bad) is None
+
+    def test_both_eventually_delivered(self):
+        arch = self._arch()
+        done = global_prop("done", lambda v: v.global_("consumed_0") == 2,
+                           "consumed_0")
+        assert find_state(arch.to_system(), done) is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriorityQueue(size=0)
+        with pytest.raises(ValueError):
+            PriorityQueue(size=1, levels=1)
+
+
+class TestSelectiveReceive:
+    def test_selective_skips_nonmatching(self):
+        """A tagged consumer retrieves the matching message even when a
+        non-matching one is ahead of it in the queue."""
+        arch = build_producer_consumer(
+            producers=[
+                ProducerSpec(messages=1, payload_base=10, tag=1,
+                             port=AsynBlockingSend()),
+                ProducerSpec(messages=1, payload_base=20, tag=2,
+                             port=AsynBlockingSend()),
+            ],
+            channel=FifoQueue(size=2),
+            consumers=[ConsumerSpec(receives=1, selective_tag=2)],
+        )
+        got_tagged = global_prop(
+            "got", lambda v: v.global_("last_0") == 20, "last_0")
+        assert find_state(arch.to_system(), got_tagged) is not None
+        got_untagged = global_prop(
+            "wrong", lambda v: v.global_("last_0") == 10, "last_0")
+        assert find_state(arch.to_system(), got_untagged) is None
+
+
+class TestFaithfulVariants:
+    @pytest.mark.parametrize("channel", [
+        SingleSlotBuffer(faithful=True),
+        FifoQueue(size=2, faithful=True),
+        DroppingBuffer(size=1, faithful=True),
+        PriorityQueue(size=2, levels=2, faithful=True),
+    ])
+    def test_faithful_models_give_same_verdict(self, channel):
+        arch = simple_pair(SynBlockingSend(), channel, messages=1)
+        optimized = type(channel)(**{
+            k: getattr(channel, k)
+            for k in channel.__dataclass_fields__ if k != "faithful"
+        })
+        arch_opt = simple_pair(SynBlockingSend(), optimized, messages=1)
+        r_faithful = check_safety(arch.to_system(), check_deadlock=True)
+        r_opt = check_safety(arch_opt.to_system(), check_deadlock=True)
+        assert r_faithful.ok == r_opt.ok
+
+    def test_faithful_key_differs(self):
+        assert FifoQueue(size=2).key() != FifoQueue(size=2, faithful=True).key()
+
+    def test_faithful_variant_explores_more_states(self):
+        from repro.mc import count_states
+        opt = simple_pair(SynBlockingSend(), FifoQueue(size=1), messages=2)
+        faith = simple_pair(SynBlockingSend(), FifoQueue(size=1, faithful=True),
+                            messages=2)
+        n_opt = count_states(opt.to_system()).states_stored
+        n_faith = count_states(faith.to_system()).states_stored
+        assert n_faith > n_opt

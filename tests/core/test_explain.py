@@ -1,0 +1,137 @@
+"""Tests for counterexample explanation (Section 6 direction)."""
+
+import pytest
+
+from repro.core import (
+    AsynBlockingSend,
+    DroppingBuffer,
+    SingleSlotBuffer,
+    SynBlockingSend,
+    classify_processes,
+    diagnose_deadlock,
+    explain_trace,
+)
+from repro.core.explain import (
+    ROLE_CHANNEL,
+    ROLE_COMPONENT,
+    ROLE_RECEIVE_PORT,
+    ROLE_SEND_PORT,
+)
+from repro.mc import check_safety
+from repro.systems.producer_consumer import (
+    ConsumerSpec,
+    ProducerSpec,
+    build_producer_consumer,
+    simple_pair,
+)
+
+
+@pytest.fixture
+def arch_and_system():
+    arch = simple_pair(AsynBlockingSend(), SingleSlotBuffer(), messages=1)
+    return arch, arch.to_system()
+
+
+class TestClassification:
+    def test_all_processes_classified(self, arch_and_system):
+        arch, system = arch_and_system
+        roles = classify_processes(arch, system)
+        assert set(roles) == {i.name for i in system.instances}
+
+    def test_component_role(self, arch_and_system):
+        arch, system = arch_and_system
+        roles = classify_processes(arch, system)
+        assert roles["Producer0"].role == ROLE_COMPONENT
+        assert roles["Consumer0"].role == ROLE_COMPONENT
+
+    def test_port_roles_with_block_kinds(self, arch_and_system):
+        arch, system = arch_and_system
+        roles = classify_processes(arch, system)
+        sp = roles["link.Producer0.out.port"]
+        assert sp.role == ROLE_SEND_PORT
+        assert "asyn_blocking_send" in sp.block_kind
+        rp = roles["link.Consumer0.inp.port"]
+        assert rp.role == ROLE_RECEIVE_PORT
+
+    def test_channel_role(self, arch_and_system):
+        arch, system = arch_and_system
+        roles = classify_processes(arch, system)
+        ch = roles["link.channel"]
+        assert ch.role == ROLE_CHANNEL
+        assert "single_slot_buffer" in ch.block_kind
+
+    def test_describe_readable(self, arch_and_system):
+        arch, system = arch_and_system
+        roles = classify_processes(arch, system)
+        text = roles["link.Producer0.out.port"].describe()
+        assert "Producer0.out" in text
+        assert "link" in text
+
+
+class TestExplainTrace:
+    def test_trace_rephrased(self):
+        arch = simple_pair(AsynBlockingSend(), DroppingBuffer(size=1),
+                           messages=2, receives=2)
+        system = arch.to_system()
+        from repro.mc import find_state, prop
+        loss = prop("loss", lambda v: v.global_("acked_0") == 2)
+        trace = find_state(system, loss)
+        text = explain_trace(trace, arch, system)
+        assert "component Producer0" in text
+        assert "IN_OK" in text or "accepted" in text
+
+    def test_max_steps_truncation(self, arch_and_system):
+        arch, system = arch_and_system
+        from repro.mc import find_state, prop
+        done = prop("done", lambda v: v.global_("consumed_0") == 1)
+        trace = find_state(system, done)
+        text = explain_trace(trace, arch, system, max_steps=2)
+        assert "more steps" in text
+
+
+class TestDeadlockDiagnosis:
+    def test_dropping_plus_sync_is_diagnosed(self):
+        """The paper's Section 6 wish: name the problematic blocks."""
+        arch = build_producer_consumer(
+            producers=[ProducerSpec(messages=2, port=SynBlockingSend())],
+            channel=DroppingBuffer(size=1),
+            consumers=[ConsumerSpec(receives=1)],
+        )
+        system = arch.to_system(fused=True)
+        result = check_safety(system, check_deadlock=True)
+        assert not result.ok
+        hypotheses = diagnose_deadlock(result, arch, system)
+        assert hypotheses
+        joined = " ".join(hypotheses)
+        assert "dropping buffer" in joined
+        assert "synchronous" in joined
+
+    def test_sync_port_starvation_diagnosed_composed(self):
+        arch = build_producer_consumer(
+            producers=[ProducerSpec(messages=2, port=SynBlockingSend())],
+            channel=DroppingBuffer(size=1),
+            consumers=[ConsumerSpec(receives=1)],
+        )
+        system = arch.to_system(fused=False)
+        result = check_safety(system, check_deadlock=True)
+        assert not result.ok
+        hypotheses = diagnose_deadlock(result, arch, system)
+        joined = " ".join(hypotheses)
+        assert "RECV_OK" in joined or "dropping" in joined
+
+    def test_no_diagnosis_for_passing_result(self, arch_and_system):
+        arch, system = arch_and_system
+        result = check_safety(system)
+        assert diagnose_deadlock(result, arch, system) == []
+
+    def test_component_blockage_reported(self):
+        """A component stuck mid-protocol is pointed at its connector."""
+        arch = build_producer_consumer(
+            producers=[ProducerSpec(messages=2, port=SynBlockingSend())],
+            channel=DroppingBuffer(size=1),
+            consumers=[ConsumerSpec(receives=1)],
+        )
+        system = arch.to_system(fused=True)
+        result = check_safety(system, check_deadlock=True)
+        hypotheses = diagnose_deadlock(result, arch, system)
+        assert any("Producer0" in h for h in hypotheses)

@@ -1,0 +1,106 @@
+"""Property-based equivalence: fused connectors vs composed blocks.
+
+For randomly drawn connector configurations, the set of *terminal
+observable outcomes* — which sends were confirmed and how many messages
+each consumer got when the system quiesces — must be identical under
+the composed and fused encodings.  This is the strongest practical
+statement of the Section-6 claim that the optimized models preserve the
+design's semantics.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AsynBlockingSend,
+    AsynCheckingSend,
+    AsynNonblockingSend,
+    BlockingReceive,
+    DroppingBuffer,
+    FifoQueue,
+    NonblockingReceive,
+    SingleSlotBuffer,
+    SynBlockingSend,
+    SynCheckingSend,
+)
+from repro.psl import Interpreter
+from repro.systems.producer_consumer import (
+    ConsumerSpec,
+    ProducerSpec,
+    build_producer_consumer,
+)
+
+send_ports = st.sampled_from([
+    AsynBlockingSend(), AsynNonblockingSend(), AsynCheckingSend(),
+    SynBlockingSend(), SynCheckingSend(),
+])
+channels = st.sampled_from([
+    SingleSlotBuffer(), FifoQueue(size=1), FifoQueue(size=2),
+    DroppingBuffer(size=1),
+])
+recv_ports = st.sampled_from([
+    BlockingReceive(remove=True), NonblockingReceive(remove=True),
+])
+
+
+def terminal_outcomes(arch, fused):
+    """All quiescent-state observable tuples reachable."""
+    system = arch.to_system(fused=fused)
+    interp = Interpreter(system)
+    init = interp.initial_state()
+    seen = {init}
+    frontier = [init]
+    terminals = set()
+    gi = system.global_index
+    observables = sorted(
+        name for name in gi
+        if name.startswith(("acked_", "consumed_", "produced_"))
+    )
+    while frontier:
+        state = frontier.pop()
+        trans = interp.transitions(state)
+        if not trans:
+            terminals.add(tuple(state.globals_[gi[n]] for n in observables))
+        for t in trans:
+            if t.target not in seen:
+                seen.add(t.target)
+                if len(seen) > 60_000:
+                    raise RuntimeError("config too large for property test")
+                frontier.append(t.target)
+    return terminals
+
+
+@given(send_port=send_ports, channel=channels, recv_port=recv_ports,
+       messages=st.integers(1, 2))
+@settings(max_examples=25, deadline=None)
+def test_terminal_outcomes_identical(send_port, channel, recv_port, messages):
+    def build():
+        return build_producer_consumer(
+            producers=[ProducerSpec(messages=messages, port=send_port)],
+            channel=channel,
+            consumers=[ConsumerSpec(receives=messages, port=recv_port,
+                                    max_attempts=messages + 2)],
+        )
+
+    composed = terminal_outcomes(build(), fused=False)
+    fused = terminal_outcomes(build(), fused=True)
+    assert composed == fused, (
+        f"{send_port.kind}+{channel.display_name()}+{recv_port.display_name()}"
+        f" diverge: composed={composed} fused={fused}"
+    )
+
+
+@given(send_port=send_ports, channel=channels, messages=st.integers(1, 2))
+@settings(max_examples=15, deadline=None)
+def test_safety_verdicts_identical(send_port, channel, messages):
+    from repro.mc import check_safety
+
+    def build():
+        return build_producer_consumer(
+            producers=[ProducerSpec(messages=messages, port=send_port)],
+            channel=channel,
+            consumers=[ConsumerSpec(receives=messages)],
+        )
+
+    composed = check_safety(build().to_system(fused=False), check_deadlock=True)
+    fused = check_safety(build().to_system(fused=True), check_deadlock=True)
+    assert composed.ok == fused.ok

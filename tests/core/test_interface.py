@@ -1,0 +1,96 @@
+"""Tests for the standard interface statement fragments (Figs 3, 9, 10)."""
+
+import pytest
+
+from repro.core.interface import (
+    INTERFACE_LOCALS,
+    RECV_STATUS_VAR,
+    SEND_STATUS_VAR,
+    port_channel_params,
+    receive_message,
+    send_message,
+)
+from repro.core.signals import DATA_FIELDS, NULL_DATA
+from repro.psl.expr import Const, V
+from repro.psl.stmt import Bind, EndLabel, Recv, Send, Seq
+
+
+class TestPortChannelParams:
+    def test_naming(self):
+        assert port_channel_params("enter") == ("enter_sig", "enter_data")
+
+
+class TestSendMessage:
+    def test_shape(self):
+        frag = send_message("out", 5)
+        assert isinstance(frag, Seq)
+        send, recv = frag.stmts
+        assert isinstance(send, Send) and send.chan == "out_data"
+        assert isinstance(recv, Recv) and recv.chan == "out_sig"
+
+    def test_message_arity_matches_data_fields(self):
+        frag = send_message("out", 5)
+        assert len(frag.stmts[0].args) == len(DATA_FIELDS)
+
+    def test_component_sends_no_park_flag(self):
+        frag = send_message("out", 5)
+        park_arg = frag.stmts[0].args[-1]
+        assert isinstance(park_arg, Const) and park_arg.value == 0
+
+    def test_status_bound_to_default_var(self):
+        frag = send_message("out", 5)
+        pattern = frag.stmts[1].patterns[0]
+        assert isinstance(pattern, Bind) and pattern.name == SEND_STATUS_VAR
+
+    def test_custom_status_var(self):
+        frag = send_message("out", 5, status_var="mystatus")
+        assert frag.stmts[1].patterns[0].name == "mystatus"
+
+    def test_tag_expression(self):
+        frag = send_message("out", 5, tag=V("prio"))
+        tag_arg = frag.stmts[0].args[3]
+        assert tag_arg.free_vars() == frozenset({"prio"})
+
+
+class TestReceiveMessage:
+    def test_shape(self):
+        frag = receive_message("inp", into="m")
+        kinds = [type(s).__name__ for s in frag.stmts]
+        # end labels (quiescible), request send, status recv, data recv
+        assert kinds == ["EndLabel", "Send", "EndLabel", "Recv", "Recv"]
+
+    def test_not_quiescible(self):
+        frag = receive_message("inp", into="m", quiescible=False)
+        kinds = [type(s).__name__ for s in frag.stmts]
+        assert kinds == ["Send", "Recv", "Recv"]
+
+    def test_request_payload_is_null(self):
+        frag = receive_message("inp", into="m", quiescible=False)
+        data_arg = frag.stmts[0].args[0]
+        assert data_arg.value == NULL_DATA
+
+    def test_selective_tag_sets_fields(self):
+        frag = receive_message("inp", into="m", selective_tag=7,
+                               quiescible=False)
+        args = frag.stmts[0].args
+        assert args[2].value == 1  # selective flag
+        assert args[3].value == 7  # tag
+
+    def test_nonselective_by_default(self):
+        frag = receive_message("inp", into="m", quiescible=False)
+        assert frag.stmts[0].args[2].value == 0
+
+    def test_into_binding(self):
+        frag = receive_message("inp", into="payload", quiescible=False)
+        data_recv = frag.stmts[2]
+        assert data_recv.patterns[0].name == "payload"
+
+    def test_status_var(self):
+        frag = receive_message("inp", into="m", quiescible=False)
+        assert frag.stmts[1].patterns[0].name == RECV_STATUS_VAR
+
+
+class TestInterfaceLocals:
+    def test_both_status_vars_declared(self):
+        assert SEND_STATUS_VAR in INTERFACE_LOCALS
+        assert RECV_STATUS_VAR in INTERFACE_LOCALS

@@ -1,0 +1,125 @@
+"""Tests for the block catalog (library) and the model cache (spec)."""
+
+import pytest
+
+from repro.core import (
+    AsynBlockingSend,
+    BlockingReceive,
+    FifoQueue,
+    ModelLibrary,
+    SingleSlotBuffer,
+    block_kinds,
+    catalog,
+    figure1_table,
+    make_block,
+)
+from repro.core.spec import LibraryStats
+
+
+class TestCatalog:
+    def test_all_eleven_kinds_present(self):
+        kinds = block_kinds()
+        assert len(kinds) == 11
+        for expected in (
+            "asyn_nonblocking_send", "asyn_blocking_send", "asyn_checking_send",
+            "syn_blocking_send", "syn_checking_send",
+            "blocking_receive", "nonblocking_receive",
+            "single_slot_buffer", "fifo_queue", "priority_queue",
+            "dropping_buffer",
+        ):
+            assert expected in kinds
+
+    def test_catalog_entries_have_descriptions(self):
+        for spec in catalog():
+            assert spec.description, f"{spec.kind} lacks a description"
+
+    def test_catalog_covers_all_roles(self):
+        roles = {spec.role for spec in catalog()}
+        assert roles == {"send_port", "receive_port", "channel"}
+
+    def test_figure1_table_renders(self):
+        text = figure1_table()
+        assert "Send ports" in text
+        assert "Receive ports" in text
+        assert "Channels" in text
+        assert "syn_blocking_send" in text
+
+    def test_every_catalog_block_builds_a_model(self):
+        for spec in catalog():
+            model = spec.build_def()
+            assert model.automaton.n_locations > 0
+
+
+class TestMakeBlock:
+    def test_parameterless(self):
+        assert make_block("asyn_blocking_send") == AsynBlockingSend()
+
+    def test_with_params(self):
+        assert make_block("fifo_queue", size=5) == FifoQueue(size=5)
+
+    def test_receive_variants(self):
+        assert make_block("blocking_receive", remove=False) == \
+            BlockingReceive(remove=False)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError, match="unknown block kind"):
+            make_block("teleporter")
+
+
+class TestModelLibrary:
+    def test_miss_then_hit(self):
+        lib = ModelLibrary()
+        m1 = lib.get(AsynBlockingSend())
+        assert lib.stats.misses == 1 and lib.stats.hits == 0
+        m2 = lib.get(AsynBlockingSend())
+        assert m2 is m1
+        assert lib.stats.hits == 1
+
+    def test_distinct_params_distinct_models(self):
+        lib = ModelLibrary()
+        a = lib.get(FifoQueue(size=1))
+        b = lib.get(FifoQueue(size=2))
+        assert a is not b
+        assert lib.stats.misses == 2
+
+    def test_equal_specs_share_model(self):
+        lib = ModelLibrary()
+        assert lib.get(FifoQueue(size=3)) is lib.get(FifoQueue(size=3))
+
+    def test_custom_keys(self):
+        lib = ModelLibrary()
+        from repro.psl import ProcessDef, Skip
+        built = []
+
+        def builder():
+            built.append(1)
+            return ProcessDef("x", Skip())
+
+        lib.get_custom("k", builder)
+        lib.get_custom("k", builder)
+        assert built == [1]
+
+    def test_custom_and_block_keys_do_not_collide(self):
+        lib = ModelLibrary()
+        from repro.psl import ProcessDef, Skip
+        lib.get(AsynBlockingSend())
+        lib.get_custom(AsynBlockingSend().key(), lambda: ProcessDef("y", Skip()))
+        assert len(lib) == 2
+
+    def test_len_and_snapshot(self):
+        lib = ModelLibrary()
+        lib.get(SingleSlotBuffer())
+        lib.get(SingleSlotBuffer())
+        assert len(lib) == 1
+        assert lib.snapshot() == (1, 1, 1)
+
+    def test_built_keys_recorded_in_order(self):
+        lib = ModelLibrary()
+        lib.get(AsynBlockingSend())
+        lib.get(SingleSlotBuffer())
+        assert len(lib.stats.built_keys) == 2
+
+    def test_reuse_ratio(self):
+        stats = LibraryStats(hits=3, misses=1)
+        assert stats.reuse_ratio == 0.75
+        assert LibraryStats().reuse_ratio == 0.0

@@ -1,0 +1,193 @@
+"""Tests for the fused connector models (Section 6 optimization).
+
+The central obligation: fused models must give the SAME verification
+verdicts as the composed block models, while exploring fewer states.
+"""
+
+import pytest
+
+from repro.core import (
+    AsynBlockingSend,
+    AsynCheckingSend,
+    AsynNonblockingSend,
+    BlockingReceive,
+    DroppingBuffer,
+    FifoQueue,
+    FusedUnsupported,
+    ModelLibrary,
+    NonblockingReceive,
+    PriorityQueue,
+    SingleSlotBuffer,
+    SynBlockingSend,
+    SynCheckingSend,
+    build_fused_def,
+    fused_key,
+)
+from repro.mc import check_safety, count_states, find_state, global_prop
+from repro.systems.producer_consumer import (
+    ConsumerSpec,
+    ProducerSpec,
+    build_producer_consumer,
+    simple_pair,
+)
+
+SEND_PORTS = [
+    AsynBlockingSend(), AsynNonblockingSend(), AsynCheckingSend(),
+    SynBlockingSend(), SynCheckingSend(),
+]
+CHANNELS = [SingleSlotBuffer(), FifoQueue(size=2), DroppingBuffer(size=1)]
+
+
+def verdict(arch, fused):
+    r = check_safety(arch.to_system(fused=fused), check_deadlock=True)
+    return r.ok
+
+
+class TestVerdictEquivalence:
+    @pytest.mark.parametrize("send_port", SEND_PORTS,
+                             ids=lambda s: s.kind)
+    @pytest.mark.parametrize("channel", CHANNELS,
+                             ids=lambda c: c.display_name())
+    def test_send_port_channel_matrix(self, send_port, channel):
+        def build():
+            return simple_pair(send_port, channel, messages=2, receives=2,
+                               max_attempts=0)
+        assert verdict(build(), fused=False) == verdict(build(), fused=True)
+
+    @pytest.mark.parametrize("recv_port", [
+        BlockingReceive(remove=True),
+        BlockingReceive(remove=False),
+        NonblockingReceive(remove=True),
+    ], ids=lambda s: s.display_name())
+    def test_receive_port_variants(self, recv_port):
+        def build():
+            return simple_pair(
+                AsynBlockingSend(), SingleSlotBuffer(), recv_port=recv_port,
+                messages=1, receives=1, max_attempts=2,
+            )
+        assert verdict(build(), fused=False) == verdict(build(), fused=True)
+
+    def test_priority_queue_order_preserved(self):
+        def build():
+            return build_producer_consumer(
+                producers=[
+                    ProducerSpec(messages=1, payload_base=10, tag=1,
+                                 port=AsynBlockingSend()),
+                    ProducerSpec(messages=1, payload_base=20, tag=0,
+                                 port=AsynBlockingSend()),
+                ],
+                channel=PriorityQueue(size=2, levels=2),
+                consumers=[ConsumerSpec(receives=2, start_after_acks=True)],
+            )
+        from repro.mc import prop
+        low_first = prop(
+            "low_first",
+            lambda v: v.global_("consumed_0") == 1 and v.global_("last_0") == 10,
+        )
+        assert find_state(build().to_system(fused=True), low_first) is None
+        done = global_prop("done", lambda v: v.global_("consumed_0") == 2,
+                           "consumed_0")
+        assert find_state(build().to_system(fused=True), done) is not None
+
+    def test_multi_sender_multi_receiver(self):
+        def build():
+            return build_producer_consumer(
+                producers=[ProducerSpec(messages=1, port=SynBlockingSend()),
+                           ProducerSpec(messages=1, port=AsynBlockingSend())],
+                channel=FifoQueue(size=2),
+                consumers=[ConsumerSpec(receives=1), ConsumerSpec(receives=1)],
+            )
+        assert verdict(build(), fused=False) == verdict(build(), fused=True)
+
+    def test_observable_outcomes_match(self):
+        """Terminal (acked, consumed) pairs identical composed vs fused."""
+        from .conftest import final_counts
+        def build():
+            return simple_pair(AsynNonblockingSend(), SingleSlotBuffer(),
+                               messages=2, receives=2, max_attempts=4)
+        composed = final_counts(build(), fused=False)
+        fused = final_counts(build(), fused=True)
+        assert composed == fused
+
+
+class TestReduction:
+    def test_fused_explores_fewer_states(self):
+        def build():
+            return simple_pair(SynBlockingSend(), FifoQueue(size=2), messages=2)
+        n_composed = count_states(build().to_system(fused=False)).states_stored
+        n_fused = count_states(build().to_system(fused=True)).states_stored
+        assert n_fused < n_composed / 2
+
+    def test_reduction_grows_with_concurrency(self):
+        """With two connectors running concurrently the factor multiplies."""
+        from repro.systems.rpc import build_rpc
+        n_composed = count_states(build_rpc(clients=1, calls_each=2)
+                                  .to_system(fused=False)).states_stored
+        n_fused = count_states(build_rpc(clients=1, calls_each=2)
+                               .to_system(fused=True)).states_stored
+        assert n_fused < n_composed / 4
+
+    def test_fused_has_fewer_processes(self):
+        arch = simple_pair(SynBlockingSend(), FifoQueue(size=2))
+        composed = arch.to_system(fused=False)
+        arch2 = simple_pair(SynBlockingSend(), FifoQueue(size=2))
+        fused = arch2.to_system(fused=True)
+        assert len(fused.instances) < len(composed.instances)
+
+
+class TestFusedStructure:
+    def test_fused_key_covers_structure(self):
+        a1 = simple_pair(SynBlockingSend(), FifoQueue(size=2))
+        a2 = simple_pair(SynBlockingSend(), FifoQueue(size=2))
+        assert fused_key(a1.connector("link")) == fused_key(a2.connector("link"))
+        a3 = simple_pair(AsynBlockingSend(), FifoQueue(size=2))
+        assert fused_key(a1.connector("link")) != fused_key(a3.connector("link"))
+
+    def test_fused_model_cached(self):
+        lib = ModelLibrary()
+        a1 = simple_pair(SynBlockingSend(), FifoQueue(size=2))
+        a1.to_system(lib, fused=True)
+        misses = lib.stats.misses
+        a2 = simple_pair(SynBlockingSend(), FifoQueue(size=2))
+        a2.to_system(lib, fused=True)
+        # the fused connector model is reused; only new component models build
+        new_misses = lib.stats.misses - misses
+        assert new_misses == 2  # the two fresh components
+
+    def test_unsupported_copy_with_sync_deep_queue(self):
+        arch = simple_pair(
+            SynBlockingSend(), FifoQueue(size=2),
+            recv_port=BlockingReceive(remove=False), messages=1,
+        )
+        with pytest.raises(FusedUnsupported):
+            build_fused_def(arch.connector("link"))
+
+    def test_unsupported_falls_back_to_composed(self):
+        arch = simple_pair(
+            SynBlockingSend(), FifoQueue(size=2),
+            recv_port=BlockingReceive(remove=False), messages=1,
+        )
+        system = arch.to_system(fused=True)  # no exception
+        names = {i.name for i in system.instances}
+        assert "link.channel" in names  # composed encoding used
+
+    def test_copy_with_sync_single_slot_supported(self):
+        arch = simple_pair(
+            SynBlockingSend(), SingleSlotBuffer(),
+            recv_port=BlockingReceive(remove=False), messages=1, receives=2,
+        )
+        build_fused_def(arch.connector("link"))  # no exception
+
+
+class TestDroppingDiagnosis:
+    def test_sync_sender_with_dropping_buffer_hangs(self):
+        """The paper's Section 6 scenario: a dropped message leaves the
+        synchronous sender waiting forever -> invalid end state."""
+        arch = build_producer_consumer(
+            producers=[ProducerSpec(messages=2, port=SynBlockingSend())],
+            channel=DroppingBuffer(size=1),
+            consumers=[ConsumerSpec(receives=1)],
+        )
+        r = check_safety(arch.to_system(fused=True), check_deadlock=True)
+        assert not r.ok
+        assert r.kind == "deadlock"

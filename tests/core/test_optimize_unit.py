@@ -1,0 +1,84 @@
+"""Unit tests for fused-connector internals (repro.core.optimize)."""
+
+import pytest
+
+from repro.core import (
+    AsynBlockingSend,
+    BlockingReceive,
+    DroppingBuffer,
+    FifoQueue,
+    FusedUnsupported,
+    PriorityQueue,
+    SingleSlotBuffer,
+    SynBlockingSend,
+    build_fused_def,
+    fused_key,
+)
+from repro.core.connector import Connector
+from repro.core.optimize import _channel_traits, fused_internal_stores
+from repro.systems.producer_consumer import simple_pair
+from repro.systems.pubsub import EventPool
+
+
+class TestChannelTraits:
+    def test_single_slot(self):
+        assert _channel_traits(SingleSlotBuffer()) == (1, False, 0)
+
+    def test_fifo(self):
+        assert _channel_traits(FifoQueue(size=4)) == (4, False, 0)
+
+    def test_dropping(self):
+        assert _channel_traits(DroppingBuffer(size=2)) == (2, True, 0)
+
+    def test_priority(self):
+        assert _channel_traits(PriorityQueue(size=3, levels=2)) == (3, False, 2)
+
+    def test_unknown_channel_kind_rejected(self):
+        with pytest.raises(FusedUnsupported):
+            _channel_traits(EventPool(subscribers=2))
+
+
+class TestInternalStores:
+    def test_fifo_store(self):
+        arch = simple_pair(SynBlockingSend(), FifoQueue(size=3))
+        assert fused_internal_stores(arch.connector("link")) == {"store": 3}
+
+    def test_priority_stores(self):
+        arch = simple_pair(SynBlockingSend(), PriorityQueue(size=2, levels=3))
+        stores = fused_internal_stores(arch.connector("link"))
+        assert stores == {"store0": 2, "store1": 2, "store2": 2}
+
+
+class TestFusedDefStructure:
+    def test_chan_params_per_attachment(self):
+        arch = simple_pair(SynBlockingSend(), FifoQueue(size=1))
+        model = build_fused_def(arch.connector("link"))
+        assert "s0_sig" in model.chan_params
+        assert "s0_data" in model.chan_params
+        assert "r0_sig" in model.chan_params
+        assert "store" in model.chan_params
+
+    def test_name_encodes_structure(self):
+        arch = simple_pair(SynBlockingSend(), FifoQueue(size=1))
+        model = build_fused_def(arch.connector("link"))
+        assert model.name == "fused_fifo_queue_1s1r"
+
+    def test_model_has_end_location(self):
+        arch = simple_pair(AsynBlockingSend(), SingleSlotBuffer())
+        model = build_fused_def(arch.connector("link"))
+        assert model.automaton.end_locations
+
+    def test_key_ignores_attachment_names(self):
+        """Two structurally identical connectors share a fused key even
+        when they connect different components."""
+        a = simple_pair(SynBlockingSend(), FifoQueue(size=2))
+        b = simple_pair(SynBlockingSend(), FifoQueue(size=2),
+                        messages=3)  # different component workload
+        assert fused_key(a.connector("link")) == fused_key(b.connector("link"))
+
+    def test_key_sensitive_to_receive_variant(self):
+        a = simple_pair(SynBlockingSend(), SingleSlotBuffer(),
+                        recv_port=BlockingReceive(remove=True))
+        b = simple_pair(SynBlockingSend(), SingleSlotBuffer(),
+                        recv_port=BlockingReceive(remove=False))
+        assert fused_key(a.connector("link")) != fused_key(b.connector("link"))

@@ -1,0 +1,227 @@
+"""Semantic tests for the send/receive port building blocks (Figure 1).
+
+Each test pins down the one-line semantics the paper's Figure 1 table
+promises, observed through the standard component interface.
+"""
+
+import pytest
+
+from repro.core import (
+    AsynBlockingSend,
+    AsynCheckingSend,
+    AsynNonblockingSend,
+    BlockingReceive,
+    FifoQueue,
+    NonblockingReceive,
+    SingleSlotBuffer,
+    SynBlockingSend,
+    SynCheckingSend,
+)
+from repro.mc import check_safety, find_state, global_prop, prop
+from repro.systems.producer_consumer import (
+    ConsumerSpec,
+    ProducerSpec,
+    build_producer_consumer,
+    simple_pair,
+)
+
+
+def delivered_to_port_prop(value):
+    """The receive port has picked the payload up from the channel."""
+    return prop(
+        "delivered",
+        lambda v: v.local("link.Consumer0.inp.port", "d_data") == value,
+        globals_read=[],
+        locals_read=["link.Consumer0.inp.port"],
+    )
+
+
+ACKED = global_prop("acked", lambda v: v.global_("acked_0") == 1, "acked_0")
+
+
+class TestSynchronousBlockingSend:
+    def test_ack_only_after_port_delivery(self):
+        """Fig. 4(b): SEND_SUCC comes after the receiver got the message."""
+        arch = simple_pair(SynBlockingSend(), SingleSlotBuffer(), messages=1)
+        system = arch.to_system()
+        undelivered_ack = prop(
+            "ack_before_delivery",
+            lambda v: (v.global_("acked_0") == 1
+                       and v.local("link.Consumer0.inp.port", "d_data") != 10),
+        )
+        assert find_state(system, undelivered_ack) is None
+
+    def test_completes_without_deadlock(self):
+        arch = simple_pair(SynBlockingSend(), SingleSlotBuffer(), messages=2)
+        assert check_safety(arch.to_system())
+
+    def test_all_messages_arrive(self):
+        arch = simple_pair(SynBlockingSend(), FifoQueue(size=2), messages=2)
+        done = global_prop(
+            "done", lambda v: v.global_("consumed_0") == 2, "consumed_0")
+        assert find_state(arch.to_system(), done) is not None
+
+
+class TestAsynchronousBlockingSend:
+    def test_ack_may_precede_delivery(self):
+        """Fig. 4(a): SEND_SUCC may arrive while the message sits in the
+        channel, before any receiver has it."""
+        arch = simple_pair(AsynBlockingSend(), SingleSlotBuffer(), messages=1)
+        system = arch.to_system()
+        undelivered_ack = prop(
+            "ack_before_delivery",
+            lambda v: (v.global_("acked_0") == 1
+                       and v.local("link.Consumer0.inp.port", "d_data") != 10),
+        )
+        assert find_state(system, undelivered_ack) is not None
+
+    def test_never_reports_failure(self):
+        arch = simple_pair(AsynBlockingSend(), SingleSlotBuffer(), messages=3)
+        failed = global_prop(
+            "failed",
+            lambda v: v.global_("produced_0") > v.global_("acked_0")
+            and v.local("Producer0", "send_status") == "SEND_FAIL",
+            "produced_0", "acked_0",
+        )
+        # blocking send retries; SEND_FAIL is impossible
+        sf = prop("sf", lambda v: v.local("Producer0", "send_status") == "SEND_FAIL")
+        assert find_state(arch.to_system(), sf) is None
+
+    def test_no_message_loss(self):
+        arch = simple_pair(AsynBlockingSend(), SingleSlotBuffer(), messages=3)
+        assert check_safety(arch.to_system())  # consumer gets all three
+
+
+class TestAsynchronousNonblockingSend:
+    def test_confirms_immediately_even_unforwarded(self):
+        arch = simple_pair(AsynNonblockingSend(), SingleSlotBuffer(), messages=1)
+        # acked while the channel is still empty and nothing delivered
+        early_ack = prop(
+            "early_ack",
+            lambda v: (v.global_("acked_0") == 1
+                       and v.chan_len("link.snd_data") == 0
+                       and v.local("link.channel", "buffer_empty") == 1),
+        )
+        assert find_state(arch.to_system(), early_ack) is not None
+
+    def test_message_can_be_lost(self):
+        """Two fast sends into a single slot: the second may vanish."""
+        arch = simple_pair(AsynNonblockingSend(), SingleSlotBuffer(),
+                           messages=2, receives=2)
+        # a run where producer finished but only one message ever arrives:
+        lost = prop(
+            "lost",
+            lambda v: (v.global_("acked_0") == 2
+                       and v.global_("consumed_0") == 0
+                       and v.local("link.channel", "buffer_empty") == 0
+                       and v.chan_len("link.snd_data") == 0),
+        )
+        # acked twice yet only one message exists anywhere => one was lost
+        assert find_state(arch.to_system(), lost) is not None
+
+
+class TestCheckingSends:
+    def test_asyn_checking_reports_failure_when_full(self):
+        arch = simple_pair(AsynCheckingSend(), SingleSlotBuffer(),
+                           messages=2, receives=2)
+        failed = prop(
+            "sfail",
+            lambda v: v.local("Producer0", "send_status") == "SEND_FAIL",
+        )
+        assert find_state(arch.to_system(), failed) is not None
+
+    def test_asyn_checking_succeeds_when_space(self):
+        arch = simple_pair(AsynCheckingSend(), SingleSlotBuffer(), messages=1)
+        ok = global_prop("ok", lambda v: v.global_("acked_0") == 1, "acked_0")
+        assert find_state(arch.to_system(), ok) is not None
+
+    def test_syn_checking_waits_for_delivery_on_success(self):
+        arch = simple_pair(SynCheckingSend(), SingleSlotBuffer(), messages=1)
+        undelivered_ack = prop(
+            "ack_before_delivery",
+            lambda v: (v.global_("acked_0") == 1
+                       and v.local("link.Consumer0.inp.port", "d_data") != 10),
+        )
+        assert find_state(arch.to_system(), undelivered_ack) is None
+
+
+class TestBlockingReceive:
+    def test_never_reports_failure(self):
+        arch = simple_pair(SynBlockingSend(), SingleSlotBuffer(), messages=2)
+        rf = prop("rf", lambda v: v.local("Consumer0", "recv_status") == "RECV_FAIL")
+        assert find_state(arch.to_system(), rf) is None
+
+    def test_copy_receive_leaves_message(self):
+        arch = simple_pair(
+            AsynBlockingSend(), SingleSlotBuffer(),
+            recv_port=BlockingReceive(remove=False), messages=1, receives=2,
+        )
+        # consumer can receive the same message twice (copy semantics)
+        twice = global_prop(
+            "twice", lambda v: v.global_("consumed_0") == 2, "consumed_0")
+        assert find_state(arch.to_system(), twice) is not None
+
+    def test_remove_receive_consumes(self):
+        arch = simple_pair(
+            AsynBlockingSend(), SingleSlotBuffer(),
+            recv_port=BlockingReceive(remove=True), messages=1, receives=2,
+        )
+        twice = global_prop(
+            "twice", lambda v: v.global_("consumed_0") == 2, "consumed_0")
+        # only one message exists; a remove-receive cannot deliver it twice
+        assert find_state(arch.to_system(), twice) is None
+
+
+class TestNonblockingReceive:
+    def test_reports_failure_on_empty(self):
+        arch = simple_pair(
+            SynBlockingSend(), SingleSlotBuffer(),
+            recv_port=NonblockingReceive(), messages=1, receives=1,
+            max_attempts=3,
+        )
+        rf = prop("rf", lambda v: v.local("Consumer0", "recv_status") == "RECV_FAIL")
+        assert find_state(arch.to_system(), rf) is not None
+
+    def test_can_still_succeed(self):
+        arch = simple_pair(
+            SynBlockingSend(), SingleSlotBuffer(),
+            recv_port=NonblockingReceive(), messages=1, receives=1,
+            max_attempts=3,
+        )
+        got = global_prop("got", lambda v: v.global_("consumed_0") == 1,
+                          "consumed_0")
+        assert find_state(arch.to_system(), got) is not None
+
+    def test_stub_message_not_counted(self):
+        """A RECV_FAIL delivery must not increment the consumed count."""
+        arch = simple_pair(
+            SynBlockingSend(), SingleSlotBuffer(),
+            recv_port=NonblockingReceive(), messages=1, receives=1,
+            max_attempts=2,
+        )
+        overcount = prop(
+            "overcount",
+            lambda v: v.global_("consumed_0") > v.global_("produced_0"),
+            globals_read=["consumed_0", "produced_0"], locals_read=[],
+        )
+        assert find_state(arch.to_system(), overcount) is None
+
+
+class TestSpecIdentity:
+    def test_kinds_are_distinct(self):
+        kinds = {s.kind for s in (
+            AsynBlockingSend(), AsynNonblockingSend(), AsynCheckingSend(),
+            SynBlockingSend(), SynCheckingSend(),
+        )}
+        assert len(kinds) == 5
+
+    def test_keys_distinguish_remove_flag(self):
+        assert BlockingReceive(remove=True).key() != BlockingReceive(remove=False).key()
+
+    def test_display_names(self):
+        assert "copy" in BlockingReceive(remove=False).display_name()
+        assert "remove" in NonblockingReceive(remove=True).display_name()
+
+    def test_descriptions_present(self):
+        for spec in (AsynBlockingSend(), BlockingReceive()):
+            assert len(spec.description) > 20

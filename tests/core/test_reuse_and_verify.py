@@ -1,0 +1,124 @@
+"""Tests for design-time verification wrappers and reuse accounting."""
+
+import pytest
+
+from repro.core import (
+    AsynBlockingSend,
+    DesignIterationLog,
+    FifoQueue,
+    ModelLibrary,
+    SingleSlotBuffer,
+    SynBlockingSend,
+    verify_ltl,
+    verify_safety,
+)
+from repro.mc import global_prop
+from repro.systems.bridge import (
+    BridgeConfig,
+    bridge_safety_prop,
+    build_exactly_n_bridge,
+    fix_exactly_n_bridge,
+)
+from repro.systems.producer_consumer import simple_pair
+
+
+class TestVerifySafety:
+    def test_report_carries_result(self):
+        report = verify_safety(simple_pair(SynBlockingSend(), SingleSlotBuffer()))
+        assert report.ok
+        assert bool(report)
+        assert report.result.stats.states_stored > 0
+
+    def test_report_counts_models(self):
+        report = verify_safety(simple_pair(SynBlockingSend(), SingleSlotBuffer()))
+        # 2 components + 2 ports + 1 channel = 5 fresh models
+        assert report.models_built == 5
+        assert report.models_reused == 0
+
+    def test_second_run_reuses_everything(self):
+        lib = ModelLibrary()
+        arch = simple_pair(SynBlockingSend(), SingleSlotBuffer())
+        verify_safety(arch, library=lib)
+        report = verify_safety(arch, library=lib)
+        assert report.models_built == 0
+        assert report.models_reused == 5
+
+    def test_swap_rebuilds_only_the_new_block(self):
+        lib = ModelLibrary()
+        arch = simple_pair(AsynBlockingSend(), SingleSlotBuffer())
+        verify_safety(arch, library=lib)
+        arch.swap_send_port("link", "Producer0", SynBlockingSend())
+        report = verify_safety(arch, library=lib)
+        assert report.models_built == 1
+        assert report.models_reused == 4
+
+    def test_por_mode(self):
+        report = verify_safety(
+            simple_pair(SynBlockingSend(), SingleSlotBuffer()), use_por=True)
+        assert report.ok
+
+    def test_summary_text(self):
+        report = verify_safety(simple_pair(SynBlockingSend(), SingleSlotBuffer()))
+        assert "reused" in report.summary()
+        assert "built" in report.summary()
+
+
+class TestVerifyLtl:
+    def test_ltl_on_architecture(self):
+        arch = simple_pair(SynBlockingSend(), SingleSlotBuffer())
+        done = global_prop("done", lambda v: v.global_("consumed_0") == 1,
+                           "consumed_0")
+        # every complete execution eventually consumes the message
+        report = verify_ltl(arch, "F done", {"done": done})
+        assert report.ok
+
+    def test_ltl_violation(self):
+        arch = simple_pair(SynBlockingSend(), SingleSlotBuffer())
+        done = global_prop("done", lambda v: v.global_("consumed_0") == 1,
+                           "consumed_0")
+        report = verify_ltl(arch, "G done", {"done": done})
+        assert not report.ok
+        assert report.result.trace is not None
+
+
+class TestDesignIterationLog:
+    def _bridge_iterations(self, fused=True):
+        cfg = BridgeConfig(cars_per_side=1, n_per_turn=1, trips=1)
+        log = DesignIterationLog()
+        arch = build_exactly_n_bridge(cfg)
+        safety = bridge_safety_prop()
+        log.run("initial (async enter sends)", arch, invariants=[safety],
+                fused=fused)
+        fix_exactly_n_bridge(arch)
+        log.run("fix: sync enter sends", arch, invariants=[safety],
+                fused=fused)
+        return log
+
+    def test_bridge_fail_then_pass(self):
+        log = self._bridge_iterations()
+        assert not log.iterations[0].report.ok
+        assert log.iterations[1].report.ok
+
+    def test_components_never_rebuilt_after_first(self):
+        """The paper's headline reuse claim."""
+        log = self._bridge_iterations()
+        assert log.component_rebuilds_after_first() == 0
+
+    def test_second_iteration_mostly_reused(self):
+        log = self._bridge_iterations()
+        second = log.iterations[1]
+        assert second.models_reused > second.models_built
+
+    def test_table_renders(self):
+        log = self._bridge_iterations()
+        table = log.table()
+        assert "initial (async enter sends)" in table
+        assert "FAIL" in table and "PASS" in table
+
+    def test_overall_ratio(self):
+        log = self._bridge_iterations()
+        assert 0.0 < log.overall_reuse_ratio() < 1.0
+
+    def test_iteration_summary(self):
+        log = self._bridge_iterations()
+        assert "reuse" in log.iterations[1].summary()

@@ -1,0 +1,108 @@
+"""Tests for the signal declarations and block-spec plumbing."""
+
+import pytest
+
+from repro.core.signals import (
+    DATA_FIELDS,
+    NULL_DATA,
+    SIGNALS,
+    SIGNAL_FIELDS,
+)
+from repro.core import (
+    AsynBlockingSend,
+    BlockingReceive,
+    DroppingBuffer,
+    FifoQueue,
+    PriorityQueue,
+    SingleSlotBuffer,
+)
+from repro.core.spec import BlockSpec
+
+
+class TestSignals:
+    def test_all_nine_protocol_signals(self):
+        assert len(SIGNALS) == 9
+        for sig in ("SEND_SUCC", "SEND_FAIL", "IN_OK", "IN_FAIL",
+                    "OUT_OK", "OUT_FAIL", "RECV_OK", "RECV_SUCC",
+                    "RECV_FAIL"):
+            assert sig in SIGNALS
+
+    def test_data_layout(self):
+        assert DATA_FIELDS == ("data", "sender_id", "selective", "tag",
+                               "remove", "park")
+
+    def test_signal_layout(self):
+        assert SIGNAL_FIELDS == ("signal", "port_pid")
+
+    def test_null_data(self):
+        assert NULL_DATA == 0
+
+
+class TestSpecPlumbing:
+    def test_spec_equality_is_structural(self):
+        assert FifoQueue(size=3) == FifoQueue(size=3)
+        assert FifoQueue(size=3) != FifoQueue(size=4)
+        assert BlockingReceive(remove=True) == BlockingReceive()
+
+    def test_specs_hashable(self):
+        {AsynBlockingSend(): 1, FifoQueue(size=2): 2}
+
+    def test_channel_chan_params_include_stores(self):
+        assert "store" in FifoQueue(size=2).chan_params
+        assert "store" not in SingleSlotBuffer().chan_params
+        assert "store1" in PriorityQueue(size=2, levels=2).chan_params
+
+    def test_internal_store_capacities(self):
+        assert FifoQueue(size=4).internal_stores() == {"store": 4}
+        assert DroppingBuffer(size=2).internal_stores() == {"store": 2}
+        assert PriorityQueue(size=3, levels=2).internal_stores() == {
+            "store0": 3, "store1": 3}
+
+    def test_capacity_property(self):
+        assert SingleSlotBuffer().capacity == 1
+        assert FifoQueue(size=7).capacity == 7
+        assert PriorityQueue(size=2, levels=3).capacity == 2
+
+    def test_base_spec_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            BlockSpec().key()
+        with pytest.raises(NotImplementedError):
+            BlockSpec().build_def()
+
+    def test_display_names(self):
+        assert SingleSlotBuffer().display_name() == "single_slot_buffer"
+        assert FifoQueue(size=5).display_name() == "fifo_queue(5)"
+        assert "levels=2" in PriorityQueue(size=1, levels=2).display_name()
+
+
+class TestBlockModelShapes:
+    """Structural sanity of every built model."""
+
+    @pytest.mark.parametrize("spec", [
+        AsynBlockingSend(), BlockingReceive(), SingleSlotBuffer(),
+        FifoQueue(size=2), DroppingBuffer(size=1),
+        PriorityQueue(size=2, levels=2),
+    ], ids=lambda s: s.display_name())
+    def test_model_has_end_location(self, spec):
+        auto = spec.build_def().automaton
+        assert auto.end_locations, "every block must have a quiescent point"
+
+    @pytest.mark.parametrize("spec", [
+        AsynBlockingSend(), BlockingReceive(), SingleSlotBuffer(),
+    ], ids=lambda s: s.display_name())
+    def test_model_channel_params_declared(self, spec):
+        model = spec.build_def()
+        used = model.automaton.channel_params_used()
+        assert used <= set(model.chan_params)
+
+    def test_faithful_and_optimized_differ_structurally(self):
+        opt = FifoQueue(size=1).build_def()
+        faith = FifoQueue(size=1, faithful=True).build_def()
+        assert opt.name != faith.name
+        # the optimized model carries when-guards; the faithful one not
+        from repro.psl.compiler import OpRecv
+        def has_when(auto):
+            return any(isinstance(e.op, OpRecv) and e.op.when is not None
+                       for e in auto.edges)
+        assert has_when(opt.automaton)
+        assert not has_when(faith.automaton)

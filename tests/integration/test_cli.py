@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bridge_defaults(self):
+        args = build_parser().parse_args(["bridge"])
+        assert args.variant == "initial"
+        assert args.cars == 1 and args.trips == 1
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "Send ports" in out
+        assert "syn_blocking_send" in out
+
+    def test_bridge_initial_reports_violation(self, capsys):
+        assert main(["bridge", "--variant", "initial"]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "counterexample" in out
+
+    def test_bridge_fixed_passes(self, capsys):
+        assert main(["bridge", "--variant", "fixed"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_bridge_atmostn_passes(self, capsys):
+        assert main(["bridge", "--variant", "atmostn"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--messages", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "models built" in out
+        assert "fifo_queue" in out
+
+    def test_export_stdout(self, capsys):
+        assert main(["export"]) == 0
+        out = capsys.readouterr().out
+        assert "proctype AsynBlSendPort" in out
+
+    def test_export_to_file(self, tmp_path, capsys):
+        target = tmp_path / "model.pml"
+        assert main(["export", "--out", str(target)]) == 0
+        assert "proctype" in target.read_text()
+
+    def test_graph_block(self, capsys):
+        assert main(["graph", "syn_blocking_send"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "SynBlSendPort"')
+
+    def test_graph_bridge_to_file(self, tmp_path, capsys):
+        target = tmp_path / "bridge.dot"
+        assert main(["graph", "bridge", "--out", str(target)]) == 0
+        assert "BlueController" in target.read_text()
+
+    def test_graph_unknown_block(self):
+        with pytest.raises(KeyError):
+            main(["graph", "warp_drive"])

@@ -1,0 +1,190 @@
+"""Tests for repro.mc.buchi: LTL -> Büchi translation (GPVW).
+
+Since automata are checked for *language* properties indirectly through
+the model checker, these tests exercise structural facts (acceptance,
+labels) plus language membership via a tiny run-simulation helper.
+"""
+
+import itertools
+
+import pytest
+
+from repro.mc.buchi import BuchiAutomaton, ltl_to_buchi
+from repro.mc.ltl import parse_ltl
+
+
+def accepts_lasso(auto: BuchiAutomaton, stem, cycle, max_unroll=None):
+    """Does the automaton accept the infinite word stem + cycle^ω?
+
+    ``stem``/``cycle`` are lists of valuations (dicts).  We simulate the
+    product of the automaton with the lasso and search for an accepting
+    cycle, which is sound and complete for lasso-shaped words.
+    """
+    word = list(stem) + list(cycle)
+    n = len(word)
+    cycle_start = len(stem)
+
+    # nodes: (position in lasso, automaton state id)
+    start_nodes = [
+        (0, q.id) for q in auto.initial if q.satisfied_by(word[0])
+    ]
+    by_id = {s.id: s for s in auto.states}
+
+    def succ(node):
+        pos, qid = node
+        nxt = pos + 1 if pos + 1 < n else cycle_start
+        for q in auto.successors[qid]:
+            if q.satisfied_by(word[nxt]):
+                yield (nxt, q.id)
+
+    # find accepting cycle via simple DFS-based reachability on the
+    # finite product graph (positions x states)
+    seen = set()
+    stack = list(start_nodes)
+    reachable = set()
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        reachable.add(node)
+        stack.extend(succ(node))
+    # accepting node on a cycle: node reachable from itself
+    for node in reachable:
+        pos, qid = node
+        if not by_id[qid].accepting:
+            continue
+        # BFS from node back to node
+        frontier = list(succ(node))
+        visited = set()
+        while frontier:
+            cur = frontier.pop()
+            if cur == node:
+                return True
+            if cur in visited:
+                continue
+            visited.add(cur)
+            frontier.extend(succ(cur))
+    return False
+
+
+def val(**kw):
+    return dict(kw)
+
+
+P, NP = val(p=True), val(p=False)
+PQ = val(p=True, q=True)
+Q = val(p=False, q=True)
+NEITHER = val(p=False, q=False)
+
+
+class TestConstruction:
+    def test_automaton_nonempty(self):
+        auto = ltl_to_buchi(parse_ltl("G p"))
+        assert auto.n_states >= 1
+        assert auto.initial
+
+    def test_repr(self):
+        auto = ltl_to_buchi(parse_ltl("F p"))
+        assert "BuchiAutomaton" in repr(auto)
+
+    def test_false_formula_has_no_initial_states(self):
+        auto = ltl_to_buchi(parse_ltl("false"))
+        assert auto.initial == []
+
+    def test_state_labels_are_literal_sets(self):
+        auto = ltl_to_buchi(parse_ltl("p && !q"))
+        init = auto.initial[0]
+        assert "p" in init.positive
+        assert "q" in init.negative
+
+
+class TestLanguages:
+    def test_globally_p_accepts_all_p(self):
+        auto = ltl_to_buchi(parse_ltl("G p"))
+        assert accepts_lasso(auto, [], [P])
+
+    def test_globally_p_rejects_one_np(self):
+        auto = ltl_to_buchi(parse_ltl("G p"))
+        assert not accepts_lasso(auto, [P, NP], [P])
+
+    def test_eventually_p(self):
+        auto = ltl_to_buchi(parse_ltl("F p"))
+        assert accepts_lasso(auto, [NP, NP, P], [NP])
+        assert not accepts_lasso(auto, [NP], [NP])
+
+    def test_gf_p_needs_infinitely_many(self):
+        auto = ltl_to_buchi(parse_ltl("G F p"))
+        assert accepts_lasso(auto, [], [P, NP])
+        assert not accepts_lasso(auto, [P, P], [NP])
+
+    def test_fg_p_needs_eventual_stability(self):
+        auto = ltl_to_buchi(parse_ltl("F G p"))
+        assert accepts_lasso(auto, [NP, NP], [P])
+        assert not accepts_lasso(auto, [], [P, NP])
+
+    def test_until(self):
+        auto = ltl_to_buchi(parse_ltl("p U q"))
+        assert accepts_lasso(auto, [P, P, Q], [NEITHER])
+        assert not accepts_lasso(auto, [P, NEITHER, Q], [NEITHER])
+        # strong until: q must actually happen
+        assert not accepts_lasso(auto, [], [P])
+
+    def test_release(self):
+        auto = ltl_to_buchi(parse_ltl("p R q"))
+        # q forever (p never happens) satisfies release
+        assert accepts_lasso(auto, [], [Q])
+        # q until p&q, then anything
+        assert accepts_lasso(auto, [Q, PQ], [NEITHER])
+        # q broken before p: rejected
+        assert not accepts_lasso(auto, [Q, NEITHER], [PQ])
+
+    def test_next(self):
+        auto = ltl_to_buchi(parse_ltl("X p"))
+        assert accepts_lasso(auto, [NP, P], [NP])
+        assert not accepts_lasso(auto, [P, NP], [NP])
+
+    def test_implication(self):
+        auto = ltl_to_buchi(parse_ltl("G (p -> q)"))
+        assert accepts_lasso(auto, [], [PQ, NEITHER])
+        assert not accepts_lasso(auto, [], [P])
+
+    def test_response_property(self):
+        auto = ltl_to_buchi(parse_ltl("G (p -> F q)"))
+        assert accepts_lasso(auto, [], [P, Q])
+        assert not accepts_lasso(auto, [Q], [P, NEITHER])
+
+    def test_negation_complements_on_samples(self):
+        """f and !f must never both accept the same lasso."""
+        formulas = ["G p", "F p", "G F p", "p U q", "X p", "F G p"]
+        lassos = [
+            ([], [P]), ([], [NP]), ([P], [NP]), ([NP], [P]),
+            ([], [P, NP]), ([P, Q], [NEITHER]), ([], [PQ]),
+        ]
+        for text in formulas:
+            f = parse_ltl(text)
+            pos = ltl_to_buchi(f)
+            from repro.mc.ltl import NotF
+            neg = ltl_to_buchi(NotF(f))
+            for stem, cycle in lassos:
+                a = accepts_lasso(pos, stem, cycle)
+                b = accepts_lasso(neg, stem, cycle)
+                assert a != b, (
+                    f"{text} and its negation disagree on "
+                    f"stem={stem} cycle={cycle}: {a} vs {b}"
+                )
+
+
+class TestSatisfiedBy:
+    def test_positive_requirement(self):
+        auto = ltl_to_buchi(parse_ltl("p"))
+        q = auto.initial[0]
+        assert q.satisfied_by({"p": True})
+        assert not q.satisfied_by({"p": False})
+        assert not q.satisfied_by({})  # missing means false
+
+    def test_negative_requirement(self):
+        auto = ltl_to_buchi(parse_ltl("!p"))
+        q = auto.initial[0]
+        assert q.satisfied_by({"p": False})
+        assert not q.satisfied_by({"p": True})

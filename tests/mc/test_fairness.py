@@ -1,0 +1,166 @@
+"""Tests for weakly fair LTL model checking (repro.mc.fairness)."""
+
+import pytest
+
+from repro.mc import check_ltl, global_prop
+from repro.psl import (
+    Assign,
+    Branch,
+    Do,
+    EndLabel,
+    Guard,
+    ProcessDef,
+    Seq,
+    Skip,
+    System,
+    V,
+)
+
+
+def starvable_pair():
+    """A spinner can be scheduled forever while a worker stays ready.
+
+    Without fairness, ``F done`` fails (schedule only the spinner).
+    Under weak fairness the continuously-enabled worker must run.
+    """
+    s = System("starvable")
+    s.add_global("done", 0)
+    s.add_global("noise", 0)
+    worker = ProcessDef("worker", Assign("done", 1))
+    spinner = ProcessDef("spinner", Do(
+        Branch(Assign("noise", 1 - V("noise"))),
+    ))
+    s.spawn(worker, "worker")
+    s.spawn(spinner, "spinner")
+    return s
+
+
+def guarded_starvation():
+    """The worker is only *intermittently* enabled: weak fairness must
+    NOT save it.  The spinner toggles `gate`; the worker can only fire
+    when gate==1, so there is a fair run alternating gate while the
+    worker is disabled at every instant it is pointed at... but since
+    the worker is enabled infinitely often (not continuously), weak
+    fairness permits starving it only if it is disabled infinitely
+    often — which the gate toggling provides."""
+    s = System("gated")
+    s.add_global("done", 0)
+    s.add_global("gate", 0)
+    worker = ProcessDef("worker", Seq([Guard(V("gate") == 1),
+                                       Assign("done", 1)]))
+    toggler = ProcessDef("toggler", Do(
+        Branch(Assign("gate", 1 - V("gate"))),
+    ))
+    s.spawn(worker, "worker")
+    s.spawn(toggler, "toggler")
+    return s
+
+
+DONE = global_prop("done", lambda v: v.global_("done") == 1, "done")
+PROPS = {"done": DONE}
+
+
+class TestWeakFairness:
+    def test_unfair_starvation_without_fairness(self):
+        r = check_ltl(starvable_pair(), "F done", PROPS)
+        assert not r.ok  # the spinner can run forever
+
+    def test_fairness_forces_progress(self):
+        r = check_ltl(starvable_pair(), "F done", PROPS, weak_fairness=True)
+        assert r.ok
+
+    def test_fairness_note_in_message(self):
+        r = check_ltl(starvable_pair(), "F done", PROPS, weak_fairness=True)
+        assert "weak fairness" in r.message
+
+    def test_weak_fairness_does_not_rescue_intermittent_enabledness(self):
+        # enabled-infinitely-often but not continuously: weak fairness
+        # still admits the starving run
+        r = check_ltl(guarded_starvation(), "F done", PROPS,
+                      weak_fairness=True)
+        assert not r.ok
+
+    def test_fair_counterexample_is_lasso(self):
+        r = check_ltl(guarded_starvation(), "F done", PROPS,
+                      weak_fairness=True)
+        assert r.trace is not None
+        assert r.trace.cycle_start is not None
+
+    def test_safety_formulas_unaffected(self):
+        """For properties that already hold, fairness changes nothing."""
+        s = starvable_pair()
+        never_two = global_prop("ok", lambda v: v.global_("done") <= 1, "done")
+        r_plain = check_ltl(starvable_pair(), "G ok", {"ok": never_two})
+        r_fair = check_ltl(s, "G ok", {"ok": never_two}, weak_fairness=True)
+        assert r_plain.ok and r_fair.ok
+
+    def test_violations_preserved_under_fairness(self):
+        """A genuinely violated property stays violated."""
+        r = check_ltl(starvable_pair(), "G done", PROPS, weak_fairness=True)
+        assert not r.ok
+
+    def test_terminating_system(self):
+        s = System("tiny")
+        s.add_global("done", 0)
+        s.spawn(ProcessDef("p", Assign("done", 1)), "p")
+        r = check_ltl(s, "F done", PROPS, weak_fairness=True)
+        assert r.ok
+
+
+class TestFairnessOnArchitectures:
+    def test_spinner_cannot_starve_a_pipeline_under_fairness(self):
+        """An unrelated spinning component can absorb the whole schedule;
+        weak fairness forces the always-ready pipeline to progress."""
+        from repro.core import (
+            BlockingReceive, Component, SingleSlotBuffer, SynBlockingSend)
+        from repro.systems.producer_consumer import (
+            ConsumerSpec, ProducerSpec, build_producer_consumer)
+        from repro.psl.stmt import Assign, Branch, Do
+
+        def build():
+            arch = build_producer_consumer(
+                producers=[ProducerSpec(messages=1, port=SynBlockingSend())],
+                channel=SingleSlotBuffer(),
+                consumers=[ConsumerSpec(receives=1, port=BlockingReceive())],
+            )
+            arch.add_global("noise", 0)
+            arch.add_component(Component(
+                "Spinner", ports={},
+                body=Do(Branch(Assign("noise", 1 - V("noise")))),
+            ))
+            return arch
+
+        delivered = global_prop(
+            "delivered", lambda v: v.global_("consumed_0") == 1, "consumed_0")
+        unfair = check_ltl(build().to_system(fused=True), "F delivered",
+                           {"delivered": delivered})
+        assert not unfair.ok, "an unfair scheduler can run only the spinner"
+        fair = check_ltl(build().to_system(fused=True), "F delivered",
+                         {"delivered": delivered}, weak_fairness=True)
+        assert fair.ok, "weak fairness guarantees delivery"
+
+    def test_rendezvous_limitation_documented(self):
+        """Process-level weak fairness cannot force a rendezvous whose
+        partner is only intermittently available — the classic SPIN
+        limitation.  A polling consumer keeps the fused connector busy
+        with poll cycles, so the producer (whose send needs the
+        connector as partner) is not *continuously* enabled and may
+        starve even under weak fairness."""
+        from repro.core import (
+            NonblockingReceive, SingleSlotBuffer, SynBlockingSend)
+        from repro.systems.producer_consumer import (
+            ConsumerSpec, ProducerSpec, build_producer_consumer)
+
+        def build():
+            return build_producer_consumer(
+                producers=[ProducerSpec(messages=1, port=SynBlockingSend())],
+                channel=SingleSlotBuffer(),
+                consumers=[ConsumerSpec(receives=1,
+                                        port=NonblockingReceive())],
+            )
+
+        delivered = global_prop(
+            "delivered", lambda v: v.global_("consumed_0") == 1, "consumed_0")
+        fair = check_ltl(build().to_system(fused=True), "F delivered",
+                         {"delivered": delivered}, weak_fairness=True)
+        assert not fair.ok  # weak fairness alone is not enough here

@@ -1,0 +1,192 @@
+"""Tests for repro.mc.ltl: parsing, normal forms."""
+
+import pytest
+
+from repro.mc.ltl import (
+    AndF,
+    Ap,
+    Eventually,
+    FalseF,
+    Globally,
+    Iff,
+    Implies,
+    LtlSyntaxError,
+    Next,
+    NotF,
+    OrF,
+    Release,
+    TrueF,
+    Until,
+    WeakUntil,
+    is_literal,
+    negate,
+    nnf,
+    parse_ltl,
+)
+
+
+class TestParsing:
+    def test_atom(self):
+        assert parse_ltl("p") == Ap("p")
+
+    def test_constants(self):
+        assert parse_ltl("true") == TrueF()
+        assert parse_ltl("false") == FalseF()
+
+    def test_unary_operators(self):
+        assert parse_ltl("G p") == Globally(Ap("p"))
+        assert parse_ltl("F p") == Eventually(Ap("p"))
+        assert parse_ltl("X p") == Next(Ap("p"))
+        assert parse_ltl("! p") == NotF(Ap("p"))
+
+    def test_box_diamond_aliases(self):
+        assert parse_ltl("[] p") == Globally(Ap("p"))
+        assert parse_ltl("<> p") == Eventually(Ap("p"))
+
+    def test_binary_temporal(self):
+        assert parse_ltl("p U q") == Until(Ap("p"), Ap("q"))
+        assert parse_ltl("p W q") == WeakUntil(Ap("p"), Ap("q"))
+        assert parse_ltl("p R q") == Release(Ap("p"), Ap("q"))
+        assert parse_ltl("p V q") == Release(Ap("p"), Ap("q"))
+
+    def test_boolean_connectives(self):
+        assert parse_ltl("p && q") == AndF(Ap("p"), Ap("q"))
+        assert parse_ltl("p || q") == OrF(Ap("p"), Ap("q"))
+        assert parse_ltl("p & q") == AndF(Ap("p"), Ap("q"))
+        assert parse_ltl("p | q") == OrF(Ap("p"), Ap("q"))
+        assert parse_ltl("p -> q") == Implies(Ap("p"), Ap("q"))
+        assert parse_ltl("p <-> q") == Iff(Ap("p"), Ap("q"))
+
+    def test_precedence_and_over_or(self):
+        f = parse_ltl("a || b && c")
+        assert f == OrF(Ap("a"), AndF(Ap("b"), Ap("c")))
+
+    def test_precedence_until_over_and(self):
+        f = parse_ltl("a U b && c U d")
+        assert f == AndF(Until(Ap("a"), Ap("b")), Until(Ap("c"), Ap("d")))
+
+    def test_implies_right_associative(self):
+        f = parse_ltl("a -> b -> c")
+        assert f == Implies(Ap("a"), Implies(Ap("b"), Ap("c")))
+
+    def test_until_right_associative(self):
+        f = parse_ltl("a U b U c")
+        assert f == Until(Ap("a"), Until(Ap("b"), Ap("c")))
+
+    def test_unary_binds_tighter_than_binary(self):
+        f = parse_ltl("G p -> F q")
+        assert f == Implies(Globally(Ap("p")), Eventually(Ap("q")))
+
+    def test_parentheses(self):
+        f = parse_ltl("G (p -> F q)")
+        assert f == Globally(Implies(Ap("p"), Eventually(Ap("q"))))
+
+    def test_nested(self):
+        f = parse_ltl("G (req -> (req U grant))")
+        assert isinstance(f, Globally)
+
+    def test_empty_rejected(self):
+        with pytest.raises(LtlSyntaxError):
+            parse_ltl("")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(LtlSyntaxError, match="trailing"):
+            parse_ltl("p q")
+
+    def test_unclosed_paren_rejected(self):
+        with pytest.raises(LtlSyntaxError):
+            parse_ltl("(p && q")
+
+    def test_reserved_word_as_atom_rejected(self):
+        with pytest.raises(LtlSyntaxError, match="reserved"):
+            parse_ltl("p U U")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(LtlSyntaxError):
+            parse_ltl("p # q")
+
+    def test_atoms_collection(self):
+        f = parse_ltl("G (a -> F (b && !c))")
+        assert f.atoms() == frozenset({"a", "b", "c"})
+
+
+class TestNnf:
+    def test_literal_unchanged(self):
+        assert nnf(Ap("p")) == Ap("p")
+
+    def test_double_negation(self):
+        assert nnf(NotF(NotF(Ap("p")))) == Ap("p")
+
+    def test_de_morgan_and(self):
+        f = nnf(NotF(AndF(Ap("p"), Ap("q"))))
+        assert f == OrF(NotF(Ap("p")), NotF(Ap("q")))
+
+    def test_not_until_is_release(self):
+        f = nnf(NotF(Until(Ap("p"), Ap("q"))))
+        assert f == Release(NotF(Ap("p")), NotF(Ap("q")))
+
+    def test_not_release_is_until(self):
+        f = nnf(NotF(Release(Ap("p"), Ap("q"))))
+        assert f == Until(NotF(Ap("p")), NotF(Ap("q")))
+
+    def test_eventually_desugars(self):
+        assert nnf(Eventually(Ap("p"))) == Until(TrueF(), Ap("p"))
+
+    def test_globally_desugars(self):
+        assert nnf(Globally(Ap("p"))) == Release(FalseF(), Ap("p"))
+
+    def test_not_globally(self):
+        f = nnf(NotF(Globally(Ap("p"))))
+        assert f == Until(TrueF(), NotF(Ap("p")))
+
+    def test_implies_desugars(self):
+        assert nnf(Implies(Ap("p"), Ap("q"))) == OrF(NotF(Ap("p")), Ap("q"))
+
+    def test_weak_until_desugars(self):
+        f = nnf(WeakUntil(Ap("a"), Ap("b")))
+        assert f == Release(Ap("b"), OrF(Ap("a"), Ap("b")))
+
+    def test_iff_desugars(self):
+        f = nnf(Iff(Ap("a"), Ap("b")))
+        assert isinstance(f, OrF)
+
+    def test_next_passes_negation_through(self):
+        assert nnf(NotF(Next(Ap("p")))) == Next(NotF(Ap("p")))
+
+    def test_negate_is_nnf_of_not(self):
+        f = parse_ltl("G (p -> F q)")
+        assert negate(f) == nnf(NotF(f))
+
+    def test_nnf_only_has_allowed_nodes(self):
+        f = parse_ltl("!(a -> (b W c)) <-> F d")
+        allowed = (Ap, NotF, AndF, OrF, Next, Until, Release, TrueF, FalseF)
+        from repro.mc.ltl import walk
+        for node in walk(nnf(f)):
+            assert isinstance(node, allowed)
+            if isinstance(node, NotF):
+                assert isinstance(node.operand, Ap)
+
+
+class TestLiterals:
+    def test_is_literal(self):
+        assert is_literal(Ap("p"))
+        assert is_literal(NotF(Ap("p")))
+        assert is_literal(TrueF())
+        assert not is_literal(AndF(Ap("p"), Ap("q")))
+        assert not is_literal(NotF(AndF(Ap("p"), Ap("q"))))
+
+
+class TestStringRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "G p",
+        "F (p && q)",
+        "(p U q)",
+        "G (req -> F grant)",
+        "!(p || q)",
+        "p R (q && r)",
+        "X (p -> q)",
+    ])
+    def test_parse_str_parse_fixpoint(self, text):
+        f1 = parse_ltl(text)
+        f2 = parse_ltl(str(f1))
+        assert f1 == f2

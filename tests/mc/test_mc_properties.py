@@ -1,0 +1,119 @@
+"""Property-based tests for the LTL pipeline (parser, nnf, checking)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mc import check_ltl, global_prop
+from repro.mc.ltl import (
+    AndF,
+    Ap,
+    Eventually,
+    Formula,
+    Globally,
+    Next,
+    NotF,
+    OrF,
+    Release,
+    TrueF,
+    FalseF,
+    Until,
+    is_literal,
+    nnf,
+    parse_ltl,
+    walk,
+)
+from repro.psl import Assign, Branch, Do, Guard, ProcessDef, System, V
+
+
+def formulas(max_depth=3):
+    atoms = st.sampled_from([Ap("x0"), Ap("x1"), TrueF(), FalseF()])
+    return st.recursive(
+        atoms,
+        lambda sub: st.one_of(
+            sub.map(NotF),
+            sub.map(Globally),
+            sub.map(Eventually),
+            sub.map(Next),
+            st.tuples(sub, sub).map(lambda t: AndF(*t)),
+            st.tuples(sub, sub).map(lambda t: OrF(*t)),
+            st.tuples(sub, sub).map(lambda t: Until(*t)),
+            st.tuples(sub, sub).map(lambda t: Release(*t)),
+        ),
+        max_leaves=6,
+    )
+
+
+def toggler():
+    s = System("toggler")
+    s.add_global("x", 0)
+    d = ProcessDef("t", Do(
+        Branch(Guard(V("x") == 0), Assign("x", 1)),
+        Branch(Guard(V("x") == 1), Assign("x", 0)),
+    ))
+    s.spawn(d, "t1")
+    return s
+
+
+PROPS = {
+    "x0": global_prop("x0", lambda v: v.global_("x") == 0, "x"),
+    "x1": global_prop("x1", lambda v: v.global_("x") == 1, "x"),
+}
+
+
+class TestNnfProperties:
+    @given(formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_nnf_is_idempotent(self, f):
+        assert nnf(nnf(f)) == nnf(f)
+
+    @given(formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_nnf_negations_only_on_atoms(self, f):
+        for node in walk(nnf(f)):
+            if isinstance(node, NotF):
+                assert isinstance(node.operand, Ap)
+
+    @given(formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_double_negation_eliminated(self, f):
+        assert nnf(NotF(NotF(f))) == nnf(f)
+
+    @given(formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_nnf_preserves_atoms(self, f):
+        # NNF never invents new propositions
+        assert nnf(f).atoms() <= f.atoms()
+
+
+class TestParserProperties:
+    @given(formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_str_round_trips_through_parser(self, f):
+        # Every formula's string rendering must reparse to the same AST.
+        assert parse_ltl(str(f)) == f
+
+
+class TestCheckerConsistency:
+    @given(formulas(max_depth=2))
+    @settings(max_examples=25, deadline=None)
+    def test_f_and_not_f_never_both_hold_unless_trivial(self, f):
+        """On a system with multiple runs, f and !f can both FAIL but
+        they can never both HOLD (the toggler has at least one run)."""
+        r_pos = check_ltl(toggler(), f, PROPS)
+        r_neg = check_ltl(toggler(), NotF(f), PROPS)
+        assert not (r_pos.ok and r_neg.ok) or isinstance(f, (TrueF, FalseF))
+
+    @given(formulas(max_depth=2))
+    @settings(max_examples=25, deadline=None)
+    def test_failed_check_produces_trace(self, f):
+        r = check_ltl(toggler(), f, PROPS)
+        if not r.ok:
+            assert r.trace is not None
+            assert r.trace.cycle_start is not None
+
+    @given(formulas(max_depth=2))
+    @settings(max_examples=25, deadline=None)
+    def test_conjunction_weaker_than_parts(self, f):
+        """If f && x0 holds then f holds (toggler starts at x=0...)."""
+        both = check_ltl(toggler(), AndF(f, Ap("x0")), PROPS)
+        if both.ok:
+            assert check_ltl(toggler(), f, PROPS).ok

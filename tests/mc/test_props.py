@@ -1,0 +1,117 @@
+"""Tests for repro.mc.props: StateView and Prop declarations."""
+
+import pytest
+
+from repro.mc.props import Prop, StateView, global_prop, prop
+from repro.psl import (
+    Assign,
+    Bind,
+    EndLabel,
+    Guard,
+    ProcessDef,
+    Recv,
+    Send,
+    Seq,
+    Skip,
+    System,
+    V,
+    buffered,
+)
+
+
+@pytest.fixture
+def system():
+    s = System("view")
+    s.add_global("g", 7)
+    c = s.add_channel(buffered("box", 2, "v"))
+    sender = ProcessDef("s", Seq([Send("out", [5]), Send("out", [6])]),
+                        chan_params=("out",), local_vars={"note": 3})
+    idle = ProcessDef("idle", Seq([EndLabel(), Guard(V("g") == 99)]))
+    s.spawn(sender, "alpha", chans={"out": c})
+    s.spawn(idle, "beta")
+    return s
+
+
+class TestStateView:
+    def test_global(self, system):
+        v = StateView(system, system.initial_state())
+        assert v.global_("g") == 7
+
+    def test_local(self, system):
+        v = StateView(system, system.initial_state())
+        assert v.local("alpha", "note") == 3
+
+    def test_location(self, system):
+        v = StateView(system, system.initial_state())
+        assert v.location("alpha") == system.instance_by_name("alpha").automaton.initial
+
+    def test_chan_len_empty(self, system):
+        v = StateView(system, system.initial_state())
+        assert v.chan_len("box") == 0
+        assert v.chan_empty("box")
+        assert not v.chan_full("box")
+
+    def test_chan_contents_after_send(self, system):
+        from repro.psl import Interpreter
+        interp = Interpreter(system)
+        s1 = interp.transitions(interp.initial_state())[0].target
+        v = StateView(system, s1)
+        assert v.chan_len("box") == 1
+        assert v.chan_contents("box") == ((5,),)
+
+    def test_chan_full(self, system):
+        from repro.psl import Interpreter
+        interp = Interpreter(system)
+        s = interp.initial_state()
+        for _ in range(2):
+            s = interp.transitions(s)[0].target
+        v = StateView(system, s)
+        assert v.chan_full("box")
+
+    def test_at_end(self, system):
+        v = StateView(system, system.initial_state())
+        assert v.at_end("beta")  # end-labeled idle point
+        assert not v.at_end("alpha")
+
+    def test_terminated(self, system):
+        from repro.psl import Interpreter
+        interp = Interpreter(system)
+        s = interp.initial_state()
+        for _ in range(2):
+            s = interp.transitions(s)[0].target
+        v = StateView(system, s)
+        assert v.terminated("alpha")
+
+    def test_unknown_names_raise(self, system):
+        v = StateView(system, system.initial_state())
+        with pytest.raises(KeyError):
+            v.global_("nope")
+        with pytest.raises(KeyError):
+            v.local("nobody", "x")
+        with pytest.raises(KeyError):
+            v.chan_len("nochan")
+
+
+class TestPropConstruction:
+    def test_prop_evaluate(self, system):
+        p = prop("g7", lambda v: v.global_("g") == 7)
+        assert p.evaluate(system, system.initial_state())
+
+    def test_global_prop_declares_deps(self):
+        p = global_prop("x", lambda v: True, "a", "b")
+        assert p.globals_read == frozenset({"a", "b"})
+        assert p.locals_read == frozenset()
+        assert p.depends_only_on_globals()
+
+    def test_undeclared_deps_are_none(self):
+        p = Prop("x", lambda v: True)
+        assert p.globals_read is None
+        assert not p.depends_only_on_globals()
+
+    def test_prop_with_locals_read(self):
+        p = prop("x", lambda v: True, globals_read=[], locals_read=["alpha"])
+        assert not p.depends_only_on_globals()
+
+    def test_props_compare_by_declaration(self):
+        fn = lambda v: True  # noqa: E731
+        assert prop("a", fn) == prop("a", lambda v: False)  # fn not compared

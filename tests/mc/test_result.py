@@ -1,0 +1,102 @@
+"""Tests for verification result/trace/statistics objects."""
+
+import pytest
+
+from repro.mc.result import Statistics, Trace, TraceStep, VerificationResult
+from repro.psl.interp import TransitionLabel
+from repro.psl.state import State
+
+
+def mk_state(x):
+    return State(locs=(x,), frames=((),), chans=(), globals_=())
+
+
+def mk_step(i):
+    return TraceStep(
+        TransitionLabel(pid=0, process="p", kind="local", desc=f"step{i}"),
+        mk_state(i),
+    )
+
+
+class TestTrace:
+    def test_len_and_final(self):
+        t = Trace(initial=mk_state(0), steps=[mk_step(1), mk_step(2)])
+        assert len(t) == 2
+        assert t.final_state == mk_state(2)
+
+    def test_empty_trace_final_is_initial(self):
+        t = Trace(initial=mk_state(0))
+        assert t.final_state == mk_state(0)
+
+    def test_states_includes_initial(self):
+        t = Trace(initial=mk_state(0), steps=[mk_step(1)])
+        assert t.states() == [mk_state(0), mk_state(1)]
+
+    def test_labels(self):
+        t = Trace(initial=mk_state(0), steps=[mk_step(1), mk_step(2)])
+        assert [l.desc for l in t.labels()] == ["step1", "step2"]
+
+    def test_pretty_cycle_marker(self):
+        t = Trace(initial=mk_state(0), steps=[mk_step(1), mk_step(2)],
+                  cycle_start=1)
+        text = t.pretty()
+        assert "cycle starts here" in text
+
+    def test_pretty_numbering(self):
+        t = Trace(initial=mk_state(0), steps=[mk_step(1)])
+        assert t.pretty().startswith("   1.")
+
+
+class TestStatistics:
+    def test_merge(self):
+        a = Statistics(states_stored=10, transitions=20, max_frontier=5,
+                       elapsed_seconds=1.0)
+        b = Statistics(states_stored=1, transitions=2, max_frontier=9,
+                       elapsed_seconds=0.5)
+        merged = a.merge(b)
+        assert merged.states_stored == 11
+        assert merged.transitions == 22
+        assert merged.max_frontier == 9
+        assert merged.elapsed_seconds == 1.5
+
+
+class TestVerificationResult:
+    def test_bool(self):
+        assert VerificationResult(ok=True)
+        assert not VerificationResult(ok=False)
+
+    def test_summary_pass(self):
+        r = VerificationResult(ok=True, message="clean",
+                               property_text="G safe")
+        text = r.summary()
+        assert "PASS" in text and "G safe" in text and "clean" in text
+
+    def test_summary_fail_kind(self):
+        r = VerificationResult(ok=False, kind="deadlock", message="stuck")
+        assert "FAIL (deadlock)" in r.summary()
+
+    def test_holds_alias(self):
+        assert VerificationResult(ok=True).holds
+
+
+class TestTransitionLabelPretty:
+    def test_handshake(self):
+        lbl = TransitionLabel(pid=0, process="a", kind="handshake",
+                              desc="d", chan="c", message=(1, 2),
+                              partner_pid=1, partner="b")
+        text = lbl.pretty()
+        assert "a -> b" in text and "<1, 2>" in text
+
+    def test_send(self):
+        lbl = TransitionLabel(pid=0, process="a", kind="send", desc="d",
+                              chan="c", message=("SIG",))
+        assert "a sends <SIG> on c" == lbl.pretty()
+
+    def test_recv(self):
+        lbl = TransitionLabel(pid=0, process="a", kind="recv", desc="d",
+                              chan="c", message=(7,))
+        assert "receives" in lbl.pretty()
+
+    def test_local(self):
+        lbl = TransitionLabel(pid=0, process="a", kind="local", desc="x = 1")
+        assert lbl.pretty() == "a: x = 1"

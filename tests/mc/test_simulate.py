@@ -1,0 +1,145 @@
+"""Tests for guided simulation and trace replay."""
+
+import pytest
+
+from repro.mc import check_safety, find_state, global_prop
+from repro.mc.simulate import (
+    ReplayError,
+    SimulationRun,
+    process_priority_scheduler,
+    random_scheduler,
+    replay,
+    round_robin_scheduler,
+    simulate,
+)
+from repro.psl import (
+    Assert,
+    Assign,
+    Branch,
+    Do,
+    Guard,
+    ProcessDef,
+    Seq,
+    System,
+    V,
+)
+
+
+def counter_system(limit=3):
+    s = System("c")
+    s.add_global("g", 0)
+    s.spawn(ProcessDef("p", Seq([
+        Do(Branch(Guard(V("g") < limit), Assign("g", V("g") + 1)),
+           Branch(Guard(V("g") == limit), __import__("repro.psl", fromlist=["Break"]).Break())),
+    ])), "i")
+    return s
+
+
+def spinner_and_worker():
+    s = System("sw")
+    s.add_global("done", 0)
+    s.add_global("noise", 0)
+    s.spawn(ProcessDef("worker", Assign("done", 1)), "worker")
+    s.spawn(ProcessDef("spinner", Do(
+        Branch(Assign("noise", 1 - V("noise"))),
+    )), "spinner")
+    return s
+
+
+class TestSimulate:
+    def test_deterministic_run_completes(self):
+        run = simulate(counter_system(3), random_scheduler(seed=1))
+        assert run.completed
+        final = run.trace.final_state
+        assert final.globals_[0] == 3
+
+    def test_random_seed_reproducible(self):
+        r1 = simulate(spinner_and_worker(), random_scheduler(seed=9),
+                      max_steps=30)
+        r2 = simulate(spinner_and_worker(), random_scheduler(seed=9),
+                      max_steps=30)
+        assert [s.label.desc for s in r1.steps] == \
+            [s.label.desc for s in r2.steps]
+
+    def test_step_budget_respected(self):
+        run = simulate(spinner_and_worker(), random_scheduler(seed=0),
+                       max_steps=10)
+        assert len(run.steps) <= 10
+        assert not run.completed  # the spinner never quiesces
+
+    def test_round_robin_runs_everyone(self):
+        run = simulate(spinner_and_worker(), round_robin_scheduler(),
+                       max_steps=10)
+        pids = {s.label.pid for s in run.steps}
+        assert pids == {0, 1}
+
+    def test_priority_scheduler_starves(self):
+        run = simulate(
+            spinner_and_worker(),
+            process_priority_scheduler(["spinner", "worker"]),
+            max_steps=20,
+        )
+        assert all(s.label.process == "spinner" for s in run.steps)
+        assert run.trace.final_state.globals_[0] == 0  # done never set
+
+    def test_violations_recorded(self):
+        s = System("v")
+        s.add_global("g", 0)
+        s.spawn(ProcessDef("p", Assert(V("g") == 1)), "i")
+        run = simulate(s, random_scheduler(seed=0))
+        assert run.violations
+        assert "assertion violated" in run.violations[0]
+
+    def test_pretty(self):
+        run = simulate(counter_system(1), random_scheduler(seed=0))
+        assert "1." in run.pretty()
+
+
+class TestReplay:
+    def test_counterexample_replays(self):
+        """A trace produced by the checker replays cleanly."""
+        s = spinner_and_worker()
+        done = global_prop("done", lambda v: v.global_("done") == 1, "done")
+        trace = find_state(s, done)
+        run = replay(spinner_and_worker(), trace)
+        assert len(run.steps) == len(trace.steps)
+        assert run.trace.final_state == trace.final_state
+
+    def test_replay_reobserves_violations(self):
+        s = System("v")
+        s.add_global("g", 0)
+        s.spawn(ProcessDef("p", Assert(V("g") == 1)), "i")
+        result = check_safety(s, check_deadlock=False)
+        run = replay(s, result.trace)
+        assert run.violations
+
+    def test_foreign_trace_rejected(self):
+        s1 = spinner_and_worker()
+        done = global_prop("done", lambda v: v.global_("done") == 1, "done")
+        trace = find_state(s1, done)
+        with pytest.raises(ReplayError):
+            replay(counter_system(3), trace)
+
+    def test_tampered_trace_rejected(self):
+        from repro.mc.result import Trace, TraceStep
+        from repro.psl.interp import TransitionLabel
+        s = spinner_and_worker()
+        bogus_state = s.initial_state()._replace(globals_=(99, 99))
+        bogus = Trace(initial=s.initial_state(), steps=[
+            TraceStep(TransitionLabel(pid=0, process="worker", kind="local",
+                                      desc="done = 1"), bogus_state),
+        ])
+        with pytest.raises(ReplayError, match="not enabled"):
+            replay(spinner_and_worker(), bogus)
+
+    def test_architecture_counterexample_replays(self):
+        """End to end: replay the bridge crash counterexample."""
+        from repro.systems.bridge import (
+            BridgeConfig, build_exactly_n_bridge, crash_prop)
+        cfg = BridgeConfig(1, 1, trips=1)
+        arch = build_exactly_n_bridge(cfg)
+        system = arch.to_system(fused=True)
+        trace = find_state(system, crash_prop())
+        arch2 = build_exactly_n_bridge(cfg)
+        run = replay(arch2.to_system(fused=True), trace)
+        assert run.trace.final_state == trace.final_state

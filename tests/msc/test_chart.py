@@ -1,0 +1,120 @@
+"""Tests for message-sequence-chart extraction (Figure 4 reproduction)."""
+
+import pytest
+
+from repro.core import AsynBlockingSend, SingleSlotBuffer, SynBlockingSend
+from repro.mc import find_state, prop
+from repro.msc import MessageSequenceChart, chart_from_trace
+from repro.msc.chart import events_from_trace
+from repro.psl import Interpreter
+from repro.systems.producer_consumer import simple_pair
+
+
+def trace_to_completion(arch):
+    """Deterministically drive the system to quiescence, returning steps."""
+    interp = Interpreter(arch.to_system())
+    state = interp.initial_state()
+    steps = []
+    for _ in range(500):
+        trans = interp.transitions(state)
+        if not trans:
+            break
+        steps.append((trans[0].label, trans[0].target))
+        state = trans[0].target
+    return steps
+
+
+class TestEventExtraction:
+    def test_events_extracted(self):
+        steps = trace_to_completion(
+            simple_pair(SynBlockingSend(), SingleSlotBuffer()))
+        events = events_from_trace(steps)
+        assert events
+        kinds = {e.kind for e in events}
+        assert "handshake" in kinds
+
+    def test_channel_filter(self):
+        steps = trace_to_completion(
+            simple_pair(SynBlockingSend(), SingleSlotBuffer()))
+        events = events_from_trace(steps, channels=["link.snd_data"])
+        assert events
+        assert all(e.channel == "link.snd_data" for e in events)
+
+    def test_process_filter(self):
+        steps = trace_to_completion(
+            simple_pair(SynBlockingSend(), SingleSlotBuffer()))
+        events = events_from_trace(steps, processes=["Producer0"])
+        assert events
+        assert all(
+            "Producer0" in (e.source, e.target) for e in events
+        )
+
+    def test_event_summary(self):
+        steps = trace_to_completion(
+            simple_pair(SynBlockingSend(), SingleSlotBuffer()))
+        events = events_from_trace(steps)
+        assert all(isinstance(e.summary, str) for e in events)
+
+
+class TestChartRendering:
+    def _chart(self):
+        arch = simple_pair(SynBlockingSend(), SingleSlotBuffer())
+        steps = trace_to_completion(arch)
+        lifelines = ["Producer0", "link.Producer0.out.port", "link.channel",
+                     "link.Consumer0.inp.port", "Consumer0"]
+        return chart_from_trace(steps, lifelines)
+
+    def test_render_has_header(self):
+        text = self._chart().render()
+        assert "Producer0" in text
+        assert "link.channel" in text
+
+    def test_render_has_arrows(self):
+        text = self._chart().render()
+        assert "-" in text
+        assert ">" in text or "<" in text
+
+    def test_signal_names_visible(self):
+        text = self._chart().render()
+        assert "SEND_SUCC" in text
+
+    def test_empty_chart(self):
+        chart = MessageSequenceChart(["a", "b"], [])
+        text = chart.render()
+        assert "a" in text and "b" in text
+
+
+class TestFigure4Orderings:
+    """The paper's Figure 4: async vs sync blocking send scenarios."""
+
+    def _first_trace_with_ack(self, send_spec):
+        arch = simple_pair(send_spec, SingleSlotBuffer(), messages=1)
+        system = arch.to_system()
+        acked = prop("acked", lambda v: v.global_("acked_0") == 1)
+        trace = find_state(system, acked)
+        assert trace is not None
+        return list(zip(trace.labels(), trace.states()[1:]))
+
+    @staticmethod
+    def _index_of_signal(steps, signal):
+        for i, (label, _state) in enumerate(steps):
+            if label.message and label.message[0] == signal:
+                return i
+        return None
+
+    def test_async_ack_before_recv_ok(self):
+        """Fig 4(a): shortest ack path has SEND_SUCC without any RECV_OK."""
+        steps = self._first_trace_with_ack(AsynBlockingSend())
+        succ = self._index_of_signal(steps, "SEND_SUCC")
+        recv_ok = self._index_of_signal(steps, "RECV_OK")
+        assert succ is not None
+        assert recv_ok is None or succ < recv_ok
+
+    def test_sync_ack_after_recv_ok(self):
+        """Fig 4(b): SEND_SUCC only after IN_OK and RECV_OK."""
+        steps = self._first_trace_with_ack(SynBlockingSend())
+        succ = self._index_of_signal(steps, "SEND_SUCC")
+        in_ok = self._index_of_signal(steps, "IN_OK")
+        recv_ok = self._index_of_signal(steps, "RECV_OK")
+        assert None not in (succ, in_ok, recv_ok)
+        assert in_ok < recv_ok < succ

@@ -1,0 +1,51 @@
+"""Shared helpers for PSL interpreter tests."""
+
+import pytest
+
+from repro.psl import Interpreter, ProcessDef, System
+
+
+def make_system(*procs, globals_=None, channels=()):
+    """Assemble a system from (ProcessDef, name, chans, args) tuples."""
+    s = System("test")
+    for name, init in (globals_ or {}).items():
+        s.add_global(name, init)
+    for ch in channels:
+        s.add_channel(ch)
+    for entry in procs:
+        definition, name = entry[0], entry[1]
+        chans = entry[2] if len(entry) > 2 else None
+        args = entry[3] if len(entry) > 3 else None
+        s.spawn(definition, name, chans=chans, args=args)
+    return s
+
+
+def explore_all(interp, max_states=100_000):
+    """Exhaustive reachable-state exploration; returns (states, deadlocks, violations)."""
+    init = interp.initial_state()
+    seen = {init}
+    frontier = [init]
+    deadlocks = []
+    violations = []
+    while frontier:
+        state = frontier.pop()
+        trans = interp.transitions(state)
+        if not trans and not interp.is_valid_end_state(state):
+            deadlocks.append(state)
+        for t in trans:
+            if t.violation:
+                violations.append(t.violation)
+            if t.target not in seen:
+                seen.add(t.target)
+                if len(seen) > max_states:
+                    raise RuntimeError("state explosion in test")
+                frontier.append(t.target)
+    return seen, deadlocks, violations
+
+
+@pytest.fixture
+def build():
+    def _build(*procs, globals_=None, channels=()):
+        system = make_system(*procs, globals_=globals_, channels=channels)
+        return Interpreter(system)
+    return _build

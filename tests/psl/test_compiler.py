@@ -1,0 +1,189 @@
+"""Tests for repro.psl.compiler: statement trees to control-flow automata."""
+
+import pytest
+
+from repro.psl.compiler import (
+    OpAssign,
+    OpElse,
+    OpGuard,
+    OpRecv,
+    OpSend,
+    OpSkip,
+    compile_body,
+)
+from repro.psl.errors import CompileError
+from repro.psl.expr import C, V
+from repro.psl.stmt import (
+    Assign,
+    Branch,
+    Break,
+    Do,
+    Else,
+    EndLabel,
+    Guard,
+    If,
+    Recv,
+    Send,
+    Seq,
+    Skip,
+)
+
+
+def ops_of(auto):
+    return [e.op for e in auto.edges]
+
+
+class TestSequencing:
+    def test_single_statement(self):
+        auto = compile_body(Assign("x", 1))
+        assert len(auto.edges) == 1
+        assert auto.edges[0].src == auto.initial
+
+    def test_chain_length(self):
+        auto = compile_body(Seq([Assign("x", 1), Assign("x", 2), Assign("x", 3)]))
+        assert len(auto.edges) == 3
+        # the chain is linear: each edge's dst is the next edge's src
+        e1, e2, e3 = auto.edges
+        assert e1.dst == e2.src
+        assert e2.dst == e3.src
+
+    def test_final_location_is_end_state(self):
+        auto = compile_body(Assign("x", 1))
+        assert auto.edges[0].dst in auto.end_locations
+
+    def test_empty_seq_compiles_to_skip(self):
+        auto = compile_body(Seq([]))
+        assert len(auto.edges) == 1
+        assert isinstance(auto.edges[0].op, OpSkip)
+
+
+class TestSelection:
+    def test_if_branches_share_entry(self):
+        auto = compile_body(If(
+            Branch(Guard(V("x") == 1), Assign("y", 1)),
+            Branch(Guard(V("x") == 2), Assign("y", 2)),
+        ))
+        entry_edges = auto.out_edges(auto.initial)
+        assert len(entry_edges) == 2
+        assert all(isinstance(e.op, OpGuard) for e in entry_edges)
+
+    def test_if_branches_converge(self):
+        auto = compile_body(Seq([
+            If(Branch(Guard(V("x") == 1)), Branch(Guard(V("x") == 2))),
+            Assign("z", 1),
+        ]))
+        targets = {e.dst for e in auto.out_edges(auto.initial)}
+        assert len(targets) == 1  # both branches land on the same location
+
+    def test_else_edge_compiled(self):
+        auto = compile_body(If(Branch(Guard(V("x") == 1)), Branch(Else())))
+        kinds = {type(e.op) for e in auto.out_edges(auto.initial)}
+        assert OpElse in kinds
+
+
+class TestLoops:
+    def test_do_loops_back_to_entry(self):
+        auto = compile_body(Do(Branch(Guard(V("x") == 0), Assign("x", 1))))
+        entry = auto.initial
+        # follow the branch: guard then assign; assign must come back to entry
+        guard_edge = auto.out_edges(entry)[0]
+        assign_edge = auto.out_edges(guard_edge.dst)[0]
+        assert assign_edge.dst == entry
+
+    def test_break_exits_loop(self):
+        auto = compile_body(Seq([
+            Do(Branch(Guard(V("x") == 0), Break())),
+            Assign("done", 1),
+        ]))
+        # after break-simplification, the guard edge should jump straight
+        # to the location whose out-edge is the final assignment
+        guard_edge = auto.out_edges(auto.initial)[0]
+        after = auto.out_edges(guard_edge.dst)
+        assert len(after) == 1
+        assert isinstance(after[0].op, OpAssign)
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(CompileError, match="outside"):
+            compile_body(Break())
+
+    def test_nested_break_targets_inner_loop(self):
+        body = Do(Branch(
+            Guard(V("x") == 0),
+            Do(Branch(Guard(V("y") == 0), Break())),
+            Assign("after_inner", 1),
+        ))
+        auto = compile_body(body)
+        # compiles without error and reaches the after-inner assignment
+        assert any(
+            isinstance(e.op, OpAssign) and e.op.name == "after_inner"
+            for e in auto.edges
+        )
+
+
+class TestBreakSimplification:
+    def test_break_steps_are_contracted(self):
+        """`break` must be a control transfer, not an execution step."""
+        auto = compile_body(Seq([
+            Do(Branch(Guard(V("x") == 0), Break())),
+            Assign("z", 1),
+        ]))
+        assert not any(
+            isinstance(e.op, OpSkip) and e.op.desc == "break" for e in auto.edges
+        )
+
+    def test_explicit_skip_is_kept(self):
+        auto = compile_body(Seq([Skip(), Assign("x", 1)]))
+        assert any(isinstance(e.op, OpSkip) for e in auto.edges)
+
+
+class TestEndLabels:
+    def test_endlabel_marks_loop_head(self):
+        auto = compile_body(Seq([
+            EndLabel(),
+            Do(Branch(Guard(V("x") == 0), Assign("x", 1))),
+        ]))
+        assert auto.initial in auto.end_locations
+
+    def test_endlabel_mid_sequence(self):
+        auto = compile_body(Seq([
+            Assign("x", 1),
+            EndLabel(),
+            Assign("x", 2),
+        ]))
+        mid = auto.out_edges(auto.initial)[0].dst
+        assert mid in auto.end_locations
+
+    def test_trailing_endlabel_marks_exit(self):
+        auto = compile_body(Seq([Assign("x", 1), EndLabel()]))
+        assert auto.edges[0].dst in auto.end_locations
+
+    def test_bare_endlabel_rejected_outside_seq(self):
+        with pytest.raises(CompileError):
+            compile_body(EndLabel())
+
+
+class TestMetadata:
+    def test_channel_params_used(self):
+        auto = compile_body(Seq([
+            Send("a", [C(1)]),
+            Recv("b", ["x"]),
+        ]))
+        assert auto.channel_params_used() == frozenset({"a", "b"})
+
+    def test_bound_names(self):
+        auto = compile_body(Seq([
+            Assign("x", V("y") + 1),
+            Recv("c", ["z"]),
+        ]))
+        assert auto.bound_names() == frozenset({"x", "y", "z"})
+
+    def test_reads_writes_on_ops(self):
+        send = OpSend("c", (V("a") + V("b"),), "desc")
+        assert send.reads() == frozenset({"a", "b"})
+        recv = OpRecv("c", tuple(), False, False, "desc")
+        assert recv.writes() == frozenset()
+
+    def test_edges_from_table_complete(self):
+        auto = compile_body(Seq([Assign("x", 1), Assign("y", 2)]))
+        assert len(auto.edges_from) == auto.n_locations
+        assert sum(len(es) for es in auto.edges_from) == len(auto.edges)

@@ -1,0 +1,197 @@
+"""Tests for repro.psl.expr: expression AST, evaluation, and rendering."""
+
+import pytest
+
+from repro.psl.errors import EvalError
+from repro.psl.expr import (
+    BinOp,
+    C,
+    Const,
+    FALSE,
+    Not,
+    TRUE,
+    V,
+    Var,
+    as_expr,
+)
+
+
+class DictCtx:
+    """Minimal EvalContext backed by a dict."""
+
+    def __init__(self, **bindings):
+        self.bindings = bindings
+
+    def lookup(self, name):
+        try:
+            return self.bindings[name]
+        except KeyError:
+            raise EvalError(f"unknown {name}")
+
+
+class TestConst:
+    def test_eval(self):
+        assert Const(5).eval(DictCtx()) == 5
+
+    def test_symbol(self):
+        assert Const("SIG").eval(DictCtx()) == "SIG"
+
+    def test_free_vars_empty(self):
+        assert Const(1).free_vars() == frozenset()
+
+    def test_to_promela(self):
+        assert Const(3).to_promela() == "3"
+
+    def test_bool_normalized(self):
+        assert Const(True).value == 1
+
+
+class TestVar:
+    def test_eval(self):
+        assert Var("x").eval(DictCtx(x=9)) == 9
+
+    def test_unknown_raises(self):
+        with pytest.raises(EvalError):
+            Var("nope").eval(DictCtx())
+
+    def test_free_vars(self):
+        assert Var("x").free_vars() == frozenset({"x"})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(EvalError):
+            Var("")
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert (V("x") + 3).eval(DictCtx(x=4)) == 7
+
+    def test_radd(self):
+        assert (3 + V("x")).eval(DictCtx(x=4)) == 7
+
+    def test_sub(self):
+        assert (V("x") - 1).eval(DictCtx(x=4)) == 3
+
+    def test_rsub(self):
+        assert (10 - V("x")).eval(DictCtx(x=4)) == 6
+
+    def test_mul(self):
+        assert (V("x") * 5).eval(DictCtx(x=4)) == 20
+
+    def test_mod(self):
+        assert (V("x") % 3).eval(DictCtx(x=7)) == 1
+
+    def test_floordiv(self):
+        assert (V("x") // 3).eval(DictCtx(x=7)) == 2
+
+    def test_division_truncates_toward_zero(self):
+        # Promela/C semantics, not Python floor semantics.
+        assert (V("x") // 3).eval(DictCtx(x=-7)) == -2
+
+    def test_mod_sign_follows_dividend(self):
+        # C semantics: (-7) % 3 == -1
+        assert (V("x") % 3).eval(DictCtx(x=-7)) == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvalError, match="division by zero"):
+            (V("x") // 0).eval(DictCtx(x=1))
+
+    def test_modulo_by_zero_raises(self):
+        with pytest.raises(EvalError, match="modulo by zero"):
+            (V("x") % 0).eval(DictCtx(x=1))
+
+    def test_arith_on_symbol_raises(self):
+        with pytest.raises(EvalError, match="arithmetic on non-integers"):
+            (V("x") + 1).eval(DictCtx(x="SIG"))
+
+
+class TestComparisons:
+    def test_eq_true(self):
+        assert (V("x") == 3).eval(DictCtx(x=3)) == 1
+
+    def test_eq_false(self):
+        assert (V("x") == 3).eval(DictCtx(x=4)) == 0
+
+    def test_ne(self):
+        assert (V("x") != 3).eval(DictCtx(x=4)) == 1
+
+    def test_lt_le_gt_ge(self):
+        ctx = DictCtx(x=3)
+        assert (V("x") < 4).eval(ctx) == 1
+        assert (V("x") <= 3).eval(ctx) == 1
+        assert (V("x") > 2).eval(ctx) == 1
+        assert (V("x") >= 4).eval(ctx) == 0
+
+    def test_symbol_equality(self):
+        assert (V("s") == C("SEND_SUCC")).eval(DictCtx(s="SEND_SUCC")) == 1
+
+    def test_symbol_inequality_with_int(self):
+        assert (V("s") == 3).eval(DictCtx(s="SIG")) == 0
+
+    def test_ordering_mixed_types_raises(self):
+        with pytest.raises(EvalError, match="cannot order mixed types"):
+            (V("s") < 3).eval(DictCtx(s="SIG"))
+
+
+class TestBoolean:
+    def test_and(self):
+        assert ((V("x") == 1) & (V("y") == 2)).eval(DictCtx(x=1, y=2)) == 1
+
+    def test_and_short_false(self):
+        assert ((V("x") == 1) & (V("y") == 9)).eval(DictCtx(x=1, y=2)) == 0
+
+    def test_or(self):
+        assert ((V("x") == 9) | (V("y") == 2)).eval(DictCtx(x=1, y=2)) == 1
+
+    def test_not(self):
+        assert (~(V("x") == 1)).eval(DictCtx(x=1)) == 0
+        assert (~(V("x") == 1)).eval(DictCtx(x=2)) == 1
+
+    def test_constants(self):
+        assert TRUE.eval(DictCtx()) == 1
+        assert FALSE.eval(DictCtx()) == 0
+
+
+class TestAsExpr:
+    def test_int(self):
+        assert isinstance(as_expr(3), Const)
+
+    def test_str(self):
+        assert as_expr("SIG").value == "SIG"
+
+    def test_passthrough(self):
+        v = V("x")
+        assert as_expr(v) is v
+
+    def test_rejects_other(self):
+        with pytest.raises(EvalError):
+            as_expr(object())
+
+
+class TestStructure:
+    def test_free_vars_nested(self):
+        e = (V("a") + V("b")) * (V("c") - 1)
+        assert e.free_vars() == frozenset({"a", "b", "c"})
+
+    def test_free_vars_not(self):
+        assert Not(V("a")).free_vars() == frozenset({"a"})
+
+    def test_to_promela_binop(self):
+        assert (V("x") + 1).to_promela() == "(x + 1)"
+
+    def test_to_promela_not(self):
+        assert (~V("x")).to_promela() == "!(x)"
+
+    def test_to_promela_nested(self):
+        e = (V("x") == 1) & (V("y") < 2)
+        assert e.to_promela() == "((x == 1) && (y < 2))"
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(EvalError):
+            BinOp("^", C(1), C(2))
+
+    def test_exprs_usable_as_dict_keys(self):
+        # __eq__ is overloaded to build BinOp; hash must be identity-based.
+        e1, e2 = V("x"), V("x")
+        d = {e1: "a", e2: "b"}
+        assert len(d) == 2

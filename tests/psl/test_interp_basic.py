@@ -1,0 +1,217 @@
+"""Interpreter tests: local steps, guards, assignments, assertions."""
+
+import pytest
+
+from repro.psl import (
+    Assert,
+    Assign,
+    Branch,
+    Do,
+    DStep,
+    Else,
+    Guard,
+    If,
+    Interpreter,
+    ProcessDef,
+    Seq,
+    Skip,
+    System,
+    V,
+)
+from repro.psl.errors import ExecutionError
+
+from .conftest import explore_all, make_system
+
+
+class TestLocalSteps:
+    def test_assign_local(self, build):
+        d = ProcessDef("p", Assign("x", 41), local_vars={"x": 0})
+        interp = build((d, "i"))
+        [t] = interp.transitions(interp.initial_state())
+        assert t.target.frames[0] == (41,)
+
+    def test_assign_global(self, build):
+        d = ProcessDef("p", Assign("g", V("g") + 1))
+        interp = build((d, "i"), globals_={"g": 10})
+        [t] = interp.transitions(interp.initial_state())
+        assert t.target.globals_ == (11,)
+
+    def test_guard_blocks_when_false(self, build):
+        d = ProcessDef("p", Guard(V("g") == 1))
+        interp = build((d, "i"), globals_={"g": 0})
+        assert interp.transitions(interp.initial_state()) == []
+
+    def test_guard_fires_when_true(self, build):
+        d = ProcessDef("p", Guard(V("g") == 1))
+        interp = build((d, "i"), globals_={"g": 1})
+        assert len(interp.transitions(interp.initial_state())) == 1
+
+    def test_skip_is_one_step(self, build):
+        d = ProcessDef("p", Skip())
+        interp = build((d, "i"))
+        [t] = interp.transitions(interp.initial_state())
+        assert t.label.kind == "local"
+
+    def test_source_state_not_mutated(self, build):
+        d = ProcessDef("p", Assign("x", 1), local_vars={"x": 0})
+        interp = build((d, "i"))
+        s0 = interp.initial_state()
+        interp.transitions(s0)
+        assert s0.frames[0] == (0,)
+
+    def test_value_param_available(self, build):
+        d = ProcessDef("p", Assign("x", V("n") * 2), params=("n",),
+                       local_vars={"x": 0})
+        interp = build((d, "i", None, {"n": 21}))
+        [t] = interp.transitions(interp.initial_state())
+        assert t.target.frames[0] == (21, 42)
+
+    def test_pid_builtin(self, build):
+        d = ProcessDef("p", Assign("x", V("_pid")), local_vars={"x": -5})
+        interp = build((d, "a"), (d, "b"))
+        trans = interp.transitions(interp.initial_state())
+        results = sorted(t.target.frames[t.label.pid][0] for t in trans)
+        assert results == [0, 1]
+
+
+class TestInterleaving:
+    def test_two_processes_interleave(self, build):
+        d = ProcessDef("p", Assign("g", V("_pid")))
+        interp = build((d, "a"), (d, "b"), globals_={"g": -1})
+        trans = interp.transitions(interp.initial_state())
+        assert len(trans) == 2
+        assert {t.label.pid for t in trans} == {0, 1}
+
+    def test_diamond_converges(self, build):
+        d = ProcessDef("p", Assign("x", 1), local_vars={"x": 0})
+        interp = build((d, "a"), (d, "b"))
+        seen, deadlocks, violations = explore_all(interp)
+        # 2 independent steps: 4 states (00, 10, 01, 11)
+        assert len(seen) == 4
+        assert not deadlocks and not violations
+
+
+class TestSelectionSemantics:
+    def test_nondeterministic_choice(self, build):
+        d = ProcessDef("p", If(
+            Branch(Guard(V("g") >= 0), Assign("x", 1)),
+            Branch(Guard(V("g") >= 0), Assign("x", 2)),
+        ), local_vars={"x": 0})
+        interp = build((d, "i"), globals_={"g": 0})
+        assert len(interp.transitions(interp.initial_state())) == 2
+
+    def test_else_taken_only_when_nothing_enabled(self, build):
+        d = ProcessDef("p", If(
+            Branch(Guard(V("g") == 1), Assign("x", 1)),
+            Branch(Else(), Assign("x", 99)),
+        ), local_vars={"x": 0})
+        interp = build((d, "i"), globals_={"g": 0})
+        [t] = interp.transitions(interp.initial_state())
+        assert t.label.kind == "else"
+
+    def test_else_suppressed_when_branch_enabled(self, build):
+        d = ProcessDef("p", If(
+            Branch(Guard(V("g") == 0), Assign("x", 1)),
+            Branch(Else(), Assign("x", 99)),
+        ), local_vars={"x": 0})
+        interp = build((d, "i"), globals_={"g": 0})
+        trans = interp.transitions(interp.initial_state())
+        assert len(trans) == 1
+        assert trans[0].label.kind == "local"
+
+
+class TestAssertions:
+    def test_passing_assert(self, build):
+        d = ProcessDef("p", Assert(V("g") == 0))
+        interp = build((d, "i"), globals_={"g": 0})
+        [t] = interp.transitions(interp.initial_state())
+        assert t.violation is None
+
+    def test_failing_assert(self, build):
+        d = ProcessDef("p", Assert(V("g") == 1))
+        interp = build((d, "i"), globals_={"g": 0})
+        [t] = interp.transitions(interp.initial_state())
+        assert t.violation is not None
+        assert "assertion violated" in t.violation
+
+    def test_assert_names_the_process(self, build):
+        d = ProcessDef("p", Assert(V("g") == 1))
+        interp = build((d, "culprit"), globals_={"g": 0})
+        [t] = interp.transitions(interp.initial_state())
+        assert "culprit" in t.violation
+
+
+class TestDStep:
+    def test_runs_as_one_transition(self, build):
+        d = ProcessDef("p", DStep([
+            Assign("x", 1), Assign("y", V("x") + 1), Assign("x", V("y") + 1),
+        ]), local_vars={"x": 0, "y": 0})
+        interp = build((d, "i"))
+        [t] = interp.transitions(interp.initial_state())
+        assert t.target.frames[0] == (3, 2)
+        assert t.label.kind == "dstep"
+
+    def test_head_guard_false_blocks(self, build):
+        d = ProcessDef("p", DStep([Guard(V("g") == 1), Assign("g", 2)]))
+        interp = build((d, "i"), globals_={"g": 0})
+        assert interp.transitions(interp.initial_state()) == []
+
+    def test_mid_block_guard_failure_is_model_error(self, build):
+        d = ProcessDef("p", DStep([Assign("g", 1), Guard(V("g") == 99)]))
+        interp = build((d, "i"), globals_={"g": 0})
+        with pytest.raises(ExecutionError, match="blocked"):
+            interp.transitions(interp.initial_state())
+
+    def test_assert_inside_dstep(self, build):
+        d = ProcessDef("p", DStep([Assign("g", 1), Assert(V("g") == 2)]))
+        interp = build((d, "i"), globals_={"g": 0})
+        [t] = interp.transitions(interp.initial_state())
+        assert t.violation is not None
+
+    def test_sees_partial_updates(self, build):
+        d = ProcessDef("p", DStep([
+            Assign("g", 5), Guard(V("g") == 5), Assign("g", V("g") * 2),
+        ]))
+        interp = build((d, "i"), globals_={"g": 0})
+        [t] = interp.transitions(interp.initial_state())
+        assert t.target.globals_ == (10,)
+
+
+class TestEndStates:
+    def test_terminated_process_is_valid_end(self, build):
+        d = ProcessDef("p", Skip())
+        interp = build((d, "i"))
+        [t] = interp.transitions(interp.initial_state())
+        assert interp.is_valid_end_state(t.target)
+
+    def test_blocked_mid_body_is_invalid_end(self, build):
+        d = ProcessDef("p", Seq([Skip(), Guard(V("g") == 1)]))
+        interp = build((d, "i"), globals_={"g": 0})
+        [t] = interp.transitions(interp.initial_state())
+        assert interp.transitions(t.target) == []
+        assert not interp.is_valid_end_state(t.target)
+        assert [i.name for i in interp.blocked_processes(t.target)] == ["i"]
+
+    def test_do_loop_never_terminates_but_no_deadlock(self, build):
+        d = ProcessDef("p", Do(Branch(Skip())))
+        interp = build((d, "i"))
+        seen, deadlocks, violations = explore_all(interp)
+        assert not deadlocks
+
+
+class TestRandomWalk:
+    def test_walk_reproducible_with_seed(self, build):
+        d = ProcessDef("p", Do(
+            Branch(Assign("g", V("g") + 1)),
+            Branch(Assign("g", 0)),
+        ))
+        interp = build((d, "i"), globals_={"g": 0})
+        w1 = interp.random_walk(max_steps=20, seed=7)
+        w2 = interp.random_walk(max_steps=20, seed=7)
+        assert [lbl.desc for lbl, _ in w1] == [lbl.desc for lbl, _ in w2]
+
+    def test_walk_stops_at_termination(self, build):
+        d = ProcessDef("p", Skip())
+        interp = build((d, "i"))
+        walk = interp.random_walk(max_steps=100, seed=1)
+        assert len(walk) == 1

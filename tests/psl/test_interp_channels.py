@@ -1,0 +1,332 @@
+"""Interpreter tests: buffered and rendezvous channel semantics."""
+
+import pytest
+
+from repro.psl import (
+    AnyField,
+    Assign,
+    Bind,
+    Branch,
+    C,
+    ChannelError,
+    Do,
+    Else,
+    Guard,
+    If,
+    Interpreter,
+    MatchEq,
+    ProcessDef,
+    Recv,
+    Send,
+    Seq,
+    Skip,
+    System,
+    V,
+    buffered,
+    rendezvous,
+)
+
+from .conftest import explore_all, make_system
+
+
+def run_to_quiescence(interp, pick=0, max_steps=500):
+    """Follow transitions (taking index `pick % len`) until none remain."""
+    state = interp.initial_state()
+    for _ in range(max_steps):
+        trans = interp.transitions(state)
+        if not trans:
+            return state
+        state = trans[pick % len(trans)].target
+    raise RuntimeError("did not quiesce")
+
+
+class TestBufferedChannels:
+    def test_send_appends(self, build):
+        c = buffered("c", 2, "v")
+        d = ProcessDef("p", Send("out", [7]), chan_params=("out",))
+        interp = build((d, "i", {"out": c}), channels=[c])
+        [t] = interp.transitions(interp.initial_state())
+        assert t.target.chans[0] == ((7,),)
+        assert t.label.kind == "send"
+
+    def test_send_blocks_when_full(self, build):
+        c = buffered("c", 1, "v")
+        d = ProcessDef("p", Seq([Send("out", [1]), Send("out", [2])]),
+                       chan_params=("out",))
+        interp = build((d, "i", {"out": c}), channels=[c])
+        s1 = interp.transitions(interp.initial_state())[0].target
+        assert interp.transitions(s1) == []  # second send blocked
+
+    def test_fifo_order(self, build):
+        c = buffered("c", 2, "v")
+        sender = ProcessDef("s", Seq([Send("out", [1]), Send("out", [2])]),
+                            chan_params=("out",))
+        receiver = ProcessDef("r", Seq([
+            Recv("inp", [Bind("a")]), Recv("inp", [Bind("b")]),
+        ]), chan_params=("inp",), local_vars={"a": 0, "b": 0})
+        interp = build((sender, "s", {"out": c}), (receiver, "r", {"inp": c}),
+                       channels=[c])
+        final = run_to_quiescence(interp)
+        assert final.frames[1] == (1, 2)
+
+    def test_recv_blocks_on_empty(self, build):
+        c = buffered("c", 1, "v")
+        d = ProcessDef("p", Recv("inp", [Bind("x")]), chan_params=("inp",),
+                       local_vars={"x": 0})
+        interp = build((d, "i", {"inp": c}), channels=[c])
+        assert interp.transitions(interp.initial_state()) == []
+
+    def test_head_match_required_without_matching_flag(self, build):
+        c = buffered("c", 2, "v")
+        sender = ProcessDef("s", Seq([Send("out", [1]), Send("out", [2])]),
+                            chan_params=("out",))
+        # receiver wants a 2 but the head is a 1: plain receive blocks
+        receiver = ProcessDef("r", Recv("inp", [MatchEq(2)]),
+                              chan_params=("inp",))
+        interp = build((sender, "s", {"out": c}), (receiver, "r", {"inp": c}),
+                       channels=[c])
+        state = interp.initial_state()
+        # run the two sends
+        for _ in range(2):
+            state = [t for t in interp.transitions(state)
+                     if t.label.pid == 0][0].target
+        assert interp.transitions(state) == []  # receiver blocked on head
+
+    def test_matching_receive_takes_first_match(self, build):
+        c = buffered("c", 3, "v")
+        sender = ProcessDef("s", Seq([
+            Send("out", [1]), Send("out", [2]), Send("out", [3]),
+        ]), chan_params=("out",))
+        receiver = ProcessDef("r", Recv("inp", [MatchEq(2)], matching=True),
+                              chan_params=("inp",))
+        interp = build((sender, "s", {"out": c}), (receiver, "r", {"inp": c}),
+                       channels=[c])
+        state = interp.initial_state()
+        for _ in range(3):
+            state = [t for t in interp.transitions(state)
+                     if t.label.pid == 0][0].target
+        [t] = interp.transitions(state)
+        # the 2 was removed; 1 and 3 remain in order
+        assert t.target.chans[0] == ((1,), (3,))
+
+    def test_peek_does_not_consume(self, build):
+        c = buffered("c", 1, "v")
+        sender = ProcessDef("s", Send("out", [5]), chan_params=("out",))
+        receiver = ProcessDef("r", Recv("inp", [Bind("x")], peek=True),
+                              chan_params=("inp",), local_vars={"x": 0})
+        interp = build((sender, "s", {"out": c}), (receiver, "r", {"inp": c}),
+                       channels=[c])
+        state = interp.transitions(interp.initial_state())[0].target
+        [t] = interp.transitions(state)
+        assert t.target.chans[0] == ((5,),)  # still there
+        assert t.target.frames[1] == (5,)  # but bound
+
+    def test_multifield_messages(self, build):
+        c = buffered("c", 1, "sig", "pid")
+        sender = ProcessDef("s", Send("out", [C("IN_OK"), 3]),
+                            chan_params=("out",))
+        receiver = ProcessDef("r", Recv("inp", [Bind("s"), Bind("p")]),
+                              chan_params=("inp",), local_vars={"s": 0, "p": 0})
+        interp = build((sender, "s", {"out": c}), (receiver, "r", {"inp": c}),
+                       channels=[c])
+        final = run_to_quiescence(interp)
+        assert final.frames[1] == ("IN_OK", 3)
+
+    def test_arity_mismatch_rejected(self):
+        c = buffered("c", 1, "a", "b")
+        d = ProcessDef("p", Send("out", [1]), chan_params=("out",))
+        system = make_system((d, "i", {"out": c}), channels=[c])
+        with pytest.raises(ChannelError, match="arity"):
+            Interpreter(system)
+
+
+class TestRendezvous:
+    def test_handshake_is_one_transition(self, build):
+        c = rendezvous("c", "v")
+        sender = ProcessDef("s", Send("out", [9]), chan_params=("out",))
+        receiver = ProcessDef("r", Recv("inp", [Bind("x")]),
+                              chan_params=("inp",), local_vars={"x": 0})
+        interp = build((sender, "s", {"out": c}), (receiver, "r", {"inp": c}),
+                       channels=[c])
+        trans = interp.transitions(interp.initial_state())
+        assert len(trans) == 1
+        t = trans[0]
+        assert t.label.kind == "handshake"
+        assert t.label.partner == "r"
+        assert t.target.frames[1] == (9,)
+        # both processes advanced
+        assert interp.is_valid_end_state(t.target)
+
+    def test_sender_alone_blocks(self, build):
+        c = rendezvous("c", "v")
+        sender = ProcessDef("s", Send("out", [9]), chan_params=("out",))
+        interp = build((sender, "s", {"out": c}), channels=[c])
+        assert interp.transitions(interp.initial_state()) == []
+
+    def test_receiver_alone_blocks(self, build):
+        c = rendezvous("c", "v")
+        receiver = ProcessDef("r", Recv("inp", [Bind("x")]),
+                              chan_params=("inp",), local_vars={"x": 0})
+        interp = build((receiver, "r", {"inp": c}), channels=[c])
+        assert interp.transitions(interp.initial_state()) == []
+
+    def test_pattern_filters_partners(self, build):
+        c = rendezvous("c", "v")
+        sender = ProcessDef("s", Send("out", [5]), chan_params=("out",))
+        wrong = ProcessDef("w", Recv("inp", [MatchEq(6)]), chan_params=("inp",))
+        right = ProcessDef("t", Recv("inp", [MatchEq(5)]), chan_params=("inp",))
+        interp = build(
+            (sender, "s", {"out": c}), (wrong, "w", {"inp": c}),
+            (right, "t", {"inp": c}), channels=[c],
+        )
+        trans = interp.transitions(interp.initial_state())
+        assert len(trans) == 1
+        assert trans[0].label.partner == "t"
+
+    def test_multiple_ready_receivers_branch(self, build):
+        c = rendezvous("c", "v")
+        sender = ProcessDef("s", Send("out", [5]), chan_params=("out",))
+        rcv = ProcessDef("r", Recv("inp", [AnyField()]), chan_params=("inp",))
+        interp = build(
+            (sender, "s", {"out": c}), (rcv, "r1", {"inp": c}),
+            (rcv, "r2", {"inp": c}), channels=[c],
+        )
+        trans = interp.transitions(interp.initial_state())
+        assert {t.label.partner for t in trans} == {"r1", "r2"}
+
+    def test_eval_pid_style_matching(self, build):
+        """The paper's channelChan.signal?IN_OK,eval(_pid) idiom."""
+        c = rendezvous("c", "sig", "pid")
+        sender = ProcessDef("s", Send("out", [C("IN_OK"), C(1)]),
+                            chan_params=("out",))
+        rcv = ProcessDef("r", Recv("inp", [MatchEq("IN_OK"), MatchEq(V("_pid"))]),
+                         chan_params=("inp",))
+        # pid 1 matches, pid 2 does not
+        interp = build(
+            (sender, "s", {"out": c}), (rcv, "match", {"inp": c}),
+            (rcv, "nomatch", {"inp": c}), channels=[c],
+        )
+        trans = interp.transitions(interp.initial_state())
+        assert [t.label.partner for t in trans] == ["match"]
+
+    def test_matching_on_rendezvous_rejected(self):
+        c = rendezvous("c", "v")
+        d = ProcessDef("p", Recv("inp", [AnyField()], matching=True),
+                       chan_params=("inp",))
+        system = make_system((d, "i", {"inp": c}), channels=[c])
+        with pytest.raises(ChannelError, match="matching/peek"):
+            Interpreter(system)
+
+    def test_no_self_handshake(self, build):
+        c = rendezvous("c", "v")
+        d = ProcessDef("p", If(
+            Branch(Send("ch", [1])),
+            Branch(Recv("ch", [AnyField()])),
+        ), chan_params=("ch",))
+        interp = build((d, "i", {"ch": c}), channels=[c])
+        assert interp.transitions(interp.initial_state()) == []
+
+
+class TestElseWithChannels:
+    def test_else_suppressed_by_ready_rendezvous_send(self, build):
+        c = rendezvous("c", "v")
+        sender = ProcessDef("s", Send("out", [1]), chan_params=("out",))
+        chooser = ProcessDef("r", If(
+            Branch(Recv("inp", [AnyField()]), Assign("got", 1)),
+            Branch(Else(), Assign("got", 99)),
+        ), chan_params=("inp",), local_vars={"got": 0})
+        interp = build((sender, "s", {"out": c}), (chooser, "r", {"inp": c}),
+                       channels=[c])
+        trans = interp.transitions(interp.initial_state())
+        # only the handshake; the else edge must be suppressed
+        assert len(trans) == 1
+        assert trans[0].label.kind == "handshake"
+
+    def test_else_taken_when_no_sender(self, build):
+        c = rendezvous("c", "v")
+        chooser = ProcessDef("r", If(
+            Branch(Recv("inp", [AnyField()]), Assign("got", 1)),
+            Branch(Else(), Assign("got", 99)),
+        ), chan_params=("inp",), local_vars={"got": 0})
+        interp = build((chooser, "r", {"inp": c}), channels=[c])
+        trans = interp.transitions(interp.initial_state())
+        assert len(trans) == 1
+        assert trans[0].label.kind == "else"
+
+    def test_else_with_buffered_empty(self, build):
+        c = buffered("c", 1, "v")
+        chooser = ProcessDef("r", If(
+            Branch(Recv("inp", [AnyField()]), Assign("got", 1)),
+            Branch(Else(), Assign("got", 99)),
+        ), chan_params=("inp",), local_vars={"got": 0})
+        interp = build((chooser, "r", {"inp": c}), channels=[c])
+        [t] = interp.transitions(interp.initial_state())
+        assert t.label.kind == "else"
+
+    def test_else_with_full_buffered_send(self, build):
+        c = buffered("c", 1, "v")
+        d = ProcessDef("p", Seq([
+            Send("out", [1]),
+            If(Branch(Send("out", [2])), Branch(Else(), Assign("x", 1))),
+        ]), chan_params=("out",), local_vars={"x": 0})
+        interp = build((d, "i", {"out": c}), channels=[c])
+        s1 = interp.transitions(interp.initial_state())[0].target
+        [t] = interp.transitions(s1)
+        assert t.label.kind == "else"
+
+
+class TestWhenGuard:
+    def test_when_false_blocks_buffered_receive(self, build):
+        c = buffered("c", 1, "v")
+        sender = ProcessDef("s", Send("out", [1]), chan_params=("out",))
+        receiver = ProcessDef("r", Recv("inp", [AnyField()], when=(V("ok") == 1)),
+                              chan_params=("inp",), local_vars={"ok": 0})
+        interp = build((sender, "s", {"out": c}), (receiver, "r", {"inp": c}),
+                       channels=[c])
+        s1 = interp.transitions(interp.initial_state())[0].target
+        assert interp.transitions(s1) == []  # guard false
+
+    def test_when_true_allows_receive(self, build):
+        c = buffered("c", 1, "v")
+        sender = ProcessDef("s", Send("out", [1]), chan_params=("out",))
+        receiver = ProcessDef("r", Recv("inp", [AnyField()], when=(V("ok") == 0)),
+                              chan_params=("inp",), local_vars={"ok": 0})
+        interp = build((sender, "s", {"out": c}), (receiver, "r", {"inp": c}),
+                       channels=[c])
+        s1 = interp.transitions(interp.initial_state())[0].target
+        assert len(interp.transitions(s1)) == 1
+
+    def test_when_guards_rendezvous_partner(self, build):
+        c = rendezvous("c", "v")
+        sender = ProcessDef("s", Send("out", [1]), chan_params=("out",))
+        receiver = ProcessDef("r", Recv("inp", [AnyField()], when=(V("g") == 1)),
+                              chan_params=("inp",))
+        interp = build((sender, "s", {"out": c}), (receiver, "r", {"inp": c}),
+                       globals_={"g": 0}, channels=[c])
+        assert interp.transitions(interp.initial_state()) == []
+
+    def test_when_guard_suppresses_else_correctly(self, build):
+        c = rendezvous("c", "v")
+        sender = ProcessDef("s", Send("out", [1]), chan_params=("out",))
+        receiver = ProcessDef("r", If(
+            Branch(Recv("inp", [AnyField()], when=(V("g") == 1)),
+                   Assign("x", 1)),
+            Branch(Else(), Assign("x", 99)),
+        ), chan_params=("inp",), local_vars={"x": 0})
+        interp = build((sender, "s", {"out": c}), (receiver, "r", {"inp": c}),
+                       globals_={"g": 0}, channels=[c])
+        # guard false: receive disabled, so else fires (sender stays blocked)
+        trans = interp.transitions(interp.initial_state())
+        assert [t.label.kind for t in trans] == ["else"]
+
+
+class TestGlobalBindInRecv:
+    def test_recv_can_bind_to_global(self, build):
+        c = buffered("c", 1, "v")
+        sender = ProcessDef("s", Send("out", [42]), chan_params=("out",))
+        receiver = ProcessDef("r", Recv("inp", [Bind("g")]),
+                              chan_params=("inp",))
+        interp = build((sender, "s", {"out": c}), (receiver, "r", {"inp": c}),
+                       globals_={"g": 0}, channels=[c])
+        final = run_to_quiescence(interp)
+        assert final.globals_ == (42,)

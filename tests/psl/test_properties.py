@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) for PSL core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.psl import (
+    Assign,
+    Bind,
+    Branch,
+    C,
+    Do,
+    Guard,
+    If,
+    Else,
+    Interpreter,
+    ProcessDef,
+    Recv,
+    Send,
+    Seq,
+    Skip,
+    System,
+    V,
+    buffered,
+)
+from repro.psl.expr import BinOp, Const
+from repro.psl.state import State, tuple_set
+
+from .conftest import explore_all, make_system
+
+values = st.one_of(st.integers(-50, 50), st.sampled_from(["A", "B", "SIG"]))
+
+
+class TestTupleSet:
+    @given(st.lists(st.integers(), min_size=1, max_size=8), st.data())
+    def test_replaces_only_target_index(self, items, data):
+        t = tuple(items)
+        i = data.draw(st.integers(0, len(t) - 1))
+        out = tuple_set(t, i, 999)
+        assert out[i] == 999
+        assert out[:i] == t[:i]
+        assert out[i + 1:] == t[i + 1:]
+
+    @given(st.lists(st.integers(), min_size=1, max_size=8), st.data())
+    def test_original_untouched(self, items, data):
+        t = tuple(items)
+        i = data.draw(st.integers(0, len(t) - 1))
+        before = tuple(t)
+        tuple_set(t, i, 123456)
+        assert t == before
+
+
+class TestExprSemantics:
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_c_style_division_identity(self, a, b):
+        """(a/b)*b + a%b == a must hold for C-truncating div/mod."""
+        if b == 0:
+            return
+        ctx = _Ctx(a=a, b=b)
+        q = (V("a") // V("b")).eval(ctx)
+        r = (V("a") % V("b")).eval(ctx)
+        assert q * b + r == a
+        # remainder magnitude bounded by |b|
+        assert abs(r) < abs(b)
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_comparison_agrees_with_python(self, a, b):
+        ctx = _Ctx(a=a, b=b)
+        assert (V("a") < V("b")).eval(ctx) == int(a < b)
+        assert (V("a") == V("b")).eval(ctx) == int(a == b)
+        assert (V("a") >= V("b")).eval(ctx) == int(a >= b)
+
+    @given(st.integers(-100, 100), st.integers(-100, 100),
+           st.integers(-100, 100))
+    def test_arithmetic_agrees_with_python(self, a, b, c):
+        ctx = _Ctx(a=a, b=b, c=c)
+        assert ((V("a") + V("b")) * V("c")).eval(ctx) == (a + b) * c
+        assert (V("a") - V("b") + V("c")).eval(ctx) == a - b + c
+
+
+class _Ctx:
+    def __init__(self, **kw):
+        self.kw = kw
+
+    def lookup(self, name):
+        return self.kw[name]
+
+
+class TestStateCanonicity:
+    @given(values, values)
+    def test_states_with_equal_content_are_equal(self, v1, v2):
+        s1 = State(locs=(0,), frames=((v1, v2),), chans=((),), globals_=(v1,))
+        s2 = State(locs=(0,), frames=((v1, v2),), chans=((),), globals_=(v1,))
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+
+    @given(values)
+    def test_different_locs_differ(self, v):
+        s1 = State(locs=(0,), frames=((v,),), chans=((),), globals_=())
+        s2 = State(locs=(1,), frames=((v,),), chans=((),), globals_=())
+        assert s1 != s2
+
+
+class TestInterpreterDeterminism:
+    @given(st.integers(0, 5), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_transitions_deterministic(self, bound, cap):
+        """The same state always yields the same transition list."""
+        c = buffered("c", cap, "v")
+        sender = ProcessDef("s", Do(
+            Branch(Guard(V("n") < bound),
+                   Send("out", [V("n")]),
+                   Assign("n", V("n") + 1)),
+            Branch(Guard(V("n") == bound)),
+        ), chan_params=("out",), local_vars={"n": 0})
+        receiver = ProcessDef("r", Do(
+            Branch(Recv("inp", [Bind("x")])),
+        ), chan_params=("inp",), local_vars={"x": 0})
+        system = make_system((sender, "s", {"out": c}),
+                             (receiver, "r", {"inp": c}), channels=[c])
+        interp = Interpreter(system)
+        state = interp.initial_state()
+        t1 = [t.label.desc for t in interp.transitions(state)]
+        t2 = [t.label.desc for t in interp.transitions(state)]
+        assert t1 == t2
+
+    @given(st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_exploration_is_finite_and_consistent(self, k):
+        """Counter systems have exactly the expected reachable states."""
+        d = ProcessDef("p", Do(
+            Branch(Guard(V("g") < k), Assign("g", V("g") + 1)),
+        ))
+        system = make_system((d, "i"), globals_={"g": 0})
+        interp = Interpreter(system)
+        seen, deadlocks, violations = explore_all(interp)
+        # Each iteration is guard-then-increment (two locations), so the
+        # reachable states are: g=0..k at the loop head, plus g=0..k-1 at
+        # the intermediate location = 2k + 1 states.
+        assert len(seen) == 2 * k + 1
+        assert not violations
+
+    @given(st.integers(1, 3), st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_buffered_channel_never_exceeds_capacity(self, cap, senders):
+        c = buffered("c", cap, "v")
+        sender = ProcessDef("s", Do(Branch(Send("out", [1]))),
+                            chan_params=("out",))
+        receiver = ProcessDef("r", Do(Branch(Recv("inp", [AnyFieldBind()]))),
+                              chan_params=("inp",), local_vars={"x": 0})
+        procs = [(sender, f"s{i}", {"out": c}) for i in range(senders)]
+        procs.append((receiver, "r", {"inp": c}))
+        system = make_system(*procs, channels=[c])
+        interp = Interpreter(system)
+        seen, _, _ = explore_all(interp, max_states=20_000)
+        assert all(len(s.chans[0]) <= cap for s in seen)
+
+
+def AnyFieldBind():
+    return Bind("x")

@@ -1,0 +1,150 @@
+"""Tests for repro.psl.stmt: statement AST construction and validation."""
+
+import pytest
+
+from repro.psl.errors import CompileError
+from repro.psl.expr import C, V
+from repro.psl.stmt import (
+    AnyField,
+    Assert,
+    Assign,
+    Bind,
+    Branch,
+    Break,
+    Do,
+    DStep,
+    Else,
+    Guard,
+    If,
+    MatchEq,
+    Recv,
+    Send,
+    Seq,
+    Skip,
+    as_pattern,
+)
+
+
+class TestPatterns:
+    def test_string_becomes_bind(self):
+        p = as_pattern("x")
+        assert isinstance(p, Bind)
+        assert p.name == "x"
+
+    def test_int_becomes_match(self):
+        p = as_pattern(3)
+        assert isinstance(p, MatchEq)
+
+    def test_expr_becomes_match(self):
+        p = as_pattern(V("pid"))
+        assert isinstance(p, MatchEq)
+
+    def test_pattern_passthrough(self):
+        p = AnyField()
+        assert as_pattern(p) is p
+
+    def test_invalid_rejected(self):
+        with pytest.raises(CompileError):
+            as_pattern(object())
+
+    def test_promela_rendering(self):
+        assert Bind("x").to_promela() == "x"
+        assert AnyField().to_promela() == "_"
+        assert MatchEq(V("p")).to_promela() == "eval(p)"
+
+
+class TestSeq:
+    def test_flattens_nested(self):
+        inner = Seq([Skip(), Skip()])
+        outer = Seq([inner, Skip()])
+        assert len(outer.stmts) == 3
+
+    def test_describe(self):
+        s = Seq([Assign("x", 1), Skip()])
+        assert "x = 1" in s.describe()
+        assert "skip" in s.describe()
+
+
+class TestBranches:
+    def test_empty_branch_rejected(self):
+        with pytest.raises(CompileError):
+            Branch()
+
+    def test_if_needs_branches(self):
+        with pytest.raises(CompileError):
+            If()
+
+    def test_else_must_be_last(self):
+        with pytest.raises(CompileError, match="else branch must be last"):
+            If(Branch(Else()), Branch(Guard(V("x") == 1)))
+
+    def test_single_else_allowed(self):
+        If(Branch(Guard(V("x") == 1)), Branch(Else()))
+
+    def test_two_elses_rejected(self):
+        with pytest.raises(CompileError, match="at most one"):
+            Do(Branch(Else()), Branch(Else()))
+
+    def test_non_branch_rejected(self):
+        with pytest.raises(CompileError):
+            If(Skip())  # type: ignore[arg-type]
+
+    def test_is_else_detection(self):
+        assert Branch(Else(), Skip()).is_else
+        assert not Branch(Skip()).is_else
+
+
+class TestDStep:
+    def test_only_local_statements(self):
+        with pytest.raises(CompileError, match="local statements"):
+            DStep([Send("c", [C(1)])])
+
+    def test_recv_rejected(self):
+        with pytest.raises(CompileError):
+            DStep([Recv("c", ["x"])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompileError, match="at least one"):
+            DStep([])
+
+    def test_flattens_seq(self):
+        d = DStep([Seq([Assign("x", 1), Assign("y", 2)])])
+        assert len(d.stmts) == 2
+
+    def test_allowed_statements(self):
+        DStep([Guard(V("x") == 0), Assign("x", 1), Assert(V("x") == 1), Skip()])
+
+    def test_describe(self):
+        assert "d_step" in DStep([Skip()]).describe()
+
+
+class TestDescribe:
+    def test_send(self):
+        assert Send("ch", [C(1), V("x")]).describe() == "ch!1,x"
+
+    def test_recv_plain(self):
+        assert Recv("ch", ["a", AnyField()]).describe() == "ch?a,_"
+
+    def test_recv_matching(self):
+        assert Recv("ch", ["a"], matching=True).describe() == "ch??a"
+
+    def test_recv_peek(self):
+        assert Recv("ch", ["a"], peek=True).describe() == "ch?<a>"
+
+    def test_recv_when(self):
+        d = Recv("ch", ["a"], when=V("n") > 0).describe()
+        assert d.startswith("[(n > 0)]")
+
+    def test_guard(self):
+        assert Guard(V("x") == 1).describe() == "((x == 1))"
+
+    def test_assert(self):
+        assert Assert(V("x") == 1).describe() == "assert((x == 1))"
+
+    def test_assign(self):
+        assert Assign("x", V("y") + 1).describe() == "x = (y + 1)"
+
+    def test_break_else_skip(self):
+        assert Break().describe() == "break"
+        assert Else().describe() == "else"
+        assert Skip().describe() == "skip"

@@ -1,0 +1,201 @@
+"""Tests for repro.psl.system: definitions, instances, assembly."""
+
+import pytest
+
+from repro.psl import (
+    Assign,
+    BindingError,
+    EvalError,
+    ProcessDef,
+    ProcessInstance,
+    Recv,
+    Send,
+    Seq,
+    Skip,
+    System,
+    V,
+    buffered,
+    rendezvous,
+)
+from repro.psl.channels import Channel
+
+
+def trivial_def(name="p"):
+    return ProcessDef(name, Skip())
+
+
+class TestProcessDef:
+    def test_undeclared_channel_param_rejected(self):
+        with pytest.raises(BindingError, match="undeclared channel params"):
+            ProcessDef("p", Send("c", [1]))
+
+    def test_declared_channel_param_ok(self):
+        ProcessDef("p", Send("c", [1]), chan_params=("c",))
+
+    def test_params_shadowing_locals_rejected(self):
+        with pytest.raises(BindingError, match="shadow"):
+            ProcessDef("p", Skip(), params=("x",), local_vars={"x": 0})
+
+    def test_local_names_order(self):
+        d = ProcessDef("p", Skip(), params=("a",), local_vars={"b": 1, "c": 2})
+        assert d.local_names == ("a", "b", "c")
+
+    def test_automaton_cached(self):
+        d = trivial_def()
+        assert d.automaton is d.automaton
+
+
+class TestProcessInstance:
+    def test_unbound_channel_rejected(self):
+        d = ProcessDef("p", Send("c", [1]), chan_params=("c",))
+        with pytest.raises(BindingError, match="unbound channel"):
+            ProcessInstance(d, "i")
+
+    def test_unbound_value_param_rejected(self):
+        d = ProcessDef("p", Skip(), params=("n",))
+        with pytest.raises(BindingError, match="unbound value params"):
+            ProcessInstance(d, "i")
+
+    def test_unknown_value_param_rejected(self):
+        d = trivial_def()
+        with pytest.raises(BindingError, match="unknown params"):
+            ProcessInstance(d, "i", args={"bogus": 1})
+
+    def test_initial_frame_params_first(self):
+        d = ProcessDef("p", Skip(), params=("n",), local_vars={"x": 7})
+        inst = ProcessInstance(d, "i", args={"n": 3})
+        assert inst.initial_frame() == (3, 7)
+
+    def test_channel_for(self):
+        c = rendezvous("c", "f")
+        d = ProcessDef("p", Send("c", [1]), chan_params=("c",))
+        inst = ProcessInstance(d, "i", chans={"c": c})
+        assert inst.channel_for("c") is c
+
+
+class TestSystem:
+    def test_duplicate_global_rejected(self):
+        s = System()
+        s.add_global("x")
+        with pytest.raises(BindingError, match="duplicate global"):
+            s.add_global("x")
+
+    def test_duplicate_channel_name_rejected(self):
+        s = System()
+        s.add_channel(rendezvous("c", "f"))
+        with pytest.raises(BindingError, match="duplicate channel"):
+            s.add_channel(rendezvous("c", "f"))
+
+    def test_channel_reregistration_rejected(self):
+        s1, s2 = System(), System()
+        c = rendezvous("c", "f")
+        s1.add_channel(c)
+        with pytest.raises(BindingError, match="already registered"):
+            s2.add_channel(c)
+
+    def test_duplicate_instance_name_rejected(self):
+        s = System()
+        d = trivial_def()
+        s.spawn(d, "a")
+        with pytest.raises(BindingError, match="duplicate instance"):
+            s.spawn(d, "a")
+
+    def test_pids_assigned_in_order(self):
+        s = System()
+        d = trivial_def()
+        i1 = s.spawn(d, "a")
+        i2 = s.spawn(d, "b")
+        assert (i1.pid, i2.pid) == (0, 1)
+
+    def test_foreign_channel_rejected_at_finalize(self):
+        s1, s2 = System("s1"), System("s2")
+        c = s1.add_channel(rendezvous("c", "f"))
+        d = ProcessDef("p", Send("c", [1]), chan_params=("c",))
+        s2.spawn(d, "i", chans={"c": c})
+        with pytest.raises(BindingError, match="not registered"):
+            s2.finalize()
+
+    def test_unresolvable_name_rejected_at_finalize(self):
+        s = System()
+        d = ProcessDef("p", Assign("nowhere", 1))
+        s.spawn(d, "i")
+        with pytest.raises(EvalError, match="nowhere"):
+            s.finalize()
+
+    def test_name_resolves_to_global(self):
+        s = System()
+        s.add_global("g", 5)
+        d = ProcessDef("p", Assign("g", V("g") + 1))
+        s.spawn(d, "i")
+        s.finalize()  # no error
+
+    def test_initial_state_shape(self):
+        s = System()
+        s.add_global("g", 5)
+        c = s.add_channel(buffered("c", 2, "f"))
+        d = ProcessDef("p", Send("out", [1]), chan_params=("out",),
+                       local_vars={"x": 9})
+        s.spawn(d, "i", chans={"out": c})
+        state = s.initial_state()
+        assert state.globals_ == (5,)
+        assert state.chans == ((),)
+        assert state.frames == ((9,),)
+        assert len(state.locs) == 1
+
+    def test_modification_after_finalize_rejected(self):
+        s = System()
+        s.spawn(trivial_def(), "a")
+        s.finalize()
+        with pytest.raises(BindingError, match="finalized"):
+            s.add_global("late")
+
+    def test_instance_and_channel_lookup(self):
+        s = System()
+        c = s.add_channel(rendezvous("ch", "f"))
+        inst = s.spawn(trivial_def(), "a")
+        assert s.instance_by_name("a") is inst
+        assert s.channel_by_name("ch") is c
+        with pytest.raises(KeyError):
+            s.instance_by_name("zz")
+        with pytest.raises(KeyError):
+            s.channel_by_name("zz")
+
+    def test_definitions_deduplicated(self):
+        s = System()
+        d = trivial_def()
+        s.spawn(d, "a")
+        s.spawn(d, "b")
+        assert s.definitions() == [d]
+
+
+class TestChannelDecl:
+    def test_rendezvous_properties(self):
+        c = rendezvous("c", "a", "b")
+        assert c.is_rendezvous and not c.is_buffered
+        assert c.arity == 2
+
+    def test_buffered_properties(self):
+        c = buffered("c", 3, "a")
+        assert c.is_buffered and not c.is_rendezvous
+        assert c.capacity == 3
+
+    def test_zero_capacity_buffered_rejected(self):
+        from repro.psl.errors import ChannelError
+        with pytest.raises(ChannelError):
+            buffered("c", 0, "a")
+
+    def test_no_fields_rejected(self):
+        from repro.psl.errors import ChannelError
+        with pytest.raises(ChannelError, match="at least one field"):
+            Channel("c", ())
+
+    def test_duplicate_fields_rejected(self):
+        from repro.psl.errors import ChannelError
+        with pytest.raises(ChannelError, match="duplicate field"):
+            Channel("c", ("a", "a"))
+
+    def test_arity_check(self):
+        from repro.psl.errors import ChannelError
+        c = rendezvous("c", "a", "b")
+        with pytest.raises(ChannelError, match="arity"):
+            c.check_arity(3, "send")

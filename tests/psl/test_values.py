@@ -1,0 +1,116 @@
+"""Tests for repro.psl.values: runtime values and mtype declarations."""
+
+import pytest
+
+from repro.psl.values import (
+    Mtype,
+    NO_PID,
+    check_value,
+    format_message,
+    format_value,
+    truthy,
+)
+
+
+class TestCheckValue:
+    def test_int_passes_through(self):
+        assert check_value(42) == 42
+
+    def test_negative_int(self):
+        assert check_value(-1) == -1
+
+    def test_symbol_passes_through(self):
+        assert check_value("IN_OK") == "IN_OK"
+
+    def test_bool_normalized_to_int(self):
+        value = check_value(True)
+        assert value == 1
+        assert type(value) is int
+
+    def test_false_normalized(self):
+        value = check_value(False)
+        assert value == 0
+        assert type(value) is int
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError, match="not a PSL value"):
+            check_value(1.5)
+
+    def test_none_rejected(self):
+        with pytest.raises(TypeError):
+            check_value(None)
+
+    def test_tuple_rejected(self):
+        with pytest.raises(TypeError):
+            check_value((1, 2))
+
+    def test_context_in_error_message(self):
+        with pytest.raises(TypeError, match="my context"):
+            check_value([], context="my context")
+
+
+class TestTruthy:
+    def test_zero_is_false(self):
+        assert not truthy(0)
+
+    def test_nonzero_is_true(self):
+        assert truthy(1)
+        assert truthy(-3)
+
+    def test_symbols_are_true(self):
+        assert truthy("SEND_SUCC")
+        assert truthy("")  # any symbol value counts as true
+
+
+class TestMtype:
+    def test_attribute_access(self):
+        m = Mtype("A", "B")
+        assert m.A == "A"
+        assert m.B == "B"
+
+    def test_unknown_symbol_raises(self):
+        m = Mtype("A")
+        with pytest.raises(AttributeError, match="unknown mtype symbol"):
+            m.NOPE
+
+    def test_contains(self):
+        m = Mtype("A", "B")
+        assert "A" in m
+        assert "C" not in m
+
+    def test_iteration_preserves_order(self):
+        m = Mtype("X", "Y", "Z")
+        assert list(m) == ["X", "Y", "Z"]
+
+    def test_len(self):
+        assert len(Mtype("A", "B", "C")) == 3
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Mtype("A", "A")
+
+    def test_non_identifier_rejected(self):
+        with pytest.raises(ValueError, match="identifier"):
+            Mtype("not-an-identifier")
+
+    def test_names_property(self):
+        assert Mtype("A", "B").names == ("A", "B")
+
+    def test_repr(self):
+        assert "Mtype(A, B)" == repr(Mtype("A", "B"))
+
+
+class TestFormatting:
+    def test_format_value(self):
+        assert format_value(7) == "7"
+        assert format_value("SIG") == "SIG"
+
+    def test_format_message(self):
+        assert format_message((1, "A", -1)) == "<1, A, -1>"
+
+    def test_format_empty_message(self):
+        assert format_message(()) == "<>"
+
+
+def test_no_pid_constant():
+    assert NO_PID == -1

@@ -1,0 +1,182 @@
+"""Tests for the single-lane bridge case study (paper Section 4).
+
+These are the repository's headline regression tests: the exact
+fail-then-fix narrative of the paper must keep reproducing.
+"""
+
+import pytest
+
+from repro.core import (
+    AsynBlockingSend,
+    DesignIterationLog,
+    ModelLibrary,
+    SynBlockingSend,
+    verify_safety,
+)
+from repro.mc import check_safety, find_state
+from repro.systems.bridge import (
+    BLUE_ON,
+    BridgeConfig,
+    RED_ON,
+    bridge_safety_prop,
+    build_at_most_n_bridge,
+    build_exactly_n_bridge,
+    crash_prop,
+    fix_exactly_n_bridge,
+)
+
+CFG = BridgeConfig(cars_per_side=1, n_per_turn=1, trips=1)
+
+
+class TestFigure13Initial:
+    """The flawed initial design: asynchronous enter-request sends."""
+
+    def test_safety_violated(self):
+        arch = build_exactly_n_bridge(CFG)
+        r = verify_safety(arch, invariants=[bridge_safety_prop()],
+                          check_deadlock=False, fused=True)
+        assert not r.ok
+        assert r.result.kind == "invariant"
+
+    def test_crash_state_reachable(self):
+        arch = build_exactly_n_bridge(CFG)
+        trace = find_state(arch.to_system(fused=True), crash_prop())
+        assert trace is not None
+        final = trace.final_state
+        gi = arch.to_system(fused=True).global_index
+
+    def test_violation_found_with_composed_models_too(self):
+        arch = build_exactly_n_bridge(CFG)
+        r = verify_safety(arch, invariants=[bridge_safety_prop()],
+                          check_deadlock=False, fused=False)
+        assert not r.ok
+
+    def test_counterexample_shows_both_colors_on_bridge(self):
+        arch = build_exactly_n_bridge(CFG)
+        system = arch.to_system(fused=True)
+        trace = find_state(system, crash_prop())
+        gi = system.global_index
+        final = trace.final_state
+        assert final.globals_[gi[BLUE_ON]] > 0
+        assert final.globals_[gi[RED_ON]] > 0
+
+
+class TestFigure13Fixed:
+    """The paper's connector-only fix: synchronous enter-request sends."""
+
+    def test_safety_holds(self):
+        arch = fix_exactly_n_bridge(build_exactly_n_bridge(CFG))
+        r = verify_safety(arch, invariants=[bridge_safety_prop()],
+                          check_deadlock=True, fused=True)
+        assert r.ok
+
+    def test_fix_changes_no_component(self):
+        arch = build_exactly_n_bridge(CFG)
+        keys_before = {c.model_key() for c in arch.components.values()}
+        fix_exactly_n_bridge(arch)
+        keys_after = {c.model_key() for c in arch.components.values()}
+        assert keys_before == keys_after
+
+    def test_fix_is_exactly_the_enter_send_ports(self):
+        arch = build_exactly_n_bridge(CFG)
+        fix_exactly_n_bridge(arch)
+        for conn_name in ("BlueEnter", "RedEnter"):
+            for att in arch.connector(conn_name).senders:
+                assert att.spec == SynBlockingSend()
+        for conn_name in ("BlueExit", "RedExit"):
+            for att in arch.connector(conn_name).senders:
+                assert att.spec == AsynBlockingSend()
+
+    def test_crash_state_unreachable(self):
+        arch = fix_exactly_n_bridge(build_exactly_n_bridge(CFG))
+        assert find_state(arch.to_system(fused=True), crash_prop()) is None
+
+    def test_composed_models_agree(self):
+        arch = fix_exactly_n_bridge(build_exactly_n_bridge(CFG))
+        r = verify_safety(arch, invariants=[bridge_safety_prop()],
+                          check_deadlock=False, fused=False)
+        assert r.ok
+
+    def test_reverify_reuses_models(self):
+        lib = ModelLibrary()
+        arch = build_exactly_n_bridge(CFG)
+        verify_safety(arch, invariants=[bridge_safety_prop()],
+                      check_deadlock=False, library=lib, fused=True)
+        fix_exactly_n_bridge(arch)
+        report = verify_safety(arch, invariants=[bridge_safety_prop()],
+                               check_deadlock=False, library=lib, fused=True)
+        assert report.models_reused > 0
+        # only connector-level models rebuilt, never components
+        assert all(
+            not (isinstance(k, tuple) and len(k) > 1
+                 and isinstance(k[1], tuple) and k[1][:1] == ("component",))
+            for k in lib.stats.built_keys[-report.models_built:]
+        ) or report.models_built == 0
+
+
+class TestFigure14AtMostN:
+    def test_safety_holds(self):
+        arch = build_at_most_n_bridge(CFG)
+        r = verify_safety(arch, invariants=[bridge_safety_prop()],
+                          check_deadlock=True, fused=True)
+        assert r.ok
+
+    def test_has_turn_connectors(self):
+        arch = build_at_most_n_bridge(CFG)
+        assert "BlueToRed" in arch.connectors
+        assert "RedToBlue" in arch.connectors
+
+    def test_cars_can_cross(self):
+        from repro.mc import global_prop
+        arch = build_at_most_n_bridge(CFG)
+        blue_crossed = global_prop(
+            "crossed", lambda v: v.global_(BLUE_ON) == 1, BLUE_ON)
+        assert find_state(arch.to_system(fused=True), blue_crossed) is not None
+
+    def test_red_cars_cross_too(self):
+        from repro.mc import global_prop
+        arch = build_at_most_n_bridge(CFG)
+        red_crossed = global_prop(
+            "crossed", lambda v: v.global_(RED_ON) == 1, RED_ON)
+        assert find_state(arch.to_system(fused=True), red_crossed) is not None
+
+
+class TestScaling:
+    @pytest.mark.parametrize("cars,trips", [(1, 2), (2, 1)])
+    def test_fixed_bridge_safe_at_larger_configs(self, cars, trips):
+        cfg = BridgeConfig(cars_per_side=cars, n_per_turn=1, trips=trips)
+        arch = fix_exactly_n_bridge(build_exactly_n_bridge(cfg))
+        r = verify_safety(arch, invariants=[bridge_safety_prop()],
+                          check_deadlock=False, fused=True)
+        assert r.ok
+
+    def test_violation_persists_at_larger_configs(self):
+        cfg = BridgeConfig(cars_per_side=2, n_per_turn=2, trips=1)
+        arch = build_exactly_n_bridge(cfg)
+        r = verify_safety(arch, invariants=[bridge_safety_prop()],
+                          check_deadlock=False, fused=True)
+        assert not r.ok
+
+    def test_infinite_cars_fused(self):
+        cfg = BridgeConfig(cars_per_side=1, n_per_turn=1, trips=0)
+        arch = fix_exactly_n_bridge(build_exactly_n_bridge(cfg))
+        r = verify_safety(arch, invariants=[bridge_safety_prop()],
+                          check_deadlock=True, fused=True)
+        assert r.ok
+
+
+class TestIterationStory:
+    def test_full_paper_narrative(self):
+        """Initial fails -> fix passes -> at-most-N passes, all against one
+        model library with components reused throughout."""
+        log = DesignIterationLog()
+        safety = bridge_safety_prop()
+        arch = build_exactly_n_bridge(CFG)
+        it1 = log.run("Fig13 initial", arch, invariants=[safety], fused=True)
+        fix_exactly_n_bridge(arch)
+        it2 = log.run("Fig13 fixed", arch, invariants=[safety], fused=True)
+        arch2 = build_at_most_n_bridge(CFG)
+        it3 = log.run("Fig14 at-most-N", arch2, invariants=[safety], fused=True)
+        assert (it1.report.ok, it2.report.ok, it3.report.ok) == (False, True, True)
+        # the fix iteration rebuilt no component models
+        assert it2.component_models_built() == 0

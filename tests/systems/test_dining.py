@@ -1,0 +1,80 @@
+"""Tests for the dining-philosophers case study."""
+
+import pytest
+
+from repro.core import diagnose_deadlock, verify_safety
+from repro.mc import check_safety, find_state, global_prop
+from repro.systems.dining import MEALS, build_dining, meals_prop
+
+
+class TestSymmetricProtocol:
+    def test_deadlock_found(self):
+        arch = build_dining(philosophers=3, meals_each=1, symmetric=True)
+        r = verify_safety(arch, check_deadlock=True, fused=True)
+        assert not r.ok
+        assert r.result.kind == "deadlock"
+
+    def test_all_philosophers_blocked_in_deadlock(self):
+        """The classic circular wait: everyone holds one fork."""
+        arch = build_dining(philosophers=3, meals_each=1, symmetric=True)
+        r = verify_safety(arch, check_deadlock=True, fused=True)
+        blocked = r.result.message
+        for i in range(3):
+            assert f"Philosopher{i}" in blocked
+
+    def test_two_philosophers_also_deadlock(self):
+        arch = build_dining(philosophers=2, meals_each=1, symmetric=True)
+        r = verify_safety(arch, check_deadlock=True, fused=True)
+        assert not r.ok
+
+    def test_some_meal_still_possible(self):
+        """The deadlock is not total: there are runs where meals happen."""
+        arch = build_dining(philosophers=3, meals_each=1, symmetric=True)
+        assert find_state(arch.to_system(fused=True), meals_prop(1)) is not None
+
+    def test_deadlock_diagnosis_points_at_components(self):
+        arch = build_dining(philosophers=2, meals_each=1, symmetric=True)
+        system = arch.to_system(fused=True)
+        result = check_safety(system, check_deadlock=True)
+        hints = diagnose_deadlock(result, arch, system)
+        assert any("Philosopher" in h for h in hints)
+
+
+class TestAsymmetricFix:
+    def test_two_philosophers_deadlock_free(self):
+        arch = build_dining(philosophers=2, meals_each=1, symmetric=False)
+        r = verify_safety(arch, check_deadlock=True, fused=True)
+        assert r.ok
+
+    def test_all_meals_reachable(self):
+        arch = build_dining(philosophers=2, meals_each=1, symmetric=False)
+        assert find_state(arch.to_system(fused=True), meals_prop(2)) is not None
+
+    def test_fix_changes_only_one_component(self):
+        """The asymmetry fix touches one philosopher's body, not the
+        connectors — the dual of the bridge story."""
+        sym = build_dining(philosophers=3, symmetric=True)
+        asym = build_dining(philosophers=3, symmetric=False)
+        sym_conns = {
+            (n, c.channel.key(),
+             tuple(a.spec.key() for a in c.senders + c.receivers))
+            for n, c in sym.connectors.items()
+        }
+        asym_conns = {
+            (n, c.channel.key(),
+             tuple(a.spec.key() for a in c.senders + c.receivers))
+            for n, c in asym.connectors.items()
+        }
+        assert sym_conns == asym_conns  # identical connector structure
+
+    def test_meal_count_bounded(self):
+        arch = build_dining(philosophers=2, meals_each=1, symmetric=False)
+        overfed = global_prop(
+            "overfed", lambda v: v.global_(MEALS) > 2, MEALS)
+        assert find_state(arch.to_system(fused=True), overfed) is None
+
+
+class TestValidation:
+    def test_needs_two_philosophers(self):
+        with pytest.raises(ValueError):
+            build_dining(philosophers=1)

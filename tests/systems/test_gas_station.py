@@ -1,0 +1,71 @@
+"""Tests for the gas-station case study (the authors' classic benchmark)."""
+
+import pytest
+
+from repro.core import verify_safety
+from repro.mc import check_safety, find_state, global_prop, prop
+from repro.systems.gas_station import all_fueled_prop, build_gas_station
+
+
+class TestWrongCustomerRace:
+    def test_race_found_with_plain_receives(self):
+        arch = build_gas_station(customers=2, selective_delivery=False)
+        r = verify_safety(arch, check_deadlock=True, fused=True)
+        assert not r.ok
+        assert r.result.kind == "assertion"
+        assert "delivery" in r.result.message
+
+    def test_race_found_with_composed_models(self):
+        arch = build_gas_station(customers=2, selective_delivery=False)
+        r = check_safety(arch.to_system(fused=False), check_deadlock=False)
+        assert not r.ok
+        assert r.kind == "assertion"
+
+    def test_single_customer_cannot_race(self):
+        arch = build_gas_station(customers=1, selective_delivery=False)
+        r = verify_safety(arch, check_deadlock=True, fused=True)
+        assert r.ok
+
+    def test_counterexample_shows_crossed_delivery(self):
+        """In the violating state, some customer holds another's gas."""
+        arch = build_gas_station(customers=2, selective_delivery=False)
+        r = verify_safety(arch, check_deadlock=False, fused=True)
+        final = r.result.trace.final_state
+        system = arch.to_system(fused=True)
+        from repro.mc.props import StateView
+        v = StateView(system, final)
+        deliveries = [v.local(f"Customer{i}", "delivery") for i in range(2)]
+        assert any(d not in (-1, i) for i, d in enumerate(deliveries))
+
+
+class TestSelectiveReceiveFix:
+    def test_selective_delivery_is_safe(self):
+        arch = build_gas_station(customers=2, selective_delivery=True)
+        r = verify_safety(arch, check_deadlock=True, fused=True)
+        assert r.ok
+
+    def test_everyone_gets_fueled(self):
+        arch = build_gas_station(customers=2, selective_delivery=True)
+        assert find_state(arch.to_system(fused=True),
+                          all_fueled_prop(2)) is not None
+
+    def test_three_customers(self):
+        arch = build_gas_station(customers=3, selective_delivery=True)
+        r = verify_safety(arch, check_deadlock=False, fused=True)
+        assert r.ok
+
+    def test_fuel_implies_payment(self):
+        """Nobody gets gas without having paid."""
+        arch = build_gas_station(customers=2, selective_delivery=True)
+        freeloader = prop(
+            "freeloader",
+            lambda v: any(
+                v.global_(f"fueled_{i}") == 1 and v.global_(f"paid_{i}") == 0
+                for i in range(2)
+            ),
+        )
+        assert find_state(arch.to_system(fused=True), freeloader) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_gas_station(customers=0)

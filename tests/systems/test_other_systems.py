@@ -1,0 +1,153 @@
+"""Tests for the pub/sub, RPC, ABP, and producer/consumer systems."""
+
+import pytest
+
+from repro.core import verify_safety
+from repro.mc import check_safety, find_state, global_prop, prop
+from repro.systems.abp import build_abp
+from repro.systems.pubsub import EventPool, build_pubsub
+from repro.systems.rpc import build_rpc
+
+
+class TestPubSub:
+    def test_every_subscriber_gets_every_event(self):
+        arch = build_pubsub(publishers=1, subscribers=2, events_each=1)
+        done = prop(
+            "all_received",
+            lambda v: v.global_("received_0") == 1 and v.global_("received_1") == 1,
+        )
+        assert find_state(arch.to_system(), done) is not None
+
+    def test_deadlock_free(self):
+        arch = build_pubsub(publishers=1, subscribers=2, events_each=1)
+        assert check_safety(arch.to_system(), check_deadlock=True)
+
+    def test_publisher_never_blocked_by_slow_subscriber(self):
+        """Decoupling: the publisher finishes even if nobody consumes."""
+        arch = build_pubsub(publishers=1, subscribers=1, events_each=2,
+                            depth=2)
+        pub_done = global_prop(
+            "pub_done", lambda v: v.global_("published_0") == 2, "published_0")
+        # a state where the publisher finished but the subscriber has
+        # received nothing must be reachable
+        decoupled = prop(
+            "decoupled",
+            lambda v: v.global_("published_0") == 2
+            and v.global_("received_0") == 0,
+        )
+        assert find_state(arch.to_system(), decoupled) is not None
+
+    def test_two_publishers(self):
+        arch = build_pubsub(publishers=2, subscribers=1, events_each=1,
+                            depth=2)
+        done = prop("done", lambda v: v.global_("received_0") == 2)
+        assert find_state(arch.to_system(), done) is not None
+
+    def test_event_pool_validation(self):
+        with pytest.raises(ValueError):
+            EventPool(subscribers=0)
+        with pytest.raises(ValueError):
+            EventPool(subscribers=1, depth=0)
+
+    def test_full_store_misses_events(self):
+        """depth=1 and two quick events: the second copy can be missed."""
+        arch = build_pubsub(publishers=1, subscribers=1, events_each=2,
+                            depth=1)
+        missed = prop(
+            "missed",
+            lambda v: (v.global_("published_0") == 2
+                       and v.chan_len("events.store0") == 1
+                       and v.global_("received_0") == 0),
+        )
+        assert find_state(arch.to_system(), missed) is not None
+
+
+class TestRpc:
+    def test_single_client_call_result_correct(self):
+        arch = build_rpc(clients=1, calls_each=1)
+        # the Assert inside the client checks result == 2*arg
+        assert check_safety(arch.to_system(), check_deadlock=True)
+
+    def test_two_calls(self):
+        arch = build_rpc(clients=1, calls_each=2)
+        assert check_safety(arch.to_system(), check_deadlock=True)
+
+    def test_two_clients(self):
+        arch = build_rpc(clients=2, calls_each=1)
+        assert check_safety(arch.to_system(fused=True), check_deadlock=True)
+
+    def test_calls_complete(self):
+        arch = build_rpc(clients=1, calls_each=2)
+        done = global_prop("done", lambda v: v.global_("calls_done_0") == 2,
+                           "calls_done_0")
+        assert find_state(arch.to_system(), done) is not None
+
+    def test_broken_server_detected(self):
+        """Sanity for the assertion: a wrong procedure body must fail."""
+        from repro.psl.expr import V
+        from repro.psl.stmt import Assign
+        arch = build_rpc(clients=1, calls_each=1)
+        server = arch.component("Server")
+        # sabotage: return arg+7 instead of arg*2
+        broken_body = _replace_double_with_increment(server)
+        arch.replace_component(server.modified(body=broken_body))
+        r = check_safety(arch.to_system(), check_deadlock=False)
+        assert not r.ok
+        assert r.kind == "assertion"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_rpc(clients=0)
+
+
+def _replace_double_with_increment(server):
+    """Rebuild the server body with result = request + 7."""
+    from repro.core import receive_message, send_message
+    from repro.psl.expr import V
+    from repro.psl.stmt import Assign, Branch, Do, EndLabel, Seq
+    from repro.systems.rpc import _reply_switch
+    return Seq([
+        EndLabel(),
+        Do(Branch(
+            receive_message("calls", into="request"),
+            Assign("result", V("request") + 7),
+            _reply_switch(1),
+        )),
+    ])
+
+
+class TestAbp:
+    def _arch(self):
+        return build_abp(messages=1, max_sends=2, receiver_polls=4)
+
+    def test_in_order_delivery_invariant(self):
+        """The receiver's sequencing assertion holds under all loss."""
+        r = check_safety(self._arch().to_system(fused=True),
+                         check_deadlock=False)
+        assert r.ok
+
+    def test_delivery_possible(self):
+        deliv = global_prop("d", lambda v: v.global_("delivered") == 1,
+                            "delivered")
+        assert find_state(self._arch().to_system(fused=True), deliv) is not None
+
+    def test_loss_can_defeat_bounded_retransmission(self):
+        """With max_sends bounded, total loss is reachable: sender gives
+        up and nothing was delivered."""
+        gave_up = prop(
+            "gave_up",
+            lambda v: (v.global_("delivered") == 0
+                       and v.local("AbpSender", "tries") == 2
+                       and v.local("AbpSender", "got_ack") == 0),
+        )
+        assert find_state(self._arch().to_system(fused=True), gave_up) is not None
+
+    def test_no_duplicate_delivery(self):
+        dup = global_prop("dup", lambda v: v.global_("delivered") > 1,
+                          "delivered")
+        assert find_state(self._arch().to_system(fused=True), dup) is None
+
+    def test_two_messages_in_order(self):
+        arch = build_abp(messages=2, max_sends=2, receiver_polls=6)
+        r = check_safety(arch.to_system(fused=True), check_deadlock=False)
+        assert r.ok

@@ -1,0 +1,96 @@
+"""Unit-level tests for the EventPool channel block."""
+
+import pytest
+
+from repro.mc import check_safety, find_state, global_prop, prop
+from repro.systems.pubsub import EventPool, build_pubsub
+
+
+class TestEventPoolSpec:
+    def test_internal_stores_per_subscriber(self):
+        pool = EventPool(subscribers=3, depth=2)
+        assert pool.internal_stores() == {
+            "store0": 2, "store1": 2, "store2": 2}
+
+    def test_key_includes_parameters(self):
+        assert EventPool(subscribers=2).key() != EventPool(subscribers=3).key()
+        assert EventPool(depth=1).key() != EventPool(depth=2).key()
+
+    def test_display_name(self):
+        assert "2 subs" in EventPool(subscribers=2, depth=1).display_name()
+
+    def test_model_builds(self):
+        model = EventPool(subscribers=2, depth=1).build_def()
+        assert "subpid0" in model.local_vars
+        assert "subpid1" in model.local_vars
+        assert model.automaton.end_locations
+
+
+class TestSlotClaiming:
+    def test_each_subscriber_claims_one_slot(self):
+        """No reachable state has the same port pid in two slots."""
+        arch = build_pubsub(publishers=1, subscribers=2, events_each=1)
+        system = arch.to_system()
+        double_claim = prop(
+            "double_claim",
+            lambda v: (
+                v.local("events.channel", "subpid0") != -1
+                and v.local("events.channel", "subpid0")
+                == v.local("events.channel", "subpid1")
+            ),
+        )
+        assert find_state(system, double_claim) is None
+
+    def test_slots_fill_in_order(self):
+        """Slot 1 is never claimed while slot 0 is free."""
+        arch = build_pubsub(publishers=1, subscribers=2, events_each=1)
+        system = arch.to_system()
+        out_of_order = prop(
+            "slot1_before_slot0",
+            lambda v: (v.local("events.channel", "subpid0") == -1
+                       and v.local("events.channel", "subpid1") != -1),
+        )
+        assert find_state(system, out_of_order) is None
+
+
+class TestTopicFiltering:
+    def test_selective_subscription_sees_only_its_topic(self):
+        """A subscriber filtering on topic 0 never receives topic-1 data."""
+        from repro.core import (
+            Architecture, AsynBlockingSend, BlockingReceive, Component,
+            RECEIVE, SEND, receive_message, send_message)
+        from repro.psl.expr import V
+        from repro.psl.stmt import (
+            Assign, Branch, Break, Do, Else, Guard, If, Seq)
+
+        arch = Architecture("topical")
+        arch.add_global("got", 0)
+        pub = Component("Pub", ports={"out": SEND}, body=Seq([
+            send_message("out", 111, tag=1),   # topic 1 (not ours)
+            send_message("out", 100, tag=0),   # topic 0 (ours)
+        ]))
+        sub = Component("Sub", ports={"inp": RECEIVE}, body=Seq([
+            Do(
+                Branch(
+                    Guard(V("got") == 0),
+                    receive_message("inp", into="ev", selective_tag=0),
+                    If(Branch(Guard(V("recv_status") == "RECV_SUCC"),
+                              Assign("got", V("ev"))),
+                       Branch(Else())),
+                ),
+                Branch(Guard(V("got") != 0), Break()),
+            ),
+        ]), local_vars={"ev": 0})
+        arch.add_component(pub)
+        arch.add_component(sub)
+        pool = arch.add_connector("events", EventPool(subscribers=1, depth=2))
+        pool.attach_sender(pub, "out", AsynBlockingSend())
+        pool.attach_receiver(sub, "inp", BlockingReceive())
+
+        system = arch.to_system()
+        wrong_topic = global_prop("wrong", lambda v: v.global_("got") == 111,
+                                  "got")
+        right_topic = global_prop("right", lambda v: v.global_("got") == 100,
+                                  "got")
+        assert find_state(system, wrong_topic) is None
+        assert find_state(system, right_topic) is not None
