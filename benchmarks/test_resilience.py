@@ -1,0 +1,83 @@
+"""T-resilience — fault sweeps as a workload for model reuse.
+
+Claim reproduced: a resilience sweep is a sequence of connector-only
+revisions (each fault scenario swaps blocks on a design copy), so the
+PnP model-reuse machinery applies verbatim — after the baseline, every
+scenario re-verifies while rebuilding only the fault blocks it
+introduces, and the whole ABP sweep classifies every fault as ROBUST.
+"""
+
+from conftest import record
+
+from repro.core import ModelLibrary, ROBUST, verify_resilience
+from repro.systems.abp import abp_delivery_prop, abp_fault_scenarios, build_abp
+from repro.systems.bridge import (
+    bridge_fault_scenarios,
+    bridge_safety_prop,
+    build_exactly_n_bridge,
+    fix_exactly_n_bridge,
+)
+
+
+def test_abp_fault_sweep(benchmark):
+    """Full four-fault ABP sweep: verdicts, wall clock, and cache hits."""
+
+    def run():
+        library = ModelLibrary()
+        report = verify_resilience(
+            build_abp(messages=1, max_sends=2, receiver_polls=2),
+            faults=abp_fault_scenarios(),
+            goal=abp_delivery_prop(messages=1),
+            check_deadlock=False,
+            library=library,
+            fused=True,
+        )
+        return library, report
+
+    library, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.worst == ROBUST
+    # every scenario after the first reuses cached models for the blocks
+    # it did not touch
+    for scenario in report.scenarios[1:]:
+        assert scenario.models_reused >= 1
+    record(
+        benchmark,
+        scenarios=len(report.scenarios),
+        verdicts={s.name: s.verdict for s in report},
+        states_per_scenario={s.name: s.safety.stats.states_stored
+                             for s in report},
+        seconds_per_scenario={s.name: round(s.seconds, 2) for s in report},
+        models_built=library.stats.misses,
+        models_reused=library.stats.hits,
+        reuse_ratio=round(library.stats.reuse_ratio, 3),
+        table=report.table(),
+    )
+
+
+def test_bridge_fault_sweep(benchmark):
+    """Timeout faults degrade (never break) the fixed bridge."""
+
+    def run():
+        library = ModelLibrary()
+        report = verify_resilience(
+            fix_exactly_n_bridge(build_exactly_n_bridge()),
+            faults=bridge_fault_scenarios(),
+            invariants=[bridge_safety_prop()],
+            library=library,
+            fused=True,
+        )
+        return library, report
+
+    library, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.ok  # safety survives every scenario
+    assert report.scenario("baseline").verdict == ROBUST
+    for scenario in report.scenarios[1:]:
+        assert scenario.verdict == "degraded"
+        assert scenario.models_reused >= 1
+    record(
+        benchmark,
+        verdicts={s.name: s.verdict for s in report},
+        models_built=library.stats.misses,
+        models_reused=library.stats.hits,
+        table=report.table(),
+    )

@@ -3,8 +3,12 @@
 Commands:
 
 * ``catalog`` — print the building-block library (the paper's Figure 1);
-* ``bridge [--variant V] [--cars N] [--trips T] [--composed]`` — build
-  and verify one of the single-lane-bridge designs;
+* ``bridge [--variant V] [--cars N] [--trips T] [--composed]
+  [--max-states S] [--max-seconds T]`` — build and verify one of the
+  single-lane-bridge designs;
+* ``resilience {abp | bridge} [--max-states S] [--max-seconds T]`` —
+  sweep fault-injection scenarios over a system and print the verdict
+  matrix;
 * ``sweep [--messages K]`` — verify every send-port/channel combination
   on a producer/consumer pair and tabulate the verdicts;
 * ``export [--out FILE]`` — emit the Promela model of a Figure 2(a)
@@ -14,6 +18,9 @@ Commands:
 
 The CLI is a thin veneer over the library — everything it does is two
 or three calls on the public API.
+
+Exit codes: 0 = expected outcome, 1 = violation (or unexpected pass),
+2 = a verification was stopped by an exploration budget (incomplete).
 """
 
 from __future__ import annotations
@@ -53,6 +60,8 @@ def _cmd_bridge(args: argparse.Namespace) -> int:
         invariants=[bridge_safety_prop()],
         check_deadlock=args.variant != "initial",
         fused=not args.composed,
+        max_states=args.max_states,
+        max_seconds=args.max_seconds,
     )
     print()
     print(report.summary())
@@ -61,7 +70,59 @@ def _cmd_bridge(args: argparse.Namespace) -> int:
         print("\ncounterexample:")
         system = arch.to_system(fused=not args.composed)
         print(explain_trace(report.result.trace, arch, system, max_steps=20))
+    if report.result.incomplete:
+        return 2
     return 0 if report.ok == (args.variant != "initial") else 1
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.core import ModelLibrary, verify_resilience
+
+    library = ModelLibrary()
+    if args.system == "abp":
+        from repro.systems.abp import (
+            abp_delivery_prop,
+            abp_fault_scenarios,
+            build_abp,
+        )
+        arch = build_abp(messages=1, max_sends=2, receiver_polls=2)
+        report = verify_resilience(
+            arch,
+            faults=abp_fault_scenarios(),
+            goal=abp_delivery_prop(messages=1),
+            check_deadlock=False,  # bounded polls terminate by design
+            library=library,
+            max_states=args.max_states,
+            max_seconds=args.max_seconds,
+            fused=True,
+        )
+    else:
+        from repro.systems.bridge import (
+            bridge_fault_scenarios,
+            bridge_safety_prop,
+            build_exactly_n_bridge,
+            fix_exactly_n_bridge,
+        )
+        arch = fix_exactly_n_bridge(build_exactly_n_bridge())
+        report = verify_resilience(
+            arch,
+            faults=bridge_fault_scenarios(),
+            invariants=[bridge_safety_prop()],
+            library=library,
+            max_states=args.max_states,
+            max_seconds=args.max_seconds,
+            fused=True,
+        )
+    print(f"resilience sweep: {report.architecture}")
+    print()
+    print(report.table())
+    broken = [s for s in report if s.verdict == "broken"]
+    if broken and broken[0].trace is not None:
+        print(f"\ncounterexample for {broken[0].name!r}:")
+        print(broken[0].trace.pretty(max_steps=20))
+    if not report.complete:
+        return 2
+    return 0 if report.ok else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -151,6 +212,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trips per car; 0 = cycle forever (default 1)")
     bridge.add_argument("--composed", action="store_true",
                         help="use composed block models instead of fused")
+    bridge.add_argument("--max-states", type=int, default=None,
+                        help="state budget; exceeding it yields exit code 2")
+    bridge.add_argument("--max-seconds", type=float, default=None,
+                        help="time budget; exceeding it yields exit code 2")
+
+    res = sub.add_parser(
+        "resilience", help="sweep fault scenarios over a system")
+    res.add_argument("system", choices=["abp", "bridge"],
+                     help="abp: fault channels on the data link; "
+                          "bridge: timing-out controller receives")
+    res.add_argument("--max-states", type=int, default=None,
+                     help="per-scenario state budget (UNKNOWN verdict when hit)")
+    res.add_argument("--max-seconds", type=float, default=None,
+                     help="per-scenario time budget (UNKNOWN verdict when hit)")
 
     sweep = sub.add_parser("sweep", help="verify all port/channel combos")
     sweep.add_argument("--messages", type=int, default=2)
@@ -171,6 +246,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "catalog": _cmd_catalog,
         "bridge": _cmd_bridge,
+        "resilience": _cmd_resilience,
         "sweep": _cmd_sweep,
         "export": _cmd_export,
         "graph": _cmd_graph,

@@ -1,11 +1,12 @@
 """Code generation back-ends for PSL systems."""
 
 from .dot import architecture_to_dot, automaton_to_dot
-from .promela import PromelaEmitter, system_to_promela
+from .promela import PromelaEmitter, block_to_promela, system_to_promela
 
 __all__ = [
     "PromelaEmitter",
     "architecture_to_dot",
     "automaton_to_dot",
+    "block_to_promela",
     "system_to_promela",
 ]

@@ -27,15 +27,13 @@ scheme (Section 3.4).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set
+from typing import List, Sequence, Set
 
 from ..psl.channels import Channel
-from ..psl.expr import BinOp, Const, Expr, Not, Var
+from ..psl.expr import BinOp, Const, Expr, Not
 from ..psl.stmt import (
-    AnyField,
     Assert,
     Assign,
-    Bind,
     Branch,
     Break,
     Do,
@@ -259,3 +257,27 @@ class PromelaEmitter:
 def system_to_promela(system: System) -> str:
     """Emit Promela source for a composed PSL system."""
     return PromelaEmitter(system).emit()
+
+
+def block_to_promela(spec) -> str:
+    """Emit Promela source for one building block's process model.
+
+    Renders a single :class:`~repro.core.spec.BlockSpec` — e.g. a
+    fault-injection channel — as a standalone proctype plus the mtype
+    declaration its body needs, in the format of the paper's Figures
+    5-11.  The channel parameters stay formal (``chan`` arguments), as
+    the block is printed outside any composed system.
+    """
+    definition = spec.build_def()
+    emitter = PromelaEmitter(System(f"block_{definition.name}"))
+    symbols: Set[str] = set()
+    _collect_symbols_stmt(definition.body, symbols)
+    parts: List[str] = [
+        f"/* Promela model of building block {spec.display_name()!r} */",
+        "",
+    ]
+    if symbols:
+        parts.append("mtype = { " + ", ".join(sorted(symbols)) + " };")
+        parts.append("")
+    parts.append(emitter.emit_proctype(definition))
+    return "\n".join(parts)

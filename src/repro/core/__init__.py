@@ -19,10 +19,15 @@ Typical usage::
 from .architecture import Architecture, ArchitectureError
 from .channels import (
     CHANNEL_SPECS,
+    FAULT_CHANNEL_SPECS,
     ChannelSpec,
+    CorruptingChannel,
     DroppingBuffer,
+    DuplicatingChannel,
     FifoQueue,
+    LossyChannel,
     PriorityQueue,
+    ReorderingChannel,
     SingleSlotBuffer,
 )
 from .component import Component, RECEIVE, SEND
@@ -38,6 +43,7 @@ from .interface import (
 from .library import block_kinds, catalog, figure1_table, make_block
 from .ports import (
     RECEIVE_PORT_SPECS,
+    RESILIENT_PORT_SPECS,
     SEND_PORT_SPECS,
     AsynBlockingSend,
     AsynCheckingSend,
@@ -45,9 +51,24 @@ from .ports import (
     BlockingReceive,
     NonblockingReceive,
     ReceivePortSpec,
+    RetrySend,
     SendPortSpec,
     SynBlockingSend,
     SynCheckingSend,
+    TimeoutReceive,
+)
+from .resilience import (
+    BROKEN,
+    DEGRADED,
+    ROBUST,
+    UNKNOWN,
+    ChannelFault,
+    FaultScenario,
+    ReceivePortFault,
+    ResilienceReport,
+    ScenarioReport,
+    SendPortFault,
+    verify_resilience,
 )
 from .signals import (
     DATA_FIELDS,
@@ -82,18 +103,26 @@ __all__ = [
     "AsynNonblockingSend",
     "Attachment",
     "BlockSpec",
+    "BROKEN",
     "BlockingReceive",
     "CHANNEL_SPECS",
+    "ChannelFault",
     "ChannelSpec",
     "Component",
     "Connector",
+    "CorruptingChannel",
     "DATA_FIELDS",
+    "DEGRADED",
     "DroppingBuffer",
+    "DuplicatingChannel",
+    "FAULT_CHANNEL_SPECS",
+    "FaultScenario",
     "FifoQueue",
     "INTERFACE_LOCALS",
     "IN_FAIL",
     "IN_OK",
     "LibraryStats",
+    "LossyChannel",
     "ModelLibrary",
     "NonblockingReceive",
     "OUT_FAIL",
@@ -105,7 +134,13 @@ __all__ = [
     "RECV_OK",
     "RECV_STATUS_VAR",
     "RECV_SUCC",
+    "RESILIENT_PORT_SPECS",
+    "ROBUST",
+    "ReceivePortFault",
     "ReceivePortSpec",
+    "ReorderingChannel",
+    "ResilienceReport",
+    "RetrySend",
     "SEND",
     "SEND_FAIL",
     "SEND_PORT_SPECS",
@@ -113,10 +148,14 @@ __all__ = [
     "SEND_SUCC",
     "SIGNALS",
     "SIGNAL_FIELDS",
+    "ScenarioReport",
+    "SendPortFault",
     "SendPortSpec",
     "SingleSlotBuffer",
     "SynBlockingSend",
     "SynCheckingSend",
+    "TimeoutReceive",
+    "UNKNOWN",
     "DesignIterationLog",
     "FusedUnsupported",
     "IterationRecord",
@@ -135,5 +174,6 @@ __all__ = [
     "receive_message",
     "send_message",
     "verify_ltl",
+    "verify_resilience",
     "verify_safety",
 ]

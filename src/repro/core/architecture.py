@@ -29,10 +29,10 @@ this scheme.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..psl.channels import Channel, buffered, rendezvous
-from ..psl.system import ProcessInstance, System
+from ..psl.system import System
 from ..psl.values import Value
 from .channels import ChannelSpec
 from .component import Component
@@ -114,6 +114,29 @@ class Architecture:
             raise KeyError(f"no component named {component.name!r}")
         self.components[component.name] = component
         return self
+
+    def copy(self) -> "Architecture":
+        """An independently revisable copy of this design.
+
+        Connectors and attachments are fresh objects, so ``swap_*`` on
+        the copy leaves the original untouched — the basis for fault-
+        scenario sweeps (:mod:`repro.core.resilience`) that apply one
+        set of swaps per scenario.  Component designs and block specs
+        are shared: both are immutable value objects.
+        """
+        clone = Architecture(self.name)
+        clone.components = dict(self.components)
+        clone.global_vars = dict(self.global_vars)
+        for name, conn in self.connectors.items():
+            copied = Connector(name, conn.channel)
+            copied.senders = [
+                Attachment(a.component, a.port, a.spec) for a in conn.senders
+            ]
+            copied.receivers = [
+                Attachment(a.component, a.port, a.spec) for a in conn.receivers
+            ]
+            clone.connectors[name] = copied
+        return clone
 
     # -- validation -------------------------------------------------------
 

@@ -21,6 +21,19 @@ Kinds (each an elaboration of the paper's Figure 11 model):
   Section 6 example of a block whose interaction with synchronous send
   ports produces hangs that verification should diagnose.
 
+Fault-injection kinds (used by :mod:`repro.core.resilience` to model
+unreliable media as plug-in replacements for the channels above):
+
+* :class:`LossyChannel` — FIFO that may *nondeterministically drop* any
+  accepted message, via an explicit drop transition (unlike
+  ``DroppingBuffer``, which only drops on overflow);
+* :class:`DuplicatingChannel` — FIFO that may store two copies of an
+  accepted message;
+* :class:`ReorderingChannel` — an unordered bag of single-message
+  slots: arrival order is forgotten, delivery picks any occupied slot;
+* :class:`CorruptingChannel` — FIFO that may replace an accepted
+  message's payload with a configurable garbage value.
+
 Every kind comes in two model variants, selected by the ``faithful``
 flag:
 
@@ -68,6 +81,7 @@ from ..psl.stmt import (
     Recv,
     Send,
     Seq,
+    Skip,
     Stmt,
 )
 from ..psl.system import ProcessDef
@@ -424,6 +438,220 @@ def _priority_body(capacity: int, levels: int, faithful: bool) -> Stmt:
 
 
 # ---------------------------------------------------------------------------
+# Fault-injection channels
+# ---------------------------------------------------------------------------
+
+_FORWARD = [V("m_data"), V("m_sender"), V("m_sel"), V("m_tag"), V("m_remove"),
+            C(0)]
+
+
+def _lossy_store(capacity: int) -> Stmt:
+    """Store the message, or lose it on an explicit fault transition.
+
+    The drop branch opens with an always-enabled ``Skip``, so every
+    accepted message races a nondeterministic loss event; the sender is
+    told ``IN_OK`` either way (the medium cannot know it lost a frame).
+    """
+    return If(
+        Branch(
+            Guard(V("count") < capacity),
+            _accept_signal(),
+            Send("store", _FORWARD, comment="stores the message in the queue"),
+            Assign("count", V("count") + 1),
+        ),
+        Branch(
+            Skip(comment="fault: the medium loses the message"),
+            _accept_signal(),
+        ),
+    )
+
+
+def _lossy_body(capacity: int, faithful: bool) -> Stmt:
+    # Dropping is always possible, so a lossy channel never rejects an
+    # insert and parking doesn't apply to its insert side.
+    insert_branches = [
+        Branch(_recv_incoming(park=None), _lossy_store(capacity)),
+    ]
+    if faithful:
+        request_branches = [
+            Branch(_recv_request(park=None), _queue_serve("store")),
+        ]
+    else:
+        request_branches = [
+            Branch(_recv_request(park=1, when=(V("count") > 0)),
+                   _queue_serve("store")),
+            Branch(_recv_request(park=0), _queue_serve("store")),
+        ]
+    return Seq([EndLabel(), Do(*(request_branches + insert_branches))])
+
+
+def _duplicating_store(capacity: int) -> Stmt:
+    """Store the message once, or twice when the fault branch fires."""
+    return If(
+        Branch(
+            Guard(V("count") < capacity),
+            _accept_signal(),
+            Send("store", _FORWARD, comment="stores the message in the queue"),
+            Assign("count", V("count") + 1),
+        ),
+        Branch(
+            Guard(V("count") < capacity - 1,
+                  comment="fault: the medium duplicates the message"),
+            _accept_signal(),
+            Send("store", _FORWARD, comment="stores the message in the queue"),
+            Send("store", _FORWARD, comment="stores a duplicate copy"),
+            Assign("count", V("count") + 2),
+        ),
+        Branch(Else(), _reject_signal()),
+    )
+
+
+def _duplicating_body(capacity: int, faithful: bool) -> Stmt:
+    if faithful:
+        branches = [
+            Branch(_recv_request(park=None), _queue_serve("store")),
+            Branch(_recv_incoming(park=None), _duplicating_store(capacity)),
+        ]
+    else:
+        branches = [
+            Branch(_recv_request(park=1, when=(V("count") > 0)),
+                   _queue_serve("store")),
+            Branch(_recv_request(park=0), _queue_serve("store")),
+            Branch(_recv_incoming(park=1, when=(V("count") < capacity)),
+                   _duplicating_store(capacity)),
+            Branch(_recv_incoming(park=0), _duplicating_store(capacity)),
+        ]
+    return Seq([EndLabel(), Do(*branches)])
+
+
+def _corrupting_store(capacity: int, corrupt_value: int) -> Stmt:
+    """Store the message faithfully, or with its payload garbled."""
+    corrupted = [C(corrupt_value), V("m_sender"), V("m_sel"), V("m_tag"),
+                 V("m_remove"), C(0)]
+    return If(
+        Branch(
+            Guard(V("count") < capacity),
+            _accept_signal(),
+            Send("store", _FORWARD, comment="stores the message in the queue"),
+            Assign("count", V("count") + 1),
+        ),
+        Branch(
+            Guard(V("count") < capacity,
+                  comment="fault: the medium corrupts the message"),
+            _accept_signal(),
+            Send("store", corrupted, comment="stores a corrupted payload"),
+            Assign("count", V("count") + 1),
+        ),
+        Branch(Else(), _reject_signal()),
+    )
+
+
+def _corrupting_body(capacity: int, corrupt_value: int, faithful: bool) -> Stmt:
+    if faithful:
+        branches = [
+            Branch(_recv_request(park=None), _queue_serve("store")),
+            Branch(_recv_incoming(park=None),
+                   _corrupting_store(capacity, corrupt_value)),
+        ]
+    else:
+        branches = [
+            Branch(_recv_request(park=1, when=(V("count") > 0)),
+                   _queue_serve("store")),
+            Branch(_recv_request(park=0), _queue_serve("store")),
+            Branch(_recv_incoming(park=1, when=(V("count") < capacity)),
+                   _corrupting_store(capacity, corrupt_value)),
+            Branch(_recv_incoming(park=0),
+                   _corrupting_store(capacity, corrupt_value)),
+        ]
+    return Seq([EndLabel(), Do(*branches)])
+
+
+def _reordering_body(slots: int, faithful: bool) -> Stmt:
+    """A bag of single-message slots: no order between them survives.
+
+    Insertion picks any empty slot, retrieval any occupied one, so two
+    in-flight messages can be delivered in either order.  Each slot is
+    its own internal buffered channel of capacity 1; slot-``Send``
+    enabledness (slot empty) and slot-``Recv`` enabledness (slot
+    occupied) drive the nondeterministic choice.
+    """
+    names = [f"slot{k}" for k in range(slots)]
+    bind_all = [Bind("b_data"), Bind("b_sender"), Bind("b_sel"), Bind("b_tag"),
+                Bind("b_remove"), AnyField()]
+    bind_tagged = [Bind("b_data"), Bind("b_sender"), Bind("b_sel"),
+                   MatchEq(V("r_tag")), Bind("b_remove"), AnyField()]
+
+    def store_msg() -> Stmt:
+        branches = [
+            Branch(
+                Send(name, _FORWARD,
+                     comment=f"stores into slot {k} (arrival order forgotten)"),
+                _accept_signal(),
+                Assign("count", V("count") + 1),
+            )
+            for k, name in enumerate(names)
+        ]
+        branches.append(Branch(Else(), _reject_signal()))
+        return If(*branches)
+
+    def slot_deliver(k: int, name: str, selective: bool) -> Branch:
+        if selective:
+            peek = Recv(name, bind_tagged, matching=True, peek=True,
+                        comment=f"peeks a matching message in slot {k}")
+            remove = Recv(
+                name,
+                [AnyField(), AnyField(), AnyField(), MatchEq(V("r_tag")),
+                 AnyField(), AnyField()],
+                matching=True,
+                comment="removes the delivered matching message",
+            )
+            extra = [Assign("b_tag", V("r_tag"))]
+        else:
+            peek = Recv(name, bind_all, peek=True,
+                        comment=f"peeks slot {k} (delivery order arbitrary)")
+            remove = Recv(name, [AnyField()] * 6,
+                          comment="removes the delivered message")
+            extra = []
+        return Branch(
+            peek,
+            *extra,
+            If(
+                Branch(Guard(V("r_remove") == 1), remove,
+                       Assign("count", V("count") - 1)),
+                Branch(Else()),
+            ),
+            _deliver(),
+        )
+
+    def serve() -> Stmt:
+        plain = [slot_deliver(k, name, selective=False)
+                 for k, name in enumerate(names)]
+        plain.append(Branch(Else(), _reject_request()))
+        tagged = [slot_deliver(k, name, selective=True)
+                  for k, name in enumerate(names)]
+        tagged.append(Branch(Else(), _reject_request()))
+        return If(
+            Branch(Guard(V("r_sel") == 0), If(*plain)),
+            Branch(Else(), If(*tagged)),
+        )
+
+    if faithful:
+        branches = [
+            Branch(_recv_request(park=None), serve()),
+            Branch(_recv_incoming(park=None), store_msg()),
+        ]
+    else:
+        branches = [
+            Branch(_recv_request(park=1, when=(V("count") > 0)), serve()),
+            Branch(_recv_request(park=0), serve()),
+            Branch(_recv_incoming(park=1, when=(V("count") < slots)),
+                   store_msg()),
+            Branch(_recv_incoming(park=0), store_msg()),
+        ]
+    return Seq([EndLabel(), Do(*branches)])
+
+
+# ---------------------------------------------------------------------------
 # Specs
 # ---------------------------------------------------------------------------
 
@@ -608,10 +836,207 @@ class PriorityQueue(ChannelSpec):
         )
 
 
+@dataclass(frozen=True)
+class LossyChannel(ChannelSpec):
+    """A FIFO medium that may nondeterministically lose any message.
+
+    Unlike :class:`DroppingBuffer` (which only discards on overflow),
+    every accepted message is raced by an explicit, always-enabled drop
+    transition — the standard model of an unreliable wire.  The sender
+    always sees ``IN_OK``: a lossy medium cannot report its own losses.
+    """
+
+    kind = "lossy_channel"
+    description = (
+        "A FIFO queue of size N that may nondeterministically lose any "
+        "message via an explicit drop transition, telling the sender IN_OK "
+        "either way."
+    )
+    size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("LossyChannel size must be >= 1")
+
+    @property
+    def capacity(self) -> int:
+        return self.size
+
+    def internal_stores(self) -> Dict[str, int]:
+        return {"store": self.size}
+
+    def key(self) -> Hashable:
+        return (self.kind, self.size, self.faithful)
+
+    def display_name(self) -> str:
+        return f"lossy_channel({self.size})"
+
+    def build_def(self) -> ProcessDef:
+        return ProcessDef(
+            f"lossy_channel_{self.size}{self._variant_suffix()}",
+            _lossy_body(self.size, self.faithful),
+            chan_params=self.chan_params,
+            local_vars={
+                "count": 0,
+                **_REQUEST_LOCALS,
+                **_INCOMING_LOCALS,
+                **_BUFFER_LOCALS,
+            },
+        )
+
+
+@dataclass(frozen=True)
+class DuplicatingChannel(ChannelSpec):
+    """A FIFO medium that may deliver an accepted message twice."""
+
+    kind = "duplicating_channel"
+    description = (
+        "A FIFO queue of size N that may nondeterministically store two "
+        "copies of an accepted message (duplication fault)."
+    )
+    size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("DuplicatingChannel size must be >= 1")
+
+    @property
+    def capacity(self) -> int:
+        return self.size
+
+    def internal_stores(self) -> Dict[str, int]:
+        return {"store": self.size}
+
+    def key(self) -> Hashable:
+        return (self.kind, self.size, self.faithful)
+
+    def display_name(self) -> str:
+        return f"duplicating_channel({self.size})"
+
+    def build_def(self) -> ProcessDef:
+        return ProcessDef(
+            f"duplicating_channel_{self.size}{self._variant_suffix()}",
+            _duplicating_body(self.size, self.faithful),
+            chan_params=self.chan_params,
+            local_vars={
+                "count": 0,
+                **_REQUEST_LOCALS,
+                **_INCOMING_LOCALS,
+                **_BUFFER_LOCALS,
+            },
+        )
+
+
+@dataclass(frozen=True)
+class ReorderingChannel(ChannelSpec):
+    """An unordered medium: in-flight messages may overtake each other.
+
+    ``size`` is the number of single-message slots, i.e. the number of
+    messages that can be in flight (and thus reordered) at once;
+    ``size=1`` degenerates to an order-preserving buffer.
+    """
+
+    kind = "reordering_channel"
+    description = (
+        "An unordered bag of N single-message slots: arrival order is "
+        "forgotten and delivery picks any occupied slot, so in-flight "
+        "messages can overtake each other."
+    )
+    size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("ReorderingChannel size must be >= 1")
+
+    @property
+    def capacity(self) -> int:
+        return self.size
+
+    def internal_stores(self) -> Dict[str, int]:
+        return {f"slot{k}": 1 for k in range(self.size)}
+
+    def key(self) -> Hashable:
+        return (self.kind, self.size, self.faithful)
+
+    def display_name(self) -> str:
+        return f"reordering_channel({self.size})"
+
+    def build_def(self) -> ProcessDef:
+        return ProcessDef(
+            f"reordering_channel_{self.size}{self._variant_suffix()}",
+            _reordering_body(self.size, self.faithful),
+            chan_params=self.chan_params,
+            local_vars={
+                "count": 0,
+                **_REQUEST_LOCALS,
+                **_INCOMING_LOCALS,
+                **_BUFFER_LOCALS,
+            },
+        )
+
+
+@dataclass(frozen=True)
+class CorruptingChannel(ChannelSpec):
+    """A FIFO medium that may garble a message's payload in transit.
+
+    The corrupted copy keeps its routing metadata (sender, tag) but its
+    ``data`` field is replaced by ``corrupt_value`` — modeling bit
+    errors below any checksum the components might implement.
+    """
+
+    kind = "corrupting_channel"
+    description = (
+        "A FIFO queue of size N that may nondeterministically replace an "
+        "accepted message's payload with a garbage value (corruption fault)."
+    )
+    size: int = 1
+    corrupt_value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("CorruptingChannel size must be >= 1")
+
+    @property
+    def capacity(self) -> int:
+        return self.size
+
+    def internal_stores(self) -> Dict[str, int]:
+        return {"store": self.size}
+
+    def key(self) -> Hashable:
+        return (self.kind, self.size, self.corrupt_value, self.faithful)
+
+    def display_name(self) -> str:
+        return f"corrupting_channel({self.size}, garbage={self.corrupt_value})"
+
+    def build_def(self) -> ProcessDef:
+        return ProcessDef(
+            f"corrupting_channel_{self.size}_{self.corrupt_value}"
+            f"{self._variant_suffix()}",
+            _corrupting_body(self.size, self.corrupt_value, self.faithful),
+            chan_params=self.chan_params,
+            local_vars={
+                "count": 0,
+                **_REQUEST_LOCALS,
+                **_INCOMING_LOCALS,
+                **_BUFFER_LOCALS,
+            },
+        )
+
+
 #: All channel kinds, for the Figure 1 catalog (representative sizes).
 CHANNEL_SPECS = (
     SingleSlotBuffer(),
     FifoQueue(size=2),
     PriorityQueue(size=2, levels=2),
     DroppingBuffer(size=1),
+)
+
+#: Fault-injection channel kinds (representative sizes), catalogued in
+#: their own Figure-1 section and used by :mod:`repro.core.resilience`.
+FAULT_CHANNEL_SPECS = (
+    LossyChannel(size=1),
+    DuplicatingChannel(size=2),
+    ReorderingChannel(size=2),
+    CorruptingChannel(size=1),
 )

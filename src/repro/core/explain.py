@@ -22,12 +22,11 @@ reporting layer:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..mc.result import Trace, VerificationResult
 from ..psl.interp import Interpreter, TransitionLabel
-from ..psl.state import State
-from ..psl.system import ProcessInstance, System
+from ..psl.system import System
 from .architecture import Architecture
 from .signals import (
     IN_FAIL,

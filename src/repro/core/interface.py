@@ -24,7 +24,7 @@ time via the channel parameters ``enter_sig`` / ``enter_data``.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 from ..psl.expr import C, as_expr
 from ..psl.stmt import AnyField, Bind, EndLabel, Recv, Send, Seq, Stmt

@@ -8,18 +8,24 @@ render the Figure 1 table.  The actual model cache lives in
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple, Type
+from typing import Dict, Iterator, List, Tuple, Type
 
 from .channels import (
     CHANNEL_SPECS,
+    FAULT_CHANNEL_SPECS,
     ChannelSpec,
+    CorruptingChannel,
     DroppingBuffer,
+    DuplicatingChannel,
     FifoQueue,
+    LossyChannel,
     PriorityQueue,
+    ReorderingChannel,
     SingleSlotBuffer,
 )
 from .ports import (
     RECEIVE_PORT_SPECS,
+    RESILIENT_PORT_SPECS,
     SEND_PORT_SPECS,
     AsynBlockingSend,
     AsynCheckingSend,
@@ -27,9 +33,11 @@ from .ports import (
     BlockingReceive,
     NonblockingReceive,
     ReceivePortSpec,
+    RetrySend,
     SendPortSpec,
     SynBlockingSend,
     SynCheckingSend,
+    TimeoutReceive,
 )
 from .spec import BlockSpec
 
@@ -47,6 +55,13 @@ _KIND_TABLE: Dict[str, Type[BlockSpec]] = {
     "fifo_queue": FifoQueue,
     "priority_queue": PriorityQueue,
     "dropping_buffer": DroppingBuffer,
+    # fault-injection blocks (resilience verification)
+    "lossy_channel": LossyChannel,
+    "duplicating_channel": DuplicatingChannel,
+    "reordering_channel": ReorderingChannel,
+    "corrupting_channel": CorruptingChannel,
+    "retry_send": RetrySend,
+    "timeout_receive": TimeoutReceive,
 }
 
 
@@ -67,8 +82,12 @@ def make_block(kind: str, **params) -> BlockSpec:
 
 
 def catalog() -> List[BlockSpec]:
-    """Representative instances of every block kind (Figure 1)."""
-    return list(SEND_PORT_SPECS) + list(RECEIVE_PORT_SPECS) + list(CHANNEL_SPECS)
+    """Representative instances of every block kind (Figure 1 + faults)."""
+    return (
+        list(SEND_PORT_SPECS) + list(RECEIVE_PORT_SPECS)
+        + list(CHANNEL_SPECS) + list(FAULT_CHANNEL_SPECS)
+        + list(RESILIENT_PORT_SPECS)
+    )
 
 
 def iter_send_ports() -> Iterator[SendPortSpec]:
@@ -89,6 +108,8 @@ def figure1_table() -> str:
         ("Send ports", list(SEND_PORT_SPECS)),
         ("Receive ports", list(RECEIVE_PORT_SPECS)),
         ("Channels", list(CHANNEL_SPECS)),
+        ("Fault injection (channels)", list(FAULT_CHANNEL_SPECS)),
+        ("Fault tolerance (ports)", list(RESILIENT_PORT_SPECS)),
     ]
     lines: List[str] = []
     for title, specs in sections:

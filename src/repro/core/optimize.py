@@ -40,7 +40,7 @@ sender (for routing deferred synchronous acknowledgements) and whose
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..psl.expr import C, V
 from ..psl.stmt import (

@@ -29,6 +29,15 @@ Receive ports (between a channel and a receiver component):
 * **nonblocking** — reports ``RECV_FAIL`` and delivers an empty stub
   message when nothing is available.
 
+Resilient variants (for the fault-injection scenarios of
+:mod:`repro.core.resilience`):
+
+* :class:`RetrySend` — bounded retransmit: up to ``attempts`` forwards,
+  then an honest ``SEND_FAIL`` instead of blocking on a dead medium;
+* :class:`TimeoutReceive` — like blocking receive, but a
+  nondeterministic timeout can abort the wait and deliver ``RECV_FAIL``
+  with an empty stub instead of blocking forever.
+
 Both receive kinds come in *remove* (default) and *copy* variants,
 controlled by the ``remove`` flag they stamp on forwarded requests.
 Selective receive is requested by the component through the standard
@@ -48,17 +57,20 @@ from typing import Hashable, Tuple
 from ..psl.expr import C, V
 from ..psl.stmt import (
     AnyField,
+    Assign,
     Bind,
     Branch,
     Break,
     Do,
     Else,
     EndLabel,
+    Guard,
     If,
     MatchEq,
     Recv,
     Send,
     Seq,
+    Skip,
     Stmt,
 )
 from ..psl.system import ProcessDef
@@ -323,6 +335,89 @@ def _nonblocking_receive_body(remove: bool) -> Stmt:
     ])
 
 
+# -- resilient-port bodies ---------------------------------------------------
+
+def _retry_send_body(attempts: int) -> Stmt:
+    """Bounded retransmit: forward up to ``attempts`` times, then give up.
+
+    Forwards with ``park=0`` so even optimized channels answer
+    ``IN_FAIL`` when they cannot accept, which is what drives the retry
+    loop.  The component gets ``SEND_SUCC`` once the channel accepted a
+    copy, or an honest ``SEND_FAIL`` after the last attempt.
+    """
+    attempt_loop = Do(
+        Branch(
+            Guard((V("sent") == 0) & (V("tries") < attempts)),
+            Assign("tries", V("tries") + 1),
+            _forward_to_channel(park=False),
+            If(
+                Branch(_signal(IN_OK), Assign("sent", 1)),
+                Branch(_signal(IN_FAIL)),  # attempt rejected: maybe retry
+            ),
+        ),
+        Branch(
+            Guard((V("sent") == 1) | (V("tries") == attempts)),
+            Break(),
+        ),
+    )
+    return Seq([
+        EndLabel(),
+        Do(
+            Branch(_drain()),
+            Branch(
+                Else(),
+                EndLabel(),  # idling for the next component message
+                _recv_from_component(),
+                Assign("tries", 0),
+                Assign("sent", 0),
+                attempt_loop,
+                If(
+                    Branch(Guard(V("sent") == 1), _confirm(SEND_SUCC)),
+                    Branch(Else(), _confirm(SEND_FAIL)),
+                ),
+            ),
+        ),
+    ])
+
+
+def _timeout_receive_body(remove: bool) -> Stmt:
+    """Blocking receive with a nondeterministic timeout.
+
+    Each ``OUT_FAIL`` round races an always-enabled timeout transition
+    against another poll; when the timeout fires the component gets
+    ``RECV_FAIL`` plus an empty stub instead of blocking forever on a
+    channel that may never produce a message.
+    """
+    return Seq([
+        EndLabel(),
+        Do(Branch(
+            _recv_request_from_component(),
+            Assign("got", 0),
+            Do(Branch(
+                # A pending poll round is valid quiescence.
+                EndLabel(),
+                _forward_request(remove, park=False),
+                If(
+                    Branch(_signal(OUT_OK), _recv_delivery(),
+                           Assign("got", 1), Break()),
+                    Branch(
+                        _signal(OUT_FAIL),
+                        If(
+                            Branch(Skip(comment="polls again before the timeout")),
+                            Branch(Skip(comment="fault model: the timeout fires"),
+                                   Break()),
+                        ),
+                    ),
+                ),
+            )),
+            If(
+                Branch(Guard(V("got") == 1), _deliver_to_component(RECV_SUCC)),
+                Branch(Else(), _deliver_to_component(RECV_FAIL, empty=True)),
+            ),
+        )),
+    ])
+
+
 # -- specs ---------------------------------------------------------------
 
 
@@ -494,6 +589,71 @@ class NonblockingReceive(ReceivePortSpec):
         )
 
 
+@dataclass(frozen=True)
+class RetrySend(SendPortSpec):
+    """Resilient send: bounded retransmit, then an honest failure.
+
+    Where the checking ports give up after one rejected forward and the
+    blocking ports never give up, this port retries up to ``attempts``
+    times — the standard recovery wrapper for a medium that rejects or
+    loses work transiently but not forever.
+    """
+
+    kind = "retry_send"
+    description = (
+        "Forwards the message to the channel up to N times, confirming "
+        "SEND_SUCC on the first acceptance; after the last rejected attempt "
+        "it reports SEND_FAIL instead of blocking."
+    )
+    attempts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("RetrySend needs at least 1 attempt")
+
+    def key(self) -> Hashable:
+        return (self.kind, self.attempts)
+
+    def display_name(self) -> str:
+        return f"retry_send({self.attempts})"
+
+    def build_def(self) -> ProcessDef:
+        return ProcessDef(
+            f"RetrySendPort{self.attempts}",
+            _retry_send_body(self.attempts),
+            chan_params=PORT_CHAN_PARAMS,
+            local_vars={**_MSG_LOCALS, "tries": 0, "sent": 0},
+        )
+
+
+@dataclass(frozen=True)
+class TimeoutReceive(ReceivePortSpec):
+    """Resilient receive: a nondeterministic timeout bounds the wait.
+
+    Behaves like :class:`BlockingReceive` while messages arrive, but an
+    explicit timeout transition can abort any empty-channel poll round,
+    delivering ``RECV_FAIL`` and an empty stub to the component — which
+    must therefore handle failed receives, the price of never hanging on
+    a lossy or dead medium.
+    """
+
+    kind = "timeout_receive"
+    description = (
+        "Like blocking receive, except that a nondeterministic timeout can "
+        "end the wait: the receiver then gets RECV_FAIL and an empty "
+        "message instead of blocking forever."
+    )
+
+    def build_def(self) -> ProcessDef:
+        suffix = "" if self.remove else "Copy"
+        return ProcessDef(
+            f"TimeoutRecvPort{suffix}",
+            _timeout_receive_body(self.remove),
+            chan_params=PORT_CHAN_PARAMS,
+            local_vars={**_REQ_LOCALS, **_DELIVERY_LOCALS, "got": 0},
+        )
+
+
 #: All send-port kinds, for the Figure 1 catalog.
 SEND_PORT_SPECS = (
     AsynNonblockingSend(),
@@ -509,4 +669,11 @@ RECEIVE_PORT_SPECS = (
     BlockingReceive(remove=False),
     NonblockingReceive(remove=True),
     NonblockingReceive(remove=False),
+)
+
+#: Resilient port kinds (representative parameters), catalogued in the
+#: fault-injection section and used by :mod:`repro.core.resilience`.
+RESILIENT_PORT_SPECS = (
+    RetrySend(attempts=2),
+    TimeoutReceive(remove=True),
 )

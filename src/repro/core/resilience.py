@@ -1,0 +1,315 @@
+"""Resilience verification: sweep fault scenarios over one architecture.
+
+The PnP promise is that connector blocks swap without touching component
+designs.  This module turns that around for *fault injection*: each
+scenario swaps fault-carrying blocks (lossy channels, timing-out
+receives, ...) into a copy of the design and re-verifies it, reusing the
+same :class:`~repro.core.spec.ModelLibrary` across the whole sweep so
+each fault block's model is built once.
+
+Every scenario is classified on a small resilience ladder:
+
+* ``ROBUST`` — all invariants, assertions, and (if requested) the goal
+  still hold under the fault;
+* ``DEGRADED`` — safety holds but liveness is lost: the system can
+  deadlock, or the ``goal`` state is no longer reachable;
+* ``BROKEN`` — an invariant or assertion is violated; the report carries
+  the counterexample trace;
+* ``UNKNOWN`` — the exploration budget ran out before a verdict.
+
+Typical use::
+
+    report = verify_resilience(
+        build_abp(),
+        faults=[ChannelFault("DataLink", LossyChannel())],
+        goal=delivered_all,
+    )
+    print(report.table())
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..mc.budget import BudgetExceeded
+from ..mc.explore import check_safety, find_state
+from ..mc.props import Prop
+from ..mc.result import VIOLATION_DEADLOCK, Trace, VerificationResult
+from .architecture import Architecture
+from .channels import ChannelSpec
+from .ports import ReceivePortSpec, SendPortSpec
+from .spec import ModelLibrary
+
+#: Scenario verdicts, from best to worst.
+ROBUST = "robust"
+DEGRADED = "degraded"
+BROKEN = "broken"
+UNKNOWN = "unknown"
+
+_VERDICT_ORDER = (ROBUST, UNKNOWN, DEGRADED, BROKEN)
+
+
+# -- fault descriptors ----------------------------------------------------
+
+@dataclass(frozen=True)
+class ChannelFault:
+    """Replace a connector's channel block with a fault-carrying one."""
+
+    connector: str
+    spec: ChannelSpec
+
+    def apply(self, arch: Architecture) -> None:
+        arch.swap_channel(self.connector, self.spec)
+
+    def describe(self) -> str:
+        return f"{self.connector}:{self.spec.display_name()}"
+
+
+@dataclass(frozen=True)
+class SendPortFault:
+    """Replace one component's send port on a connector."""
+
+    connector: str
+    component: str
+    spec: SendPortSpec
+    port: Optional[str] = None
+
+    def apply(self, arch: Architecture) -> None:
+        arch.swap_send_port(self.connector, self.component, self.spec,
+                            self.port)
+
+    def describe(self) -> str:
+        return f"{self.connector}.{self.component}:{self.spec.display_name()}"
+
+
+@dataclass(frozen=True)
+class ReceivePortFault:
+    """Replace one component's receive port on a connector."""
+
+    connector: str
+    component: str
+    spec: ReceivePortSpec
+    port: Optional[str] = None
+
+    def apply(self, arch: Architecture) -> None:
+        arch.swap_receive_port(self.connector, self.component, self.spec,
+                               self.port)
+
+    def describe(self) -> str:
+        return f"{self.connector}.{self.component}:{self.spec.display_name()}"
+
+
+Fault = Union[ChannelFault, SendPortFault, ReceivePortFault]
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named set of simultaneous faults, applied to a design copy."""
+
+    name: str
+    faults: Tuple[Fault, ...]
+
+    def __init__(self, name: str, faults: Sequence[Fault]) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "faults", tuple(faults))
+
+    def apply_to(self, arch: Architecture) -> Architecture:
+        """A copy of ``arch`` with every fault of this scenario injected."""
+        faulty = arch.copy()
+        for fault in self.faults:
+            fault.apply(faulty)
+        return faulty
+
+    def describe(self) -> str:
+        return " + ".join(f.describe() for f in self.faults) or "(no faults)"
+
+
+def _as_scenario(entry: Union[Fault, FaultScenario]) -> FaultScenario:
+    if isinstance(entry, FaultScenario):
+        return entry
+    return FaultScenario(entry.describe(), [entry])
+
+
+# -- reports --------------------------------------------------------------
+
+@dataclass
+class ScenarioReport:
+    """Verdict and evidence for one fault scenario."""
+
+    scenario: FaultScenario
+    verdict: str
+    detail: str
+    safety: VerificationResult
+    trace: Optional[Trace] = None
+    models_reused: int = 0
+    models_built: int = 0
+    seconds: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.scenario.name
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.verdict.upper()} — {self.detail} "
+            f"({self.safety.stats.states_stored} states, {self.seconds:.2f}s, "
+            f"models: {self.models_reused} reused / {self.models_built} built)"
+        )
+
+
+@dataclass
+class ResilienceReport:
+    """Outcome of a whole fault sweep over one architecture."""
+
+    architecture: str
+    scenarios: List[ScenarioReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no scenario is broken (degraded still counts as ok)."""
+        return all(s.verdict != BROKEN for s in self.scenarios)
+
+    @property
+    def complete(self) -> bool:
+        return all(s.verdict != UNKNOWN for s in self.scenarios)
+
+    @property
+    def worst(self) -> str:
+        if not self.scenarios:
+            return ROBUST
+        return max((s.verdict for s in self.scenarios),
+                   key=_VERDICT_ORDER.index)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __iter__(self):
+        return iter(self.scenarios)
+
+    def scenario(self, name: str) -> ScenarioReport:
+        for s in self.scenarios:
+            if s.name == name:
+                return s
+        raise KeyError(f"no scenario named {name!r}")
+
+    def table(self) -> str:
+        """A fixed-width scenario matrix, one row per scenario."""
+        rows = [("scenario", "verdict", "states", "time", "models", "detail")]
+        for s in self.scenarios:
+            rows.append((
+                s.name,
+                s.verdict.upper(),
+                str(s.safety.stats.states_stored),
+                f"{s.seconds:.2f}s",
+                f"{s.models_reused}r/{s.models_built}b",
+                s.detail,
+            ))
+        widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+        lines = []
+        for j, row in enumerate(rows):
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+            if j == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        lines.append("")
+        lines.append(f"overall: {self.worst.upper()}"
+                     + ("" if self.complete else " (some scenarios incomplete)"))
+        return "\n".join(lines)
+
+
+# -- the sweep ------------------------------------------------------------
+
+def _classify(
+    result: VerificationResult,
+    goal_verdict: Optional[str],
+    goal_detail: str,
+    deadlock_is_fatal: bool,
+) -> Tuple[str, str, Optional[Trace]]:
+    if not result.ok:
+        if result.kind == VIOLATION_DEADLOCK and not deadlock_is_fatal:
+            return DEGRADED, f"liveness lost: {result.message}", result.trace
+        return BROKEN, f"safety violated: {result.message}", result.trace
+    if result.incomplete:
+        return (UNKNOWN,
+                f"{result.budget_exhausted or 'budget'} exhausted before a "
+                "verdict", None)
+    if goal_verdict is not None:
+        return goal_verdict, goal_detail, None
+    return ROBUST, "all properties hold under the fault", None
+
+
+def verify_resilience(
+    architecture: Architecture,
+    faults: Sequence[Union[Fault, FaultScenario]],
+    invariants: Sequence[Prop] = (),
+    goal: Optional[Prop] = None,
+    check_deadlock: bool = True,
+    deadlock_is_fatal: bool = False,
+    library: Optional[ModelLibrary] = None,
+    max_states: Optional[int] = None,
+    max_seconds: Optional[float] = None,
+    fused: bool = False,
+    include_baseline: bool = True,
+) -> ResilienceReport:
+    """Sweep fault scenarios over a design and classify each outcome.
+
+    Each entry of ``faults`` is a single fault descriptor (auto-wrapped
+    into a one-fault scenario) or a :class:`FaultScenario` grouping
+    several simultaneous faults.  Every scenario is applied to a fresh
+    copy of ``architecture`` — the input design is never mutated — and
+    verified against ``invariants`` (plus embedded assertions and, by
+    default, deadlock-freedom) with the shared ``library``.
+
+    ``goal``, when given, is a state predicate that must stay reachable
+    (e.g. "all messages delivered"); a fault that makes it unreachable
+    degrades the design even if safety holds.  Deadlocks classify as
+    ``DEGRADED`` unless ``deadlock_is_fatal=True``.  Budgets
+    (``max_states`` / ``max_seconds``, applied per scenario) that run
+    out yield ``UNKNOWN`` rather than an exception.
+    """
+    library = library if library is not None else ModelLibrary()
+    report = ResilienceReport(architecture=architecture.name)
+
+    scenarios = [_as_scenario(f) for f in faults]
+    if include_baseline:
+        scenarios.insert(0, FaultScenario("baseline", []))
+
+    for scenario in scenarios:
+        faulty = scenario.apply_to(architecture)
+        hits0, misses0 = library.stats.hits, library.stats.misses
+        t0 = time.perf_counter()
+        system = faulty.to_system(library, fused=fused)
+        result = check_safety(
+            system, invariants=invariants, check_deadlock=check_deadlock,
+            max_states=max_states, max_seconds=max_seconds,
+        )
+
+        goal_verdict: Optional[str] = None
+        goal_detail = ""
+        if goal is not None and result.ok and not result.incomplete:
+            try:
+                witness = find_state(system, goal, max_states=max_states,
+                                     max_seconds=max_seconds)
+            except BudgetExceeded as exc:
+                goal_verdict = UNKNOWN
+                goal_detail = f"goal search stopped early: {exc}"
+            else:
+                if witness is None:
+                    goal_verdict = DEGRADED
+                    goal_detail = (f"liveness lost: goal "
+                                   f"{goal.name!r} is unreachable")
+
+        verdict, detail, trace = _classify(
+            result, goal_verdict, goal_detail, deadlock_is_fatal)
+        report.scenarios.append(ScenarioReport(
+            scenario=scenario,
+            verdict=verdict,
+            detail=detail,
+            safety=result,
+            trace=trace,
+            models_reused=library.stats.hits - hits0,
+            models_built=library.stats.misses - misses0,
+            seconds=time.perf_counter() - t0,
+        ))
+    return report

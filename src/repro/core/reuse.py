@@ -12,10 +12,9 @@ many models were rebuilt versus reused and *which* ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..mc.props import Prop
-from ..mc.result import VerificationResult
 from .architecture import Architecture
 from .spec import ModelLibrary
 from .verify import VerificationReport, verify_safety

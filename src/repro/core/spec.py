@@ -18,7 +18,7 @@ models were rebuilt versus reused across design iterations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Tuple
 
 from ..psl.system import ProcessDef
 

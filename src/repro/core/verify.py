@@ -18,7 +18,7 @@ savings; each call reports the library's hit/miss delta in its
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence, Union
 
 from ..mc.explore import check_safety
@@ -61,13 +61,18 @@ def verify_safety(
     library: Optional[ModelLibrary] = None,
     use_por: bool = False,
     max_states: Optional[int] = None,
+    max_seconds: Optional[float] = None,
+    raise_on_limit: bool = False,
     fused: bool = False,
 ) -> VerificationReport:
     """Check assertions, invariants, and deadlock-freedom of a design.
 
     ``fused=True`` verifies against the optimized fused connector models
     (see :mod:`repro.core.optimize`) instead of the composed block
-    models.
+    models.  ``max_states`` / ``max_seconds`` bound the exploration;
+    by default an exhausted budget yields a partial ``incomplete=True``
+    result rather than raising (``raise_on_limit=True`` restores the
+    hard stop).
     """
     library = library if library is not None else ModelLibrary()
     hits0, misses0 = library.stats.hits, library.stats.misses
@@ -77,12 +82,14 @@ def verify_safety(
     if use_por:
         result = check_safety_por(
             system, invariants=invariants, check_deadlock=check_deadlock,
-            max_states=max_states,
+            max_states=max_states, max_seconds=max_seconds,
+            raise_on_limit=raise_on_limit,
         )
     else:
         result = check_safety(
             system, invariants=invariants, check_deadlock=check_deadlock,
-            max_states=max_states,
+            max_states=max_states, max_seconds=max_seconds,
+            raise_on_limit=raise_on_limit,
         )
     return VerificationReport(
         result=result,
@@ -97,6 +104,10 @@ def verify_ltl(
     formula: Union[str, Formula],
     props: Union[Mapping[str, Prop], Sequence[Prop]],
     library: Optional[ModelLibrary] = None,
+    weak_fairness: bool = False,
+    max_states: Optional[int] = None,
+    max_seconds: Optional[float] = None,
+    raise_on_limit: bool = False,
     fused: bool = False,
 ) -> VerificationReport:
     """Check an LTL property over all executions of a design."""
@@ -105,7 +116,11 @@ def verify_ltl(
     t0 = time.perf_counter()
     system = architecture.to_system(library, fused=fused)
     elab = time.perf_counter() - t0
-    result = check_ltl(system, formula, props)
+    result = check_ltl(
+        system, formula, props, weak_fairness=weak_fairness,
+        max_states=max_states, max_seconds=max_seconds,
+        raise_on_limit=raise_on_limit,
+    )
     return VerificationReport(
         result=result,
         models_reused=library.stats.hits - hits0,

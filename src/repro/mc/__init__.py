@@ -12,10 +12,17 @@ Layers:
 """
 
 from .buchi import BuchiAutomaton, BuchiState, ltl_to_buchi
+from .budget import (
+    BUDGET_STATES,
+    BUDGET_TIME,
+    Budget,
+    BudgetExceeded,
+    StateLimitExceeded,
+    TimeLimitExceeded,
+)
 from .fairness import FairProduct
 from .explore import (
     SafetyReport,
-    StateLimitExceeded,
     check_safety,
     count_states,
     find_state,
@@ -48,9 +55,14 @@ from .result import (
 
 __all__ = [
     "AmpleInterpreter",
+    "BUDGET_STATES",
+    "BUDGET_TIME",
+    "Budget",
+    "BudgetExceeded",
     "BuchiAutomaton",
     "BuchiState",
     "FairProduct",
+    "TimeLimitExceeded",
     "Formula",
     "LtlSyntaxError",
     "Prop",

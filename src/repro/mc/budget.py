@@ -1,0 +1,77 @@
+"""Exploration budgets with graceful degradation.
+
+Every exhaustive algorithm in :mod:`repro.mc` can be bounded by a
+:class:`Budget` — a cap on stored states (``max_states``) and/or wall
+clock time (``max_seconds``).  By default an exhausted budget does *not*
+raise: the checker stops where it is and returns a partial result
+flagged ``incomplete=True`` together with the statistics gathered so
+far, so large design-space sweeps degrade gracefully instead of dying
+mid-matrix.  Callers that prefer the historical hard stop pass
+``raise_on_limit=True`` and get :class:`StateLimitExceeded` /
+:class:`TimeLimitExceeded` back.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: ``budget_exhausted`` markers carried by partial results.
+BUDGET_STATES = "state budget"
+BUDGET_TIME = "time budget"
+
+
+class BudgetExceeded(Exception):
+    """Base class for hard budget stops (legacy ``raise_on_limit`` mode)."""
+
+
+class StateLimitExceeded(BudgetExceeded):
+    """Raised when exploration exceeds the configured state bound."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"state limit of {limit} states exceeded")
+        self.limit = limit
+
+
+class TimeLimitExceeded(BudgetExceeded):
+    """Raised when exploration exceeds the configured time bound."""
+
+    def __init__(self, limit: float) -> None:
+        super().__init__(f"time limit of {limit:g}s exceeded")
+        self.limit = limit
+
+
+@dataclass
+class Budget:
+    """A (state count, wall clock) exploration budget.
+
+    The clock starts when the instance is created; ``exceeded`` is meant
+    to be called once per newly stored state.
+    """
+
+    max_states: Optional[int] = None
+    max_seconds: Optional[float] = None
+    raise_on_limit: bool = False
+    started_at: float = field(default_factory=time.perf_counter)
+
+    @property
+    def unbounded(self) -> bool:
+        return self.max_states is None and self.max_seconds is None
+
+    def exceeded(self, states_stored: int) -> Optional[str]:
+        """Return the exhausted-budget marker, or ``None`` while in budget.
+
+        In ``raise_on_limit`` mode the corresponding
+        :class:`BudgetExceeded` subclass is raised instead.
+        """
+        if self.max_states is not None and states_stored > self.max_states:
+            if self.raise_on_limit:
+                raise StateLimitExceeded(self.max_states)
+            return BUDGET_STATES
+        if (self.max_seconds is not None
+                and time.perf_counter() - self.started_at > self.max_seconds):
+            if self.raise_on_limit:
+                raise TimeLimitExceeded(self.max_seconds)
+            return BUDGET_TIME
+        return None

@@ -16,6 +16,12 @@ BFS yields shortest counterexamples, mirroring SPIN's ``-i`` iterative
 shortening in spirit.  Exploration stops at the first violation unless
 ``stop_at_first=False``, in which case all violations are collected and
 the full space is swept.
+
+All entry points accept an exploration budget (``max_states``,
+``max_seconds``).  An exhausted budget stops the sweep where it is and
+returns a *partial* result flagged ``incomplete=True``; passing
+``raise_on_limit=True`` restores the historical hard
+:class:`StateLimitExceeded` stop.
 """
 
 from __future__ import annotations
@@ -28,6 +34,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..psl.interp import Interpreter, TransitionLabel
 from ..psl.state import State
 from ..psl.system import System
+from .budget import (  # noqa: F401  (re-exported for backward compatibility)
+    Budget,
+    BudgetExceeded,
+    StateLimitExceeded,
+    TimeLimitExceeded,
+)
 from .props import Prop
 from .result import (
     Statistics,
@@ -40,20 +52,19 @@ from .result import (
 )
 
 
-class StateLimitExceeded(Exception):
-    """Raised when exploration exceeds the configured state bound."""
-
-    def __init__(self, limit: int) -> None:
-        super().__init__(f"state limit of {limit} states exceeded")
-        self.limit = limit
-
-
 @dataclass
 class SafetyReport:
-    """Full report of a safety sweep (possibly multiple violations)."""
+    """Full report of a safety sweep (possibly multiple violations).
+
+    ``incomplete``/``budget_exhausted`` mirror the flags on
+    :class:`~repro.mc.result.VerificationResult`: set when the sweep
+    stopped on an exhausted exploration budget.
+    """
 
     results: List[VerificationResult] = field(default_factory=list)
     stats: Statistics = field(default_factory=Statistics)
+    incomplete: bool = False
+    budget_exhausted: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -91,7 +102,9 @@ def check_safety(
     check_deadlock: bool = True,
     check_assertions: bool = True,
     max_states: Optional[int] = None,
+    max_seconds: Optional[float] = None,
     stop_at_first: bool = True,
+    raise_on_limit: bool = False,
 ) -> VerificationResult:
     """Run a safety sweep and return the first (or only) result.
 
@@ -105,11 +118,26 @@ def check_safety(
         check_deadlock=check_deadlock,
         check_assertions=check_assertions,
         max_states=max_states,
+        max_seconds=max_seconds,
         stop_at_first=stop_at_first,
+        raise_on_limit=raise_on_limit,
     )
     for r in report.results:
         if not r.ok:
             return r
+    if report.incomplete:
+        return VerificationResult(
+            ok=True,
+            message=(
+                "exploration stopped early "
+                f"({report.budget_exhausted} exhausted); "
+                "no violations found so far"
+            ),
+            stats=report.stats,
+            property_text=_property_text(invariants, check_deadlock),
+            incomplete=True,
+            budget_exhausted=report.budget_exhausted,
+        )
     return VerificationResult(
         ok=True,
         message="no assertion, invariant, or deadlock violations",
@@ -131,12 +159,16 @@ def sweep_safety(
     check_deadlock: bool = True,
     check_assertions: bool = True,
     max_states: Optional[int] = None,
+    max_seconds: Optional[float] = None,
     stop_at_first: bool = True,
+    raise_on_limit: bool = False,
 ) -> SafetyReport:
     """Breadth-first safety exploration; see :func:`check_safety`."""
     interp = _as_interp(target)
     system = interp.system
-    start = time.perf_counter()
+    budget = Budget(max_states=max_states, max_seconds=max_seconds,
+                    raise_on_limit=raise_on_limit)
+    start = budget.started_at
 
     initial = interp.initial_state()
     parents: Dict[State, Tuple[Optional[State], Optional[TransitionLabel]]] = {
@@ -172,8 +204,12 @@ def sweep_safety(
                 stats.elapsed_seconds = time.perf_counter() - start
                 return report
 
-    while queue:
+    exhausted: Optional[str] = None
+    while queue and exhausted is None:
         state = queue.popleft()
+        exhausted = budget.exceeded(stats.states_stored)
+        if exhausted is not None:
+            break
         transitions = interp.transitions(state)
         stats.transitions += len(transitions)
 
@@ -197,8 +233,9 @@ def sweep_safety(
                 continue
             parents[t.target] = (state, t.label)
             stats.states_stored += 1
-            if max_states is not None and stats.states_stored > max_states:
-                raise StateLimitExceeded(max_states)
+            exhausted = budget.exceeded(stats.states_stored)
+            if exhausted is not None:
+                break
             for p in invariants:
                 if not p.evaluate(system, t.target):
                     trace = _rebuild_trace(initial, t.target, parents)
@@ -212,39 +249,67 @@ def sweep_safety(
             stats.max_frontier = max(stats.max_frontier, len(queue))
 
     stats.elapsed_seconds = time.perf_counter() - start
+    if exhausted is not None:
+        report.incomplete = True
+        report.budget_exhausted = exhausted
+        stats.incomplete = True
+        stats.budget_exhausted = exhausted
     return report
 
 
 def count_states(
-    target: Union[System, Interpreter], max_states: Optional[int] = None
+    target: Union[System, Interpreter],
+    max_states: Optional[int] = None,
+    max_seconds: Optional[float] = None,
+    raise_on_limit: bool = False,
 ) -> Statistics:
-    """Count reachable states/transitions without checking anything."""
+    """Count reachable states/transitions without checking anything.
+
+    On an exhausted budget the partial tally is returned with
+    ``stats.incomplete`` set (or :class:`StateLimitExceeded` /
+    :class:`TimeLimitExceeded` raised in ``raise_on_limit`` mode).
+    """
     interp = _as_interp(target)
-    start = time.perf_counter()
+    budget = Budget(max_states=max_states, max_seconds=max_seconds,
+                    raise_on_limit=raise_on_limit)
+    start = budget.started_at
     initial = interp.initial_state()
     seen = {initial}
     queue: deque[State] = deque([initial])
     stats = Statistics(states_stored=1, max_frontier=1)
-    while queue:
+    exhausted: Optional[str] = None
+    while queue and exhausted is None:
         state = queue.popleft()
         for t in interp.transitions(state):
             stats.transitions += 1
             if t.target not in seen:
                 seen.add(t.target)
                 stats.states_stored += 1
-                if max_states is not None and stats.states_stored > max_states:
-                    raise StateLimitExceeded(max_states)
+                exhausted = budget.exceeded(stats.states_stored)
+                if exhausted is not None:
+                    break
                 queue.append(t.target)
         stats.max_frontier = max(stats.max_frontier, len(queue))
     stats.elapsed_seconds = time.perf_counter() - start
+    if exhausted is not None:
+        stats.incomplete = True
+        stats.budget_exhausted = exhausted
     return stats
 
 
 def reachable_states(
-    target: Union[System, Interpreter], max_states: Optional[int] = None
+    target: Union[System, Interpreter],
+    max_states: Optional[int] = None,
+    max_seconds: Optional[float] = None,
 ) -> List[State]:
-    """Materialize the reachable state set (testing/analysis helper)."""
+    """Materialize the reachable state set (testing/analysis helper).
+
+    A silently truncated state list would be a trap, so this helper
+    always raises on an exhausted budget.
+    """
     interp = _as_interp(target)
+    budget = Budget(max_states=max_states, max_seconds=max_seconds,
+                    raise_on_limit=True)
     initial = interp.initial_state()
     seen = {initial}
     order = [initial]
@@ -255,8 +320,7 @@ def reachable_states(
             if t.target not in seen:
                 seen.add(t.target)
                 order.append(t.target)
-                if max_states is not None and len(seen) > max_states:
-                    raise StateLimitExceeded(max_states)
+                budget.exceeded(len(seen))
                 queue.append(t.target)
     return order
 
@@ -265,6 +329,7 @@ def find_state(
     target: Union[System, Interpreter],
     predicate: Prop,
     max_states: Optional[int] = None,
+    max_seconds: Optional[float] = None,
 ) -> Optional[Trace]:
     """Search for a reachable state satisfying *predicate*.
 
@@ -272,9 +337,15 @@ def find_state(
     reachable state satisfies it.  This is the existential dual of an
     invariant check and is used by the Figure-4 scenario experiments
     ("there exists an execution where SEND_SUCC precedes delivery").
+
+    ``None`` is a definite answer, so an exhausted budget always raises
+    (:class:`StateLimitExceeded` / :class:`TimeLimitExceeded`) rather
+    than degrading to a misleading "not found".
     """
     interp = _as_interp(target)
     system = interp.system
+    budget = Budget(max_states=max_states, max_seconds=max_seconds,
+                    raise_on_limit=True)
     initial = interp.initial_state()
     if predicate.evaluate(system, initial):
         return Trace(initial=initial)
@@ -288,8 +359,7 @@ def find_state(
             if t.target in parents:
                 continue
             parents[t.target] = (state, t.label)
-            if max_states is not None and len(parents) > max_states:
-                raise StateLimitExceeded(max_states)
+            budget.exceeded(len(parents))
             if predicate.evaluate(system, t.target):
                 return _rebuild_trace(initial, t.target, parents)
             queue.append(t.target)

@@ -22,11 +22,12 @@ for liveness properties on systems small enough to afford that.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Mapping, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
 
 from ..psl.interp import Interpreter, TransitionLabel
 from ..psl.state import State
 from .buchi import BuchiAutomaton
+from .budget import Budget
 from .ndfs import _Product, _STUTTER
 from .props import Prop
 
@@ -45,8 +46,9 @@ class FairProduct:
     """
 
     def __init__(self, interp: Interpreter, automaton: BuchiAutomaton,
-                 props: Mapping[str, Prop]) -> None:
-        self._plain = _Product(interp, automaton, props)
+                 props: Mapping[str, Prop],
+                 budget: Optional[Budget] = None) -> None:
+        self._plain = _Product(interp, automaton, props, budget=budget)
         self.interp = interp
         self.automaton = automaton
         self.n_procs = len(interp.system.instances)

@@ -30,6 +30,7 @@ from ..psl.interp import Interpreter, TransitionLabel
 from ..psl.state import State
 from ..psl.system import System
 from .buchi import BuchiAutomaton, BuchiState, ltl_to_buchi
+from .budget import Budget
 from .ltl import Formula, negate, parse_ltl
 from .props import Prop
 from .result import (
@@ -48,6 +49,14 @@ _STUTTER = TransitionLabel(
 )
 
 
+class _BudgetHit(Exception):
+    """Internal: unwinds the NDFS when a graceful budget runs out."""
+
+    def __init__(self, marker: str) -> None:
+        super().__init__(marker)
+        self.marker = marker
+
+
 class _Product:
     """On-the-fly product of a system with a state-labeled Büchi automaton."""
 
@@ -56,10 +65,12 @@ class _Product:
         interp: Interpreter,
         automaton: BuchiAutomaton,
         props: Mapping[str, Prop],
+        budget: Optional[Budget] = None,
     ) -> None:
         self.interp = interp
         self.automaton = automaton
         self.props = props
+        self.budget = budget
         self.by_id: Dict[int, BuchiState] = {s.id: s for s in automaton.states}
         self._val_cache: Dict[State, Dict[str, bool]] = {}
         self.stats = Statistics()
@@ -72,6 +83,12 @@ class _Product:
                 for name, p in self.props.items()
             }
             self._val_cache[state] = cached
+            if self.budget is not None:
+                # Every distinct system state passes through here exactly
+                # once, so the valuation cache is the stored-state count.
+                marker = self.budget.exceeded(len(self._val_cache))
+                if marker is not None:
+                    raise _BudgetHit(marker)
         return cached
 
     def initial_nodes(self) -> List[ProductNode]:
@@ -236,6 +253,9 @@ def check_ltl(
     formula: Union[str, Formula],
     props: Union[Mapping[str, Prop], Sequence[Prop]],
     weak_fairness: bool = False,
+    max_states: Optional[int] = None,
+    max_seconds: Optional[float] = None,
+    raise_on_limit: bool = False,
 ) -> VerificationResult:
     """Check that every execution of the system satisfies the LTL formula.
 
@@ -248,6 +268,11 @@ def check_ltl(
     the counter construction of :mod:`repro.mc.fairness` (SPIN's ``-f``).
     This multiplies the product by roughly the process count; use it for
     liveness properties that an unfair scheduler could trivially defeat.
+
+    ``max_states`` / ``max_seconds`` bound the search over distinct
+    *system* states; an exhausted budget returns a partial
+    ``incomplete=True`` result (no counterexample found so far) unless
+    ``raise_on_limit`` is set.
     """
     interp = target if isinstance(target, Interpreter) else Interpreter(target)
     parsed = parse_ltl(formula) if isinstance(formula, str) else formula
@@ -256,21 +281,42 @@ def check_ltl(
     if missing:
         raise KeyError(f"formula uses unbound propositions: {sorted(missing)}")
 
+    budget: Optional[Budget] = None
+    if max_states is not None or max_seconds is not None:
+        budget = Budget(max_states=max_states, max_seconds=max_seconds,
+                        raise_on_limit=raise_on_limit)
     start = time.perf_counter()
     automaton = ltl_to_buchi(negate(parsed))
     if weak_fairness:
         from .fairness import FairProduct
-        product = FairProduct(interp, automaton, prop_map)
+        product = FairProduct(interp, automaton, prop_map, budget=budget)
         val_cache = product._plain._val_cache
     else:
-        product = _Product(interp, automaton, prop_map)
+        product = _Product(interp, automaton, prop_map, budget=budget)
         val_cache = product._val_cache
-    lasso = _ndfs(product)
+    exhausted: Optional[str] = None
+    try:
+        lasso = _ndfs(product)
+    except _BudgetHit as hit:
+        lasso = None
+        exhausted = hit.marker
     stats = product.stats
     stats.states_stored = len(val_cache)
     stats.elapsed_seconds = time.perf_counter() - start
 
     fairness_note = " (under weak fairness)" if weak_fairness else ""
+    if exhausted is not None:
+        stats.incomplete = True
+        stats.budget_exhausted = exhausted
+        return VerificationResult(
+            ok=True,
+            message=(f"search stopped early ({exhausted} exhausted); "
+                     "no accepting cycle found so far" + fairness_note),
+            stats=stats,
+            property_text=str(parsed),
+            incomplete=True,
+            budget_exhausted=exhausted,
+        )
     if lasso is None:
         return VerificationResult(
             ok=True,

@@ -38,7 +38,8 @@ from ..psl.compiler import Edge, OpAssert, OpAssign, OpDStep, OpElse, OpGuard, O
 from ..psl.interp import Interpreter, Transition, TransitionLabel
 from ..psl.state import State
 from ..psl.system import ProcessInstance, System
-from .explore import StateLimitExceeded, _rebuild_trace
+from .budget import Budget
+from .explore import _rebuild_trace
 from .props import Prop
 from .result import (
     Statistics,
@@ -137,6 +138,8 @@ def check_safety_por(
     invariants: Sequence[Prop] = (),
     check_deadlock: bool = True,
     max_states: Optional[int] = None,
+    max_seconds: Optional[float] = None,
+    raise_on_limit: bool = False,
 ) -> VerificationResult:
     """Depth-first safety check with ample-set partial-order reduction.
 
@@ -144,11 +147,15 @@ def check_safety_por(
     :func:`repro.mc.explore.check_safety` (assertions, invariants,
     deadlock-freedom) but explores a reduced state graph.
     Counterexamples are valid executions but not necessarily shortest.
+    An exhausted budget yields a partial ``incomplete=True`` result
+    unless ``raise_on_limit`` is set.
     """
     interp = target if isinstance(target, Interpreter) else Interpreter(target)
     ample = AmpleInterpreter(interp, invariants)
     system = interp.system
-    start = time.perf_counter()
+    budget = Budget(max_states=max_states, max_seconds=max_seconds,
+                    raise_on_limit=raise_on_limit)
+    start = budget.started_at
 
     initial = interp.initial_state()
     stats = Statistics(states_stored=1)
@@ -210,8 +217,23 @@ def check_safety_por(
             continue
         parents[t.target] = (state, t.label)
         stats.states_stored += 1
-        if max_states is not None and stats.states_stored > max_states:
-            raise StateLimitExceeded(max_states)
+        exhausted = budget.exceeded(stats.states_stored)
+        if exhausted is not None:
+            stats.incomplete = True
+            stats.budget_exhausted = exhausted
+            return finish(
+                VerificationResult(
+                    ok=True,
+                    message=(
+                        f"exploration stopped early ({exhausted} "
+                        "exhausted); no violations found so far"
+                    ),
+                    property_text=", ".join(p.name for p in invariants)
+                    or "assertions",
+                    incomplete=True,
+                    budget_exhausted=exhausted,
+                )
+            )
 
         for p in invariants:
             if not p.evaluate(system, t.target):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..psl.interp import TransitionLabel
 from ..psl.state import State
@@ -65,6 +65,9 @@ class Statistics:
     transitions: int = 0
     max_frontier: int = 0
     elapsed_seconds: float = 0.0
+    #: Set when the run stopped on an exhausted exploration budget.
+    incomplete: bool = False
+    budget_exhausted: Optional[str] = None
 
     def merge(self, other: "Statistics") -> "Statistics":
         return Statistics(
@@ -72,6 +75,8 @@ class Statistics:
             transitions=self.transitions + other.transitions,
             max_frontier=max(self.max_frontier, other.max_frontier),
             elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
+            incomplete=self.incomplete or other.incomplete,
+            budget_exhausted=self.budget_exhausted or other.budget_exhausted,
         )
 
 
@@ -84,7 +89,16 @@ VIOLATION_ACCEPTANCE_CYCLE = "acceptance-cycle"
 
 @dataclass
 class VerificationResult:
-    """Outcome of one verification run."""
+    """Outcome of one verification run.
+
+    ``incomplete`` marks a run that stopped because an exploration
+    budget ran out before the state space was exhausted; ``ok=True``
+    then means only "no violation found so far", and
+    ``budget_exhausted`` names the budget that stopped it (one of the
+    ``BUDGET_*`` constants in :mod:`repro.mc.budget`).  A violation
+    found before the budget ran out is definitive, so failing results
+    are never marked incomplete.
+    """
 
     ok: bool
     kind: Optional[str] = None  # one of the VIOLATION_* constants, or None
@@ -92,19 +106,34 @@ class VerificationResult:
     trace: Optional[Trace] = None
     stats: Statistics = field(default_factory=Statistics)
     property_text: str = ""
+    incomplete: bool = False
+    budget_exhausted: Optional[str] = None
 
     @property
     def holds(self) -> bool:
         return self.ok
 
+    @property
+    def proved(self) -> bool:
+        """True only when the property holds over the *entire* space."""
+        return self.ok and not self.incomplete
+
     def summary(self) -> str:
-        verdict = "PASS" if self.ok else f"FAIL ({self.kind})"
+        if not self.ok:
+            verdict = f"FAIL ({self.kind})"
+        elif self.incomplete:
+            verdict = "INCOMPLETE"
+        else:
+            verdict = "PASS"
         prop_part = f" [{self.property_text}]" if self.property_text else ""
+        note = ""
+        if self.incomplete:
+            note = f" — ⚠ incomplete: {self.budget_exhausted or 'budget'}"
         return (
             f"{verdict}{prop_part}: {self.message or 'no errors found'} — "
             f"{self.stats.states_stored} states, "
             f"{self.stats.transitions} transitions, "
-            f"{self.stats.elapsed_seconds:.3f}s"
+            f"{self.stats.elapsed_seconds:.3f}s{note}"
         )
 
     def __bool__(self) -> bool:

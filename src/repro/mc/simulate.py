@@ -20,7 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Union
 
-from ..psl.interp import Interpreter, Transition, TransitionLabel
+from ..psl.interp import Interpreter, Transition
 from ..psl.state import State
 from ..psl.system import System
 from .result import Trace, TraceStep

@@ -28,14 +28,13 @@ rather than execution steps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .errors import CompileError
 from .expr import Expr
 from .stmt import (
     Assert,
     Assign,
-    Branch,
     Break,
     Bind,
     Do,

@@ -18,7 +18,7 @@ allow overriding ``and``/``or``/``not``).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Protocol, Tuple
+from typing import Callable, Dict, FrozenSet, Protocol
 
 from .errors import EvalError
 from .values import Value, check_value, truthy

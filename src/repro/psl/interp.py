@@ -32,12 +32,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .channels import Channel
 from .compiler import (
     Edge,
-    Op,
     OpAssert,
     OpAssign,
     OpDStep,

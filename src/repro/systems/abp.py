@@ -22,17 +22,26 @@ checked; message loss means delivery is not guaranteed).
 
 from __future__ import annotations
 
+from typing import List
+
 from ..core import (
     Architecture,
     AsynNonblockingSend,
+    ChannelFault,
     Component,
+    CorruptingChannel,
     DroppingBuffer,
+    DuplicatingChannel,
+    FaultScenario,
+    LossyChannel,
     NonblockingReceive,
     RECEIVE,
+    ReorderingChannel,
     SEND,
     receive_message,
     send_message,
 )
+from ..mc.props import Prop, global_prop
 from ..psl.expr import V
 from ..psl.stmt import (
     Assert,
@@ -165,3 +174,33 @@ def build_abp(
     ack_link.attach_receiver(sender, "ack_in", NonblockingReceive())
 
     return arch
+
+
+def abp_delivery_prop(messages: int = 1) -> Prop:
+    """The goal state for resilience sweeps: every payload delivered."""
+    return global_prop(
+        "all delivered",
+        lambda v: v.global_("delivered") == messages,
+        "delivered",
+    )
+
+
+def abp_fault_scenarios(corrupt_value: int = 55) -> List[FaultScenario]:
+    """One scenario per fault-channel kind, each attacking the data link.
+
+    The garbage payload defaults to 55 — ``seq=5, bit=5`` decodes to a
+    bit that matches neither 0 nor 1, a frame the protocol must reject.
+    Swapping only ``DataLink`` keeps each scenario's state space small
+    enough for routine checking while still exercising every fault.
+    """
+    return [
+        FaultScenario("lossy data link",
+                      [ChannelFault("DataLink", LossyChannel())]),
+        FaultScenario("duplicating data link",
+                      [ChannelFault("DataLink", DuplicatingChannel())]),
+        FaultScenario("reordering data link",
+                      [ChannelFault("DataLink", ReorderingChannel())]),
+        FaultScenario("corrupting data link",
+                      [ChannelFault("DataLink",
+                                    CorruptingChannel(corrupt_value=corrupt_value))]),
+    ]

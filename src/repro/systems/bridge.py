@@ -42,26 +42,28 @@ safety invariant is ``not (blue_on_bridge > 0 and red_on_bridge > 0)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional
 
 from ..core import (
     Architecture,
     AsynBlockingSend,
     BlockingReceive,
     Component,
+    FaultScenario,
     FifoQueue,
-    ModelLibrary,
     NonblockingReceive,
     RECEIVE,
+    ReceivePortFault,
     SEND,
     SendPortSpec,
     SingleSlotBuffer,
     SynBlockingSend,
+    TimeoutReceive,
     receive_message,
     send_message,
 )
 from ..mc.props import Prop, global_prop
-from ..psl.expr import C, V
+from ..psl.expr import V
 from ..psl.stmt import (
     Assign,
     Branch,
@@ -255,6 +257,26 @@ def fix_exactly_n_bridge(arch: Architecture) -> Architecture:
     for conn_name in ("BlueEnter", "RedEnter"):
         arch.connector(conn_name).swap_all_send_ports(SynBlockingSend())
     return arch
+
+
+def bridge_fault_scenarios() -> List[FaultScenario]:
+    """Fault scenarios for the fixed exactly-N bridge.
+
+    Each swaps one controller's enter-request receive for a
+    :class:`~repro.core.ports.TimeoutReceive`.  A spurious timeout means
+    the controller burns one of its N grants on an empty receive; the
+    granted-but-never-delivered request leaves its car waiting forever —
+    safety holds (nobody enters without a real grant) but the system
+    deadlocks, the characteristic *degraded* outcome.
+    """
+    return [
+        FaultScenario("blue enter_req times out", [
+            ReceivePortFault("BlueEnter", "BlueController", TimeoutReceive()),
+        ]),
+        FaultScenario("red enter_req times out", [
+            ReceivePortFault("RedEnter", "RedController", TimeoutReceive()),
+        ]),
+    ]
 
 
 # ---------------------------------------------------------------------------

@@ -35,9 +35,9 @@ from ..core import (
     receive_message,
     send_message,
 )
-from ..mc.props import Prop, global_prop
+from ..mc.props import Prop
 from ..psl.expr import V
-from ..psl.stmt import Assert, Assign, Branch, Break, Do, EndLabel, Guard, Seq
+from ..psl.stmt import Assert, Assign, Branch, Break, Do, Guard, Seq
 
 
 def all_fueled_prop(customers: int) -> Prop:

@@ -18,7 +18,7 @@ tag, so priority-queue and selective-receive behaviour is observable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..core import (
     Architecture,
@@ -35,18 +35,7 @@ from ..core import (
     send_message,
 )
 from ..psl.expr import V
-from ..psl.stmt import (
-    Assign,
-    Branch,
-    Break,
-    Do,
-    DStep,
-    Else,
-    EndLabel,
-    Guard,
-    If,
-    Seq,
-)
+from ..psl.stmt import Assign, Branch, Break, Do, DStep, Else, Guard, If, Seq
 
 
 @dataclass

@@ -41,8 +41,8 @@ from ..core import (
     receive_message,
     send_message,
 )
-from ..core.channels import CHANNEL_CHAN_PARAMS, ChannelSpec
-from ..core.signals import IN_OK, OUT_FAIL, OUT_OK, RECV_OK, RECV_SUCC
+from ..core.channels import ChannelSpec
+from ..core.signals import IN_OK, OUT_FAIL, OUT_OK, RECV_OK
 from ..psl.expr import C, V
 from ..psl.stmt import (
     AnyField,

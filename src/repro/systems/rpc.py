@@ -20,7 +20,6 @@ connector is separate, so tags are only documentation here).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..core import (
     Architecture,

@@ -7,12 +7,10 @@ from repro.codegen.promela import PromelaEmitter
 from repro.core import (
     AsynBlockingSend,
     AsynNonblockingSend,
-    BlockingReceive,
     FifoQueue,
     SingleSlotBuffer,
     SynBlockingSend,
 )
-from repro.core.ports import SynBlockingSend as SynBl
 from repro.psl import (
     Assert,
     Assign,
@@ -26,13 +24,11 @@ from repro.psl import (
     If,
     ProcessDef,
     Recv,
-    Send,
     Seq,
     Skip,
     System,
     V,
     buffered,
-    rendezvous,
 )
 from repro.systems.producer_consumer import simple_pair
 
@@ -206,3 +202,25 @@ class TestWholeSystemsEmit:
         src = system_to_promela(build_exactly_n_bridge(cfg).to_system())
         assert "proctype BlueController" in src
         assert "proctype fifo_queue_1" in src
+
+
+class TestBlockToPromela:
+    def test_fault_channel_emits_proctype(self):
+        from repro.codegen import block_to_promela
+        from repro.core import LossyChannel
+        out = block_to_promela(LossyChannel())
+        assert "proctype lossy_channel_1" in out
+        assert "mtype" in out
+        assert "loses the message" in out  # the fault transition's comment
+
+    def test_resilient_port_emits_proctype(self):
+        from repro.codegen import block_to_promela
+        from repro.core import RetrySend
+        out = block_to_promela(RetrySend(attempts=3))
+        assert "proctype RetrySendPort3" in out
+
+    def test_every_catalog_block_emits(self):
+        from repro.codegen import block_to_promela
+        from repro.core import catalog
+        for spec in catalog():
+            assert "proctype" in block_to_promela(spec)

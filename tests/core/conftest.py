@@ -1,15 +1,7 @@
 """Shared fixtures for PnP-layer tests."""
 
-import pytest
 
-from repro.core import BlockingReceive, SingleSlotBuffer, SynBlockingSend
-from repro.mc import check_safety, find_state, global_prop
-from repro.systems.producer_consumer import (
-    ConsumerSpec,
-    ProducerSpec,
-    build_producer_consumer,
-    simple_pair,
-)
+from repro.mc import global_prop
 
 
 def acked(i=0):

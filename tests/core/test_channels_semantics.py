@@ -5,7 +5,6 @@ import pytest
 from repro.core import (
     AsynBlockingSend,
     AsynCheckingSend,
-    BlockingReceive,
     DroppingBuffer,
     FifoQueue,
     PriorityQueue,

@@ -1,0 +1,167 @@
+"""Semantic tests for the fault-injection blocks.
+
+Each test pins down the *fault* the block models: the faulty behaviour
+must be reachable (fault injection is not a no-op) while the fault-free
+behaviour stays reachable too (the block only adds nondeterminism).
+"""
+
+import pytest
+
+from repro.core import (
+    AsynBlockingSend,
+    CorruptingChannel,
+    DuplicatingChannel,
+    FifoQueue,
+    LossyChannel,
+    ReorderingChannel,
+    RetrySend,
+    SingleSlotBuffer,
+    TimeoutReceive,
+)
+from repro.core import verify_ltl
+from repro.mc import check_safety, find_state, global_prop, prop
+from repro.systems.producer_consumer import simple_pair
+
+
+def delivered_prop(count=1):
+    return global_prop(
+        f"consumed{count}", lambda v: v.global_("consumed_0") == count,
+        "consumed_0")
+
+
+class TestLossyChannel:
+    def test_loss_defeats_guaranteed_delivery(self):
+        # The sender is told IN_OK and then the message silently
+        # vanishes: even under weak fairness, delivery is not guaranteed.
+        arch = simple_pair(AsynBlockingSend(), LossyChannel(), messages=1)
+        delivered = delivered_prop(1)
+        report = verify_ltl(arch, "F delivered", {"delivered": delivered},
+                            weak_fairness=True)
+        assert not report.ok
+        assert report.result.trace is not None
+
+    def test_reliable_baseline_guarantees_delivery(self):
+        arch = simple_pair(AsynBlockingSend(), FifoQueue(size=1), messages=1)
+        report = verify_ltl(arch, "F delivered",
+                            {"delivered": delivered_prop(1)},
+                            weak_fairness=True)
+        assert report.ok
+
+    def test_delivery_still_possible(self):
+        arch = simple_pair(AsynBlockingSend(), LossyChannel(), messages=1)
+        assert find_state(arch.to_system(), delivered_prop(1)) is not None
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            LossyChannel(size=0)
+
+
+class TestDuplicatingChannel:
+    def test_duplicate_delivery_is_reachable(self):
+        # One produced message can be consumed twice.
+        arch = simple_pair(AsynBlockingSend(), DuplicatingChannel(size=2),
+                           messages=1, receives=2)
+        assert find_state(arch.to_system(), delivered_prop(2)) is not None
+
+    def test_single_delivery_still_possible(self):
+        arch = simple_pair(AsynBlockingSend(), DuplicatingChannel(size=2),
+                           messages=1, receives=1)
+        assert find_state(arch.to_system(), delivered_prop(1)) is not None
+
+
+class TestReorderingChannel:
+    def test_overtaking_is_reachable(self):
+        # The second payload (11) can arrive first.
+        arch = simple_pair(AsynBlockingSend(), ReorderingChannel(size=2),
+                           messages=2)
+        swapped = prop(
+            "swapped",
+            lambda v: v.global_("consumed_0") == 1 and v.global_("last_0") == 11,
+            globals_read=["consumed_0", "last_0"], locals_read=[],
+        )
+        assert find_state(arch.to_system(), swapped) is not None
+
+    def test_in_order_delivery_still_possible(self):
+        arch = simple_pair(AsynBlockingSend(), ReorderingChannel(size=2),
+                           messages=2)
+        in_order = prop(
+            "in_order",
+            lambda v: v.global_("consumed_0") == 2 and v.global_("last_0") == 11,
+            globals_read=["consumed_0", "last_0"], locals_read=[],
+        )
+        assert find_state(arch.to_system(), in_order) is not None
+
+
+class TestCorruptingChannel:
+    def test_garbage_payload_is_reachable(self):
+        arch = simple_pair(AsynBlockingSend(),
+                           CorruptingChannel(corrupt_value=99), messages=1)
+        garbage = global_prop(
+            "garbage", lambda v: v.global_("last_0") == 99, "last_0")
+        assert find_state(arch.to_system(), garbage) is not None
+
+    def test_pristine_payload_still_possible(self):
+        arch = simple_pair(AsynBlockingSend(),
+                           CorruptingChannel(corrupt_value=99), messages=1)
+        pristine = global_prop(
+            "pristine", lambda v: v.global_("last_0") == 10, "last_0")
+        assert find_state(arch.to_system(), pristine) is not None
+
+    def test_garbage_value_distinguishes_models(self):
+        assert CorruptingChannel(corrupt_value=1).key() \
+            != CorruptingChannel(corrupt_value=2).key()
+
+
+class TestRetrySend:
+    def test_reports_fail_after_exhausting_attempts(self):
+        # Two messages into a single slot the consumer drains once: the
+        # second transmission can run out of attempts and report failure.
+        arch = simple_pair(RetrySend(attempts=2), SingleSlotBuffer(),
+                           messages=2, receives=1)
+        failed = prop(
+            "fail",
+            lambda v: v.local("Producer0", "send_status") == "SEND_FAIL")
+        assert find_state(arch.to_system(), failed) is not None
+
+    def test_success_still_possible(self):
+        arch = simple_pair(RetrySend(attempts=2), SingleSlotBuffer(),
+                           messages=1)
+        assert find_state(arch.to_system(), delivered_prop(1)) is not None
+
+    def test_never_blocks_forever(self):
+        # Unlike a blocking send, an exhausted retry port returns, so the
+        # producer always terminates even when the channel stays full.
+        arch = simple_pair(RetrySend(attempts=2), SingleSlotBuffer(),
+                           messages=3, receives=1)
+        assert check_safety(arch.to_system()).ok
+
+    def test_attempts_validation(self):
+        with pytest.raises(ValueError):
+            RetrySend(attempts=0)
+
+    def test_attempts_distinguish_models(self):
+        assert RetrySend(attempts=1).key() != RetrySend(attempts=2).key()
+
+
+class TestTimeoutReceive:
+    def test_timeout_reports_fail(self):
+        arch = simple_pair(AsynBlockingSend(), SingleSlotBuffer(),
+                           recv_port=TimeoutReceive(), messages=1,
+                           max_attempts=2)
+        timed_out = prop(
+            "timeout",
+            lambda v: v.local("Consumer0", "recv_status") == "RECV_FAIL")
+        assert find_state(arch.to_system(), timed_out) is not None
+
+    def test_delivery_still_possible(self):
+        arch = simple_pair(AsynBlockingSend(), SingleSlotBuffer(),
+                           recv_port=TimeoutReceive(), messages=1,
+                           max_attempts=2)
+        assert find_state(arch.to_system(), delivered_prop(1)) is not None
+
+    def test_never_blocks_forever(self):
+        # A consumer polling an empty channel terminates via the timeout.
+        arch = simple_pair(AsynBlockingSend(), SingleSlotBuffer(),
+                           recv_port=TimeoutReceive(), messages=0,
+                           receives=1, max_attempts=2)
+        assert check_safety(arch.to_system()).ok

@@ -1,6 +1,5 @@
 """Tests for the standard interface statement fragments (Figs 3, 9, 10)."""
 
-import pytest
 
 from repro.core.interface import (
     INTERFACE_LOCALS,
@@ -12,7 +11,7 @@ from repro.core.interface import (
 )
 from repro.core.signals import DATA_FIELDS, NULL_DATA
 from repro.psl.expr import Const, V
-from repro.psl.stmt import Bind, EndLabel, Recv, Send, Seq
+from repro.psl.stmt import Bind, Recv, Send, Seq
 
 
 class TestPortChannelParams:

@@ -17,15 +17,18 @@ from repro.core.spec import LibraryStats
 
 
 class TestCatalog:
-    def test_all_eleven_kinds_present(self):
+    def test_all_seventeen_kinds_present(self):
         kinds = block_kinds()
-        assert len(kinds) == 11
+        assert len(kinds) == 17
         for expected in (
             "asyn_nonblocking_send", "asyn_blocking_send", "asyn_checking_send",
             "syn_blocking_send", "syn_checking_send",
             "blocking_receive", "nonblocking_receive",
             "single_slot_buffer", "fifo_queue", "priority_queue",
             "dropping_buffer",
+            # fault injection and fault tolerance
+            "lossy_channel", "duplicating_channel", "reordering_channel",
+            "corrupting_channel", "retry_send", "timeout_receive",
         ):
             assert expected in kinds
 

@@ -14,7 +14,6 @@ from repro.core import (
     build_fused_def,
     fused_key,
 )
-from repro.core.connector import Connector
 from repro.core.optimize import _channel_traits, fused_internal_stores
 from repro.systems.producer_consumer import simple_pair
 from repro.systems.pubsub import EventPool

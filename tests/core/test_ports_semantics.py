@@ -4,7 +4,6 @@ Each test pins down the one-line semantics the paper's Figure 1 table
 promises, observed through the standard component interface.
 """
 
-import pytest
 
 from repro.core import (
     AsynBlockingSend,
@@ -18,12 +17,7 @@ from repro.core import (
     SynCheckingSend,
 )
 from repro.mc import check_safety, find_state, global_prop, prop
-from repro.systems.producer_consumer import (
-    ConsumerSpec,
-    ProducerSpec,
-    build_producer_consumer,
-    simple_pair,
-)
+from repro.systems.producer_consumer import simple_pair
 
 
 def delivered_to_port_prop(value):

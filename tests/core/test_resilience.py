@@ -1,0 +1,207 @@
+"""Tests for the resilience verification harness (fault sweeps)."""
+
+import pytest
+
+from repro.core import (
+    BROKEN,
+    DEGRADED,
+    ROBUST,
+    UNKNOWN,
+    ChannelFault,
+    DuplicatingChannel,
+    FaultScenario,
+    LossyChannel,
+    ModelLibrary,
+    ReceivePortFault,
+    ReorderingChannel,
+    TimeoutReceive,
+    verify_resilience,
+)
+from repro.systems.abp import abp_delivery_prop, build_abp
+from repro.systems.bridge import (
+    bridge_fault_scenarios,
+    bridge_safety_prop,
+    build_exactly_n_bridge,
+    fix_exactly_n_bridge,
+)
+
+
+def small_abp():
+    """The smallest ABP instance that still exercises every fault path."""
+    return build_abp(messages=1, max_sends=2, receiver_polls=2)
+
+
+class TestFaultDescriptors:
+    def test_scenario_does_not_mutate_original(self):
+        arch = small_abp()
+        before = arch.connector("DataLink").channel
+        scenario = FaultScenario(
+            "lossy", [ChannelFault("DataLink", LossyChannel())])
+        faulty = scenario.apply_to(arch)
+        assert arch.connector("DataLink").channel is before
+        assert isinstance(faulty.connector("DataLink").channel, LossyChannel)
+
+    def test_bare_fault_becomes_named_scenario(self):
+        arch = small_abp()
+        report = verify_resilience(
+            arch, faults=[ChannelFault("DataLink", LossyChannel())],
+            check_deadlock=False, fused=True, max_states=100,
+            include_baseline=False)
+        assert len(report.scenarios) == 1
+        assert "lossy_channel" in report.scenarios[0].name
+
+    def test_unknown_connector_rejected(self):
+        arch = small_abp()
+        with pytest.raises(KeyError):
+            verify_resilience(
+                arch, faults=[ChannelFault("NoSuchLink", LossyChannel())],
+                check_deadlock=False, include_baseline=False)
+
+
+class TestAbpRobustness:
+    def test_robust_under_loss_and_duplication(self):
+        # The protocol's whole point: retransmission + the alternating
+        # bit defeat loss and duplication.  In-order exactly-once
+        # delivery (the receiver's assertion) survives, and complete
+        # delivery stays reachable.
+        library = ModelLibrary()
+        report = verify_resilience(
+            small_abp(),
+            faults=[
+                FaultScenario("loss",
+                              [ChannelFault("DataLink", LossyChannel())]),
+                FaultScenario("dup",
+                              [ChannelFault("DataLink",
+                                            DuplicatingChannel(size=2))]),
+            ],
+            goal=abp_delivery_prop(messages=1),
+            check_deadlock=False,  # bounded polls terminate by design
+            library=library,
+            fused=True,
+        )
+        assert report.ok and report.complete
+        assert report.worst == ROBUST
+        for scenario in report:
+            assert scenario.verdict == ROBUST
+
+    def test_robust_under_reordering(self):
+        report = verify_resilience(
+            small_abp(),
+            faults=[ChannelFault("DataLink", ReorderingChannel(size=2))],
+            goal=abp_delivery_prop(messages=1),
+            check_deadlock=False,
+            include_baseline=False,
+            fused=True,
+        )
+        assert report.worst == ROBUST
+
+    def test_scenarios_reuse_cached_models(self):
+        # After the baseline, every scenario should hit the cache for the
+        # unchanged blocks (ack link, ports, sender, receiver).
+        library = ModelLibrary()
+        report = verify_resilience(
+            small_abp(),
+            faults=[ChannelFault("DataLink", LossyChannel())],
+            check_deadlock=False, library=library, fused=True,
+            max_states=2000,
+        )
+        after_baseline = report.scenarios[1:]
+        assert after_baseline
+        for scenario in after_baseline:
+            assert scenario.models_reused >= 1
+
+
+class TestBridgeResilience:
+    def test_unfixed_bridge_is_broken_with_trace(self):
+        report = verify_resilience(
+            build_exactly_n_bridge(),
+            faults=[],
+            invariants=[bridge_safety_prop()],
+            check_deadlock=False,
+            fused=True,
+        )
+        scenario = report.scenario("baseline")
+        assert scenario.verdict == BROKEN
+        assert scenario.trace is not None and len(scenario.trace) > 0
+        assert not report.ok
+
+    def test_timeout_receive_degrades_fixed_bridge(self):
+        # A spurious receive timeout wastes a grant; safety holds but a
+        # waiting car starves — the characteristic DEGRADED outcome.
+        arch = fix_exactly_n_bridge(build_exactly_n_bridge())
+        report = verify_resilience(
+            arch,
+            faults=[FaultScenario("flaky enter_req", [
+                ReceivePortFault("BlueEnter", "BlueController",
+                                 TimeoutReceive()),
+            ])],
+            invariants=[bridge_safety_prop()],
+            fused=True,
+        )
+        assert report.scenario("baseline").verdict == ROBUST
+        flaky = report.scenario("flaky enter_req")
+        assert flaky.verdict == DEGRADED
+        assert "liveness lost" in flaky.detail
+        assert flaky.trace is not None  # the deadlocking execution
+        assert report.ok  # degraded still counts as no safety break
+
+    def test_deadlock_can_be_fatal(self):
+        arch = fix_exactly_n_bridge(build_exactly_n_bridge())
+        report = verify_resilience(
+            arch,
+            faults=bridge_fault_scenarios()[:1],
+            invariants=[bridge_safety_prop()],
+            deadlock_is_fatal=True,
+            include_baseline=False,
+            fused=True,
+        )
+        assert report.scenarios[0].verdict == BROKEN
+
+
+class TestBudgets:
+    def test_exhausted_budget_yields_unknown(self):
+        report = verify_resilience(
+            small_abp(),
+            faults=[ChannelFault("DataLink", LossyChannel())],
+            check_deadlock=False, fused=True, max_states=50,
+        )
+        assert all(s.verdict == UNKNOWN for s in report)
+        assert not report.complete
+        assert "incomplete" in report.table()
+
+    def test_unknown_does_not_break_ok(self):
+        report = verify_resilience(
+            small_abp(),
+            faults=[ChannelFault("DataLink", LossyChannel())],
+            check_deadlock=False, fused=True, max_states=50,
+        )
+        assert report.ok  # nothing proven broken
+
+
+class TestReportRendering:
+    def test_table_lists_scenarios_and_verdicts(self):
+        report = verify_resilience(
+            build_exactly_n_bridge(),
+            faults=[],
+            invariants=[bridge_safety_prop()],
+            check_deadlock=False,
+            fused=True,
+        )
+        table = report.table()
+        assert "baseline" in table
+        assert "BROKEN" in table
+        assert "overall: BROKEN" in table
+
+    def test_scenario_lookup_by_name(self):
+        report = verify_resilience(
+            small_abp(), faults=[], check_deadlock=False, fused=True,
+            max_states=100)
+        assert report.scenario("baseline").name == "baseline"
+        with pytest.raises(KeyError):
+            report.scenario("nonexistent")
+
+    def test_summary_mentions_model_accounting(self):
+        report = verify_resilience(
+            small_abp(), faults=[], check_deadlock=False, fused=True,
+            max_states=100)
+        assert "models:" in report.scenarios[0].summary()

@@ -1,11 +1,9 @@
 """Tests for design-time verification wrappers and reuse accounting."""
 
-import pytest
 
 from repro.core import (
     AsynBlockingSend,
     DesignIterationLog,
-    FifoQueue,
     ModelLibrary,
     SingleSlotBuffer,
     SynBlockingSend,

@@ -19,6 +19,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_bridge_budget_flags(self):
+        args = build_parser().parse_args(
+            ["bridge", "--max-states", "500", "--max-seconds", "1.5"])
+        assert args.max_states == 500
+        assert args.max_seconds == 1.5
+
+    def test_resilience_requires_known_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resilience", "teapot"])
+
 
 class TestCommands:
     def test_catalog(self, capsys):
@@ -71,3 +81,41 @@ class TestCommands:
     def test_graph_unknown_block(self):
         with pytest.raises(KeyError):
             main(["graph", "warp_drive"])
+
+    def test_graph_fault_block(self, capsys):
+        assert main(["graph", "lossy_channel"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_catalog_lists_fault_blocks(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault injection (channels)" in out
+        assert "lossy_channel" in out
+        assert "retry_send" in out
+
+
+class TestBudgetExitCodes:
+    def test_bridge_exhausted_budget_exits_2(self, capsys):
+        assert main(["bridge", "--variant", "fixed",
+                     "--max-states", "100"]) == 2
+        assert "incomplete" in capsys.readouterr().out
+
+    def test_bridge_within_budget_exits_0(self, capsys):
+        assert main(["bridge", "--variant", "fixed",
+                     "--max-states", "1000000"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestResilienceCommand:
+    def test_bridge_sweep_prints_matrix(self, capsys):
+        assert main(["resilience", "bridge"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "DEGRADED" in out
+        assert "overall:" in out
+
+    def test_abp_sweep_with_budget_exits_2(self, capsys):
+        assert main(["resilience", "abp", "--max-states", "2000"]) == 2
+        out = capsys.readouterr().out
+        assert "UNKNOWN" in out
+        assert "incomplete" in out

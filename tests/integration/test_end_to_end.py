@@ -1,6 +1,5 @@
 """Cross-layer integration tests: the full design-verify-revise loop."""
 
-import pytest
 
 from repro.codegen import system_to_promela
 from repro.core import (
@@ -9,7 +8,6 @@ from repro.core import (
     AsynCheckingSend,
     BlockingReceive,
     Component,
-    DesignIterationLog,
     DroppingBuffer,
     FifoQueue,
     ModelLibrary,
@@ -25,7 +23,7 @@ from repro.core import (
 )
 from repro.mc import check_safety, check_safety_por, global_prop
 from repro.psl.expr import V
-from repro.psl.stmt import Assign, Branch, Break, Do, Else, Guard, If, Seq
+from repro.psl.stmt import Assign, Branch, Break, Do, Guard, Seq
 
 
 def ping_pong_architecture(reply_channel):

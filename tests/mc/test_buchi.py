@@ -5,9 +5,7 @@ the model checker, these tests exercise structural facts (acceptance,
 labels) plus language membership via a tiny run-simulation helper.
 """
 
-import itertools
 
-import pytest
 
 from repro.mc.buchi import BuchiAutomaton, ltl_to_buchi
 from repro.mc.ltl import parse_ltl

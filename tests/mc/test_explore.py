@@ -19,7 +19,6 @@ from repro.psl import (
     Assign,
     Branch,
     Do,
-    DStep,
     EndLabel,
     Guard,
     ProcessDef,
@@ -168,16 +167,48 @@ class TestCountAndLimits:
 
     def test_state_limit_enforced(self):
         with pytest.raises(StateLimitExceeded):
-            count_states(counter_system(1000), max_states=10)
+            count_states(counter_system(1000), max_states=10,
+                         raise_on_limit=True)
+
+    def test_state_limit_graceful_by_default(self):
+        stats = count_states(counter_system(1000), max_states=10)
+        assert stats.incomplete
+        assert stats.budget_exhausted == "state budget"
+        assert stats.states_stored >= 10
 
     def test_reachable_states_contains_initial(self):
         s = counter_system(2)
         states = reachable_states(s)
         assert s.initial_state() == states[0]
 
+    def test_reachable_states_always_raises_on_limit(self):
+        with pytest.raises(StateLimitExceeded):
+            reachable_states(counter_system(1000), max_states=10)
+
     def test_check_safety_respects_limit(self):
         with pytest.raises(StateLimitExceeded):
-            check_safety(counter_system(1000), max_states=10)
+            check_safety(counter_system(1000), max_states=10,
+                         raise_on_limit=True)
+
+    def test_check_safety_partial_result_on_state_budget(self):
+        r = check_safety(counter_system(1000), max_states=10)
+        assert r.ok  # no violation found so far...
+        assert r.incomplete  # ...but the space was not exhausted
+        assert not r.proved
+        assert r.budget_exhausted == "state budget"
+        assert "incomplete" in r.summary()
+
+    def test_check_safety_partial_result_on_time_budget(self):
+        r = check_safety(counter_system(100000), max_seconds=0.0)
+        assert r.ok and r.incomplete
+        assert r.budget_exhausted == "time budget"
+
+    def test_budget_does_not_mask_found_violation(self):
+        # A violation discovered before the budget runs out is definitive.
+        r = check_safety(counter_system(5, with_assert=(V("g") < 3)),
+                         check_deadlock=False, max_states=10**6)
+        assert not r.ok
+        assert not r.incomplete
 
 
 class TestFindState:

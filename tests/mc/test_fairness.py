@@ -1,20 +1,8 @@
 """Tests for weakly fair LTL model checking (repro.mc.fairness)."""
 
-import pytest
 
 from repro.mc import check_ltl, global_prop
-from repro.psl import (
-    Assign,
-    Branch,
-    Do,
-    EndLabel,
-    Guard,
-    ProcessDef,
-    Seq,
-    Skip,
-    System,
-    V,
-)
+from repro.psl import Assign, Branch, Do, Guard, ProcessDef, Seq, System, V
 
 
 def starvable_pair():

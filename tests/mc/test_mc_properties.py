@@ -7,7 +7,6 @@ from repro.mc.ltl import (
     AndF,
     Ap,
     Eventually,
-    Formula,
     Globally,
     Next,
     NotF,
@@ -16,7 +15,6 @@ from repro.mc.ltl import (
     TrueF,
     FalseF,
     Until,
-    is_literal,
     nnf,
     parse_ltl,
     walk,

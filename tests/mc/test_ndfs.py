@@ -4,16 +4,7 @@ import pytest
 
 from repro.mc import check_ltl, global_prop
 from repro.mc.result import VIOLATION_ACCEPTANCE_CYCLE
-from repro.psl import (
-    Assign,
-    Branch,
-    Do,
-    Guard,
-    ProcessDef,
-    Seq,
-    System,
-    V,
-)
+from repro.psl import Assign, Branch, Do, Guard, ProcessDef, System, V
 
 
 def toggler():
@@ -160,3 +151,27 @@ class TestAgainstSafetyChecker:
         ltl_result = check_ltl(s, "G ok", {"ok": prop})
         bfs_result = check_safety(s, invariants=[prop], check_deadlock=False)
         assert ltl_result.ok == bfs_result.ok == expected
+
+
+class TestBudgets:
+    def test_partial_result_on_state_budget(self):
+        r = check_ltl(toggler(), "G F x1", PROPS, max_states=1)
+        assert r.ok and r.incomplete
+        assert r.budget_exhausted == "state budget"
+        assert "stopped early" in r.message
+
+    def test_legacy_raise_on_limit(self):
+        from repro.mc import StateLimitExceeded
+        with pytest.raises(StateLimitExceeded):
+            check_ltl(toggler(), "G F x1", PROPS, max_states=1,
+                      raise_on_limit=True)
+
+    def test_unbounded_run_is_complete(self):
+        r = check_ltl(toggler(), "G F x1", PROPS)
+        assert r.ok and not r.incomplete
+        assert r.proved
+
+    def test_weak_fairness_respects_budget(self):
+        r = check_ltl(toggler(), "G F x1", PROPS, weak_fairness=True,
+                      max_states=1)
+        assert r.incomplete

@@ -14,7 +14,6 @@ from repro.psl import (
     Recv,
     Send,
     Seq,
-    Skip,
     System,
     V,
     buffered,
@@ -154,3 +153,24 @@ class TestAgainstFullExploration:
         s2.spawn(receiver, "r", chans={"inp": c2})
         por = check_safety_por(s2)
         assert full.ok == por.ok
+
+
+class TestBudgets:
+    def test_partial_result_on_state_budget(self):
+        r = check_safety_por(local_heavy_system(workers=3, steps=4),
+                             max_states=10)
+        assert r.ok and r.incomplete
+        assert r.budget_exhausted == "state budget"
+        assert "stopped early" in r.message
+
+    def test_legacy_raise_on_limit(self):
+        from repro.mc import StateLimitExceeded
+        with pytest.raises(StateLimitExceeded):
+            check_safety_por(local_heavy_system(workers=3, steps=4),
+                             max_states=10, raise_on_limit=True)
+
+    def test_violation_beats_budget(self):
+        r = check_safety_por(racy_system(), check_deadlock=False,
+                             max_states=10**6)
+        assert not r.ok
+        assert not r.incomplete

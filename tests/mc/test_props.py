@@ -3,20 +3,7 @@
 import pytest
 
 from repro.mc.props import Prop, StateView, global_prop, prop
-from repro.psl import (
-    Assign,
-    Bind,
-    EndLabel,
-    Guard,
-    ProcessDef,
-    Recv,
-    Send,
-    Seq,
-    Skip,
-    System,
-    V,
-    buffered,
-)
+from repro.psl import EndLabel, Guard, ProcessDef, Send, Seq, System, V, buffered
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Tests for verification result/trace/statistics objects."""
 
-import pytest
 
 from repro.mc.result import Statistics, Trace, TraceStep, VerificationResult
 from repro.psl.interp import TransitionLabel
@@ -100,3 +99,26 @@ class TestTransitionLabelPretty:
     def test_local(self):
         lbl = TransitionLabel(pid=0, process="a", kind="local", desc="x = 1")
         assert lbl.pretty() == "a: x = 1"
+
+
+class TestIncompleteResults:
+    def test_incomplete_summary_verdict(self):
+        r = VerificationResult(ok=True, incomplete=True,
+                               budget_exhausted="state budget")
+        s = r.summary()
+        assert "INCOMPLETE" in s
+        assert "incomplete: state budget" in s
+
+    def test_proved_requires_completeness(self):
+        assert VerificationResult(ok=True).proved
+        assert not VerificationResult(ok=True, incomplete=True).proved
+        assert not VerificationResult(ok=False).proved
+
+    def test_statistics_merge_keeps_incomplete(self):
+        a = Statistics(states_stored=1)
+        b = Statistics(states_stored=2, incomplete=True,
+                       budget_exhausted="time budget")
+        merged = a.merge(b)
+        assert merged.incomplete
+        assert merged.budget_exhausted == "time budget"
+        assert merged.states_stored == 3

@@ -5,7 +5,6 @@ import pytest
 from repro.mc import check_safety, find_state, global_prop
 from repro.mc.simulate import (
     ReplayError,
-    SimulationRun,
     process_priority_scheduler,
     random_scheduler,
     replay,

@@ -1,6 +1,5 @@
 """Tests for message-sequence-chart extraction (Figure 4 reproduction)."""
 
-import pytest
 
 from repro.core import AsynBlockingSend, SingleSlotBuffer, SynBlockingSend
 from repro.mc import find_state, prop

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.psl import Interpreter, ProcessDef, System
+from repro.psl import Interpreter, System
 
 
 def make_system(*procs, globals_=None, channels=()):

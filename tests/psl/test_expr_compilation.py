@@ -4,7 +4,7 @@ AST evaluator on every expression shape."""
 from hypothesis import given, settings, strategies as st
 
 from repro.psl import ProcessDef, Skip, System, V
-from repro.psl.expr import BinOp, C, Const, Expr, Not, Var
+from repro.psl.expr import BinOp, C, Not
 from repro.psl.errors import EvalError
 from repro.psl.interp import Interpreter, _compile_expr
 

@@ -11,16 +11,14 @@ from repro.psl import (
     Else,
     Guard,
     If,
-    Interpreter,
     ProcessDef,
     Seq,
     Skip,
-    System,
     V,
 )
 from repro.psl.errors import ExecutionError
 
-from .conftest import explore_all, make_system
+from .conftest import explore_all
 
 
 class TestLocalSteps:

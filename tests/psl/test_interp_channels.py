@@ -9,9 +9,7 @@ from repro.psl import (
     Branch,
     C,
     ChannelError,
-    Do,
     Else,
-    Guard,
     If,
     Interpreter,
     MatchEq,
@@ -19,14 +17,12 @@ from repro.psl import (
     Recv,
     Send,
     Seq,
-    Skip,
-    System,
     V,
     buffered,
     rendezvous,
 )
 
-from .conftest import explore_all, make_system
+from .conftest import make_system
 
 
 def run_to_quiescence(interp, pick=0, max_steps=500):

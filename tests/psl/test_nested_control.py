@@ -1,6 +1,5 @@
 """Interpreter tests for deeply nested control structures."""
 
-import pytest
 
 from repro.psl import (
     Assign,
@@ -14,7 +13,6 @@ from repro.psl import (
     ProcessDef,
     Seq,
     Skip,
-    System,
     V,
 )
 

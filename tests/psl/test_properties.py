@@ -6,22 +6,15 @@ from repro.psl import (
     Assign,
     Bind,
     Branch,
-    C,
     Do,
     Guard,
-    If,
-    Else,
     Interpreter,
     ProcessDef,
     Recv,
     Send,
-    Seq,
-    Skip,
-    System,
     V,
     buffered,
 )
-from repro.psl.expr import BinOp, Const
 from repro.psl.state import State, tuple_set
 
 from .conftest import explore_all, make_system

@@ -8,9 +8,7 @@ from repro.psl import (
     EvalError,
     ProcessDef,
     ProcessInstance,
-    Recv,
     Send,
-    Seq,
     Skip,
     System,
     V,

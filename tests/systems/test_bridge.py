@@ -13,7 +13,7 @@ from repro.core import (
     SynBlockingSend,
     verify_safety,
 )
-from repro.mc import check_safety, find_state
+from repro.mc import find_state
 from repro.systems.bridge import (
     BLUE_ON,
     BridgeConfig,

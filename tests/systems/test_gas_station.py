@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import verify_safety
-from repro.mc import check_safety, find_state, global_prop, prop
+from repro.mc import check_safety, find_state, prop
 from repro.systems.gas_station import all_fueled_prop, build_gas_station
 
 

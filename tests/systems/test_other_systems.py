@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import verify_safety
 from repro.mc import check_safety, find_state, global_prop, prop
 from repro.systems.abp import build_abp
 from repro.systems.pubsub import EventPool, build_pubsub
@@ -102,7 +101,7 @@ class TestRpc:
 
 def _replace_double_with_increment(server):
     """Rebuild the server body with result = request + 7."""
-    from repro.core import receive_message, send_message
+    from repro.core import receive_message
     from repro.psl.expr import V
     from repro.psl.stmt import Assign, Branch, Do, EndLabel, Seq
     from repro.systems.rpc import _reply_switch

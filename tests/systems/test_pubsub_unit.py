@@ -1,8 +1,7 @@
 """Unit-level tests for the EventPool channel block."""
 
-import pytest
 
-from repro.mc import check_safety, find_state, global_prop, prop
+from repro.mc import find_state, global_prop, prop
 from repro.systems.pubsub import EventPool, build_pubsub
 
 
