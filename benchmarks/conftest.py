@@ -13,7 +13,18 @@ DESIGN.md's experiment index).  Conventions:
 import pytest
 
 
-def record(benchmark, **info):
-    """Attach reproduction observations to the benchmark record."""
+def record(benchmark, stats=None, **info):
+    """Attach reproduction observations to the benchmark record.
+
+    Passing a :class:`repro.mc.result.Statistics` as ``stats`` expands
+    it into the standard observability columns (state/transition counts,
+    stored-state throughput, peak frontier footprint); explicit keyword
+    values win over the expansion.
+    """
+    if stats is not None:
+        info.setdefault("states", stats.states_stored)
+        info.setdefault("transitions", stats.transitions)
+        info.setdefault("states_per_second", round(stats.states_per_second, 1))
+        info.setdefault("peak_frontier_bytes", stats.peak_frontier_bytes)
     for key, value in info.items():
         benchmark.extra_info[key] = value

@@ -6,9 +6,10 @@ Commands:
 * ``bridge [--variant V] [--cars N] [--trips T] [--composed]
   [--max-states S] [--max-seconds T]`` — build and verify one of the
   single-lane-bridge designs;
-* ``resilience {abp | bridge} [--max-states S] [--max-seconds T]`` —
-  sweep fault-injection scenarios over a system and print the verdict
-  matrix;
+* ``resilience {abp | bridge} [--max-states S] [--max-seconds T]
+  [--jobs N]`` — sweep fault-injection scenarios over a system and
+  print the verdict matrix; ``--jobs`` fans independent scenarios out
+  over a process pool;
 * ``sweep [--messages K]`` — verify every send-port/channel combination
   on a producer/consumer pair and tabulate the verdicts;
 * ``export [--out FILE]`` — emit the Promela model of a Figure 2(a)
@@ -65,6 +66,9 @@ def _cmd_bridge(args: argparse.Namespace) -> int:
     )
     print()
     print(report.summary())
+    stats = report.result.stats
+    print(f"throughput: {stats.states_per_second:,.0f} states/s, "
+          f"peak frontier ≈ {stats.peak_frontier_bytes} bytes")
     if not report.ok and report.result.trace is not None:
         from repro.core import explain_trace
         print("\ncounterexample:")
@@ -95,6 +99,7 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             max_states=args.max_states,
             max_seconds=args.max_seconds,
             fused=True,
+            jobs=args.jobs,
         )
     else:
         from repro.systems.bridge import (
@@ -112,10 +117,19 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             max_states=args.max_states,
             max_seconds=args.max_seconds,
             fused=True,
+            jobs=args.jobs,
         )
     print(f"resilience sweep: {report.architecture}")
     print()
     print(report.table())
+    total_states = sum(s.safety.stats.states_stored for s in report)
+    total_seconds = sum(s.safety.stats.elapsed_seconds for s in report)
+    peak_frontier = max(
+        (s.safety.stats.peak_frontier_bytes for s in report), default=0)
+    if total_seconds > 0:
+        print(f"throughput: {total_states / total_seconds:,.0f} states/s "
+              f"across {len(report.scenarios)} scenarios "
+              f"(jobs={args.jobs}), peak frontier ≈ {peak_frontier} bytes")
     broken = [s for s in report if s.verdict == "broken"]
     if broken and broken[0].trace is not None:
         print(f"\ncounterexample for {broken[0].name!r}:")
@@ -226,6 +240,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-scenario state budget (UNKNOWN verdict when hit)")
     res.add_argument("--max-seconds", type=float, default=None,
                      help="per-scenario time budget (UNKNOWN verdict when hit)")
+    res.add_argument("--jobs", type=int, default=1,
+                     help="verify scenarios in parallel over N worker "
+                          "processes (default 1 = serial; falls back to "
+                          "serial when the design does not pickle)")
 
     sweep = sub.add_parser("sweep", help="verify all port/channel combos")
     sweep.add_argument("--messages", type=int, default=2)

@@ -29,11 +29,14 @@ Typical use::
 
 from __future__ import annotations
 
+import pickle
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
 from ..mc.budget import BudgetExceeded
+from ..mc.engine import StateGraph
 from ..mc.explore import check_safety, find_state
 from ..mc.props import Prop
 from ..mc.result import VIOLATION_DEADLOCK, Trace, VerificationResult
@@ -239,6 +242,78 @@ def _classify(
     return ROBUST, "all properties hold under the fault", None
 
 
+def _run_scenario(
+    architecture: Architecture,
+    scenario: FaultScenario,
+    invariants: Sequence[Prop],
+    goal: Optional[Prop],
+    check_deadlock: bool,
+    deadlock_is_fatal: bool,
+    library: ModelLibrary,
+    max_states: Optional[int],
+    max_seconds: Optional[float],
+    fused: bool,
+) -> ScenarioReport:
+    """Verify one fault scenario; the unit of work for serial and parallel sweeps.
+
+    The scenario's system is explored through a single shared
+    :class:`~repro.mc.engine.StateGraph`, so the safety sweep and the
+    goal-reachability search pay successor generation once between them.
+    """
+    faulty = scenario.apply_to(architecture)
+    hits0, misses0 = library.stats.hits, library.stats.misses
+    t0 = time.perf_counter()
+    system = faulty.to_system(library, fused=fused)
+    graph = StateGraph(system)
+    result = check_safety(
+        graph, invariants=invariants, check_deadlock=check_deadlock,
+        max_states=max_states, max_seconds=max_seconds,
+    )
+
+    goal_verdict: Optional[str] = None
+    goal_detail = ""
+    if goal is not None and result.ok and not result.incomplete:
+        try:
+            witness = find_state(graph, goal, max_states=max_states,
+                                 max_seconds=max_seconds)
+        except BudgetExceeded as exc:
+            goal_verdict = UNKNOWN
+            goal_detail = f"goal search stopped early: {exc}"
+        else:
+            if witness is None:
+                goal_verdict = DEGRADED
+                goal_detail = (f"liveness lost: goal "
+                               f"{goal.name!r} is unreachable")
+
+    verdict, detail, trace = _classify(
+        result, goal_verdict, goal_detail, deadlock_is_fatal)
+    return ScenarioReport(
+        scenario=scenario,
+        verdict=verdict,
+        detail=detail,
+        safety=result,
+        trace=trace,
+        models_reused=library.stats.hits - hits0,
+        models_built=library.stats.misses - misses0,
+        seconds=time.perf_counter() - t0,
+    )
+
+
+def _run_scenario_task(payload: bytes) -> ScenarioReport:
+    """Process-pool entry point: unpickle one scenario's work and run it.
+
+    Each worker builds a private :class:`ModelLibrary`, so the
+    ``models_reused`` accounting in a parallel sweep reflects reuse
+    *within* a scenario only; verdicts and traces are unaffected.
+    """
+    (architecture, scenario, invariants, goal, check_deadlock,
+     deadlock_is_fatal, max_states, max_seconds, fused) = pickle.loads(payload)
+    return _run_scenario(
+        architecture, scenario, invariants, goal, check_deadlock,
+        deadlock_is_fatal, ModelLibrary(), max_states, max_seconds, fused,
+    )
+
+
 def verify_resilience(
     architecture: Architecture,
     faults: Sequence[Union[Fault, FaultScenario]],
@@ -251,6 +326,7 @@ def verify_resilience(
     max_seconds: Optional[float] = None,
     fused: bool = False,
     include_baseline: bool = True,
+    jobs: int = 1,
 ) -> ResilienceReport:
     """Sweep fault scenarios over a design and classify each outcome.
 
@@ -267,6 +343,13 @@ def verify_resilience(
     ``DEGRADED`` unless ``deadlock_is_fatal=True``.  Budgets
     (``max_states`` / ``max_seconds``, applied per scenario) that run
     out yield ``UNKNOWN`` rather than an exception.
+
+    Scenarios are independent, so ``jobs > 1`` fans them out over a
+    ``concurrent.futures`` process pool.  Results are identical to the
+    serial sweep and arrive in the same order; only the model-reuse
+    accounting changes (each worker holds a private library).  When the
+    work does not pickle (e.g. a ``goal`` or invariant closing over a
+    lambda) the sweep silently falls back to the serial path.
     """
     library = library if library is not None else ModelLibrary()
     report = ResilienceReport(architecture=architecture.name)
@@ -275,41 +358,51 @@ def verify_resilience(
     if include_baseline:
         scenarios.insert(0, FaultScenario("baseline", []))
 
-    for scenario in scenarios:
-        faulty = scenario.apply_to(architecture)
-        hits0, misses0 = library.stats.hits, library.stats.misses
-        t0 = time.perf_counter()
-        system = faulty.to_system(library, fused=fused)
-        result = check_safety(
-            system, invariants=invariants, check_deadlock=check_deadlock,
-            max_states=max_states, max_seconds=max_seconds,
+    if jobs > 1 and len(scenarios) > 1:
+        reports = _sweep_parallel(
+            architecture, scenarios, invariants, goal, check_deadlock,
+            deadlock_is_fatal, max_states, max_seconds, fused, jobs,
         )
+        if reports is not None:
+            report.scenarios.extend(reports)
+            return report
+        # Unpicklable work or a broken pool: degrade to the serial sweep.
 
-        goal_verdict: Optional[str] = None
-        goal_detail = ""
-        if goal is not None and result.ok and not result.incomplete:
-            try:
-                witness = find_state(system, goal, max_states=max_states,
-                                     max_seconds=max_seconds)
-            except BudgetExceeded as exc:
-                goal_verdict = UNKNOWN
-                goal_detail = f"goal search stopped early: {exc}"
-            else:
-                if witness is None:
-                    goal_verdict = DEGRADED
-                    goal_detail = (f"liveness lost: goal "
-                                   f"{goal.name!r} is unreachable")
-
-        verdict, detail, trace = _classify(
-            result, goal_verdict, goal_detail, deadlock_is_fatal)
-        report.scenarios.append(ScenarioReport(
-            scenario=scenario,
-            verdict=verdict,
-            detail=detail,
-            safety=result,
-            trace=trace,
-            models_reused=library.stats.hits - hits0,
-            models_built=library.stats.misses - misses0,
-            seconds=time.perf_counter() - t0,
+    for scenario in scenarios:
+        report.scenarios.append(_run_scenario(
+            architecture, scenario, invariants, goal, check_deadlock,
+            deadlock_is_fatal, library, max_states, max_seconds, fused,
         ))
     return report
+
+
+def _sweep_parallel(
+    architecture: Architecture,
+    scenarios: Sequence[FaultScenario],
+    invariants: Sequence[Prop],
+    goal: Optional[Prop],
+    check_deadlock: bool,
+    deadlock_is_fatal: bool,
+    max_states: Optional[int],
+    max_seconds: Optional[float],
+    fused: bool,
+    jobs: int,
+) -> Optional[List[ScenarioReport]]:
+    """Fan scenarios out over a process pool; ``None`` means fall back serial."""
+    try:
+        payloads = [
+            pickle.dumps((
+                architecture, scenario, tuple(invariants), goal,
+                check_deadlock, deadlock_is_fatal, max_states, max_seconds,
+                fused,
+            ))
+            for scenario in scenarios
+        ]
+    except Exception:
+        return None
+    workers = min(jobs, len(scenarios))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_scenario_task, payloads))
+    except Exception:
+        return None

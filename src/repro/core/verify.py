@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence, Union
 
+from ..mc.engine import StateGraph
 from ..mc.explore import check_safety
 from ..mc.ltl import Formula
 from ..mc.ndfs import check_ltl
@@ -33,12 +34,23 @@ from .spec import ModelLibrary
 
 @dataclass
 class VerificationReport:
-    """A verification result plus model-construction accounting."""
+    """A verification result plus model-construction accounting.
+
+    ``engine`` carries the :class:`~repro.mc.engine.StateGraph` the
+    check ran on when the caller asked for it (``keep_engine=True``), so
+    follow-up checks on the same elaborated design — another invariant,
+    a goal search, an LTL property — reuse the explored state space
+    instead of re-walking it::
+
+        report = verify_safety(arch, invariants=[safe], keep_engine=True)
+        witness = find_state(report.engine, goal)   # no re-exploration
+    """
 
     result: VerificationResult
     models_reused: int = 0
     models_built: int = 0
     elaboration_seconds: float = 0.0
+    engine: Optional[StateGraph] = None
 
     @property
     def ok(self) -> bool:
@@ -64,6 +76,8 @@ def verify_safety(
     max_seconds: Optional[float] = None,
     raise_on_limit: bool = False,
     fused: bool = False,
+    engine: Optional[StateGraph] = None,
+    keep_engine: bool = False,
 ) -> VerificationReport:
     """Check assertions, invariants, and deadlock-freedom of a design.
 
@@ -73,21 +87,30 @@ def verify_safety(
     by default an exhausted budget yields a partial ``incomplete=True``
     result rather than raising (``raise_on_limit=True`` restores the
     hard stop).
+
+    ``engine`` supplies a pre-built state graph (skipping elaboration
+    entirely — the architecture is then only used for naming);
+    ``keep_engine=True`` returns the graph used on the report so
+    follow-up checks reuse the explored space.
     """
     library = library if library is not None else ModelLibrary()
     hits0, misses0 = library.stats.hits, library.stats.misses
-    t0 = time.perf_counter()
-    system = architecture.to_system(library, fused=fused)
-    elab = time.perf_counter() - t0
+    if engine is None:
+        t0 = time.perf_counter()
+        system = architecture.to_system(library, fused=fused)
+        elab = time.perf_counter() - t0
+        engine = StateGraph(system)
+    else:
+        elab = 0.0
     if use_por:
         result = check_safety_por(
-            system, invariants=invariants, check_deadlock=check_deadlock,
+            engine, invariants=invariants, check_deadlock=check_deadlock,
             max_states=max_states, max_seconds=max_seconds,
             raise_on_limit=raise_on_limit,
         )
     else:
         result = check_safety(
-            system, invariants=invariants, check_deadlock=check_deadlock,
+            engine, invariants=invariants, check_deadlock=check_deadlock,
             max_states=max_states, max_seconds=max_seconds,
             raise_on_limit=raise_on_limit,
         )
@@ -96,6 +119,7 @@ def verify_safety(
         models_reused=library.stats.hits - hits0,
         models_built=library.stats.misses - misses0,
         elaboration_seconds=elab,
+        engine=engine if keep_engine else None,
     )
 
 
@@ -109,15 +133,25 @@ def verify_ltl(
     max_seconds: Optional[float] = None,
     raise_on_limit: bool = False,
     fused: bool = False,
+    engine: Optional[StateGraph] = None,
+    keep_engine: bool = False,
 ) -> VerificationReport:
-    """Check an LTL property over all executions of a design."""
+    """Check an LTL property over all executions of a design.
+
+    Like :func:`verify_safety`, accepts a pre-built ``engine`` (shared
+    state graph) and can return the one it used via ``keep_engine``.
+    """
     library = library if library is not None else ModelLibrary()
     hits0, misses0 = library.stats.hits, library.stats.misses
-    t0 = time.perf_counter()
-    system = architecture.to_system(library, fused=fused)
-    elab = time.perf_counter() - t0
+    if engine is None:
+        t0 = time.perf_counter()
+        system = architecture.to_system(library, fused=fused)
+        elab = time.perf_counter() - t0
+        engine = StateGraph(system)
+    else:
+        elab = 0.0
     result = check_ltl(
-        system, formula, props, weak_fairness=weak_fairness,
+        engine, formula, props, weak_fairness=weak_fairness,
         max_states=max_states, max_seconds=max_seconds,
         raise_on_limit=raise_on_limit,
     )
@@ -126,4 +160,5 @@ def verify_ltl(
         models_reused=library.stats.hits - hits0,
         models_built=library.stats.misses - misses0,
         elaboration_seconds=elab,
+        engine=engine if keep_engine else None,
     )

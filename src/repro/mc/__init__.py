@@ -8,7 +8,12 @@ Layers:
   full LTL model checking via the GPVW Büchi construction and nested
   depth-first search;
 * :mod:`repro.mc.por` — ample-set partial-order reduction for safety;
-* :mod:`repro.mc.props` — named atomic propositions over system states.
+* :mod:`repro.mc.props` — named atomic propositions over system states;
+* :mod:`repro.mc.engine` — the shared state-space engine: interned
+  states (:class:`StateStore`), a memoized transition relation
+  (:class:`TransitionCache`), and the :class:`StateGraph` façade that
+  every checker accepts in place of a system, so repeated checks on
+  one system pay exploration cost once.
 """
 
 from .buchi import BuchiAutomaton, BuchiState, ltl_to_buchi
@@ -20,6 +25,7 @@ from .budget import (
     StateLimitExceeded,
     TimeLimitExceeded,
 )
+from .engine import CachedTransition, StateGraph, StateStore, TransitionCache
 from .fairness import FairProduct
 from .explore import (
     SafetyReport,
@@ -61,6 +67,7 @@ __all__ = [
     "BudgetExceeded",
     "BuchiAutomaton",
     "BuchiState",
+    "CachedTransition",
     "FairProduct",
     "TimeLimitExceeded",
     "Formula",
@@ -69,9 +76,12 @@ __all__ = [
     "ReplayError",
     "SafetyReport",
     "SimulationRun",
+    "StateGraph",
     "StateLimitExceeded",
+    "StateStore",
     "StateView",
     "Statistics",
+    "TransitionCache",
     "Trace",
     "TraceStep",
     "VerificationResult",

@@ -22,10 +22,17 @@ All entry points accept an exploration budget (``max_states``,
 returns a *partial* result flagged ``incomplete=True``; passing
 ``raise_on_limit=True`` restores the historical hard
 :class:`StateLimitExceeded` stop.
+
+Every entry point also accepts a shared
+:class:`~repro.mc.engine.StateGraph` in place of a system or
+interpreter.  The graph memoizes successor generation, so running
+several checks against the same graph pays the exploration cost once —
+the state-space analogue of the paper's model reuse.
 """
 
 from __future__ import annotations
 
+import sys
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -40,6 +47,7 @@ from .budget import (  # noqa: F401  (re-exported for backward compatibility)
     StateLimitExceeded,
     TimeLimitExceeded,
 )
+from .engine import StateGraph, as_graph
 from .props import Prop
 from .result import (
     Statistics,
@@ -50,6 +58,9 @@ from .result import (
     VIOLATION_DEADLOCK,
     VIOLATION_INVARIANT,
 )
+
+#: Any object the safety checkers can explore.
+Target = Union[System, Interpreter, StateGraph]
 
 
 @dataclass
@@ -71,33 +82,37 @@ class SafetyReport:
         return all(r.ok for r in self.results) if self.results else True
 
 
-def _as_interp(target: Union[System, Interpreter]) -> Interpreter:
-    if isinstance(target, Interpreter):
-        return target
-    return Interpreter(target)
+def _sample_frontier(stats: Statistics, queue: "deque[int]") -> None:
+    """Record the frontier's approximate byte footprint at a new peak."""
+    size = sys.getsizeof(queue)
+    if queue:
+        size += len(queue) * sys.getsizeof(queue[0])
+    if size > stats.peak_frontier_bytes:
+        stats.peak_frontier_bytes = size
 
 
 def _rebuild_trace(
-    initial: State,
-    violating: State,
-    parents: Dict[State, Tuple[Optional[State], Optional[TransitionLabel]]],
+    graph: StateGraph,
+    initial: int,
+    violating: int,
+    parents: Dict[int, Tuple[Optional[int], Optional[TransitionLabel]]],
     extra: Optional[TraceStep] = None,
 ) -> Trace:
     steps: List[TraceStep] = []
-    cur: Optional[State] = violating
+    cur: Optional[int] = violating
     while cur is not None and cur != initial:
         prev, label = parents[cur]
         assert label is not None
-        steps.append(TraceStep(label, cur))
+        steps.append(TraceStep(label, graph.state(cur)))
         cur = prev
     steps.reverse()
     if extra is not None:
         steps.append(extra)
-    return Trace(initial=initial, steps=steps)
+    return Trace(initial=graph.state(initial), steps=steps)
 
 
 def check_safety(
-    target: Union[System, Interpreter],
+    target: Target,
     invariants: Sequence[Prop] = (),
     check_deadlock: bool = True,
     check_assertions: bool = True,
@@ -154,7 +169,7 @@ def _property_text(invariants: Sequence[Prop], check_deadlock: bool) -> str:
 
 
 def sweep_safety(
-    target: Union[System, Interpreter],
+    target: Target,
     invariants: Sequence[Prop] = (),
     check_deadlock: bool = True,
     check_assertions: bool = True,
@@ -164,18 +179,19 @@ def sweep_safety(
     raise_on_limit: bool = False,
 ) -> SafetyReport:
     """Breadth-first safety exploration; see :func:`check_safety`."""
-    interp = _as_interp(target)
-    system = interp.system
+    graph = as_graph(target)
+    system = graph.system
     budget = Budget(max_states=max_states, max_seconds=max_seconds,
                     raise_on_limit=raise_on_limit)
     start = budget.started_at
 
-    initial = interp.initial_state()
-    parents: Dict[State, Tuple[Optional[State], Optional[TransitionLabel]]] = {
+    initial = graph.initial_id
+    parents: Dict[int, Tuple[Optional[int], Optional[TransitionLabel]]] = {
         initial: (None, None)
     }
-    queue: deque[State] = deque([initial])
+    queue: deque[int] = deque([initial])
     stats = Statistics(states_stored=1, max_frontier=1)
+    _sample_frontier(stats, queue)
     report = SafetyReport(stats=stats)
 
     def fail(kind: str, message: str, trace: Trace) -> bool:
@@ -195,50 +211,55 @@ def sweep_safety(
 
     # Check invariants on the initial state before exploring.
     for p in invariants:
-        if not p.evaluate(system, initial):
+        if not p.evaluate(system, graph.state(initial)):
             if fail(
                 VIOLATION_INVARIANT,
                 f"invariant {p.name!r} violated in the initial state",
-                Trace(initial=initial),
+                Trace(initial=graph.state(initial)),
             ):
                 stats.elapsed_seconds = time.perf_counter() - start
                 return report
 
     exhausted: Optional[str] = None
-    while queue and exhausted is None:
-        state = queue.popleft()
+    while queue:
+        # Check the budget *before* popping: an exhausted budget must not
+        # silently discard a frontier state whose expansion would then be
+        # missing from the partial statistics.
         exhausted = budget.exceeded(stats.states_stored)
         if exhausted is not None:
             break
-        transitions = interp.transitions(state)
+        sid = queue.popleft()
+        transitions = graph.transitions(sid)
         stats.transitions += len(transitions)
+        stats.states_expanded += 1
 
-        if not transitions and check_deadlock and not interp.is_valid_end_state(state):
-            blocked = ", ".join(i.name for i in interp.blocked_processes(state))
+        if not transitions and check_deadlock and not graph.is_valid_end_state(sid):
+            blocked = ", ".join(i.name for i in graph.blocked_processes(sid))
             if fail(
                 VIOLATION_DEADLOCK,
                 f"invalid end state (deadlock); blocked processes: {blocked}",
-                _rebuild_trace(initial, state, parents),
+                _rebuild_trace(graph, initial, sid, parents),
             ):
                 return report
 
         for t in transitions:
             if check_assertions and t.violation:
                 trace = _rebuild_trace(
-                    initial, state, parents, extra=TraceStep(t.label, t.target)
+                    graph, initial, sid, parents,
+                    extra=TraceStep(t.label, graph.state(t.target)),
                 )
                 if fail(VIOLATION_ASSERTION, t.violation, trace):
                     return report
             if t.target in parents:
                 continue
-            parents[t.target] = (state, t.label)
+            parents[t.target] = (sid, t.label)
             stats.states_stored += 1
             exhausted = budget.exceeded(stats.states_stored)
             if exhausted is not None:
                 break
             for p in invariants:
-                if not p.evaluate(system, t.target):
-                    trace = _rebuild_trace(initial, t.target, parents)
+                if not p.evaluate(system, graph.state(t.target)):
+                    trace = _rebuild_trace(graph, initial, t.target, parents)
                     if fail(
                         VIOLATION_INVARIANT,
                         f"invariant {p.name!r} violated",
@@ -246,7 +267,11 @@ def sweep_safety(
                     ):
                         return report
             queue.append(t.target)
-            stats.max_frontier = max(stats.max_frontier, len(queue))
+            if len(queue) > stats.max_frontier:
+                stats.max_frontier = len(queue)
+                _sample_frontier(stats, queue)
+        if exhausted is not None:
+            break
 
     stats.elapsed_seconds = time.perf_counter() - start
     if exhausted is not None:
@@ -258,7 +283,7 @@ def sweep_safety(
 
 
 def count_states(
-    target: Union[System, Interpreter],
+    target: Target,
     max_states: Optional[int] = None,
     max_seconds: Optional[float] = None,
     raise_on_limit: bool = False,
@@ -269,18 +294,21 @@ def count_states(
     ``stats.incomplete`` set (or :class:`StateLimitExceeded` /
     :class:`TimeLimitExceeded` raised in ``raise_on_limit`` mode).
     """
-    interp = _as_interp(target)
+    graph = as_graph(target)
     budget = Budget(max_states=max_states, max_seconds=max_seconds,
                     raise_on_limit=raise_on_limit)
     start = budget.started_at
-    initial = interp.initial_state()
+    initial = graph.initial_id
     seen = {initial}
-    queue: deque[State] = deque([initial])
+    queue: deque[int] = deque([initial])
     stats = Statistics(states_stored=1, max_frontier=1)
+    _sample_frontier(stats, queue)
     exhausted: Optional[str] = None
     while queue and exhausted is None:
-        state = queue.popleft()
-        for t in interp.transitions(state):
+        sid = queue.popleft()
+        transitions = graph.transitions(sid)
+        stats.states_expanded += 1
+        for t in transitions:
             stats.transitions += 1
             if t.target not in seen:
                 seen.add(t.target)
@@ -289,7 +317,9 @@ def count_states(
                 if exhausted is not None:
                     break
                 queue.append(t.target)
-        stats.max_frontier = max(stats.max_frontier, len(queue))
+        if len(queue) > stats.max_frontier:
+            stats.max_frontier = len(queue)
+            _sample_frontier(stats, queue)
     stats.elapsed_seconds = time.perf_counter() - start
     if exhausted is not None:
         stats.incomplete = True
@@ -298,7 +328,7 @@ def count_states(
 
 
 def reachable_states(
-    target: Union[System, Interpreter],
+    target: Target,
     max_states: Optional[int] = None,
     max_seconds: Optional[float] = None,
 ) -> List[State]:
@@ -307,26 +337,26 @@ def reachable_states(
     A silently truncated state list would be a trap, so this helper
     always raises on an exhausted budget.
     """
-    interp = _as_interp(target)
+    graph = as_graph(target)
     budget = Budget(max_states=max_states, max_seconds=max_seconds,
                     raise_on_limit=True)
-    initial = interp.initial_state()
+    initial = graph.initial_id
     seen = {initial}
     order = [initial]
-    queue: deque[State] = deque([initial])
+    queue: deque[int] = deque([initial])
     while queue:
-        state = queue.popleft()
-        for t in interp.transitions(state):
+        sid = queue.popleft()
+        for t in graph.transitions(sid):
             if t.target not in seen:
                 seen.add(t.target)
                 order.append(t.target)
                 budget.exceeded(len(seen))
                 queue.append(t.target)
-    return order
+    return [graph.state(sid) for sid in order]
 
 
 def find_state(
-    target: Union[System, Interpreter],
+    target: Target,
     predicate: Prop,
     max_states: Optional[int] = None,
     max_seconds: Optional[float] = None,
@@ -342,25 +372,25 @@ def find_state(
     (:class:`StateLimitExceeded` / :class:`TimeLimitExceeded`) rather
     than degrading to a misleading "not found".
     """
-    interp = _as_interp(target)
-    system = interp.system
+    graph = as_graph(target)
+    system = graph.system
     budget = Budget(max_states=max_states, max_seconds=max_seconds,
                     raise_on_limit=True)
-    initial = interp.initial_state()
-    if predicate.evaluate(system, initial):
-        return Trace(initial=initial)
-    parents: Dict[State, Tuple[Optional[State], Optional[TransitionLabel]]] = {
+    initial = graph.initial_id
+    if predicate.evaluate(system, graph.state(initial)):
+        return Trace(initial=graph.state(initial))
+    parents: Dict[int, Tuple[Optional[int], Optional[TransitionLabel]]] = {
         initial: (None, None)
     }
-    queue: deque[State] = deque([initial])
+    queue: deque[int] = deque([initial])
     while queue:
-        state = queue.popleft()
-        for t in interp.transitions(state):
+        sid = queue.popleft()
+        for t in graph.transitions(sid):
             if t.target in parents:
                 continue
-            parents[t.target] = (state, t.label)
+            parents[t.target] = (sid, t.label)
             budget.exceeded(len(parents))
-            if predicate.evaluate(system, t.target):
-                return _rebuild_trace(initial, t.target, parents)
+            if predicate.evaluate(system, graph.state(t.target)):
+                return _rebuild_trace(graph, initial, t.target, parents)
             queue.append(t.target)
     return None

@@ -24,15 +24,15 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
 
-from ..psl.interp import Interpreter, TransitionLabel
-from ..psl.state import State
+from ..psl.interp import TransitionLabel
 from .buchi import BuchiAutomaton
 from .budget import Budget
+from .engine import StateGraph
 from .ndfs import _Product, _STUTTER
 from .props import Prop
 
-#: A fair product node: (system state, Büchi state id, counter, wrap flag).
-FairNode = Tuple[State, int, int, bool]
+#: A fair product node: (state id, Büchi state id, counter, wrap flag).
+FairNode = Tuple[int, int, int, bool]
 
 
 class FairProduct:
@@ -42,31 +42,34 @@ class FairProduct:
     the fairness counter.  Node layout: ``(s, q, i, wrapped)`` where
     ``i = 0`` is the reset copy, ``i = k`` (1-based) waits for process
     ``k - 1`` to execute or be disabled, and ``wrapped`` marks the
-    single step on which a full fair round completed.
+    single step on which a full fair round completed.  System states are
+    interned :class:`~repro.mc.engine.StateGraph` ids, so the unfolded
+    nodes stay small-int tuples.
     """
 
-    def __init__(self, interp: Interpreter, automaton: BuchiAutomaton,
+    def __init__(self, graph: StateGraph, automaton: BuchiAutomaton,
                  props: Mapping[str, Prop],
                  budget: Optional[Budget] = None) -> None:
-        self._plain = _Product(interp, automaton, props, budget=budget)
-        self.interp = interp
+        self._plain = _Product(graph, automaton, props, budget=budget)
+        self.graph = graph
+        self.interp = graph.interp
         self.automaton = automaton
-        self.n_procs = len(interp.system.instances)
+        self.n_procs = len(graph.system.instances)
         self.stats = self._plain.stats
-        self._enabled_cache: Dict[State, FrozenSet[int]] = {}
+        self._enabled_cache: Dict[int, FrozenSet[int]] = {}
 
     # -- helpers ---------------------------------------------------------
 
-    def _enabled_pids(self, state: State) -> FrozenSet[int]:
-        cached = self._enabled_cache.get(state)
+    def _enabled_pids(self, sid: int) -> FrozenSet[int]:
+        cached = self._enabled_cache.get(sid)
         if cached is None:
             pids = set()
-            for t in self.interp.transitions(state):
+            for t in self.graph.transitions(sid):
                 pids.add(t.label.pid)
                 if t.label.partner_pid is not None:
                     pids.add(t.label.partner_pid)
             cached = frozenset(pids)
-            self._enabled_cache[state] = cached
+            self._enabled_cache[sid] = cached
         return cached
 
     @staticmethod
@@ -90,10 +93,10 @@ class FairProduct:
     def successors(self, node: FairNode) -> Iterator[
         Tuple[TransitionLabel, FairNode]
     ]:
-        state, qid, counter, _wrapped = node
+        sid, qid, counter, _wrapped = node
         q_accepting = self._plain.by_id[qid].accepting
-        enabled = self._enabled_pids(state)
-        for label, (target, q2) in self._plain.successors((state, qid)):
+        enabled = self._enabled_pids(sid)
+        for label, (target, q2) in self._plain.successors((sid, qid)):
             movers = self._movers(label)
             if counter == 0:
                 # Start a fair round at each Büchi-accepting state.

@@ -27,10 +27,10 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..psl.interp import Interpreter, TransitionLabel
-from ..psl.state import State
 from ..psl.system import System
 from .buchi import BuchiAutomaton, BuchiState, ltl_to_buchi
 from .budget import Budget
+from .engine import StateGraph, as_graph
 from .ltl import Formula, negate, parse_ltl
 from .props import Prop
 from .result import (
@@ -41,8 +41,8 @@ from .result import (
     VIOLATION_ACCEPTANCE_CYCLE,
 )
 
-#: A product node: (system state, Büchi state id).
-ProductNode = Tuple[State, int]
+#: A product node: (interned system state id, Büchi state id).
+ProductNode = Tuple[int, int]
 
 _STUTTER = TransitionLabel(
     pid=-1, process="(system)", kind="stutter", desc="deadlock stutter"
@@ -58,31 +58,39 @@ class _BudgetHit(Exception):
 
 
 class _Product:
-    """On-the-fly product of a system with a state-labeled Büchi automaton."""
+    """On-the-fly product of a system with a state-labeled Büchi automaton.
+
+    System states are handled as interned ids of a shared
+    :class:`~repro.mc.engine.StateGraph`, so product nodes are cheap
+    ``(int, int)`` pairs and successor generation hits the graph's
+    memoized transition relation.
+    """
 
     def __init__(
         self,
-        interp: Interpreter,
+        graph: StateGraph,
         automaton: BuchiAutomaton,
         props: Mapping[str, Prop],
         budget: Optional[Budget] = None,
     ) -> None:
-        self.interp = interp
+        self.graph = graph
+        self.interp = graph.interp
         self.automaton = automaton
         self.props = props
         self.budget = budget
         self.by_id: Dict[int, BuchiState] = {s.id: s for s in automaton.states}
-        self._val_cache: Dict[State, Dict[str, bool]] = {}
+        self._val_cache: Dict[int, Dict[str, bool]] = {}
         self.stats = Statistics()
 
-    def valuation(self, state: State) -> Dict[str, bool]:
-        cached = self._val_cache.get(state)
+    def valuation(self, sid: int) -> Dict[str, bool]:
+        cached = self._val_cache.get(sid)
         if cached is None:
+            state = self.graph.state(sid)
             cached = {
                 name: p.evaluate(self.interp.system, state)
                 for name, p in self.props.items()
             }
-            self._val_cache[state] = cached
+            self._val_cache[sid] = cached
             if self.budget is not None:
                 # Every distinct system state passes through here exactly
                 # once, so the valuation cache is the stored-state count.
@@ -92,7 +100,7 @@ class _Product:
         return cached
 
     def initial_nodes(self) -> List[ProductNode]:
-        s0 = self.interp.initial_state()
+        s0 = self.graph.initial_id
         self.stats.states_stored += 1
         v0 = self.valuation(s0)
         return [
@@ -102,15 +110,15 @@ class _Product:
     def successors(
         self, node: ProductNode
     ) -> Iterator[Tuple[TransitionLabel, ProductNode]]:
-        state, qid = node
-        transitions = self.interp.transitions(state)
+        sid, qid = node
+        transitions = self.graph.transitions(sid)
         self.stats.transitions += len(transitions)
         if transitions:
-            moves: Iterable[Tuple[TransitionLabel, State]] = (
+            moves: Iterable[Tuple[TransitionLabel, int]] = (
                 (t.label, t.target) for t in transitions
             )
         else:
-            moves = [(_STUTTER, state)]  # stutter extension
+            moves = [(_STUTTER, sid)]  # stutter extension
         buchi_next = self.automaton.successors[qid]
         for label, target in moves:
             valuation = self.valuation(target)
@@ -249,7 +257,7 @@ def _red_dfs(
 
 
 def check_ltl(
-    target: Union[System, Interpreter],
+    target: Union[System, Interpreter, StateGraph],
     formula: Union[str, Formula],
     props: Union[Mapping[str, Prop], Sequence[Prop]],
     weak_fairness: bool = False,
@@ -274,7 +282,7 @@ def check_ltl(
     ``incomplete=True`` result (no counterexample found so far) unless
     ``raise_on_limit`` is set.
     """
-    interp = target if isinstance(target, Interpreter) else Interpreter(target)
+    graph = as_graph(target)
     parsed = parse_ltl(formula) if isinstance(formula, str) else formula
     prop_map = _as_prop_map(props)
     missing = parsed.atoms() - set(prop_map)
@@ -289,10 +297,10 @@ def check_ltl(
     automaton = ltl_to_buchi(negate(parsed))
     if weak_fairness:
         from .fairness import FairProduct
-        product = FairProduct(interp, automaton, prop_map, budget=budget)
+        product = FairProduct(graph, automaton, prop_map, budget=budget)
         val_cache = product._plain._val_cache
     else:
-        product = _Product(interp, automaton, prop_map, budget=budget)
+        product = _Product(graph, automaton, prop_map, budget=budget)
         val_cache = product._val_cache
     exhausted: Optional[str] = None
     try:
@@ -325,9 +333,10 @@ def check_ltl(
             stats=stats,
             property_text=str(parsed),
         )
-    initial = interp.initial_state()
+    initial = graph.state(graph.initial_id)
     steps = [
-        TraceStep(label, node[0]) for label, node in lasso.stem + lasso.cycle
+        TraceStep(label, graph.state(node[0]))
+        for label, node in lasso.stem + lasso.cycle
     ]
     trace = Trace(initial=initial, steps=steps, cycle_start=len(lasso.stem))
     return VerificationResult(

@@ -27,6 +27,14 @@ all visible valuations, assertion, invariant, and deadlock results are
 preserved.  The reduction is deliberately conservative; its purpose in
 the reproduction is the T-opt/T-scale experiments measuring how much of
 the building-block concurrency can be collapsed.
+
+The checker runs over a shared :class:`~repro.mc.engine.StateGraph`:
+states are interned ids, and *full* expansions (needed whenever no
+ample set exists) go through the graph's memoized transition cache —
+so a POR run after a full sweep on the same graph recomputes nothing.
+Per-process ample candidates are derived by filtering the cached full
+relation when it is already present, and by asking the interpreter for
+just that process otherwise (never forcing a full expansion).
 """
 
 from __future__ import annotations
@@ -35,10 +43,10 @@ import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..psl.compiler import Edge, OpAssert, OpAssign, OpDStep, OpElse, OpGuard, OpSkip
-from ..psl.interp import Interpreter, Transition, TransitionLabel
-from ..psl.state import State
+from ..psl.interp import Interpreter, TransitionLabel
 from ..psl.system import ProcessInstance, System
 from .budget import Budget
+from .engine import CachedTransition, StateGraph, as_graph
 from .explore import _rebuild_trace
 from .props import Prop
 from .result import (
@@ -89,10 +97,15 @@ def _edge_is_invisible(
 
 
 class AmpleInterpreter:
-    """Wraps an :class:`Interpreter` with ample-set successor generation."""
+    """Ample-set successor generation over a shared state graph."""
 
-    def __init__(self, interp: Interpreter, invariants: Sequence[Prop] = ()) -> None:
-        self.interp = interp
+    def __init__(
+        self,
+        target: Union[System, Interpreter, StateGraph],
+        invariants: Sequence[Prop] = (),
+    ) -> None:
+        self.graph = as_graph(target)
+        self.interp = self.graph.interp
         self.invariants = invariants
         # Static per-(definition, location) classification: True when every
         # outgoing edge is local & invisible (candidate for ample sets).
@@ -113,28 +126,40 @@ class AmpleInterpreter:
         return ok
 
     def ample_transitions(
-        self, state: State, on_stack: Set[State]
-    ) -> Tuple[List[Transition], bool]:
+        self, sid: int, on_stack: Set[int]
+    ) -> Tuple[List[CachedTransition], bool]:
         """Successor transitions, reduced when a valid ample set exists.
 
         Returns ``(transitions, reduced)``.  ``on_stack`` is the set of
-        states on the current DFS stack, used for the C3 cycle proviso.
+        state ids on the current DFS stack, used for the C3 cycle
+        proviso.
         """
-        interp = self.interp
-        for pid in range(len(interp.system.instances)):
+        graph = self.graph
+        state = graph.state(sid)
+        cached_full = graph.cache.peek(sid)
+        intern = graph.store.intern
+        for pid in range(len(self.interp.system.instances)):
             if not self._location_is_ample_candidate(pid, state.locs[pid]):
                 continue
-            candidate = list(interp._process_transitions(state, pid))
+            if cached_full is not None:
+                # The full relation is pid-ordered, so filtering by pid
+                # yields exactly the per-process transition list.
+                candidate = [t for t in cached_full if t.label.pid == pid]
+            else:
+                candidate = [
+                    CachedTransition(t.label, intern(t.target), t.violation)
+                    for t in self.interp._process_transitions(state, pid)
+                ]
             if not candidate:
                 continue  # C0 fails (e.g. all guards false)
             if any(t.target in on_stack for t in candidate):
                 continue  # C3 fails: would close a stack cycle
             return candidate, True
-        return interp.transitions(state), False
+        return list(graph.transitions(sid)), False
 
 
 def check_safety_por(
-    target: Union[System, Interpreter],
+    target: Union[System, Interpreter, StateGraph],
     invariants: Sequence[Prop] = (),
     check_deadlock: bool = True,
     max_states: Optional[int] = None,
@@ -150,14 +175,14 @@ def check_safety_por(
     An exhausted budget yields a partial ``incomplete=True`` result
     unless ``raise_on_limit`` is set.
     """
-    interp = target if isinstance(target, Interpreter) else Interpreter(target)
-    ample = AmpleInterpreter(interp, invariants)
-    system = interp.system
+    graph = as_graph(target)
+    ample = AmpleInterpreter(graph, invariants)
+    system = graph.system
     budget = Budget(max_states=max_states, max_seconds=max_seconds,
                     raise_on_limit=raise_on_limit)
     start = budget.started_at
 
-    initial = interp.initial_state()
+    initial = graph.initial_id
     stats = Statistics(states_stored=1)
 
     def finish(result: VerificationResult) -> VerificationResult:
@@ -166,47 +191,49 @@ def check_safety_por(
         return result
 
     for p in invariants:
-        if not p.evaluate(system, initial):
+        if not p.evaluate(system, graph.state(initial)):
             return finish(
                 VerificationResult(
                     ok=False,
                     kind=VIOLATION_INVARIANT,
                     message=f"invariant {p.name!r} violated in the initial state",
-                    trace=Trace(initial=initial),
+                    trace=Trace(initial=graph.state(initial)),
                 )
             )
 
-    parents: Dict[State, Tuple[Optional[State], Optional[TransitionLabel]]] = {
+    parents: Dict[int, Tuple[Optional[int], Optional[TransitionLabel]]] = {
         initial: (None, None)
     }
-    on_stack: Set[State] = {initial}
-    # DFS stack: (state, pending transition list, next index)
+    on_stack: Set[int] = {initial}
+    # DFS stack: (state id, pending transition list, next index)
     trans0, _ = ample.ample_transitions(initial, on_stack)
     stats.transitions += len(trans0)
-    if not trans0 and check_deadlock and not interp.is_valid_end_state(initial):
-        blocked = ", ".join(i.name for i in interp.blocked_processes(initial))
+    stats.states_expanded += 1
+    if not trans0 and check_deadlock and not graph.is_valid_end_state(initial):
+        blocked = ", ".join(i.name for i in graph.blocked_processes(initial))
         return finish(
             VerificationResult(
                 ok=False,
                 kind=VIOLATION_DEADLOCK,
                 message=f"invalid end state (deadlock); blocked: {blocked}",
-                trace=Trace(initial=initial),
+                trace=Trace(initial=graph.state(initial)),
             )
         )
-    stack: List[Tuple[State, List[Transition], int]] = [(initial, trans0, 0)]
+    stack: List[Tuple[int, List[CachedTransition], int]] = [(initial, trans0, 0)]
 
     while stack:
-        state, transitions, idx = stack[-1]
+        sid, transitions, idx = stack[-1]
         if idx >= len(transitions):
             stack.pop()
-            on_stack.discard(state)
+            on_stack.discard(sid)
             continue
-        stack[-1] = (state, transitions, idx + 1)
+        stack[-1] = (sid, transitions, idx + 1)
         t = transitions[idx]
 
         if t.violation:
             trace = _rebuild_trace(
-                initial, state, parents, extra=TraceStep(t.label, t.target)
+                graph, initial, sid, parents,
+                extra=TraceStep(t.label, graph.state(t.target)),
             )
             return finish(
                 VerificationResult(
@@ -215,7 +242,7 @@ def check_safety_por(
             )
         if t.target in parents:
             continue
-        parents[t.target] = (state, t.label)
+        parents[t.target] = (sid, t.label)
         stats.states_stored += 1
         exhausted = budget.exceeded(stats.states_stored)
         if exhausted is not None:
@@ -236,8 +263,8 @@ def check_safety_por(
             )
 
         for p in invariants:
-            if not p.evaluate(system, t.target):
-                trace = _rebuild_trace(initial, t.target, parents)
+            if not p.evaluate(system, graph.state(t.target)):
+                trace = _rebuild_trace(graph, initial, t.target, parents)
                 return finish(
                     VerificationResult(
                         ok=False,
@@ -250,9 +277,10 @@ def check_safety_por(
         on_stack.add(t.target)
         succ, _ = ample.ample_transitions(t.target, on_stack)
         stats.transitions += len(succ)
-        if not succ and check_deadlock and not interp.is_valid_end_state(t.target):
-            blocked = ", ".join(i.name for i in interp.blocked_processes(t.target))
-            trace = _rebuild_trace(initial, t.target, parents)
+        stats.states_expanded += 1
+        if not succ and check_deadlock and not graph.is_valid_end_state(t.target):
+            blocked = ", ".join(i.name for i in graph.blocked_processes(t.target))
+            trace = _rebuild_trace(graph, initial, t.target, parents)
             return finish(
                 VerificationResult(
                     ok=False,

@@ -65,9 +65,25 @@ class Statistics:
     transitions: int = 0
     max_frontier: int = 0
     elapsed_seconds: float = 0.0
+    #: States whose successors were actually generated.  On a complete
+    #: sweep this equals ``states_stored``; on a budget-exhausted run it
+    #: is the exact number of states whose transitions are included in
+    #: ``transitions`` (frontier states never silently drop their work).
+    states_expanded: int = 0
+    #: Approximate peak byte footprint of the BFS frontier, sampled with
+    #: ``sys.getsizeof`` whenever the frontier reaches a new high-water
+    #: mark (container plus per-entry size; zero for non-BFS checkers).
+    peak_frontier_bytes: int = 0
     #: Set when the run stopped on an exhausted exploration budget.
     incomplete: bool = False
     budget_exhausted: Optional[str] = None
+
+    @property
+    def states_per_second(self) -> float:
+        """Stored-state throughput; 0.0 when no time was recorded."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.states_stored / self.elapsed_seconds
 
     def merge(self, other: "Statistics") -> "Statistics":
         return Statistics(
@@ -75,6 +91,9 @@ class Statistics:
             transitions=self.transitions + other.transitions,
             max_frontier=max(self.max_frontier, other.max_frontier),
             elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
+            states_expanded=self.states_expanded + other.states_expanded,
+            peak_frontier_bytes=max(self.peak_frontier_bytes,
+                                    other.peak_frontier_bytes),
             incomplete=self.incomplete or other.incomplete,
             budget_exhausted=self.budget_exhausted or other.budget_exhausted,
         )

@@ -400,8 +400,9 @@ class Interpreter:
     def transitions(self, state: State) -> List[Transition]:
         """All transitions enabled in *state*, in deterministic order."""
         result: List[Transition] = []
+        append_proc = self._append_process_transitions
         for pid in range(self.n_procs):
-            self._append_process_transitions(state, pid, result)
+            append_proc(state, pid, result)
         return result
 
     def successors(self, state: State) -> List[State]:
@@ -452,58 +453,66 @@ class Interpreter:
         if not edges:
             return
         else_edges: List[CEdge] = []
-        n_before = len(out)
         any_enabled = False
         frames = state.frames
         globals_ = state.globals_
+        # Successor generation is the model checker's hot loop: bind the
+        # method and builtin lookups to locals once, outside the loop.
+        out_append = out.append
+        truthy_ = truthy
+        step_local = self._step_local
+        step_assign = self._step_assign
+        step_assert = self._step_assert
+        step_dstep = self._step_dstep
+        append_send = self._append_send
+        append_buffered_recv = self._append_buffered_recv
+        rendezvous_ready = self._rendezvous_sender_ready
         for ce in edges:
             kind = ce.kind
             if kind == _K_ELSE:
                 else_edges.append(ce)
                 continue
             if kind == _K_GUARD:
-                if truthy(ce.guard(frames, globals_)):
+                if truthy_(ce.guard(frames, globals_)):
                     any_enabled = True
-                    out.append(self._step_local(state, ce, "local"))
+                    out_append(step_local(state, ce, "local"))
             elif kind == _K_ASSIGN:
                 any_enabled = True
-                out.append(self._step_assign(state, ce))
+                out_append(step_assign(state, ce))
             elif kind == _K_SKIP:
                 any_enabled = True
-                out.append(self._step_local(state, ce, "local"))
+                out_append(step_local(state, ce, "local"))
             elif kind == _K_ASSERT:
                 any_enabled = True
-                out.append(self._step_assert(state, ce))
+                out_append(step_assert(state, ce))
             elif kind == _K_DSTEP:
-                t = self._step_dstep(state, ce)
+                t = step_dstep(state, ce)
                 if t is not None:
                     any_enabled = True
-                    out.append(t)
+                    out_append(t)
             elif kind == _K_SEND:
-                if self._append_send(state, ce, out):
+                if append_send(state, ce, out):
                     any_enabled = True
             elif kind == _K_RECV:
                 if ce.chan.is_rendezvous:
                     # Handshakes fire from the sender's side; a ready
                     # sender still suppresses `else`.
-                    if not any_enabled and else_edges is not None:
-                        if self._rendezvous_sender_ready(state, ce):
-                            any_enabled = True
+                    if not any_enabled and rendezvous_ready(state, ce):
+                        any_enabled = True
                 else:
-                    if self._append_buffered_recv(state, ce, out):
+                    if append_buffered_recv(state, ce, out):
                         any_enabled = True
         if else_edges and not any_enabled:
             # Re-check rendezvous receives that were skipped above only
             # when any_enabled was already true at that point.
             for ce in edges:
                 if ce.kind == _K_RECV and ce.chan.is_rendezvous:
-                    if self._rendezvous_sender_ready(state, ce):
+                    if rendezvous_ready(state, ce):
                         any_enabled = True
                         break
         if else_edges and not any_enabled:
             for ce in else_edges:
-                out.append(self._step_local(state, ce, "else"))
-        del n_before
+                out_append(step_local(state, ce, "else"))
 
     # -- step builders -------------------------------------------------------
 
@@ -622,10 +631,13 @@ class Interpreter:
         # Rendezvous: pair with every ready matching receiver.
         produced = False
         chan_idx = chan.index
+        recv_index = self._recv_index
+        state_locs = state.locs
+        sender_pid = ce.pid
         for rpid in range(self.n_procs):
-            if rpid == ce.pid:
+            if rpid == sender_pid:
                 continue
-            recv_edges = self._recv_index[rpid][state.locs[rpid]].get(chan_idx)
+            recv_edges = recv_index[rpid][state_locs[rpid]].get(chan_idx)
             if not recv_edges:
                 continue
             for re_ in recv_edges:
@@ -725,13 +737,17 @@ class Interpreter:
         globals_ = state.globals_
         if recv_ce.when is not None and not truthy(recv_ce.when(frames, globals_)):
             return False
+        cedges = self.cedges
+        state_locs = state.locs
+        recv_pid = recv_ce.pid
+        patterns = recv_ce.patterns
         for spid in range(self.n_procs):
-            if spid == recv_ce.pid:
+            if spid == recv_pid:
                 continue
-            for se in self.cedges[spid][state.locs[spid]]:
+            for se in cedges[spid][state_locs[spid]]:
                 if se.kind != _K_SEND or se.chan is not chan:
                     continue
                 msg = tuple(fn(frames, globals_) for fn in se.args)
-                if _match(recv_ce.patterns, msg, frames, globals_):
+                if _match(patterns, msg, frames, globals_):
                     return True
         return False

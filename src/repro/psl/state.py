@@ -32,21 +32,32 @@ class State(NamedTuple):
 
 
 def tuple_set(t: tuple, index: int, value) -> tuple:
-    """Return a copy of *t* with ``t[index]`` replaced by *value*."""
-    return t[:index] + (value,) + t[index + 1:]
+    """Return a copy of *t* with ``t[index]`` replaced by *value*.
+
+    Implemented as a single list copy plus one slot write — one pass
+    over the tuple instead of the two slice copies and two
+    concatenations of ``t[:i] + (v,) + t[i+1:]``.
+    """
+    items = list(t)
+    items[index] = value
+    return tuple(items)
 
 
 def with_loc(state: State, pid: int, loc: int) -> State:
-    return state._replace(locs=tuple_set(state.locs, pid, loc))
+    return State(tuple_set(state.locs, pid, loc), state.frames,
+                 state.chans, state.globals_)
 
 
 def with_frame(state: State, pid: int, frame: Tuple[Value, ...]) -> State:
-    return state._replace(frames=tuple_set(state.frames, pid, frame))
+    return State(state.locs, tuple_set(state.frames, pid, frame),
+                 state.chans, state.globals_)
 
 
 def with_chan(state: State, index: int, contents: Tuple[Message, ...]) -> State:
-    return state._replace(chans=tuple_set(state.chans, index, contents))
+    return State(state.locs, state.frames,
+                 tuple_set(state.chans, index, contents), state.globals_)
 
 
 def with_global(state: State, index: int, value: Value) -> State:
-    return state._replace(globals_=tuple_set(state.globals_, index, value))
+    return State(state.locs, state.frames, state.chans,
+                 tuple_set(state.globals_, index, value))

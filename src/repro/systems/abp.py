@@ -22,6 +22,7 @@ checked; message loss means delivery is not guaranteed).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import List
 
 from ..core import (
@@ -176,11 +177,19 @@ def build_abp(
     return arch
 
 
+def _delivered_equals(messages: int, v) -> bool:
+    return v.global_("delivered") == messages
+
+
 def abp_delivery_prop(messages: int = 1) -> Prop:
-    """The goal state for resilience sweeps: every payload delivered."""
+    """The goal state for resilience sweeps: every payload delivered.
+
+    Built from a module-level predicate via ``functools.partial`` so the
+    prop pickles — required for ``verify_resilience(jobs=N)``.
+    """
     return global_prop(
         "all delivered",
-        lambda v: v.global_("delivered") == messages,
+        partial(_delivered_equals, messages),
         "delivered",
     )
 

@@ -82,24 +82,25 @@ BLUE_ON = "blue_on_bridge"
 RED_ON = "red_on_bridge"
 
 
+# Module-level predicates (rather than lambdas) keep the props picklable,
+# which is what lets `verify_resilience(jobs=N)` ship them to worker
+# processes.
+def _no_opposing_cars(v) -> bool:
+    return not (v.global_(BLUE_ON) > 0 and v.global_(RED_ON) > 0)
+
+
+def _opposing_cars(v) -> bool:
+    return v.global_(BLUE_ON) > 0 and v.global_(RED_ON) > 0
+
+
 def bridge_safety_prop() -> Prop:
     """No cars travelling in opposite directions on the bridge at once."""
-    return global_prop(
-        "bridge_safe",
-        lambda v: not (v.global_(BLUE_ON) > 0 and v.global_(RED_ON) > 0),
-        BLUE_ON,
-        RED_ON,
-    )
+    return global_prop("bridge_safe", _no_opposing_cars, BLUE_ON, RED_ON)
 
 
 def crash_prop() -> Prop:
     """The negation of safety — used to locate crash states explicitly."""
-    return global_prop(
-        "bridge_crash",
-        lambda v: v.global_(BLUE_ON) > 0 and v.global_(RED_ON) > 0,
-        BLUE_ON,
-        RED_ON,
-    )
+    return global_prop("bridge_crash", _opposing_cars, BLUE_ON, RED_ON)
 
 
 def _car_component(name: str, on_var: str, trips: int) -> Component:

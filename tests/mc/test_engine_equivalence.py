@@ -1,0 +1,259 @@
+"""Differential suite: the shared engine vs fresh-interpreter runs.
+
+Every checker accepts either a ``System`` (a fresh interpreter is built
+and the space re-explored) or a shared :class:`~repro.mc.engine.StateGraph`
+(interned states + memoized transition relation).  These tests pin the
+engine-overhaul contract across every ``repro.systems`` case study:
+
+* identical verdicts, messages, and shortest counterexamples;
+* identical state/transition/expansion statistics;
+* whether the graph is cold, pre-warmed by a different checker, or
+  reused for a second run;
+* whether a resilience sweep runs serially or over a process pool.
+"""
+
+import pytest
+
+from repro.core import ModelLibrary, verify_resilience
+from repro.core.channels import CHANNEL_SPECS
+from repro.core.ports import SEND_PORT_SPECS
+from repro.mc import (
+    StateGraph,
+    check_ltl,
+    check_safety,
+    check_safety_por,
+    count_states,
+    find_state,
+)
+from repro.systems.abp import abp_delivery_prop, abp_fault_scenarios, build_abp
+from repro.systems.bridge import (
+    BridgeConfig,
+    bridge_fault_scenarios,
+    bridge_safety_prop,
+    build_exactly_n_bridge,
+    crash_prop,
+    fix_exactly_n_bridge,
+)
+from repro.systems.gas_station import all_fueled_prop, build_gas_station
+from repro.systems.producer_consumer import simple_pair
+from repro.systems.pubsub import build_pubsub
+from repro.systems.rpc import build_rpc
+
+
+def _bridge_fixed():
+    arch = fix_exactly_n_bridge(
+        build_exactly_n_bridge(BridgeConfig(1, 1, trips=1)))
+    return arch.to_system(fused=True)
+
+
+def _bridge_initial():
+    return build_exactly_n_bridge(
+        BridgeConfig(1, 1, trips=1)).to_system(fused=True)
+
+
+def _producer_consumer():
+    return simple_pair(SEND_PORT_SPECS[0], CHANNEL_SPECS[0],
+                       messages=2).to_system(fused=True)
+
+
+def _gas_station():
+    return build_gas_station(customers=2).to_system(fused=True)
+
+
+def _pubsub():
+    return build_pubsub().to_system(fused=True)
+
+
+def _rpc():
+    return build_rpc().to_system(fused=True)
+
+
+def _abp():
+    return build_abp(messages=1, max_sends=2,
+                     receiver_polls=2).to_system(fused=True)
+
+
+#: (system factory, invariants factory, check_deadlock) per case study.
+CASES = [
+    pytest.param(_bridge_fixed, lambda: [bridge_safety_prop()], True,
+                 id="bridge-fixed"),
+    pytest.param(_bridge_initial, lambda: [bridge_safety_prop()], False,
+                 id="bridge-initial"),
+    pytest.param(_producer_consumer, lambda: [], True,
+                 id="producer-consumer"),
+    pytest.param(_gas_station, lambda: [], True, id="gas-station"),
+    pytest.param(_pubsub, lambda: [], True, id="pubsub"),
+    pytest.param(_rpc, lambda: [], True, id="rpc"),
+    pytest.param(_abp, lambda: [], False, id="abp"),
+]
+
+
+def _assert_same_trace(cached, fresh):
+    if fresh is None or cached is None:
+        assert cached is None and fresh is None
+        return
+    assert len(cached) == len(fresh)
+    assert [s.label for s in cached.steps] == [s.label for s in fresh.steps]
+    assert cached.initial == fresh.initial
+    if len(fresh) > 0:
+        assert cached.final_state == fresh.final_state
+
+
+def _assert_same_result(cached, fresh):
+    assert cached.ok == fresh.ok
+    assert cached.kind == fresh.kind
+    assert cached.message == fresh.message
+    assert cached.stats.states_stored == fresh.stats.states_stored
+    assert cached.stats.transitions == fresh.stats.transitions
+    assert cached.stats.states_expanded == fresh.stats.states_expanded
+    _assert_same_trace(cached.trace, fresh.trace)
+
+
+@pytest.mark.parametrize("build,invariants,check_deadlock", CASES)
+def test_safety_and_counting_match_fresh_runs(build, invariants,
+                                              check_deadlock):
+    """Cold, warm, and re-used graphs all reproduce the fresh verdicts."""
+    fresh_count = count_states(build())
+    fresh = check_safety(build(), invariants=invariants(),
+                         check_deadlock=check_deadlock)
+
+    graph = StateGraph(build())
+    cold = check_safety(graph, invariants=invariants(),
+                        check_deadlock=check_deadlock)
+    # The graph now holds (at least) every state the sweep visited; both
+    # re-runs below must reuse the cache yet report identical numbers.
+    warm = check_safety(graph, invariants=invariants(),
+                        check_deadlock=check_deadlock)
+    warm_count = count_states(graph)
+
+    _assert_same_result(cold, fresh)
+    _assert_same_result(warm, fresh)
+    assert warm_count.states_stored == fresh_count.states_stored
+    assert warm_count.transitions == fresh_count.transitions
+    assert warm_count.states_expanded == fresh_count.states_expanded
+
+
+#: (system factory, goal prop factory, reachable?) for witness searches.
+GOAL_CASES = [
+    pytest.param(_bridge_initial, crash_prop, True, id="bridge-crash"),
+    pytest.param(_bridge_fixed, crash_prop, False, id="bridge-fixed-no-crash"),
+    pytest.param(_abp, lambda: abp_delivery_prop(messages=1), True,
+                 id="abp-delivery"),
+    pytest.param(_gas_station, lambda: all_fueled_prop(customers=2), True,
+                 id="gas-all-fueled"),
+]
+
+
+@pytest.mark.parametrize("build,goal,reachable", GOAL_CASES)
+def test_find_state_matches_fresh_runs(build, goal, reachable):
+    fresh = find_state(build(), goal())
+    graph = StateGraph(build())
+    count_states(graph)  # fully warm the transition cache first
+    cached = find_state(graph, goal())
+    if not reachable:
+        assert fresh is None and cached is None
+        return
+    assert fresh is not None and cached is not None
+    assert len(cached) == len(fresh)  # shortest-witness length is preserved
+    assert [s.label for s in cached.steps] == [s.label for s in fresh.steps]
+    assert cached.final_state == fresh.final_state
+
+
+@pytest.mark.parametrize("build,holds", [
+    pytest.param(_bridge_fixed, True, id="bridge-fixed"),
+    pytest.param(_bridge_initial, False, id="bridge-initial"),
+])
+def test_ltl_matches_fresh_runs(build, holds):
+    props = {"safe": bridge_safety_prop()}
+    fresh = check_ltl(build(), "G safe", props)
+    graph = StateGraph(build())
+    check_safety(graph, check_deadlock=False)  # warm via a different checker
+    cached = check_ltl(graph, "G safe", props)
+    assert fresh.ok == cached.ok == holds
+    assert cached.message == fresh.message
+    _assert_same_trace(cached.trace, fresh.trace)
+
+
+@pytest.mark.parametrize("build,invariants,check_deadlock", CASES)
+def test_por_matches_fresh_runs(build, invariants, check_deadlock):
+    """POR on a warm shared graph gives the verdict of a fresh POR run."""
+    fresh = check_safety_por(build(), invariants=invariants(),
+                             check_deadlock=check_deadlock)
+    graph = StateGraph(build())
+    count_states(graph)  # cached full relation feeds the ample-set filter
+    cached = check_safety_por(graph, invariants=invariants(),
+                              check_deadlock=check_deadlock)
+    assert cached.ok == fresh.ok
+    assert cached.kind == fresh.kind
+    assert cached.stats.states_stored == fresh.stats.states_stored
+    assert cached.stats.transitions == fresh.stats.transitions
+    _assert_same_trace(cached.trace, fresh.trace)
+
+
+class TestParallelResilience:
+    """jobs=N must reproduce the serial sweep verdict-for-verdict."""
+
+    def _sweep(self, jobs):
+        # The fault channels inflate the abp space well past what a unit
+        # test should sweep; the state budget keeps the faulted scenarios
+        # cheap *and* pins that budget-bounded UNKNOWN verdicts cross the
+        # process pool identically (the baseline stays complete/robust).
+        return verify_resilience(
+            build_abp(messages=1, max_sends=2, receiver_polls=2),
+            faults=abp_fault_scenarios()[:2],
+            goal=abp_delivery_prop(messages=1),
+            check_deadlock=False,
+            library=ModelLibrary(),
+            max_states=20_000,
+            fused=True,
+            jobs=jobs,
+        )
+
+    def test_parallel_matches_serial(self):
+        serial = self._sweep(jobs=1)
+        parallel = self._sweep(jobs=2)
+        assert serial.scenario("baseline").verdict == "robust"
+        assert [s.name for s in parallel] == [s.name for s in serial]
+        assert [s.verdict for s in parallel] == [s.verdict for s in serial]
+        assert [s.detail for s in parallel] == [s.detail for s in serial]
+        assert ([s.safety.stats.states_stored for s in parallel]
+                == [s.safety.stats.states_stored for s in serial])
+        assert ([s.safety.stats.transitions for s in parallel]
+                == [s.safety.stats.transitions for s in serial])
+        for p, s in zip(parallel, serial):
+            _assert_same_trace(p.trace, s.trace)
+
+    def test_parallel_bridge_matches_serial(self):
+        kwargs = dict(
+            faults=bridge_fault_scenarios(),
+            invariants=[bridge_safety_prop()],
+            fused=True,
+        )
+        arch = fix_exactly_n_bridge(build_exactly_n_bridge())
+        serial = verify_resilience(arch, jobs=1, library=ModelLibrary(),
+                                   **kwargs)
+        parallel = verify_resilience(arch, jobs=2, library=ModelLibrary(),
+                                     **kwargs)
+        assert [s.verdict for s in parallel] == [s.verdict for s in serial]
+        assert [s.detail for s in parallel] == [s.detail for s in serial]
+        assert ([s.safety.stats.states_stored for s in parallel]
+                == [s.safety.stats.states_stored for s in serial])
+
+    def test_unpicklable_goal_falls_back_to_serial(self):
+        from repro.mc import global_prop
+        # A lambda prop cannot cross a process boundary; the sweep must
+        # silently fall back to the serial path and still be correct.
+        lam = global_prop("delivered", lambda v: v.global_("delivered") == 1,
+                          "delivered")
+        report = verify_resilience(
+            build_abp(messages=1, max_sends=2, receiver_polls=2),
+            faults=abp_fault_scenarios()[:1],
+            goal=lam,
+            check_deadlock=False,
+            max_states=20_000,
+            fused=True,
+            jobs=4,
+        )
+        assert len(report.scenarios) == 2  # baseline + 1 fault
+        assert report.ok
+        assert report.scenario("baseline").verdict == "robust"

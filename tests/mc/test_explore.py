@@ -3,6 +3,7 @@
 import pytest
 
 from repro.mc import (
+    StateGraph,
     StateLimitExceeded,
     VIOLATION_ASSERTION,
     VIOLATION_DEADLOCK,
@@ -209,6 +210,47 @@ class TestCountAndLimits:
                          check_deadlock=False, max_states=10**6)
         assert not r.ok
         assert not r.incomplete
+
+
+class TestBudgetAccounting:
+    """Regression tests for the check-before-pop budget fix.
+
+    Historically ``sweep_safety`` checked the budget *after* popping a
+    frontier state, so the popped state was dropped unexpanded and the
+    partial statistics undercounted its transitions.  The invariant
+    pinned here: every state the sweep pops is fully expanded, so the
+    graph's transition cache holds exactly ``states_expanded`` entries
+    and the transition tally equals the sum of their out-degrees.
+    """
+
+    def test_partial_stats_match_expanded_states(self):
+        graph = StateGraph(counter_system(1000))
+        report = sweep_safety(graph, max_states=25, check_deadlock=False)
+        assert report.incomplete
+        stats = report.stats
+        expanded = [sid for sid in range(len(graph.store))
+                    if graph.cache.peek(sid) is not None]
+        assert stats.states_expanded == len(expanded)
+        assert stats.states_expanded == graph.n_states_expanded
+        assert stats.transitions == sum(
+            len(graph.cache.peek(sid)) for sid in expanded)
+
+    def test_zero_time_budget_expands_nothing(self):
+        # An immediately exhausted budget must not pop (and silently
+        # drop) the initial frontier state.
+        graph = StateGraph(counter_system(1000))
+        report = sweep_safety(graph, max_seconds=0.0)
+        assert report.incomplete
+        assert report.budget_exhausted == "time budget"
+        assert report.stats.states_expanded == 0
+        assert report.stats.transitions == 0
+        assert len(graph.cache) == 0
+
+    def test_complete_sweep_expands_every_stored_state(self):
+        report = sweep_safety(counter_system(30))
+        assert not report.incomplete
+        assert report.stats.states_expanded == report.stats.states_stored
+        assert report.stats.states_expanded > 0
 
 
 class TestFindState:
