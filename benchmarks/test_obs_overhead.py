@@ -1,0 +1,187 @@
+"""T-obs — instrumentation overhead of the observability layer.
+
+The event stream threads a ``reporter`` hook through every checker hot
+loop (``repro.mc.explore``, ``ndfs``, ``por``, ``engine``).  The design
+contract is that the *disabled* path — ``reporter=None``, the default —
+costs a single ``obs is not None`` test per expansion and nothing else:
+no event objects, no timestamps, no attribute lookups.
+
+This module keeps that contract honest.  It re-runs the two shared-graph
+workloads recorded in ``BENCH_engine.json`` (the pre-instrumentation
+engine baseline) with ``reporter=None`` and asserts the min-of-N time is
+within **3%** of the recorded baseline.  It also measures what attaching
+a reporter actually costs (null, collecting, and JSONL-to-devnull), and
+appends everything to ``BENCH_obs.json`` for the trajectory.
+
+Run:  pytest benchmarks/test_obs_overhead.py --benchmark-disable -q
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import record
+
+from repro.mc import (
+    StateGraph,
+    check_safety,
+    count_states,
+    find_state,
+    global_prop,
+)
+from repro.obs import CollectingReporter, JsonlReporter, NullReporter
+from repro.systems.abp import abp_delivery_prop, build_abp
+from repro.systems.gas_station import all_fueled_prop, build_gas_station
+
+ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = ROOT / "BENCH_engine.json"
+BENCH_PATH = ROOT / "BENCH_obs.json"
+
+#: The acceptance budget: disabled instrumentation may cost at most
+#: this fraction of the recorded pre-instrumentation time.
+OVERHEAD_BUDGET = 0.03
+
+
+def _record_json(workload: str, payload: dict) -> None:
+    data = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data.setdefault("benchmark", "T-obs")
+    data["date"] = time.strftime("%Y-%m-%d")
+    data["cpu_count"] = os.cpu_count()
+    data.setdefault("workloads", {})[workload] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _baseline(workload: str) -> float:
+    """The recorded shared-graph seconds from the engine benchmark."""
+    data = json.loads(BASELINE_PATH.read_text())
+    return data["workloads"][workload]["shared_seconds"]
+
+
+def _best_of(fn, rounds: int) -> float:
+    """Min-of-N wall time: the standard way to strip scheduling noise."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# --- the two baseline workloads, parameterized by reporter ------------
+
+def _scenario_workload(reporter=None):
+    """BENCH_engine.json's ``scenario_safety_plus_goal``: one shared
+    graph answering a safety sweep plus an (unreachable) goal search."""
+    graph = StateGraph(build_abp(
+        messages=1, max_sends=2, receiver_polls=2).to_system(fused=True))
+    safety = check_safety(graph, check_deadlock=False, reporter=reporter)
+    witness = find_state(graph, abp_delivery_prop(messages=2),
+                         reporter=reporter)
+    assert safety.ok and witness is None
+    return safety
+
+
+def _multiprop_workload(reporter=None):
+    """BENCH_engine.json's ``multi_property_reuse``: five checks over
+    one shared gas-station graph."""
+    fueled_bound = global_prop(
+        "fueled_bound", lambda v: v.global_("fueled_0") in (0, 1),
+        "fueled_0")
+    served_bound = global_prop(
+        "served_bound", lambda v: v.global_("fueled_1") in (0, 1),
+        "fueled_1")
+    graph = StateGraph(build_gas_station(
+        customers=2, selective_delivery=True).to_system(fused=True))
+    check_safety(graph, reporter=reporter)
+    check_safety(graph, invariants=[fueled_bound], reporter=reporter)
+    check_safety(graph, invariants=[served_bound], check_deadlock=False,
+                 reporter=reporter)
+    find_state(graph, all_fueled_prop(customers=2), reporter=reporter)
+    return count_states(graph, reporter=reporter)
+
+
+def _overhead_payload(workload: str, seconds: float) -> dict:
+    baseline = _baseline(workload)
+    overhead = seconds / baseline - 1.0
+    return {
+        "baseline_engine_seconds": baseline,
+        "no_reporter_seconds": round(seconds, 3),
+        "overhead_pct": round(100 * overhead, 2),
+        "budget_pct": 100 * OVERHEAD_BUDGET,
+    }
+
+
+def test_no_reporter_overhead_scenario(benchmark):
+    """Disabled instrumentation on the safety+goal workload: <= 3%."""
+    seconds = benchmark.pedantic(
+        lambda: _best_of(_scenario_workload, rounds=7),
+        rounds=1, iterations=1)
+    payload = _overhead_payload("scenario_safety_plus_goal", seconds)
+    record(benchmark, **payload)
+    _record_json("no_reporter_scenario", payload)
+    assert seconds <= _baseline("scenario_safety_plus_goal") * (
+        1 + OVERHEAD_BUDGET), (
+        f"reporter=None costs {payload['overhead_pct']}% "
+        f"over the engine baseline (budget {100 * OVERHEAD_BUDGET}%)")
+
+
+def test_no_reporter_overhead_multiprop(benchmark):
+    """Disabled instrumentation on the five-check workload: <= 3%."""
+    seconds = benchmark.pedantic(
+        lambda: _best_of(_multiprop_workload, rounds=3),
+        rounds=1, iterations=1)
+    payload = _overhead_payload("multi_property_reuse", seconds)
+    record(benchmark, **payload)
+    _record_json("no_reporter_multiprop", payload)
+    assert seconds <= _baseline("multi_property_reuse") * (
+        1 + OVERHEAD_BUDGET), (
+        f"reporter=None costs {payload['overhead_pct']}% "
+        f"over the engine baseline (budget {100 * OVERHEAD_BUDGET}%)")
+
+
+def test_attached_reporter_costs(benchmark):
+    """What turning instrumentation *on* costs, for the record.
+
+    Attached reporters do allocate events, so no 3% promise here — the
+    numbers go to BENCH_obs.json so regressions are visible.  The
+    interval keeps progress-event volume proportional to the state
+    count; a sanity bound catches accidental per-transition emission.
+    """
+    plain = _best_of(_scenario_workload, rounds=5)
+
+    def with_null():
+        _scenario_workload(reporter=NullReporter())
+
+    def with_collecting():
+        _scenario_workload(reporter=CollectingReporter(interval=1000))
+
+    def with_jsonl():
+        with open(os.devnull, "w", encoding="utf-8") as sink:
+            _scenario_workload(reporter=JsonlReporter(sink, interval=1000))
+
+    null_s = _best_of(with_null, rounds=5)
+    collecting_s = _best_of(with_collecting, rounds=5)
+    jsonl_s = benchmark.pedantic(
+        lambda: _best_of(with_jsonl, rounds=5), rounds=1, iterations=1)
+
+    payload = {
+        "no_reporter_seconds": round(plain, 3),
+        "null_reporter_seconds": round(null_s, 3),
+        "collecting_reporter_seconds": round(collecting_s, 3),
+        "jsonl_reporter_seconds": round(jsonl_s, 3),
+        "null_overhead_pct": round(100 * (null_s / plain - 1), 2),
+        "collecting_overhead_pct": round(
+            100 * (collecting_s / plain - 1), 2),
+        "jsonl_overhead_pct": round(100 * (jsonl_s / plain - 1), 2),
+    }
+    record(benchmark, **payload)
+    _record_json("attached_reporters", payload)
+    # Attached reporters stay within 2x of the silent run: events are
+    # emitted per interval, never per transition.
+    assert max(null_s, collecting_s, jsonl_s) <= plain * 2.0

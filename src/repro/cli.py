@@ -3,6 +3,13 @@
 Commands:
 
 * ``catalog`` — print the building-block library (the paper's Figure 1);
+* ``verify {bridge | abp} [--report PATH] [--progress]
+  [--log-jsonl PATH]`` — verify a case study and optionally write a
+  self-contained run report (verdict, statistics, counterexample MSC,
+  block-level explanation);
+* ``report PATH [--format {md,html,json}] [--out FILE]`` — re-render a
+  saved run report (renders are pure functions of the JSON payload, so
+  re-rendering is byte-identical);
 * ``bridge [--variant V] [--cars N] [--trips T] [--composed]
   [--max-states S] [--max-seconds T]`` — build and verify one of the
   single-lane-bridge designs;
@@ -17,6 +24,11 @@ Commands:
 * ``graph {block KIND | bridge} [--out FILE]`` — emit Graphviz/DOT for
   a block's state machine or the bridge topology.
 
+``verify``, ``bridge``, and ``resilience`` all take the observability
+flags ``--progress`` (live status line on stderr), ``--log-jsonl PATH``
+(append engine events as JSON lines), and ``--report PATH`` (write a
+run report; ``.json`` is the canonical re-renderable format).
+
 The CLI is a thin veneer over the library — everything it does is two
 or three calls on the public API.
 
@@ -28,7 +40,50 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--progress", action="store_true",
+                   help="live progress line on stderr while exploring")
+    p.add_argument("--log-jsonl", metavar="PATH", default=None,
+                   help="append engine events to PATH, one JSON object "
+                        "per line")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write a self-contained run report; .json is "
+                        "canonical (re-render with 'repro report'), "
+                        ".md/.html save renderings directly")
+
+
+def _build_reporter(args: argparse.Namespace) -> Tuple[object, object]:
+    """Assemble the reporter stack the observability flags ask for.
+
+    Returns ``(reporter, collector)``; ``collector`` buffers the event
+    stream for ``--report`` and is None unless that flag was given.
+    """
+    reporters = []
+    collector = None
+    if getattr(args, "progress", False):
+        from repro.obs import ProgressReporter
+        reporters.append(ProgressReporter())
+    if getattr(args, "log_jsonl", None):
+        from repro.obs import JsonlReporter
+        reporters.append(JsonlReporter(args.log_jsonl))
+    if getattr(args, "report", None):
+        from repro.obs import CollectingReporter
+        collector = CollectingReporter()
+        reporters.append(collector)
+    if not reporters:
+        return None, None
+    if len(reporters) == 1:
+        return reporters[0], collector
+    from repro.obs import TeeReporter
+    return TeeReporter(reporters), collector
+
+
+def _command_line(args: argparse.Namespace) -> str:
+    """The invocation recorded in run reports."""
+    return "repro " + " ".join(getattr(args, "argv", []))
 
 
 def _cmd_catalog(args: argparse.Namespace) -> int:
@@ -37,11 +92,9 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bridge(args: argparse.Namespace) -> int:
-    from repro.core import verify_safety
+def _bridge_arch(args: argparse.Namespace):
     from repro.systems.bridge import (
         BridgeConfig,
-        bridge_safety_prop,
         build_at_most_n_bridge,
         build_exactly_n_bridge,
         fix_exactly_n_bridge,
@@ -50,75 +103,179 @@ def _cmd_bridge(args: argparse.Namespace) -> int:
     config = BridgeConfig(cars_per_side=args.cars, n_per_turn=args.n,
                           trips=args.trips)
     if args.variant == "initial":
-        arch = build_exactly_n_bridge(config)
-    elif args.variant == "fixed":
-        arch = fix_exactly_n_bridge(build_exactly_n_bridge(config))
-    else:
-        arch = build_at_most_n_bridge(config)
-    print(arch.describe())
-    report = verify_safety(
-        arch,
-        invariants=[bridge_safety_prop()],
-        check_deadlock=args.variant != "initial",
-        fused=not args.composed,
-        max_states=args.max_states,
-        max_seconds=args.max_seconds,
+        return build_exactly_n_bridge(config)
+    if args.variant == "fixed":
+        return fix_exactly_n_bridge(build_exactly_n_bridge(config))
+    return build_at_most_n_bridge(config)
+
+
+def _write_verification_report(args: argparse.Namespace, arch, system,
+                               result, collector) -> None:
+    from repro.obs.report import RunReport
+    run = RunReport.from_verification(
+        arch, system, result,
+        command=_command_line(args),
+        events=collector.events if collector is not None else None,
     )
-    print()
-    print(report.summary())
-    stats = report.result.stats
-    print(f"throughput: {stats.states_per_second:,.0f} states/s, "
-          f"peak frontier ≈ {stats.peak_frontier_bytes} bytes")
-    if not report.ok and report.result.trace is not None:
-        from repro.core import explain_trace
-        print("\ncounterexample:")
-        system = arch.to_system(fused=not args.composed)
-        print(explain_trace(report.result.trace, arch, system, max_steps=20))
+    run.save(args.report)
+    print(f"report written to {args.report}")
+
+
+def _cmd_bridge(args: argparse.Namespace) -> int:
+    from repro.core import verify_safety
+    from repro.systems.bridge import bridge_safety_prop
+
+    arch = _bridge_arch(args)
+    print(arch.describe())
+    reporter, collector = _build_reporter(args)
+    try:
+        report = verify_safety(
+            arch,
+            invariants=[bridge_safety_prop()],
+            check_deadlock=args.variant != "initial",
+            fused=not args.composed,
+            max_states=args.max_states,
+            max_seconds=args.max_seconds,
+            reporter=reporter,
+        )
+        print()
+        print(report.summary())
+        stats = report.result.stats
+        print(f"throughput: {stats.states_per_second:,.0f} states/s, "
+              f"peak frontier ≈ {stats.peak_frontier_bytes} bytes")
+        if not report.ok and report.result.trace is not None:
+            from repro.core import explain_trace
+            print("\ncounterexample:")
+            system = arch.to_system(fused=not args.composed)
+            print(explain_trace(report.result.trace, arch, system,
+                                max_steps=20))
+        if args.report:
+            system = arch.to_system(fused=not args.composed)
+            _write_verification_report(args, arch, system, report.result,
+                                       collector)
+    finally:
+        if reporter is not None:
+            reporter.close()
     if report.result.incomplete:
         return 2
     return 0 if report.ok == (args.variant != "initial") else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core import verify_safety
+
+    if args.system == "bridge":
+        from repro.systems.bridge import bridge_safety_prop
+        arch = _bridge_arch(args)
+        invariants = [bridge_safety_prop()]
+        check_deadlock = args.variant != "initial"
+        expect_ok = args.variant != "initial"
+    else:
+        from repro.systems.abp import build_abp
+        arch = build_abp(messages=1, max_sends=2, receiver_polls=2)
+        invariants = []
+        check_deadlock = False  # bounded polls terminate by design
+        expect_ok = True
+    fused = not args.composed
+    reporter, collector = _build_reporter(args)
+    try:
+        report = verify_safety(
+            arch,
+            invariants=invariants,
+            check_deadlock=check_deadlock,
+            fused=fused,
+            max_states=args.max_states,
+            max_seconds=args.max_seconds,
+            reporter=reporter,
+        )
+        print(report.summary())
+        if args.report:
+            system = arch.to_system(fused=fused)
+            _write_verification_report(args, arch, system, report.result,
+                                       collector)
+    finally:
+        if reporter is not None:
+            reporter.close()
+    if report.result.incomplete:
+        return 2
+    return 0 if report.ok == expect_ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import RunReport
+
+    run = RunReport.load(args.path)
+    if args.format == "json":
+        text = run.to_json()
+    elif args.format == "html":
+        text = run.to_html()
+    else:
+        text = run.to_markdown()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
 
 
 def _cmd_resilience(args: argparse.Namespace) -> int:
     from repro.core import ModelLibrary, verify_resilience
 
     library = ModelLibrary()
-    if args.system == "abp":
-        from repro.systems.abp import (
-            abp_delivery_prop,
-            abp_fault_scenarios,
-            build_abp,
-        )
-        arch = build_abp(messages=1, max_sends=2, receiver_polls=2)
-        report = verify_resilience(
-            arch,
-            faults=abp_fault_scenarios(),
-            goal=abp_delivery_prop(messages=1),
-            check_deadlock=False,  # bounded polls terminate by design
-            library=library,
-            max_states=args.max_states,
-            max_seconds=args.max_seconds,
-            fused=True,
-            jobs=args.jobs,
-        )
-    else:
-        from repro.systems.bridge import (
-            bridge_fault_scenarios,
-            bridge_safety_prop,
-            build_exactly_n_bridge,
-            fix_exactly_n_bridge,
-        )
-        arch = fix_exactly_n_bridge(build_exactly_n_bridge())
-        report = verify_resilience(
-            arch,
-            faults=bridge_fault_scenarios(),
-            invariants=[bridge_safety_prop()],
-            library=library,
-            max_states=args.max_states,
-            max_seconds=args.max_seconds,
-            fused=True,
-            jobs=args.jobs,
-        )
+    reporter, collector = _build_reporter(args)
+    try:
+        if args.system == "abp":
+            from repro.systems.abp import (
+                abp_delivery_prop,
+                abp_fault_scenarios,
+                build_abp,
+            )
+            arch = build_abp(messages=1, max_sends=2, receiver_polls=2)
+            report = verify_resilience(
+                arch,
+                faults=abp_fault_scenarios(),
+                goal=abp_delivery_prop(messages=1),
+                check_deadlock=False,  # bounded polls terminate by design
+                library=library,
+                max_states=args.max_states,
+                max_seconds=args.max_seconds,
+                fused=True,
+                jobs=args.jobs,
+                reporter=reporter,
+            )
+        else:
+            from repro.systems.bridge import (
+                bridge_fault_scenarios,
+                bridge_safety_prop,
+                build_exactly_n_bridge,
+                fix_exactly_n_bridge,
+            )
+            arch = fix_exactly_n_bridge(build_exactly_n_bridge())
+            report = verify_resilience(
+                arch,
+                faults=bridge_fault_scenarios(),
+                invariants=[bridge_safety_prop()],
+                library=library,
+                max_states=args.max_states,
+                max_seconds=args.max_seconds,
+                fused=True,
+                jobs=args.jobs,
+                reporter=reporter,
+            )
+        if args.report:
+            from repro.obs.report import RunReport
+            run = RunReport.from_resilience(
+                arch, report, fused=True,
+                command=_command_line(args),
+                events=collector.events if collector is not None else None,
+            )
+            run.save(args.report)
+            print(f"report written to {args.report}")
+    finally:
+        if reporter is not None:
+            reporter.close()
     print(f"resilience sweep: {report.architecture}")
     print()
     print(report.table())
@@ -215,21 +372,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("catalog", help="print the block library (Figure 1)")
 
+    def _add_design_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--variant",
+                       choices=["initial", "fixed", "atmostn"],
+                       default="initial",
+                       help="bridge design variant (bridge only)")
+        p.add_argument("--cars", type=int, default=1,
+                       help="cars per side (default 1)")
+        p.add_argument("--n", type=int, default=1,
+                       help="cars per turn (default 1)")
+        p.add_argument("--trips", type=int, default=1,
+                       help="trips per car; 0 = cycle forever (default 1)")
+        p.add_argument("--composed", action="store_true",
+                       help="use composed block models instead of fused")
+        p.add_argument("--max-states", type=int, default=None,
+                       help="state budget; exceeding it yields exit code 2")
+        p.add_argument("--max-seconds", type=float, default=None,
+                       help="time budget; exceeding it yields exit code 2")
+
+    verify = sub.add_parser(
+        "verify", help="verify a case study, optionally writing a report")
+    verify.add_argument("system", choices=["bridge", "abp"],
+                        help="bridge: single-lane bridge (--variant picks "
+                             "the design); abp: alternating-bit protocol")
+    _add_design_flags(verify)
+    _add_obs_flags(verify)
+
+    rep = sub.add_parser(
+        "report", help="re-render a saved run report")
+    rep.add_argument("path", help="a .json report written by --report")
+    rep.add_argument("--format", choices=["md", "html", "json"],
+                     default="md", help="output format (default md)")
+    rep.add_argument("--out", default=None,
+                     help="write to a file instead of stdout")
+
     bridge = sub.add_parser("bridge", help="verify a single-lane bridge design")
-    bridge.add_argument("--variant", choices=["initial", "fixed", "atmostn"],
-                        default="initial")
-    bridge.add_argument("--cars", type=int, default=1,
-                        help="cars per side (default 1)")
-    bridge.add_argument("--n", type=int, default=1,
-                        help="cars per turn (default 1)")
-    bridge.add_argument("--trips", type=int, default=1,
-                        help="trips per car; 0 = cycle forever (default 1)")
-    bridge.add_argument("--composed", action="store_true",
-                        help="use composed block models instead of fused")
-    bridge.add_argument("--max-states", type=int, default=None,
-                        help="state budget; exceeding it yields exit code 2")
-    bridge.add_argument("--max-seconds", type=float, default=None,
-                        help="time budget; exceeding it yields exit code 2")
+    _add_design_flags(bridge)
+    _add_obs_flags(bridge)
 
     res = sub.add_parser(
         "resilience", help="sweep fault scenarios over a system")
@@ -244,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="verify scenarios in parallel over N worker "
                           "processes (default 1 = serial; falls back to "
                           "serial when the design does not pickle)")
+    _add_obs_flags(res)
 
     sweep = sub.add_parser("sweep", help="verify all port/channel combos")
     sweep.add_argument("--messages", type=int, default=2)
@@ -260,9 +440,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
     args = build_parser().parse_args(argv)
+    args.argv = argv  # recorded in run reports as the invocation line
     handlers = {
         "catalog": _cmd_catalog,
+        "verify": _cmd_verify,
+        "report": _cmd_report,
         "bridge": _cmd_bridge,
         "resilience": _cmd_resilience,
         "sweep": _cmd_sweep,

@@ -40,6 +40,14 @@ from ..mc.engine import StateGraph
 from ..mc.explore import check_safety, find_state
 from ..mc.props import Prop
 from ..mc.result import VIOLATION_DEADLOCK, Trace, VerificationResult
+from ..obs.events import (
+    EngineEvent,
+    scenario_finished,
+    scenario_started,
+    sweep_finished,
+    sweep_started,
+)
+from ..obs.reporters import CollectingReporter, Reporter, ScenarioScope
 from .architecture import Architecture
 from .channels import ChannelSpec
 from .ports import ReceivePortSpec, SendPortSpec
@@ -253,13 +261,18 @@ def _run_scenario(
     max_states: Optional[int],
     max_seconds: Optional[float],
     fused: bool,
+    reporter: Optional[Reporter] = None,
 ) -> ScenarioReport:
     """Verify one fault scenario; the unit of work for serial and parallel sweeps.
 
     The scenario's system is explored through a single shared
     :class:`~repro.mc.engine.StateGraph`, so the safety sweep and the
     goal-reachability search pay successor generation once between them.
+    Engine events go to ``reporter`` tagged with the scenario's name.
     """
+    scoped: Optional[Reporter] = None
+    if reporter is not None:
+        scoped = ScenarioScope(reporter, scenario.name)
     faulty = scenario.apply_to(architecture)
     hits0, misses0 = library.stats.hits, library.stats.misses
     t0 = time.perf_counter()
@@ -267,7 +280,7 @@ def _run_scenario(
     graph = StateGraph(system)
     result = check_safety(
         graph, invariants=invariants, check_deadlock=check_deadlock,
-        max_states=max_states, max_seconds=max_seconds,
+        max_states=max_states, max_seconds=max_seconds, reporter=scoped,
     )
 
     goal_verdict: Optional[str] = None
@@ -275,7 +288,7 @@ def _run_scenario(
     if goal is not None and result.ok and not result.incomplete:
         try:
             witness = find_state(graph, goal, max_states=max_states,
-                                 max_seconds=max_seconds)
+                                 max_seconds=max_seconds, reporter=scoped)
         except BudgetExceeded as exc:
             goal_verdict = UNKNOWN
             goal_detail = f"goal search stopped early: {exc}"
@@ -299,19 +312,29 @@ def _run_scenario(
     )
 
 
-def _run_scenario_task(payload: bytes) -> ScenarioReport:
+def _run_scenario_task(payload: bytes) -> Tuple[ScenarioReport, List[EngineEvent]]:
     """Process-pool entry point: unpickle one scenario's work and run it.
 
     Each worker builds a private :class:`ModelLibrary`, so the
     ``models_reused`` accounting in a parallel sweep reflects reuse
     *within* a scenario only; verdicts and traces are unaffected.
+
+    When the parent sweep has a reporter attached, its progress interval
+    travels in the payload; the worker buffers its events in a
+    :class:`~repro.obs.reporters.CollectingReporter` (events are plain
+    picklable data) and ships them back with the report, so the parent
+    can re-emit them in deterministic scenario order after the join.
     """
     (architecture, scenario, invariants, goal, check_deadlock,
-     deadlock_is_fatal, max_states, max_seconds, fused) = pickle.loads(payload)
-    return _run_scenario(
+     deadlock_is_fatal, max_states, max_seconds, fused,
+     interval) = pickle.loads(payload)
+    collector = None if interval is None else CollectingReporter(interval)
+    report = _run_scenario(
         architecture, scenario, invariants, goal, check_deadlock,
         deadlock_is_fatal, ModelLibrary(), max_states, max_seconds, fused,
+        reporter=collector,
     )
+    return report, ([] if collector is None else collector.events)
 
 
 def verify_resilience(
@@ -327,6 +350,7 @@ def verify_resilience(
     fused: bool = False,
     include_baseline: bool = True,
     jobs: int = 1,
+    reporter: Optional[Reporter] = None,
 ) -> ResilienceReport:
     """Sweep fault scenarios over a design and classify each outcome.
 
@@ -350,6 +374,12 @@ def verify_resilience(
     accounting changes (each worker holds a private library).  When the
     work does not pickle (e.g. a ``goal`` or invariant closing over a
     lambda) the sweep silently falls back to the serial path.
+
+    ``reporter`` receives the sweep's engine events.  The event sequence
+    is identical for serial and parallel sweeps: per scenario, in input
+    order, ``scenario_started``, the scenario's own run events (tagged
+    with its name), then ``scenario_finished`` — parallel workers buffer
+    their streams and the parent replays them after the join.
     """
     library = library if library is not None else ModelLibrary()
     report = ResilienceReport(architecture=architecture.name)
@@ -358,22 +388,47 @@ def verify_resilience(
     if include_baseline:
         scenarios.insert(0, FaultScenario("baseline", []))
 
+    def finish_sweep() -> ResilienceReport:
+        if reporter is not None:
+            reporter.emit(sweep_finished(
+                architecture.name, worst=report.worst, ok=report.ok,
+                complete=report.complete))
+        return report
+
+    if reporter is not None:
+        reporter.emit(sweep_started(
+            architecture.name, scenarios=len(scenarios), jobs=jobs))
+
     if jobs > 1 and len(scenarios) > 1:
         reports = _sweep_parallel(
             architecture, scenarios, invariants, goal, check_deadlock,
             deadlock_is_fatal, max_states, max_seconds, fused, jobs,
+            reporter,
         )
         if reports is not None:
             report.scenarios.extend(reports)
-            return report
+            return finish_sweep()
         # Unpicklable work or a broken pool: degrade to the serial sweep.
 
-    for scenario in scenarios:
-        report.scenarios.append(_run_scenario(
+    total = len(scenarios)
+    for index, scenario in enumerate(scenarios):
+        if reporter is not None:
+            reporter.emit(scenario_started(
+                scenario.name, faults=scenario.describe(),
+                index=index, total=total))
+        scen_report = _run_scenario(
             architecture, scenario, invariants, goal, check_deadlock,
             deadlock_is_fatal, library, max_states, max_seconds, fused,
-        ))
-    return report
+            reporter=reporter,
+        )
+        report.scenarios.append(scen_report)
+        if reporter is not None:
+            reporter.emit(scenario_finished(
+                scenario.name, verdict=scen_report.verdict,
+                detail=scen_report.detail,
+                states_stored=scen_report.safety.stats.states_stored,
+                seconds=scen_report.seconds))
+    return finish_sweep()
 
 
 def _sweep_parallel(
@@ -387,14 +442,24 @@ def _sweep_parallel(
     max_seconds: Optional[float],
     fused: bool,
     jobs: int,
+    reporter: Optional[Reporter] = None,
 ) -> Optional[List[ScenarioReport]]:
-    """Fan scenarios out over a process pool; ``None`` means fall back serial."""
+    """Fan scenarios out over a process pool; ``None`` means fall back serial.
+
+    Workers buffer their event streams; after the (order-preserving)
+    ``pool.map`` join the parent replays each scenario's buffer between
+    its ``scenario_started`` / ``scenario_finished`` brackets, so the
+    delivered sequence matches the serial sweep's exactly.
+    """
+    interval = None
+    if reporter is not None:
+        interval = int(getattr(reporter, "interval", 1000))
     try:
         payloads = [
             pickle.dumps((
                 architecture, scenario, tuple(invariants), goal,
                 check_deadlock, deadlock_is_fatal, max_states, max_seconds,
-                fused,
+                fused, interval,
             ))
             for scenario in scenarios
         ]
@@ -403,6 +468,22 @@ def _sweep_parallel(
     workers = min(jobs, len(scenarios))
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_run_scenario_task, payloads))
+            outcomes = list(pool.map(_run_scenario_task, payloads))
     except Exception:
         return None
+    reports: List[ScenarioReport] = []
+    total = len(scenarios)
+    for index, (scen_report, events) in enumerate(outcomes):
+        reports.append(scen_report)
+        if reporter is not None:
+            reporter.emit(scenario_started(
+                scen_report.name, faults=scen_report.scenario.describe(),
+                index=index, total=total))
+            for event in events:
+                reporter.emit(event)
+            reporter.emit(scenario_finished(
+                scen_report.name, verdict=scen_report.verdict,
+                detail=scen_report.detail,
+                states_stored=scen_report.safety.stats.states_stored,
+                seconds=scen_report.seconds))
+    return reports

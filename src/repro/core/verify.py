@@ -28,6 +28,7 @@ from ..mc.ndfs import check_ltl
 from ..mc.por import check_safety_por
 from ..mc.props import Prop
 from ..mc.result import VerificationResult
+from ..obs.reporters import Reporter
 from .architecture import Architecture
 from .spec import ModelLibrary
 
@@ -78,6 +79,7 @@ def verify_safety(
     fused: bool = False,
     engine: Optional[StateGraph] = None,
     keep_engine: bool = False,
+    reporter: Optional[Reporter] = None,
 ) -> VerificationReport:
     """Check assertions, invariants, and deadlock-freedom of a design.
 
@@ -106,13 +108,13 @@ def verify_safety(
         result = check_safety_por(
             engine, invariants=invariants, check_deadlock=check_deadlock,
             max_states=max_states, max_seconds=max_seconds,
-            raise_on_limit=raise_on_limit,
+            raise_on_limit=raise_on_limit, reporter=reporter,
         )
     else:
         result = check_safety(
             engine, invariants=invariants, check_deadlock=check_deadlock,
             max_states=max_states, max_seconds=max_seconds,
-            raise_on_limit=raise_on_limit,
+            raise_on_limit=raise_on_limit, reporter=reporter,
         )
     return VerificationReport(
         result=result,
@@ -135,6 +137,7 @@ def verify_ltl(
     fused: bool = False,
     engine: Optional[StateGraph] = None,
     keep_engine: bool = False,
+    reporter: Optional[Reporter] = None,
 ) -> VerificationReport:
     """Check an LTL property over all executions of a design.
 
@@ -153,7 +156,7 @@ def verify_ltl(
     result = check_ltl(
         engine, formula, props, weak_fairness=weak_fairness,
         max_states=max_states, max_seconds=max_seconds,
-        raise_on_limit=raise_on_limit,
+        raise_on_limit=raise_on_limit, reporter=reporter,
     )
     return VerificationReport(
         result=result,

@@ -172,24 +172,49 @@ class StateGraph:
         """Distinct states whose successor lists have been computed."""
         return len(self.cache)
 
-    def explore(self, max_states: Optional[int] = None) -> int:
+    def explore(self, max_states: Optional[int] = None,
+                reporter=None) -> int:
         """Eagerly expand the whole reachable graph (pre-warming helper).
 
         Returns the number of distinct states interned.  ``max_states``
         caps the expansion; the graph stays usable (and lazily
-        completable) either way.
+        completable) either way.  ``reporter`` receives engine events
+        for the warm-up sweep (see :mod:`repro.obs`).
         """
+        obs = None
+        if reporter is not None:
+            from ..obs.events import RunInstrument
+            obs = RunInstrument(reporter, "engine-explore", self,
+                                max_states=max_states)
         queue = [self.initial_id]
         seen = {self.initial_id}
+        expanded = 0
+        ntrans = 0
+
+        def done() -> int:
+            if obs is not None:
+                from .result import Statistics
+                stats = Statistics(states_stored=len(self.store),
+                                   states_expanded=expanded,
+                                   transitions=ntrans)
+                stats.elapsed_seconds = obs.elapsed()
+                obs.finish(ok=True, stats=stats)
+            return len(self.store)
+
         while queue:
             sid = queue.pop()
-            for t in self.cache.transitions(sid):
+            transitions = self.cache.transitions(sid)
+            expanded += 1
+            ntrans += len(transitions)
+            if obs is not None:
+                obs.tick(len(self.store), expanded, ntrans, len(queue))
+            for t in transitions:
                 if t.target not in seen:
                     seen.add(t.target)
                     if max_states is not None and len(seen) >= max_states:
-                        return len(self.store)
+                        return done()
                     queue.append(t.target)
-        return len(self.store)
+        return done()
 
 
 def as_graph(target: Union[System, Interpreter, StateGraph]) -> StateGraph:

@@ -38,6 +38,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..obs.events import RunInstrument
+from ..obs.reporters import Reporter
 from ..psl.interp import Interpreter, TransitionLabel
 from ..psl.state import State
 from ..psl.system import System
@@ -120,12 +122,14 @@ def check_safety(
     max_seconds: Optional[float] = None,
     stop_at_first: bool = True,
     raise_on_limit: bool = False,
+    reporter: Optional[Reporter] = None,
 ) -> VerificationResult:
     """Run a safety sweep and return the first (or only) result.
 
     When ``stop_at_first`` is false and several violations exist, the
     returned result is the first one found; use :func:`sweep_safety` for
-    the full report.
+    the full report.  ``reporter`` receives the run's engine events
+    (see :mod:`repro.obs`).
     """
     report = sweep_safety(
         target,
@@ -136,6 +140,7 @@ def check_safety(
         max_seconds=max_seconds,
         stop_at_first=stop_at_first,
         raise_on_limit=raise_on_limit,
+        reporter=reporter,
     )
     for r in report.results:
         if not r.ok:
@@ -177,6 +182,7 @@ def sweep_safety(
     max_seconds: Optional[float] = None,
     stop_at_first: bool = True,
     raise_on_limit: bool = False,
+    reporter: Optional[Reporter] = None,
 ) -> SafetyReport:
     """Breadth-first safety exploration; see :func:`check_safety`."""
     graph = as_graph(target)
@@ -184,6 +190,9 @@ def sweep_safety(
     budget = Budget(max_states=max_states, max_seconds=max_seconds,
                     raise_on_limit=raise_on_limit)
     start = budget.started_at
+    obs = None if reporter is None else RunInstrument(
+        reporter, "safety-bfs", graph, max_states=max_states,
+        max_seconds=max_seconds, started_at=start)
 
     initial = graph.initial_id
     parents: Dict[int, Tuple[Optional[int], Optional[TransitionLabel]]] = {
@@ -193,6 +202,14 @@ def sweep_safety(
     stats = Statistics(states_stored=1, max_frontier=1)
     _sample_frontier(stats, queue)
     report = SafetyReport(stats=stats)
+
+    def done() -> SafetyReport:
+        if obs is not None:
+            if report.budget_exhausted is not None:
+                obs.budget(report.budget_exhausted, stats.states_stored)
+            obs.finish(ok=report.ok, stats=stats,
+                       incomplete=report.incomplete)
+        return report
 
     def fail(kind: str, message: str, trace: Trace) -> bool:
         """Record a violation; return True if exploration should stop."""
@@ -207,6 +224,9 @@ def sweep_safety(
                 property_text=_property_text(invariants, check_deadlock),
             )
         )
+        if obs is not None:
+            obs.counterexample(kind=kind, message=message,
+                               trace_length=len(trace.steps))
         return stop_at_first
 
     # Check invariants on the initial state before exploring.
@@ -218,7 +238,7 @@ def sweep_safety(
                 Trace(initial=graph.state(initial)),
             ):
                 stats.elapsed_seconds = time.perf_counter() - start
-                return report
+                return done()
 
     exhausted: Optional[str] = None
     while queue:
@@ -232,6 +252,9 @@ def sweep_safety(
         transitions = graph.transitions(sid)
         stats.transitions += len(transitions)
         stats.states_expanded += 1
+        if obs is not None:
+            obs.tick(stats.states_stored, stats.states_expanded,
+                     stats.transitions, len(queue))
 
         if not transitions and check_deadlock and not graph.is_valid_end_state(sid):
             blocked = ", ".join(i.name for i in graph.blocked_processes(sid))
@@ -240,7 +263,7 @@ def sweep_safety(
                 f"invalid end state (deadlock); blocked processes: {blocked}",
                 _rebuild_trace(graph, initial, sid, parents),
             ):
-                return report
+                return done()
 
         for t in transitions:
             if check_assertions and t.violation:
@@ -249,7 +272,7 @@ def sweep_safety(
                     extra=TraceStep(t.label, graph.state(t.target)),
                 )
                 if fail(VIOLATION_ASSERTION, t.violation, trace):
-                    return report
+                    return done()
             if t.target in parents:
                 continue
             parents[t.target] = (sid, t.label)
@@ -265,7 +288,7 @@ def sweep_safety(
                         f"invariant {p.name!r} violated",
                         trace,
                     ):
-                        return report
+                        return done()
             queue.append(t.target)
             if len(queue) > stats.max_frontier:
                 stats.max_frontier = len(queue)
@@ -279,7 +302,7 @@ def sweep_safety(
         report.budget_exhausted = exhausted
         stats.incomplete = True
         stats.budget_exhausted = exhausted
-    return report
+    return done()
 
 
 def count_states(
@@ -287,6 +310,7 @@ def count_states(
     max_states: Optional[int] = None,
     max_seconds: Optional[float] = None,
     raise_on_limit: bool = False,
+    reporter: Optional[Reporter] = None,
 ) -> Statistics:
     """Count reachable states/transitions without checking anything.
 
@@ -298,6 +322,9 @@ def count_states(
     budget = Budget(max_states=max_states, max_seconds=max_seconds,
                     raise_on_limit=raise_on_limit)
     start = budget.started_at
+    obs = None if reporter is None else RunInstrument(
+        reporter, "count-states", graph, max_states=max_states,
+        max_seconds=max_seconds, started_at=start)
     initial = graph.initial_id
     seen = {initial}
     queue: deque[int] = deque([initial])
@@ -308,6 +335,9 @@ def count_states(
         sid = queue.popleft()
         transitions = graph.transitions(sid)
         stats.states_expanded += 1
+        if obs is not None:
+            obs.tick(stats.states_stored, stats.states_expanded,
+                     stats.transitions, len(queue))
         for t in transitions:
             stats.transitions += 1
             if t.target not in seen:
@@ -324,6 +354,10 @@ def count_states(
     if exhausted is not None:
         stats.incomplete = True
         stats.budget_exhausted = exhausted
+    if obs is not None:
+        if exhausted is not None:
+            obs.budget(exhausted, stats.states_stored)
+        obs.finish(ok=True, stats=stats, incomplete=stats.incomplete)
     return stats
 
 
@@ -360,6 +394,7 @@ def find_state(
     predicate: Prop,
     max_states: Optional[int] = None,
     max_seconds: Optional[float] = None,
+    reporter: Optional[Reporter] = None,
 ) -> Optional[Trace]:
     """Search for a reachable state satisfying *predicate*.
 
@@ -376,21 +411,39 @@ def find_state(
     system = graph.system
     budget = Budget(max_states=max_states, max_seconds=max_seconds,
                     raise_on_limit=True)
+    obs = None if reporter is None else RunInstrument(
+        reporter, "find-state", graph, max_states=max_states,
+        max_seconds=max_seconds, started_at=budget.started_at)
     initial = graph.initial_id
     if predicate.evaluate(system, graph.state(initial)):
+        if obs is not None:
+            obs.finish(ok=True, stats=Statistics(states_stored=1))
         return Trace(initial=graph.state(initial))
     parents: Dict[int, Tuple[Optional[int], Optional[TransitionLabel]]] = {
         initial: (None, None)
     }
     queue: deque[int] = deque([initial])
+    expanded = 0
+
+    def found(trace: Optional[Trace]) -> Optional[Trace]:
+        if obs is not None:
+            stats = Statistics(states_stored=len(parents),
+                               states_expanded=expanded)
+            stats.elapsed_seconds = time.perf_counter() - budget.started_at
+            obs.finish(ok=True, stats=stats)
+        return trace
+
     while queue:
         sid = queue.popleft()
+        expanded += 1
+        if obs is not None:
+            obs.tick(len(parents), expanded, 0, len(queue))
         for t in graph.transitions(sid):
             if t.target in parents:
                 continue
             parents[t.target] = (sid, t.label)
             budget.exceeded(len(parents))
             if predicate.evaluate(system, graph.state(t.target)):
-                return _rebuild_trace(graph, initial, t.target, parents)
+                return found(_rebuild_trace(graph, initial, t.target, parents))
             queue.append(t.target)
-    return None
+    return found(None)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
 
+from ..obs.events import RunInstrument
 from ..psl.interp import TransitionLabel
 from .buchi import BuchiAutomaton
 from .budget import Budget
@@ -49,8 +50,10 @@ class FairProduct:
 
     def __init__(self, graph: StateGraph, automaton: BuchiAutomaton,
                  props: Mapping[str, Prop],
-                 budget: Optional[Budget] = None) -> None:
-        self._plain = _Product(graph, automaton, props, budget=budget)
+                 budget: Optional[Budget] = None,
+                 instrument: Optional[RunInstrument] = None) -> None:
+        self._plain = _Product(graph, automaton, props, budget=budget,
+                               instrument=instrument)
         self.graph = graph
         self.interp = graph.interp
         self.automaton = automaton

@@ -26,6 +26,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..obs.events import RunInstrument
+from ..obs.reporters import Reporter
 from ..psl.interp import Interpreter, TransitionLabel
 from ..psl.system import System
 from .buchi import BuchiAutomaton, BuchiState, ltl_to_buchi
@@ -72,12 +74,14 @@ class _Product:
         automaton: BuchiAutomaton,
         props: Mapping[str, Prop],
         budget: Optional[Budget] = None,
+        instrument: Optional[RunInstrument] = None,
     ) -> None:
         self.graph = graph
         self.interp = graph.interp
         self.automaton = automaton
         self.props = props
         self.budget = budget
+        self.instrument = instrument
         self.by_id: Dict[int, BuchiState] = {s.id: s for s in automaton.states}
         self._val_cache: Dict[int, Dict[str, bool]] = {}
         self.stats = Statistics()
@@ -91,6 +95,10 @@ class _Product:
                 for name, p in self.props.items()
             }
             self._val_cache[sid] = cached
+            if self.instrument is not None:
+                stored = len(self._val_cache)
+                self.instrument.tick(stored, stored,
+                                     self.stats.transitions, 0)
             if self.budget is not None:
                 # Every distinct system state passes through here exactly
                 # once, so the valuation cache is the stored-state count.
@@ -264,6 +272,7 @@ def check_ltl(
     max_states: Optional[int] = None,
     max_seconds: Optional[float] = None,
     raise_on_limit: bool = False,
+    reporter: Optional[Reporter] = None,
 ) -> VerificationResult:
     """Check that every execution of the system satisfies the LTL formula.
 
@@ -294,13 +303,18 @@ def check_ltl(
         budget = Budget(max_states=max_states, max_seconds=max_seconds,
                         raise_on_limit=raise_on_limit)
     start = time.perf_counter()
+    obs = None if reporter is None else RunInstrument(
+        reporter, "ltl-ndfs-fair" if weak_fairness else "ltl-ndfs", graph,
+        max_states=max_states, max_seconds=max_seconds, started_at=start)
     automaton = ltl_to_buchi(negate(parsed))
     if weak_fairness:
         from .fairness import FairProduct
-        product = FairProduct(graph, automaton, prop_map, budget=budget)
+        product = FairProduct(graph, automaton, prop_map, budget=budget,
+                              instrument=obs)
         val_cache = product._plain._val_cache
     else:
-        product = _Product(graph, automaton, prop_map, budget=budget)
+        product = _Product(graph, automaton, prop_map, budget=budget,
+                           instrument=obs)
         val_cache = product._val_cache
     exhausted: Optional[str] = None
     try:
@@ -316,6 +330,9 @@ def check_ltl(
     if exhausted is not None:
         stats.incomplete = True
         stats.budget_exhausted = exhausted
+        if obs is not None:
+            obs.budget(exhausted, stats.states_stored)
+            obs.finish(ok=True, stats=stats, incomplete=True)
         return VerificationResult(
             ok=True,
             message=(f"search stopped early ({exhausted} exhausted); "
@@ -326,6 +343,8 @@ def check_ltl(
             budget_exhausted=exhausted,
         )
     if lasso is None:
+        if obs is not None:
+            obs.finish(ok=True, stats=stats)
         return VerificationResult(
             ok=True,
             message=("no accepting cycle: property holds on all executions"
@@ -339,6 +358,11 @@ def check_ltl(
         for label, node in lasso.stem + lasso.cycle
     ]
     trace = Trace(initial=initial, steps=steps, cycle_start=len(lasso.stem))
+    if obs is not None:
+        obs.counterexample(kind=VIOLATION_ACCEPTANCE_CYCLE,
+                           message=f"execution violating {parsed} found",
+                           trace_length=len(steps))
+        obs.finish(ok=False, stats=stats)
     return VerificationResult(
         ok=False,
         kind=VIOLATION_ACCEPTANCE_CYCLE,

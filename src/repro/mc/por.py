@@ -42,6 +42,8 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from ..obs.events import RunInstrument
+from ..obs.reporters import Reporter
 from ..psl.compiler import Edge, OpAssert, OpAssign, OpDStep, OpElse, OpGuard, OpSkip
 from ..psl.interp import Interpreter, TransitionLabel
 from ..psl.system import ProcessInstance, System
@@ -165,6 +167,7 @@ def check_safety_por(
     max_states: Optional[int] = None,
     max_seconds: Optional[float] = None,
     raise_on_limit: bool = False,
+    reporter: Optional[Reporter] = None,
 ) -> VerificationResult:
     """Depth-first safety check with ample-set partial-order reduction.
 
@@ -181,6 +184,9 @@ def check_safety_por(
     budget = Budget(max_states=max_states, max_seconds=max_seconds,
                     raise_on_limit=raise_on_limit)
     start = budget.started_at
+    obs = None if reporter is None else RunInstrument(
+        reporter, "safety-por", graph, max_states=max_states,
+        max_seconds=max_seconds, started_at=start)
 
     initial = graph.initial_id
     stats = Statistics(states_stored=1)
@@ -188,6 +194,15 @@ def check_safety_por(
     def finish(result: VerificationResult) -> VerificationResult:
         stats.elapsed_seconds = time.perf_counter() - start
         result.stats = stats
+        if obs is not None:
+            if not result.ok:
+                trace_length = len(result.trace.steps) if result.trace else 0
+                obs.counterexample(kind=result.kind, message=result.message,
+                                   trace_length=trace_length)
+            if result.budget_exhausted is not None:
+                obs.budget(result.budget_exhausted, stats.states_stored)
+            obs.finish(ok=result.ok, stats=stats,
+                       incomplete=result.incomplete)
         return result
 
     for p in invariants:
@@ -209,6 +224,9 @@ def check_safety_por(
     trans0, _ = ample.ample_transitions(initial, on_stack)
     stats.transitions += len(trans0)
     stats.states_expanded += 1
+    if obs is not None:
+        obs.tick(stats.states_stored, stats.states_expanded,
+                 stats.transitions, len(trans0))
     if not trans0 and check_deadlock and not graph.is_valid_end_state(initial):
         blocked = ", ".join(i.name for i in graph.blocked_processes(initial))
         return finish(
@@ -278,6 +296,9 @@ def check_safety_por(
         succ, _ = ample.ample_transitions(t.target, on_stack)
         stats.transitions += len(succ)
         stats.states_expanded += 1
+        if obs is not None:
+            obs.tick(stats.states_stored, stats.states_expanded,
+                     stats.transitions, len(stack))
         if not succ and check_deadlock and not graph.is_valid_end_state(t.target):
             blocked = ", ".join(i.name for i in graph.blocked_processes(t.target))
             trace = _rebuild_trace(graph, initial, t.target, parents)

@@ -1,0 +1,82 @@
+"""Observability: engine events, reporters, and self-contained run reports.
+
+The layer has three parts (see ``docs/observability.md``):
+
+* **events** (:mod:`repro.obs.events`) — the :class:`EngineEvent`
+  taxonomy every checker can emit, plus the :class:`RunInstrument`
+  bookkeeping the checkers share;
+* **reporters** (:mod:`repro.obs.reporters`,
+  :mod:`repro.obs.progress`) — pluggable sinks: live TTY progress,
+  JSONL structured logs, in-memory collection, tees;
+* **reports** (:mod:`repro.obs.report`) — :class:`RunReport`, which
+  assembles verdict, statistics, counterexample, message sequence
+  chart, and block-level explanation into one JSON / Markdown / HTML
+  artifact per run or sweep.
+
+Everything is opt-in: every checker's ``reporter`` parameter defaults
+to ``None``, and the no-reporter fast path is benchmarked to stay
+within 3% of the uninstrumented engine.
+"""
+
+from .events import (
+    EVENT_BUDGET_EXHAUSTED,
+    EVENT_COUNTEREXAMPLE,
+    EVENT_PHASE,
+    EVENT_PROGRESS,
+    EVENT_RUN_FINISHED,
+    EVENT_RUN_STARTED,
+    EVENT_SCENARIO_FINISHED,
+    EVENT_SCENARIO_STARTED,
+    EVENT_SWEEP_FINISHED,
+    EVENT_SWEEP_STARTED,
+    PHASE_COLD,
+    PHASE_WARM,
+    EngineEvent,
+    RunInstrument,
+)
+from .progress import ProgressReporter
+from .reporters import (
+    CollectingReporter,
+    JsonlReporter,
+    NullReporter,
+    Reporter,
+    ScenarioScope,
+    TeeReporter,
+)
+
+__all__ = [
+    "EVENT_BUDGET_EXHAUSTED",
+    "EVENT_COUNTEREXAMPLE",
+    "EVENT_PHASE",
+    "EVENT_PROGRESS",
+    "EVENT_RUN_FINISHED",
+    "EVENT_RUN_STARTED",
+    "EVENT_SCENARIO_FINISHED",
+    "EVENT_SCENARIO_STARTED",
+    "EVENT_SWEEP_FINISHED",
+    "EVENT_SWEEP_STARTED",
+    "PHASE_COLD",
+    "PHASE_WARM",
+    "CollectingReporter",
+    "EngineEvent",
+    "JsonlReporter",
+    "NullReporter",
+    "ProgressReporter",
+    "Reporter",
+    "RunInstrument",
+    "RunReport",
+    "SCHEMA",
+    "ScenarioScope",
+    "TeeReporter",
+]
+
+
+def __getattr__(name):
+    # RunReport renders counterexamples through repro.core (explanation,
+    # MSC), and repro.mc imports this package for the event layer; load
+    # the report module lazily so the checker-side import stays cycle-
+    # free and light.
+    if name in ("RunReport", "SCHEMA"):
+        from .report import RunReport, SCHEMA
+        return {"RunReport": RunReport, "SCHEMA": SCHEMA}[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

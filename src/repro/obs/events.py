@@ -1,0 +1,313 @@
+"""Engine events: the vocabulary of the observability layer.
+
+Every checker in :mod:`repro.mc` (and the sweep drivers in
+:mod:`repro.core`) can narrate its run as a stream of
+:class:`EngineEvent` values — run started, frontier progress every N
+expansions, cache phase transitions, a counterexample found, a budget
+exhausted, run finished — delivered to any object implementing the
+:class:`~repro.obs.reporters.Reporter` protocol.
+
+Design constraints, in order:
+
+1. **Near-zero overhead when nobody listens.**  Checkers accept
+   ``reporter=None`` and guard every emission site with a single
+   ``is not None`` test; with no reporter attached the hot loops run
+   the exact pre-instrumentation path (pinned under 3% by
+   ``benchmarks/test_obs_overhead.py``).
+2. **Events are plain data.**  ``data`` holds only JSON primitives, so
+   every event pickles across the resilience process pool and
+   serializes to one JSONL line without a custom encoder.
+3. **Determinism.**  Progress ticks fire on expansion *counts*, never
+   wall-clock, so two runs of the same bounded workload produce the
+   same event sequence (the property the parallel-sweep tests pin).
+
+The per-run bookkeeping (tick counting, cold/warm cache phase
+detection) lives in :class:`RunInstrument` so each checker adds only
+three or four guarded calls.
+
+A minimal round-trip::
+
+    >>> e = progress("safety-bfs", states_stored=10, states_expanded=8,
+    ...              transitions=40, frontier=2, elapsed=0.5)
+    >>> e.type, e.data["states_stored"]
+    ('progress', 10)
+    >>> import json; json.loads(json.dumps(e.to_dict()))["type"]
+    'progress'
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..mc.engine import StateGraph
+    from ..mc.result import Statistics
+    from .reporters import Reporter
+
+__all__ = [
+    "EngineEvent",
+    "RunInstrument",
+    "EVENT_RUN_STARTED",
+    "EVENT_PROGRESS",
+    "EVENT_PHASE",
+    "EVENT_COUNTEREXAMPLE",
+    "EVENT_BUDGET_EXHAUSTED",
+    "EVENT_RUN_FINISHED",
+    "EVENT_SCENARIO_STARTED",
+    "EVENT_SCENARIO_FINISHED",
+    "EVENT_SWEEP_STARTED",
+    "EVENT_SWEEP_FINISHED",
+    "PHASE_COLD",
+    "PHASE_WARM",
+    "budget_exhausted",
+    "counterexample",
+    "phase",
+    "progress",
+    "run_finished",
+    "run_started",
+    "scenario_finished",
+    "scenario_started",
+    "sweep_finished",
+    "sweep_started",
+]
+
+#: Event taxonomy (see docs/observability.md).
+EVENT_RUN_STARTED = "run_started"
+EVENT_PROGRESS = "progress"
+EVENT_PHASE = "phase"
+EVENT_COUNTEREXAMPLE = "counterexample"
+EVENT_BUDGET_EXHAUSTED = "budget_exhausted"
+EVENT_RUN_FINISHED = "run_finished"
+EVENT_SCENARIO_STARTED = "scenario_started"
+EVENT_SCENARIO_FINISHED = "scenario_finished"
+EVENT_SWEEP_STARTED = "sweep_started"
+EVENT_SWEEP_FINISHED = "sweep_finished"
+
+#: Cache phases: *cold* = the run is computing new successor lists,
+#: *warm* = it is replaying the shared graph's memoized relation.
+PHASE_COLD = "cold"
+PHASE_WARM = "warm"
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """One observation from a verification run.
+
+    ``type`` is one of the ``EVENT_*`` constants; ``checker`` names the
+    emitting algorithm (``"safety-bfs"``, ``"safety-por"``, ``"ndfs"``,
+    ``"count-states"``, ``"find-state"``, ``"engine-explore"``, or a
+    sweep driver); ``scenario`` tags events that belong to one fault
+    scenario of a resilience sweep; ``data`` carries the payload as
+    JSON primitives only, so every event pickles and serializes as-is.
+    """
+
+    type: str
+    checker: str = ""
+    scenario: Optional[str] = None
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict (used by the JSONL reporter and reports)."""
+        out: Dict[str, Any] = {"type": self.type}
+        if self.checker:
+            out["checker"] = self.checker
+        if self.scenario is not None:
+            out["scenario"] = self.scenario
+        out.update(self.data)
+        return out
+
+
+# -- constructors ---------------------------------------------------------
+#
+# Checkers build events through these helpers so the payload keys stay
+# consistent across the codebase (and documented in one place).
+
+def run_started(checker: str, *, system: str = "", processes: int = 0,
+                cache: str = PHASE_COLD,
+                max_states: Optional[int] = None,
+                max_seconds: Optional[float] = None) -> EngineEvent:
+    """A checker began exploring.  ``cache`` is the graph's start phase."""
+    return EngineEvent(EVENT_RUN_STARTED, checker, data={
+        "system": system,
+        "processes": processes,
+        "cache": cache,
+        "max_states": max_states,
+        "max_seconds": max_seconds,
+    })
+
+
+def progress(checker: str, *, states_stored: int, states_expanded: int,
+             transitions: int, frontier: int, elapsed: float) -> EngineEvent:
+    """Periodic frontier progress (every ``reporter.interval`` expansions)."""
+    rate = states_stored / elapsed if elapsed > 0 else 0.0
+    return EngineEvent(EVENT_PROGRESS, checker, data={
+        "states_stored": states_stored,
+        "states_expanded": states_expanded,
+        "transitions": transitions,
+        "frontier": frontier,
+        "elapsed": round(elapsed, 6),
+        "states_per_second": round(rate, 1),
+    })
+
+
+def phase(checker: str, *, from_phase: str, to_phase: str,
+          states_expanded: int) -> EngineEvent:
+    """The transition cache switched between cold and warm."""
+    return EngineEvent(EVENT_PHASE, checker, data={
+        "from": from_phase,
+        "to": to_phase,
+        "states_expanded": states_expanded,
+    })
+
+
+def counterexample(checker: str, *, kind: str, message: str,
+                   trace_length: int) -> EngineEvent:
+    """A violation was found (the trace itself travels on the result)."""
+    return EngineEvent(EVENT_COUNTEREXAMPLE, checker, data={
+        "kind": kind,
+        "message": message,
+        "trace_length": trace_length,
+    })
+
+
+def budget_exhausted(checker: str, *, budget: str, states_stored: int,
+                     elapsed: float) -> EngineEvent:
+    """An exploration budget ran out; the run returns a partial result."""
+    return EngineEvent(EVENT_BUDGET_EXHAUSTED, checker, data={
+        "budget": budget,
+        "states_stored": states_stored,
+        "elapsed": round(elapsed, 6),
+    })
+
+
+def run_finished(checker: str, *, ok: bool, verdict: str, states_stored: int,
+                 transitions: int, elapsed: float,
+                 incomplete: bool = False) -> EngineEvent:
+    """The checker returned.  ``verdict`` is PASS / FAIL / INCOMPLETE."""
+    return EngineEvent(EVENT_RUN_FINISHED, checker, data={
+        "ok": ok,
+        "verdict": verdict,
+        "states_stored": states_stored,
+        "transitions": transitions,
+        "elapsed": round(elapsed, 6),
+        "incomplete": incomplete,
+    })
+
+
+def scenario_started(name: str, *, faults: str,
+                     index: int, total: int) -> EngineEvent:
+    return EngineEvent(EVENT_SCENARIO_STARTED, "resilience", scenario=name,
+                       data={"faults": faults, "index": index, "total": total})
+
+
+def scenario_finished(name: str, *, verdict: str, detail: str,
+                      states_stored: int, seconds: float) -> EngineEvent:
+    return EngineEvent(EVENT_SCENARIO_FINISHED, "resilience", scenario=name,
+                       data={"verdict": verdict, "detail": detail,
+                             "states_stored": states_stored,
+                             "seconds": round(seconds, 6)})
+
+
+def sweep_started(architecture: str, *, scenarios: int,
+                  jobs: int) -> EngineEvent:
+    return EngineEvent(EVENT_SWEEP_STARTED, "resilience", data={
+        "architecture": architecture, "scenarios": scenarios, "jobs": jobs,
+    })
+
+
+def sweep_finished(architecture: str, *, worst: str, ok: bool,
+                   complete: bool) -> EngineEvent:
+    return EngineEvent(EVENT_SWEEP_FINISHED, "resilience", data={
+        "architecture": architecture, "worst": worst, "ok": ok,
+        "complete": complete,
+    })
+
+
+# -- per-run instrumentation ----------------------------------------------
+
+class RunInstrument:
+    """Per-run event bookkeeping shared by all checkers.
+
+    Construction emits :data:`EVENT_RUN_STARTED`; :meth:`tick` counts
+    expansions and emits a progress event every ``reporter.interval``
+    of them, detecting cold/warm cache phase flips between ticks via
+    the shared graph's miss counter.  Checkers only ever construct one
+    of these when a reporter is attached, so the no-reporter path pays
+    a single ``is not None`` test per emission site.
+    """
+
+    __slots__ = ("reporter", "checker", "graph", "interval", "started_at",
+                 "_ticks", "_phase", "_last_misses")
+
+    def __init__(self, reporter: "Reporter", checker: str,
+                 graph: "StateGraph", *,
+                 max_states: Optional[int] = None,
+                 max_seconds: Optional[float] = None,
+                 started_at: Optional[float] = None) -> None:
+        self.reporter = reporter
+        self.checker = checker
+        self.graph = graph
+        self.interval = max(1, int(getattr(reporter, "interval", 1000)))
+        self.started_at = (time.perf_counter() if started_at is None
+                           else started_at)
+        self._ticks = 0
+        self._last_misses = graph.cache.misses
+        self._phase = PHASE_WARM if graph.n_states_expanded > 0 else PHASE_COLD
+        reporter.emit(run_started(
+            checker,
+            system=graph.system.name,
+            processes=len(graph.system.instances),
+            cache=self._phase,
+            max_states=max_states,
+            max_seconds=max_seconds,
+        ))
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started_at
+
+    def tick(self, states_stored: int, states_expanded: int,
+             transitions: int, frontier: int) -> None:
+        """Count one expansion; emit progress on every interval-th."""
+        self._ticks += 1
+        if self._ticks % self.interval:
+            return
+        misses = self.graph.cache.misses
+        now_phase = PHASE_COLD if misses > self._last_misses else PHASE_WARM
+        if now_phase != self._phase:
+            self.reporter.emit(phase(
+                self.checker, from_phase=self._phase, to_phase=now_phase,
+                states_expanded=states_expanded,
+            ))
+            self._phase = now_phase
+        self._last_misses = misses
+        self.reporter.emit(progress(
+            self.checker, states_stored=states_stored,
+            states_expanded=states_expanded, transitions=transitions,
+            frontier=frontier, elapsed=self.elapsed(),
+        ))
+
+    def counterexample(self, *, kind: Optional[str], message: str,
+                       trace_length: int) -> None:
+        self.reporter.emit(counterexample(
+            self.checker, kind=kind or "violation", message=message,
+            trace_length=trace_length,
+        ))
+
+    def budget(self, marker: str, states_stored: int) -> None:
+        self.reporter.emit(budget_exhausted(
+            self.checker, budget=marker, states_stored=states_stored,
+            elapsed=self.elapsed(),
+        ))
+
+    def finish(self, *, ok: bool, stats: "Statistics",
+               incomplete: bool = False) -> None:
+        verdict = "FAIL" if not ok else ("INCOMPLETE" if incomplete
+                                         else "PASS")
+        self.reporter.emit(run_finished(
+            self.checker, ok=ok, verdict=verdict,
+            states_stored=stats.states_stored,
+            transitions=stats.transitions, elapsed=self.elapsed(),
+            incomplete=incomplete,
+        ))

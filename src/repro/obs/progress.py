@@ -1,0 +1,148 @@
+"""Live TTY progress reporting for long verification runs.
+
+A million-state sweep used to be a blank terminal until the verdict;
+:class:`ProgressReporter` turns the engine event stream into a one-line
+status display: states stored, throughput, frontier depth, cache
+phase, and — when the run has a ``max_states`` budget — an ETA toward
+it.
+
+On a real TTY the line redraws in place (carriage return); on a pipe or
+a captured stream each update is printed on its own line so logs stay
+readable.  Updates are throttled by wall clock (default: at most one
+redraw per 0.2s) on top of the checker-side expansion interval, so even
+a very fine ``interval`` cannot flood a terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+from time import perf_counter
+from typing import IO, Optional
+
+from .events import (
+    EVENT_BUDGET_EXHAUSTED,
+    EVENT_COUNTEREXAMPLE,
+    EVENT_PHASE,
+    EVENT_PROGRESS,
+    EVENT_RUN_FINISHED,
+    EVENT_RUN_STARTED,
+    EVENT_SCENARIO_FINISHED,
+    EVENT_SCENARIO_STARTED,
+    EngineEvent,
+)
+from .reporters import Reporter
+
+__all__ = ["ProgressReporter"]
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds < 0:
+        return "?"
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressReporter(Reporter):
+    """Renders the event stream as a live status line.
+
+    ``interval`` (expanded states between checker-side progress events)
+    defaults finer than the reporters' usual 1000 so small systems
+    still show life; ``min_seconds`` throttles actual redraws.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None,
+                 interval: int = 500, min_seconds: float = 0.2) -> None:
+        self.interval = interval
+        self.min_seconds = min_seconds
+        self._stream = stream if stream is not None else sys.stderr
+        self._isatty = bool(getattr(self._stream, "isatty", lambda: False)())
+        self._last_draw = 0.0
+        self._line_open = False
+        self._max_states: Optional[int] = None
+        self._phase = ""
+
+    # -- drawing ----------------------------------------------------------
+
+    def _write_line(self, text: str) -> None:
+        if self._isatty:
+            self._stream.write("\r\x1b[2K" + text)
+            self._line_open = True
+        else:
+            self._stream.write(text + "\n")
+        self._stream.flush()
+
+    def _end_line(self, text: str) -> None:
+        """Finish the in-place line with a durable message."""
+        if self._isatty and self._line_open:
+            self._stream.write("\r\x1b[2K")
+            self._line_open = False
+        self._stream.write(text + "\n")
+        self._stream.flush()
+
+    # -- reporter ---------------------------------------------------------
+
+    def emit(self, event: EngineEvent) -> None:
+        kind = event.type
+        if kind == EVENT_RUN_STARTED:
+            self._max_states = event.data.get("max_states")
+            self._phase = event.data.get("cache", "")
+            scope = f"[{event.scenario}] " if event.scenario else ""
+            self._write_line(
+                f"{scope}{event.checker}: exploring "
+                f"{event.data.get('system', '?')} "
+                f"({event.data.get('processes', '?')} processes, "
+                f"{self._phase} cache)")
+        elif kind == EVENT_PROGRESS:
+            now = perf_counter()
+            if now - self._last_draw < self.min_seconds:
+                return
+            self._last_draw = now
+            stored = event.data["states_stored"]
+            rate = event.data["states_per_second"]
+            frontier = event.data["frontier"]
+            scope = f"[{event.scenario}] " if event.scenario else ""
+            line = (f"{scope}{event.checker}: {stored:,} states | "
+                    f"{rate:,.0f} st/s | frontier {frontier:,}")
+            if self._phase:
+                line += f" | {self._phase}"
+            if self._max_states and rate > 0:
+                remaining = self._max_states - stored
+                if remaining > 0:
+                    line += (f" | ETA {_fmt_eta(remaining / rate)} "
+                             f"to {self._max_states:,}-state budget")
+            self._write_line(line)
+        elif kind == EVENT_PHASE:
+            self._phase = event.data["to"]
+        elif kind == EVENT_COUNTEREXAMPLE:
+            scope = f"[{event.scenario}] " if event.scenario else ""
+            self._end_line(
+                f"{scope}counterexample: {event.data['kind']} after "
+                f"{event.data['trace_length']} steps")
+        elif kind == EVENT_BUDGET_EXHAUSTED:
+            scope = f"[{event.scenario}] " if event.scenario else ""
+            self._end_line(
+                f"{scope}{event.checker}: {event.data['budget']} exhausted "
+                f"at {event.data['states_stored']:,} states")
+        elif kind == EVENT_RUN_FINISHED:
+            scope = f"[{event.scenario}] " if event.scenario else ""
+            self._end_line(
+                f"{scope}{event.checker}: {event.data['verdict']} — "
+                f"{event.data['states_stored']:,} states, "
+                f"{event.data['transitions']:,} transitions, "
+                f"{event.data['elapsed']:.2f}s")
+        elif kind == EVENT_SCENARIO_STARTED:
+            self._write_line(
+                f"[{event.scenario}] scenario "
+                f"{event.data['index'] + 1}/{event.data['total']}: "
+                f"{event.data['faults']}")
+        elif kind == EVENT_SCENARIO_FINISHED:
+            self._end_line(
+                f"[{event.scenario}] {event.data['verdict'].upper()} — "
+                f"{event.data['detail']} ({event.data['seconds']:.2f}s)")
+        # sweep_started / sweep_finished render fine via the CLI's own
+        # output; stay quiet to avoid duplicating the verdict table.

@@ -1,0 +1,392 @@
+"""Self-contained verification run reports (JSON / Markdown / HTML).
+
+The paper's iteration loop — swap a block, re-verify, read the
+counterexample — only works if a run's outcome is an *artifact* you can
+read, share, and diff, not a terse summary line that scrolled away.
+:class:`RunReport` assembles everything the repository already knows
+how to compute about a run into one document:
+
+* the verdict and :class:`~repro.mc.result.Statistics`;
+* the shortest counterexample trace (when one exists);
+* its message sequence chart (:func:`repro.msc.chart_from_trace`),
+  restricted to the processes that actually exchanged messages;
+* the block-level explanation and deadlock diagnosis
+  (:mod:`repro.core.explain`);
+* optionally, the engine event timeline that produced it.
+
+A report is **a plain JSON payload**; the Markdown and HTML renderers
+are pure functions of that payload.  This is what makes
+``repro report saved.json`` re-render byte-identically: nothing in the
+rendering path consults the live objects, the clock, or the
+environment.  Schema version: ``repro.run-report/1``.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from ..core.explain import diagnose_deadlock, explain_trace
+from ..msc.chart import chart_from_trace, events_from_trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.architecture import Architecture
+    from ..core.resilience import ResilienceReport
+    from ..mc.result import Statistics, Trace, VerificationResult
+    from ..psl.system import System
+    from .events import EngineEvent
+
+__all__ = ["RunReport", "SCHEMA"]
+
+SCHEMA = "repro.run-report/1"
+
+#: Traces longer than this are elided in the middle of renderings (the
+#: JSON always holds every step).
+MAX_RENDERED_STEPS = 60
+
+
+def _verdict(result: "VerificationResult") -> str:
+    if not result.ok:
+        return f"FAIL ({result.kind})" if result.kind else "FAIL"
+    if result.incomplete:
+        return "INCOMPLETE"
+    return "PASS"
+
+
+def _stats_payload(stats: "Statistics") -> Dict[str, Any]:
+    return {
+        "states_stored": stats.states_stored,
+        "states_expanded": stats.states_expanded,
+        "transitions": stats.transitions,
+        "max_frontier": stats.max_frontier,
+        "peak_frontier_bytes": stats.peak_frontier_bytes,
+        "elapsed_seconds": round(stats.elapsed_seconds, 6),
+        "states_per_second": round(stats.states_per_second, 1),
+        "incomplete": stats.incomplete,
+        "budget_exhausted": stats.budget_exhausted,
+    }
+
+
+def _msc_for(trace: "Trace", system: "System") -> Optional[str]:
+    """The trace's ASCII MSC over the lifelines that exchanged messages.
+
+    Lifeline order follows the system's process-instance order, which is
+    deterministic for a given architecture, so renders are stable.
+    """
+    steps = list(zip(trace.labels(), trace.states()[1:]))
+    involved = set()
+    for ev in events_from_trace(steps):
+        involved.add(ev.source)
+        if ev.target:
+            involved.add(ev.target)
+    lifelines = [i.name for i in system.instances if i.name in involved]
+    if not lifelines:
+        return None
+    return chart_from_trace(steps, lifelines).render()
+
+
+def _trace_payload(trace: "Trace") -> Dict[str, Any]:
+    return {
+        "length": len(trace.steps),
+        "cycle_start": trace.cycle_start,
+        "steps": [step.label.pretty() for step in trace.steps],
+    }
+
+
+def _result_payload(result: "VerificationResult",
+                    architecture: "Architecture",
+                    system: "System") -> Dict[str, Any]:
+    """Everything a single verification result contributes to a report."""
+    payload: Dict[str, Any] = {
+        "verdict": _verdict(result),
+        "ok": result.ok,
+        "kind": result.kind,
+        "message": result.message,
+        "property": result.property_text,
+        "incomplete": result.incomplete,
+        "budget_exhausted": result.budget_exhausted,
+        "statistics": _stats_payload(result.stats),
+        "trace": None,
+        "msc": None,
+        "explanation": None,
+        "hypotheses": [],
+    }
+    if result.trace is not None:
+        payload["trace"] = _trace_payload(result.trace)
+        payload["msc"] = _msc_for(result.trace, system)
+        payload["explanation"] = explain_trace(
+            result.trace, architecture, system).splitlines()
+        payload["hypotheses"] = diagnose_deadlock(
+            result, architecture, system)
+    return payload
+
+
+class RunReport:
+    """One verification run (or resilience sweep) as a document.
+
+    Construct with :meth:`from_verification` / :meth:`from_resilience`,
+    persist with :meth:`save`, reload with :meth:`load`, and render
+    with :meth:`to_markdown` / :meth:`to_html` / :meth:`to_json` — the
+    renderers read only the JSON payload, so a reloaded report renders
+    byte-identically to the live one.
+    """
+
+    def __init__(self, payload: Dict[str, Any]) -> None:
+        if payload.get("schema") != SCHEMA:
+            raise ValueError(
+                f"not a run report (schema {payload.get('schema')!r}, "
+                f"expected {SCHEMA!r})")
+        self.payload = payload
+
+    # -- builders ---------------------------------------------------------
+
+    @classmethod
+    def from_verification(
+        cls,
+        architecture: "Architecture",
+        system: "System",
+        result: "VerificationResult",
+        *,
+        title: Optional[str] = None,
+        command: Optional[str] = None,
+        events: Optional[List["EngineEvent"]] = None,
+    ) -> "RunReport":
+        """Report for one safety/LTL verification of one design."""
+        payload: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "kind": "verification",
+            "title": title or f"Verification of {architecture.name}",
+            "architecture": architecture.name,
+            "command": command,
+            "run": _result_payload(result, architecture, system),
+            "events": [e.to_dict() for e in events] if events else [],
+        }
+        return cls(payload)
+
+    @classmethod
+    def from_resilience(
+        cls,
+        architecture: "Architecture",
+        report: "ResilienceReport",
+        *,
+        fused: bool = True,
+        title: Optional[str] = None,
+        command: Optional[str] = None,
+        events: Optional[List["EngineEvent"]] = None,
+    ) -> "RunReport":
+        """Report for a whole fault sweep, one section per scenario.
+
+        Scenarios that produced a counterexample get the full treatment
+        (MSC + block-level explanation); their faulty system is
+        re-elaborated here, which is cheap next to the verification
+        that found the trace.  ``fused`` must match the sweep's.
+        """
+        scenarios = []
+        for s in report.scenarios:
+            entry: Dict[str, Any] = {
+                "name": s.name,
+                "faults": s.scenario.describe(),
+                "verdict": s.verdict,
+                "detail": s.detail,
+                "seconds": round(s.seconds, 6),
+                "models_reused": s.models_reused,
+                "models_built": s.models_built,
+                "statistics": _stats_payload(s.safety.stats),
+                "trace": None,
+                "msc": None,
+                "explanation": None,
+                "hypotheses": [],
+            }
+            if s.trace is not None:
+                faulty = s.scenario.apply_to(architecture)
+                faulty_system = faulty.to_system(fused=fused)
+                entry["trace"] = _trace_payload(s.trace)
+                entry["msc"] = _msc_for(s.trace, faulty_system)
+                entry["explanation"] = explain_trace(
+                    s.trace, faulty, faulty_system).splitlines()
+                entry["hypotheses"] = diagnose_deadlock(
+                    s.safety, faulty, faulty_system)
+            scenarios.append(entry)
+        payload: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "kind": "resilience",
+            "title": title or f"Resilience sweep of {report.architecture}",
+            "architecture": report.architecture,
+            "command": command,
+            "worst": report.worst,
+            "ok": report.ok,
+            "complete": report.complete,
+            "scenarios": scenarios,
+            "events": [e.to_dict() for e in events] if events else [],
+        }
+        return cls(payload)
+
+    # -- persistence ------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(self.payload, indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str) -> None:
+        """Write the report in the format its extension names.
+
+        ``.md`` and ``.html`` save renderings; anything else (the
+        canonical choice: ``.json``) saves the full payload, from which
+        ``repro report`` can re-render every format.
+        """
+        if path.endswith(".md"):
+            text = self.to_markdown()
+        elif path.endswith(".html"):
+            text = self.to_html()
+        else:
+            text = self.to_json()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+    @classmethod
+    def load(cls, path: str) -> "RunReport":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls(json.load(fh))
+
+    # -- rendering --------------------------------------------------------
+
+    def to_markdown(self) -> str:
+        """Render as Markdown, purely from the JSON payload."""
+        p = self.payload
+        lines: List[str] = [f"# {p['title']}", ""]
+        if p.get("command"):
+            lines += [f"`{p['command']}`", ""]
+        if p["kind"] == "verification":
+            lines += _md_result_section(p["run"], heading_level=2)
+        else:
+            lines += _md_resilience_body(p)
+        if p.get("events"):
+            lines += _md_event_timeline(p["events"])
+        return "\n".join(lines).rstrip("\n") + "\n"
+
+    def to_html(self) -> str:
+        """A self-contained HTML page (no external assets)."""
+        body = _html.escape(self.to_markdown())
+        title = _html.escape(self.payload["title"])
+        return (
+            "<!DOCTYPE html>\n"
+            "<html><head><meta charset=\"utf-8\">"
+            f"<title>{title}</title>\n"
+            "<style>\n"
+            "body { font-family: sans-serif; max-width: 72em;"
+            " margin: 2em auto; padding: 0 1em; }\n"
+            "pre { background: #f6f8fa; padding: 1em; overflow-x: auto;"
+            " font-size: 0.85em; line-height: 1.3; }\n"
+            "</style></head>\n"
+            f"<body><pre>{body}</pre></body></html>\n"
+        )
+
+
+# -- markdown helpers ------------------------------------------------------
+
+def _md_stats_table(stats: Dict[str, Any]) -> List[str]:
+    rows = [
+        ("states stored", f"{stats['states_stored']:,}"),
+        ("states expanded", f"{stats['states_expanded']:,}"),
+        ("transitions", f"{stats['transitions']:,}"),
+        ("max frontier", f"{stats['max_frontier']:,}"),
+        ("peak frontier bytes", f"{stats['peak_frontier_bytes']:,}"),
+        ("elapsed", f"{stats['elapsed_seconds']:.3f}s"),
+        ("throughput", f"{stats['states_per_second']:,.0f} states/s"),
+    ]
+    if stats["incomplete"]:
+        rows.append(("incomplete", stats["budget_exhausted"] or "budget"))
+    out = ["| statistic | value |", "| --- | --- |"]
+    out += [f"| {k} | {v} |" for k, v in rows]
+    return out
+
+
+def _md_trace_block(trace: Dict[str, Any]) -> List[str]:
+    steps = trace["steps"]
+    shown = steps
+    elided = 0
+    if len(steps) > MAX_RENDERED_STEPS:
+        head = MAX_RENDERED_STEPS // 2
+        tail = MAX_RENDERED_STEPS - head
+        elided = len(steps) - head - tail
+        shown = steps[:head] + [f"... ({elided} steps elided) ..."] \
+            + steps[-tail:]
+    out = ["```"]
+    for i, step in enumerate(shown):
+        if elided and step.startswith("... ("):
+            out.append(step)
+            continue
+        # Recover the 1-based step number for elided renderings.
+        n = i + 1 if not elided or i < MAX_RENDERED_STEPS // 2 \
+            else len(steps) - (len(shown) - 1 - i)
+        marker = ""
+        if trace.get("cycle_start") is not None \
+                and n - 1 == trace["cycle_start"]:
+            marker = "   <== cycle starts here"
+        out.append(f"{n:4d}. {step}{marker}")
+    out.append("```")
+    return out
+
+
+def _md_result_section(run: Dict[str, Any], heading_level: int = 2,
+                       name: str = "") -> List[str]:
+    h = "#" * heading_level
+    title = f"{h} {name}" if name else f"{h} Verdict"
+    lines = [title, "", f"**{run['verdict']}** — {run['message']}"]
+    if run.get("property"):
+        lines.append(f"Property: `{run['property']}`")
+    lines += ["", f"{h}# Statistics", ""]
+    lines += _md_stats_table(run["statistics"])
+    if run.get("trace"):
+        lines += ["", f"{h}# Counterexample "
+                      f"({run['trace']['length']} steps)", ""]
+        lines += _md_trace_block(run["trace"])
+    if run.get("msc"):
+        lines += ["", f"{h}# Message sequence chart", "", "```",
+                  run["msc"], "```"]
+    if run.get("explanation"):
+        lines += ["", f"{h}# Block-level explanation", "", "```"]
+        lines += run["explanation"]
+        lines += ["```"]
+    if run.get("hypotheses"):
+        lines += ["", f"{h}# Diagnosis", ""]
+        lines += [f"- {hyp}" for hyp in run["hypotheses"]]
+    lines.append("")
+    return lines
+
+
+def _md_resilience_body(p: Dict[str, Any]) -> List[str]:
+    lines = [
+        "## Sweep verdict", "",
+        f"**{p['worst'].upper()}** over {len(p['scenarios'])} scenarios"
+        + ("" if p["complete"] else " (some scenarios incomplete)"),
+        "",
+        "| scenario | verdict | states | time | models (r/b) | detail |",
+        "| --- | --- | --- | --- | --- | --- |",
+    ]
+    for s in p["scenarios"]:
+        lines.append(
+            f"| {s['name']} | {s['verdict'].upper()} "
+            f"| {s['statistics']['states_stored']:,} "
+            f"| {s['seconds']:.2f}s "
+            f"| {s['models_reused']}/{s['models_built']} "
+            f"| {s['detail']} |")
+    lines.append("")
+    for s in p["scenarios"]:
+        if not (s.get("trace") or s.get("msc") or s.get("hypotheses")):
+            continue
+        run = dict(s)
+        run["verdict"] = s["verdict"].upper()
+        run["message"] = s["detail"]
+        run["property"] = ""
+        lines += _md_result_section(
+            run, heading_level=2, name=f"Scenario: {s['name']}")
+    return lines
+
+
+def _md_event_timeline(events: List[Dict[str, Any]]) -> List[str]:
+    lines = ["## Event timeline", "", "```"]
+    for e in events:
+        lines.append(json.dumps(e, sort_keys=True, separators=(",", ":")))
+    lines += ["```", ""]
+    return lines

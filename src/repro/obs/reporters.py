@@ -1,0 +1,155 @@
+"""Reporter protocol and the built-in event sinks.
+
+A *reporter* is anything with an ``emit(event)`` method (and an
+optional ``interval`` attribute that sets the progress-tick granularity
+in expanded states).  Checkers never buffer for a reporter or swallow
+its errors — reporters are expected to be cheap and non-throwing.
+
+Built-ins:
+
+* :class:`NullReporter` — discards everything (overhead probe);
+* :class:`CollectingReporter` — appends events to a list (also the
+  buffer resilience workers ship across the process pool);
+* :class:`TeeReporter` — fans one stream out to several reporters;
+* :class:`JsonlReporter` — one JSON object per line, machine-readable;
+* :class:`ScenarioScope` — tags every passing event with a scenario
+  name (used by resilience sweeps).
+
+The live TTY progress bar lives in :mod:`repro.obs.progress`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Optional, Union
+
+from .events import EngineEvent
+
+__all__ = [
+    "Reporter",
+    "NullReporter",
+    "CollectingReporter",
+    "TeeReporter",
+    "JsonlReporter",
+    "ScenarioScope",
+]
+
+#: Default progress granularity: one progress event per this many
+#: expanded states.
+DEFAULT_INTERVAL = 1000
+
+
+class Reporter:
+    """Base class / protocol for event sinks.
+
+    Subclasses override :meth:`emit`.  ``interval`` is read once per
+    run by the checkers to decide how often to emit progress events.
+    Duck-typed objects work too — the checkers only use ``emit`` and
+    ``getattr(reporter, "interval", 1000)``.
+    """
+
+    interval: int = DEFAULT_INTERVAL
+
+    def emit(self, event: EngineEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (files).  Default: nothing to do."""
+
+
+class NullReporter(Reporter):
+    """Receives and discards every event (for overhead measurements)."""
+
+    def emit(self, event: EngineEvent) -> None:
+        pass
+
+
+class CollectingReporter(Reporter):
+    """Collects events into :attr:`events` (a plain list).
+
+    Doubles as the in-worker buffer for parallel resilience sweeps:
+    events are plain picklable data, so a worker can collect its run's
+    stream and the parent re-emits it after the join, preserving the
+    serial sweep's deterministic per-scenario order.
+    """
+
+    def __init__(self, interval: int = DEFAULT_INTERVAL) -> None:
+        self.interval = interval
+        self.events: List[EngineEvent] = []
+
+    def emit(self, event: EngineEvent) -> None:
+        self.events.append(event)
+
+    def replay_into(self, reporter: Optional["Reporter"]) -> None:
+        """Re-emit everything collected into another reporter."""
+        if reporter is None:
+            return
+        for event in self.events:
+            reporter.emit(event)
+
+
+class TeeReporter(Reporter):
+    """Broadcasts each event to several reporters in order.
+
+    The tee's ``interval`` is the finest (smallest) of its children's,
+    so a live progress bar asking for frequent ticks is not starved by
+    a coarse logger sharing the stream.
+    """
+
+    def __init__(self, reporters: Iterable[Reporter]) -> None:
+        self.reporters = list(reporters)
+        intervals = [getattr(r, "interval", DEFAULT_INTERVAL)
+                     for r in self.reporters]
+        self.interval = min(intervals) if intervals else DEFAULT_INTERVAL
+
+    def emit(self, event: EngineEvent) -> None:
+        for r in self.reporters:
+            r.emit(event)
+
+    def close(self) -> None:
+        for r in self.reporters:
+            r.close()
+
+
+class JsonlReporter(Reporter):
+    """Writes one compact JSON object per event line.
+
+    Accepts an open text stream or a path (opened for append on first
+    use, closed by :meth:`close`).  Keys are sorted so the log is
+    byte-stable for identical runs.
+    """
+
+    def __init__(self, target: Union[str, IO[str]],
+                 interval: int = DEFAULT_INTERVAL) -> None:
+        self.interval = interval
+        if isinstance(target, str):
+            self._stream: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+
+    def emit(self, event: EngineEvent) -> None:
+        self._stream.write(
+            json.dumps(event.to_dict(), sort_keys=True,
+                       separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+
+class ScenarioScope(Reporter):
+    """Wraps a reporter, tagging untagged events with a scenario name."""
+
+    def __init__(self, inner: Reporter, scenario: str) -> None:
+        self.inner = inner
+        self.scenario = scenario
+        self.interval = getattr(inner, "interval", DEFAULT_INTERVAL)
+
+    def emit(self, event: EngineEvent) -> None:
+        if event.scenario is None:
+            event = EngineEvent(event.type, event.checker, self.scenario,
+                                event.data)
+        self.inner.emit(event)

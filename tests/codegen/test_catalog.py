@@ -1,0 +1,61 @@
+"""Tests for the block-catalog generator and its staleness check."""
+
+from repro.codegen.catalog import (
+    GENERATED_MARKER,
+    catalog_sections,
+    main,
+    render_catalog,
+)
+from repro.core.library import catalog
+
+
+class TestRendering:
+    def test_rendering_is_deterministic(self):
+        assert render_catalog() == render_catalog()
+
+    def test_starts_with_generated_marker(self):
+        assert render_catalog().startswith(GENERATED_MARKER)
+
+    def test_covers_every_catalog_block(self):
+        md = render_catalog()
+        for spec in catalog():
+            assert f"### `{spec.display_name()}`" in md
+
+    def test_each_block_carries_a_promela_model(self):
+        md = render_catalog()
+        n_specs = sum(len(specs) for _, specs in catalog_sections())
+        assert md.count("```promela") == n_specs
+        assert "proctype" in md
+
+    def test_sections_match_library_grouping(self):
+        titles = [title for title, _ in catalog_sections()]
+        assert titles == [
+            "Send ports",
+            "Receive ports",
+            "Channels",
+            "Fault injection (channels)",
+            "Fault tolerance (ports)",
+        ]
+
+
+class TestCheckMode:
+    def test_committed_catalog_is_fresh(self):
+        # The CI staleness gate: docs/block_catalog.md must match the
+        # current rendering byte for byte.
+        assert main(["--check"]) == 0
+
+    def test_check_fails_on_stale_file(self, tmp_path, capsys):
+        stale = tmp_path / "catalog.md"
+        stale.write_text("# old\n")
+        assert main(["--check", "--out", str(stale)]) == 1
+        assert "stale" in capsys.readouterr().err
+
+    def test_check_fails_on_missing_file(self, tmp_path, capsys):
+        assert main(["--check", "--out", str(tmp_path / "nope.md")]) == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_write_then_check_roundtrips(self, tmp_path, capsys):
+        out = tmp_path / "catalog.md"
+        assert main(["--out", str(out)]) == 0
+        assert main(["--check", "--out", str(out)]) == 0
+        assert out.read_text() == render_catalog()

@@ -135,3 +135,77 @@ class TestDeadlockDiagnosis:
         result = check_safety(system, check_deadlock=True)
         hypotheses = diagnose_deadlock(result, arch, system)
         assert any("Producer0" in h for h in hypotheses)
+
+
+class TestDiagnosisPatternSelection:
+    """diagnose_deadlock only fires on deadlocks and picks the matching
+    failure pattern — the classification logic the run reports rely on."""
+
+    def _deadlocking(self):
+        arch = build_producer_consumer(
+            producers=[ProducerSpec(messages=2, port=SynBlockingSend())],
+            channel=DroppingBuffer(size=1),
+            consumers=[ConsumerSpec(receives=1)],
+        )
+        system = arch.to_system(fused=True)
+        result = check_safety(system, check_deadlock=True)
+        assert not result.ok and result.kind == "deadlock"
+        return arch, system, result
+
+    def test_non_deadlock_failures_get_no_hypotheses(self):
+        """An invariant violation is not a deadlock: no block blamed."""
+        from repro.mc import prop
+        arch = simple_pair(AsynBlockingSend(), SingleSlotBuffer(),
+                           messages=1)
+        system = arch.to_system()
+        never = prop("never_sends",
+                     lambda v: v.global_("acked_0") == 0)
+        result = check_safety(system, invariants=[never],
+                              check_deadlock=False)
+        assert not result.ok and result.kind == "invariant"
+        assert diagnose_deadlock(result, arch, system) == []
+
+    def test_hypotheses_are_deduplicated(self):
+        arch, system, result = self._deadlocking()
+        hypotheses = diagnose_deadlock(result, arch, system)
+        assert len(hypotheses) == len(set(hypotheses))
+
+    def test_section6_pattern_named_once_per_connector(self):
+        """The dropping-buffer + sync-sender pattern is connector-level:
+        it is reported once, not once per blocked sender."""
+        arch, system, result = self._deadlocking()
+        hypotheses = diagnose_deadlock(result, arch, system)
+        pattern = [h for h in hypotheses
+                   if "dropping buffer" in h and "synchronous" in h]
+        assert len(pattern) == 1
+        assert "Section 6" in pattern[0]
+
+    def test_healthy_channel_not_blamed(self):
+        """Same deadlock shape, but the diagnosis never accuses blocks
+        that cannot cause it (the single-slot buffer keeps messages)."""
+        arch, system, result = self._deadlocking()
+        joined = " ".join(diagnose_deadlock(result, arch, system))
+        assert "single_slot_buffer" not in joined
+
+
+class TestExplainStepVocabulary:
+    def test_unknown_process_falls_back_to_raw_name(self):
+        from repro.core.explain import explain_step
+        from repro.psl.interp import TransitionLabel
+        label = TransitionLabel(pid=0, process="Ghost", kind="local",
+                                desc="tau step")
+        assert "Ghost" in explain_step(label, {})
+
+    def test_signal_phrase_attached_to_handshake(self, arch_and_system):
+        from repro.core.explain import explain_step
+        from repro.psl.interp import TransitionLabel
+        arch, system = arch_and_system
+        roles = classify_processes(arch, system)
+        label = TransitionLabel(
+            pid=0, process="link.channel", kind="handshake",
+            partner="link.Consumer0.inp.port",
+            chan="link.rcv_data", message=("RECV_OK", 0),
+            desc="deliver",
+        )
+        text = explain_step(label, roles)
+        assert "delivered to the receiver" in text

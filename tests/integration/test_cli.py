@@ -106,6 +106,71 @@ class TestBudgetExitCodes:
         assert "PASS" in capsys.readouterr().out
 
 
+class TestVerifyCommand:
+    def test_verify_bridge_writes_full_report(self, tmp_path, capsys):
+        out_json = tmp_path / "out.json"
+        assert main(["verify", "bridge", "--report", str(out_json),
+                     "--progress"]) == 0
+        assert "report written" in capsys.readouterr().out
+        import json
+        payload = json.loads(out_json.read_text())
+        run = payload["run"]
+        assert run["verdict"].startswith("FAIL")
+        assert run["statistics"]["states_stored"] > 0
+        assert run["msc"]
+        assert run["explanation"]
+        assert payload["events"]  # --report buffers the event stream
+        assert payload["command"].startswith("repro verify bridge")
+
+    def test_report_rerenders_byte_identically(self, tmp_path, capsys):
+        out_json = tmp_path / "out.json"
+        assert main(["verify", "bridge", "--report", str(out_json)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out_json)]) == 0
+        first = capsys.readouterr().out
+        assert main(["report", str(out_json)]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        from repro.obs.report import RunReport
+        assert first == RunReport.load(str(out_json)).to_markdown()
+
+    def test_report_formats_and_out_file(self, tmp_path, capsys):
+        out_json = tmp_path / "out.json"
+        main(["verify", "abp", "--report", str(out_json)])
+        capsys.readouterr()
+        assert main(["report", str(out_json), "--format", "html"]) == 0
+        assert capsys.readouterr().out.startswith("<!DOCTYPE html>")
+        target = tmp_path / "r.md"
+        assert main(["report", str(out_json), "--format", "md",
+                     "--out", str(target)]) == 0
+        assert target.read_text().startswith("# Verification of")
+
+    def test_verify_abp_passes(self, capsys):
+        assert main(["verify", "abp"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_verify_bridge_fixed_within_budget(self, capsys):
+        assert main(["verify", "bridge", "--variant", "fixed"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_log_jsonl_appends_events(self, tmp_path, capsys):
+        import json
+        log = tmp_path / "events.jsonl"
+        assert main(["verify", "bridge", "--variant", "fixed",
+                     "--log-jsonl", str(log)]) == 0
+        lines = [json.loads(line) for line in
+                 log.read_text().splitlines()]
+        assert lines[0]["type"] == "run_started"
+        assert lines[-1]["type"] == "run_finished"
+
+    def test_progress_goes_to_stderr(self, capsys):
+        assert main(["verify", "bridge", "--variant", "fixed",
+                     "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "exploring" in captured.err
+        assert "exploring" not in captured.out
+
+
 class TestResilienceCommand:
     def test_bridge_sweep_prints_matrix(self, capsys):
         assert main(["resilience", "bridge"]) == 0

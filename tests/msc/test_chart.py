@@ -83,6 +83,54 @@ class TestChartRendering:
         assert "a" in text and "b" in text
 
 
+class TestLifelineOrdering:
+    """chart_from_trace keeps lifelines in caller order — the property
+    the run reports rely on for stable, system-declaration-ordered MSCs."""
+
+    ORDER = ["Producer0", "link.Producer0.out.port", "link.channel",
+             "link.Consumer0.inp.port", "Consumer0"]
+
+    def _steps(self):
+        return trace_to_completion(
+            simple_pair(SynBlockingSend(), SingleSlotBuffer()))
+
+    def test_header_columns_follow_caller_order(self):
+        header = chart_from_trace(self._steps(), self.ORDER).render() \
+            .splitlines()[0]
+        positions = [header.index(name[:24]) for name in self.ORDER]
+        assert positions == sorted(positions)
+
+    def test_reversed_order_reverses_columns(self):
+        steps = self._steps()
+        fwd = chart_from_trace(steps, self.ORDER).render().splitlines()[0]
+        rev = chart_from_trace(steps, list(reversed(self.ORDER))) \
+            .render().splitlines()[0]
+        assert fwd.index("Producer0") < fwd.index("Consumer0")
+        assert rev.index("Consumer0") < rev.index("Producer0")
+
+    def test_arrow_direction_tracks_column_order(self):
+        steps = self._steps()
+        fwd = chart_from_trace(steps, self.ORDER).render()
+        rev = chart_from_trace(steps, list(reversed(self.ORDER))).render()
+        # the first handshake leaves Producer0 rightward in caller order,
+        # leftward when the lifelines are reversed
+        assert ">" in fwd
+        assert "<" in rev
+
+    def test_events_outside_lifelines_are_dropped(self):
+        steps = self._steps()
+        only_pair = ["Producer0", "link.Producer0.out.port"]
+        chart = chart_from_trace(steps, only_pair)
+        for ev in chart.events:
+            assert {ev.source, ev.target} & set(only_pair)
+
+    def test_same_trace_same_bytes(self):
+        steps = self._steps()
+        a = chart_from_trace(steps, self.ORDER).render()
+        b = chart_from_trace(steps, self.ORDER).render()
+        assert a == b
+
+
 class TestFigure4Orderings:
     """The paper's Figure 4: async vs sync blocking send scenarios."""
 

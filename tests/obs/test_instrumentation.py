@@ -1,0 +1,173 @@
+"""Checker-side instrumentation: event streams from real verification runs."""
+
+from repro.mc import check_ltl, check_safety, check_safety_por
+from repro.mc.engine import StateGraph
+from repro.mc.explore import count_states, find_state
+from repro.obs import (
+    EVENT_BUDGET_EXHAUSTED,
+    EVENT_COUNTEREXAMPLE,
+    EVENT_PROGRESS,
+    EVENT_RUN_FINISHED,
+    EVENT_RUN_STARTED,
+    EVENT_SCENARIO_FINISHED,
+    EVENT_SCENARIO_STARTED,
+    EVENT_SWEEP_FINISHED,
+    EVENT_SWEEP_STARTED,
+    CollectingReporter,
+)
+from repro.systems.bridge import (
+    bridge_fault_scenarios,
+    bridge_safety_prop,
+    build_exactly_n_bridge,
+    fix_exactly_n_bridge,
+)
+
+
+def fixed_bridge_graph():
+    arch = fix_exactly_n_bridge(build_exactly_n_bridge())
+    return StateGraph(arch.to_system(fused=True))
+
+
+def buggy_bridge_graph():
+    return StateGraph(build_exactly_n_bridge().to_system(fused=True))
+
+
+class TestSafetyInstrumentation:
+    def test_stream_is_bracketed_by_start_and_finish(self):
+        rep = CollectingReporter(interval=100)
+        result = check_safety(fixed_bridge_graph(),
+                              invariants=[bridge_safety_prop()],
+                              reporter=rep)
+        assert result.ok
+        assert rep.events[0].type == EVENT_RUN_STARTED
+        assert rep.events[-1].type == EVENT_RUN_FINISHED
+        assert rep.events[-1].data["verdict"] == "PASS"
+        assert any(e.type == EVENT_PROGRESS for e in rep.events)
+
+    def test_counterexample_event_precedes_finish(self):
+        rep = CollectingReporter()
+        result = check_safety(buggy_bridge_graph(),
+                              invariants=[bridge_safety_prop()],
+                              check_deadlock=False, reporter=rep)
+        assert not result.ok
+        kinds = [e.type for e in rep.events]
+        assert EVENT_COUNTEREXAMPLE in kinds
+        assert kinds.index(EVENT_COUNTEREXAMPLE) < kinds.index(
+            EVENT_RUN_FINISHED)
+        ce = next(e for e in rep.events if e.type == EVENT_COUNTEREXAMPLE)
+        assert ce.data["kind"] == "invariant"
+        assert ce.data["trace_length"] == len(result.trace.steps)
+
+    def test_budget_exhaustion_emits_budget_event(self):
+        rep = CollectingReporter()
+        result = check_safety(fixed_bridge_graph(), max_states=50,
+                              reporter=rep)
+        assert result.incomplete
+        kinds = [e.type for e in rep.events]
+        assert EVENT_BUDGET_EXHAUSTED in kinds
+        assert rep.events[-1].data["verdict"] == "INCOMPLETE"
+
+    def test_event_sequence_is_deterministic(self):
+        def run():
+            rep = CollectingReporter(interval=50)
+            check_safety(fixed_bridge_graph(),
+                         invariants=[bridge_safety_prop()], reporter=rep)
+            return [(e.type, e.data.get("states_stored"),
+                     e.data.get("states_expanded")) for e in rep.events]
+
+        assert run() == run()
+
+    def test_no_reporter_is_the_default_and_silent(self):
+        # Exercise the reporter=None fast path explicitly.
+        result = check_safety(fixed_bridge_graph(), reporter=None)
+        assert result.ok
+
+
+class TestOtherCheckers:
+    def test_por_stream(self):
+        rep = CollectingReporter(interval=100)
+        result = check_safety_por(fixed_bridge_graph(),
+                                  invariants=[bridge_safety_prop()],
+                                  reporter=rep)
+        assert result.ok
+        assert rep.events[0].type == EVENT_RUN_STARTED
+        assert rep.events[0].checker == "safety-por"
+        assert rep.events[-1].type == EVENT_RUN_FINISHED
+
+    def test_ltl_stream(self):
+        rep = CollectingReporter(interval=100)
+        safe = bridge_safety_prop()
+        result = check_ltl(fixed_bridge_graph(), "G safe", {"safe": safe},
+                           reporter=rep)
+        assert result.ok
+        assert rep.events[0].checker == "ltl-ndfs"
+        assert rep.events[-1].data["verdict"] == "PASS"
+
+    def test_count_and_find_streams(self):
+        graph = fixed_bridge_graph()
+        rep = CollectingReporter(interval=100)
+        count_states(graph, reporter=rep)
+        checkers = {e.checker for e in rep.events}
+        assert checkers == {"count-states"}
+        rep2 = CollectingReporter(interval=100)
+        find_state(graph, bridge_safety_prop(), reporter=rep2)
+        assert rep2.events[0].checker == "find-state"
+        assert rep2.events[-1].type == EVENT_RUN_FINISHED
+
+    def test_engine_explore_stream(self):
+        rep = CollectingReporter(interval=100)
+        graph = fixed_bridge_graph()
+        n = graph.explore(reporter=rep)
+        assert n == len(graph.store)
+        assert rep.events[0].checker == "engine-explore"
+        assert rep.events[-1].data["states_stored"] == n
+
+
+class TestSweepEventDelivery:
+    """The acceptance-pinned property: parallel sweeps deliver the same
+    event sequence as serial ones, in deterministic per-scenario order."""
+
+    def _sweep_events(self, jobs):
+        from repro.core import verify_resilience
+        arch = fix_exactly_n_bridge(build_exactly_n_bridge())
+        rep = CollectingReporter(interval=200)
+        verify_resilience(
+            arch, bridge_fault_scenarios(),
+            invariants=[bridge_safety_prop()],
+            fused=True, jobs=jobs, reporter=rep,
+        )
+        return rep.events
+
+    def test_parallel_matches_serial_sequence(self):
+        serial = self._sweep_events(jobs=1)
+        parallel = self._sweep_events(jobs=2)
+        # Wall-clock payload fields (elapsed, seconds, rates) differ;
+        # everything deterministic must match exactly, in order.
+        def key(events):
+            return [
+                (e.type, e.checker, e.scenario,
+                 e.data.get("states_stored"), e.data.get("verdict"))
+                for e in events
+            ]
+        assert key(serial) == key(parallel)
+
+    def test_sweep_brackets_and_scenario_order(self):
+        events = self._sweep_events(jobs=1)
+        assert events[0].type == EVENT_SWEEP_STARTED
+        assert events[-1].type == EVENT_SWEEP_FINISHED
+        started = [e.scenario for e in events
+                   if e.type == EVENT_SCENARIO_STARTED]
+        finished = [e.scenario for e in events
+                    if e.type == EVENT_SCENARIO_FINISHED]
+        expected = ["baseline"] + [s.name for s in bridge_fault_scenarios()]
+        assert started == expected
+        assert finished == expected
+        # every run event between a scenario's brackets carries its tag
+        current = None
+        for e in events[1:-1]:
+            if e.type == EVENT_SCENARIO_STARTED:
+                current = e.scenario
+            elif e.type == EVENT_SCENARIO_FINISHED:
+                current = None
+            elif current is not None:
+                assert e.scenario == current

@@ -1,0 +1,132 @@
+"""RunReport: payload structure, persistence, byte-identical rendering."""
+
+import json
+
+from repro.core import verify_resilience, verify_safety
+from repro.obs import CollectingReporter
+from repro.obs.report import SCHEMA, RunReport
+from repro.systems.bridge import (
+    bridge_fault_scenarios,
+    bridge_safety_prop,
+    build_exactly_n_bridge,
+    fix_exactly_n_bridge,
+)
+
+
+def _failing_run(reporter=None):
+    """The paper's initial bridge design: fails its safety invariant."""
+    arch = build_exactly_n_bridge()
+    report = verify_safety(arch, invariants=[bridge_safety_prop()],
+                           check_deadlock=False, fused=True,
+                           reporter=reporter)
+    system = arch.to_system(fused=True)
+    return arch, system, report.result
+
+
+def _passing_run():
+    arch = fix_exactly_n_bridge(build_exactly_n_bridge())
+    report = verify_safety(arch, invariants=[bridge_safety_prop()],
+                           fused=True)
+    return arch, system_of(arch), report.result
+
+
+def system_of(arch):
+    return arch.to_system(fused=True)
+
+
+class TestVerificationReport:
+    def test_payload_has_all_sections_for_a_failure(self):
+        arch, system, result = _failing_run()
+        run = RunReport.from_verification(arch, system, result)
+        p = run.payload
+        assert p["schema"] == SCHEMA
+        assert p["kind"] == "verification"
+        assert p["run"]["verdict"].startswith("FAIL")
+        assert p["run"]["statistics"]["states_stored"] > 0
+        assert p["run"]["trace"]["length"] == len(result.trace.steps)
+        assert p["run"]["msc"]  # processes exchanged messages
+        assert p["run"]["explanation"]  # block-level narration
+
+    def test_passing_run_has_no_trace_sections(self):
+        arch, system, result = _passing_run()
+        run = RunReport.from_verification(arch, system, result)
+        p = run.payload
+        assert p["run"]["verdict"] == "PASS"
+        assert p["run"]["trace"] is None
+        assert p["run"]["msc"] is None
+
+    def test_markdown_embeds_verdict_stats_msc_and_explanation(self):
+        arch, system, result = _failing_run()
+        md = RunReport.from_verification(arch, system, result).to_markdown()
+        assert "## Verdict" in md
+        assert "FAIL" in md
+        assert "### Statistics" in md
+        assert "states stored" in md
+        assert "### Message sequence chart" in md
+        assert "### Block-level explanation" in md
+
+    def test_event_timeline_rendered_when_events_given(self):
+        rep = CollectingReporter(interval=100)
+        arch, system, result = _failing_run(reporter=rep)
+        run = RunReport.from_verification(arch, system, result,
+                                          events=rep.events)
+        md = run.to_markdown()
+        assert "## Event timeline" in md
+        assert '"type":"run_started"' in md
+
+    def test_save_load_rerenders_byte_identically(self, tmp_path):
+        arch, system, result = _failing_run()
+        run = RunReport.from_verification(arch, system, result,
+                                          command="repro verify bridge")
+        path = tmp_path / "out.json"
+        run.save(str(path))
+        reloaded = RunReport.load(str(path))
+        assert reloaded.to_markdown() == run.to_markdown()
+        assert reloaded.to_html() == run.to_html()
+        assert reloaded.to_json() == run.to_json()
+
+    def test_save_by_extension(self, tmp_path):
+        arch, system, result = _failing_run()
+        run = RunReport.from_verification(arch, system, result)
+        md_path, html_path = tmp_path / "r.md", tmp_path / "r.html"
+        run.save(str(md_path))
+        run.save(str(html_path))
+        assert md_path.read_text() == run.to_markdown()
+        assert html_path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"hello": 1}))
+        try:
+            RunReport.load(str(path))
+        except ValueError as exc:
+            assert "schema" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_html_is_self_contained(self):
+        arch, system, result = _failing_run()
+        html = RunReport.from_verification(arch, system, result).to_html()
+        assert "<style>" in html
+        assert "http" not in html.split("</style>")[1]  # no external assets
+
+
+class TestResilienceReport:
+    def test_sweep_report_sections(self):
+        arch = fix_exactly_n_bridge(build_exactly_n_bridge())
+        sweep = verify_resilience(
+            arch, bridge_fault_scenarios(),
+            invariants=[bridge_safety_prop()], fused=True)
+        run = RunReport.from_resilience(arch, sweep, fused=True)
+        p = run.payload
+        assert p["kind"] == "resilience"
+        assert p["worst"] == sweep.worst
+        assert [s["name"] for s in p["scenarios"]] == \
+            [s.name for s in sweep.scenarios]
+        md = run.to_markdown()
+        assert "## Sweep verdict" in md
+        assert "| scenario | verdict |" in md
+        # degraded scenarios carry their deadlock trace into the report
+        degraded = [s for s in p["scenarios"] if s["verdict"] == "degraded"]
+        assert degraded and degraded[0]["trace"] is not None
+        assert f"Scenario: {degraded[0]['name']}" in md

@@ -1,0 +1,124 @@
+"""Documentation health checks, run by the CI ``docs`` job.
+
+Three checks, all dependency-free:
+
+1. **Links** — every relative Markdown link in ``README.md`` and
+   ``docs/*.md`` must point at an existing file (external ``http(s)``,
+   ``mailto:`` and pure-anchor links are skipped; anchors on relative
+   links are checked for file existence only).
+2. **Doctests** — every module under ``src/repro`` whose source
+   contains a ``>>>`` prompt is run through :mod:`doctest`, so the
+   executable examples in docstrings stay true.
+3. **Catalog staleness** — ``docs/block_catalog.md`` must match the
+   current rendering of ``python -m repro.codegen.catalog``.
+
+Run locally::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: ``[text](target)``.  Images share the syntax.
+_LINK_RE = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)\)")
+
+#: Schemes that point outside the repo and are not checked.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _markdown_files() -> List[Path]:
+    files = [ROOT / "README.md"]
+    files += sorted((ROOT / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def check_links() -> List[str]:
+    """Relative links in the docs must resolve to real files."""
+    errors = []
+    for md in _markdown_files():
+        text = md.read_text(encoding="utf-8")
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                rel = md.relative_to(ROOT)
+                errors.append(f"{rel}: broken link -> {target}")
+    return errors
+
+
+def _doctest_modules() -> List[str]:
+    """Dotted names of repro modules containing doctest prompts."""
+    names = []
+    src = ROOT / "src"
+    for py in sorted((src / "repro").rglob("*.py")):
+        if ">>>" not in py.read_text(encoding="utf-8"):
+            continue
+        rel = py.relative_to(src).with_suffix("")
+        parts = list(rel.parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        names.append(".".join(parts))
+    return names
+
+
+def check_doctests() -> List[str]:
+    """Docstring examples must execute as written."""
+    errors = []
+    for name in _doctest_modules():
+        module = importlib.import_module(name)
+        failed, attempted = doctest.testmod(module, verbose=False)
+        if attempted == 0:
+            errors.append(f"{name}: has '>>>' but doctest found no "
+                          f"examples (malformed prompt?)")
+        elif failed:
+            errors.append(f"{name}: {failed}/{attempted} doctests failed")
+    return errors
+
+
+def check_catalog() -> List[str]:
+    """docs/block_catalog.md must match the generator's output."""
+    from repro.codegen.catalog import render_catalog
+    path = ROOT / "docs" / "block_catalog.md"
+    if not path.exists():
+        return ["docs/block_catalog.md: missing — run "
+                "`python -m repro.codegen.catalog`"]
+    if path.read_text(encoding="utf-8") != render_catalog():
+        return ["docs/block_catalog.md: stale — run "
+                "`python -m repro.codegen.catalog`"]
+    return []
+
+
+def main() -> int:
+    checks = [
+        ("links", check_links),
+        ("doctests", check_doctests),
+        ("catalog", check_catalog),
+    ]
+    failed = False
+    for name, check in checks:
+        errors = check()
+        if errors:
+            failed = True
+            for err in errors:
+                print(f"[{name}] {err}", file=sys.stderr)
+        else:
+            print(f"[{name}] ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
