@@ -11,9 +11,14 @@ combination from the library against three requirements:
 * no assertion failures;
 * completion — every execution eventually delivers both messages (LTL).
 
-All 20 verification runs share one model library, so the sweep costs a
-handful of block models plus two component models — the paper's reuse
-claim working at design-exploration scale.
+The combinations are declared as a :class:`repro.design.DesignSpace`
+(one channel axis, one send-port axis) and executed by
+:func:`repro.design.explore`, which shares one model library across all
+20 verification runs — the sweep costs a handful of block models plus
+two component models, the paper's reuse claim working at
+design-exploration scale.  Pass a ``cache=ResultCache(dir)`` to
+``explore`` and a re-run of this script would serve every verdict from
+disk; the ``repro explore`` command wires that up.
 
 Run:  python examples/design_space_exploration.py
 """
@@ -30,9 +35,8 @@ from repro.core import (
     SingleSlotBuffer,
     SynBlockingSend,
     SynCheckingSend,
-    verify_ltl,
-    verify_safety,
 )
+from repro.design import ChannelAxis, DesignSpace, SendPortAxis, explore
 from repro.mc import global_prop
 from repro.systems.producer_consumer import simple_pair
 
@@ -58,26 +62,39 @@ def main() -> None:
     delivered = global_prop(
         "delivered", lambda v: v.global_("consumed_0") == K, "consumed_0")
 
+    # ONE architecture, revised plug-and-play style for every combination:
+    # the components are designed once and their models built once.  The
+    # channel axis is declared first, so it varies slowest (channel outer
+    # loop, send port inner), matching the table below.
+    space = DesignSpace(
+        "producer_consumer",
+        simple_pair(SEND_PORTS[0], CHANNELS[0], messages=K),
+        axes=[
+            ChannelAxis("link", CHANNELS),
+            SendPortAxis("link", SEND_PORTS, component="Producer0"),
+        ],
+        fused=True,
+    )
+
     header = f"{'send port':26s}{'channel':22s}{'safety':10s}{'completion':12s}{'states':>8s}"
     print(header)
     print("-" * len(header))
     t0 = time.perf_counter()
-    # ONE architecture, revised plug-and-play style for every combination:
-    # the components are designed once and their models built once.
-    arch = simple_pair(SEND_PORTS[0], CHANNELS[0], messages=K)
+    report = explore(
+        space,
+        ltl="F delivered",
+        ltl_props={"delivered": delivered},
+        library=library,
+    )
+    results = iter(report.results)
     for channel in CHANNELS:
-        arch.swap_channel("link", channel)
         for port in SEND_PORTS:
-            arch.swap_send_port("link", "Producer0", port)
-            safety = verify_safety(arch, library=library, fused=True)
-            completion = verify_ltl(arch, "F delivered",
-                                    {"delivered": delivered},
-                                    library=library, fused=True)
+            record = next(results)
             print(
                 f"{port.kind:26s}{channel.display_name():22s}"
-                f"{'ok' if safety.ok else 'DEADLOCK':10s}"
-                f"{'ok' if completion.ok else 'CAN HANG':12s}"
-                f"{safety.result.stats.states_stored:8d}"
+                f"{'ok' if record['safety']['ok'] else 'DEADLOCK':10s}"
+                f"{'ok' if record['ltl']['ok'] else 'CAN HANG':12s}"
+                f"{record['states']:8d}"
             )
     elapsed = time.perf_counter() - t0
     built, hits = library.stats.misses, library.stats.hits

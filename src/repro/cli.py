@@ -17,17 +17,25 @@ Commands:
   [--jobs N]`` — sweep fault-injection scenarios over a system and
   print the verdict matrix; ``--jobs`` fans independent scenarios out
   over a process pool;
+* ``explore {bridge | pc} [--jobs N] [--cache-dir DIR] [--no-cache]
+  [--first-pass] [--max-states S] [--max-seconds T]`` — enumerate a
+  design space, verify every variant (served from the persistent
+  content-addressed cache when fingerprints match a previous run), and
+  print the Pareto-ranked verdict table.  ``--cache-dir`` defaults to
+  ``$REPRO_CACHE_DIR`` or ``.repro-cache``;
 * ``sweep [--messages K]`` — verify every send-port/channel combination
-  on a producer/consumer pair and tabulate the verdicts;
+  on a producer/consumer pair and tabulate the verdicts (deprecated:
+  a fixed-function subset of ``explore``);
 * ``export [--out FILE]`` — emit the Promela model of a Figure 2(a)
   connector system;
 * ``graph {block KIND | bridge} [--out FILE]`` — emit Graphviz/DOT for
   a block's state machine or the bridge topology.
 
-``verify``, ``bridge``, and ``resilience`` all take the observability
-flags ``--progress`` (live status line on stderr), ``--log-jsonl PATH``
-(append engine events as JSON lines), and ``--report PATH`` (write a
-run report; ``.json`` is the canonical re-renderable format).
+``verify``, ``bridge``, ``resilience``, and ``explore`` all take the
+observability flags ``--progress`` (live status line on stderr),
+``--log-jsonl PATH`` (append engine events as JSON lines), and
+``--report PATH`` (write a run report; ``.json`` is the canonical
+re-renderable format).
 
 The CLI is a thin veneer over the library — everything it does is two
 or three calls on the public API.
@@ -296,36 +304,110 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.core import (
-        ModelLibrary,
-        verify_safety,
-    )
+def _pc_space(messages: int):
+    """The producer/consumer port x channel design space (sweep/explore)."""
     from repro.core.channels import CHANNEL_SPECS
     from repro.core.ports import SEND_PORT_SPECS
+    from repro.design import ChannelAxis, DesignSpace, SendPortAxis
     from repro.systems.producer_consumer import simple_pair
 
+    return DesignSpace(
+        "producer_consumer",
+        simple_pair(SEND_PORT_SPECS[0], CHANNEL_SPECS[0], messages=messages),
+        axes=[
+            ChannelAxis("link", CHANNEL_SPECS),
+            SendPortAxis("link", SEND_PORT_SPECS, component="Producer0"),
+        ],
+        fused=True,
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core import ModelLibrary
+    from repro.core.channels import CHANNEL_SPECS
+    from repro.core.ports import SEND_PORT_SPECS
+    from repro.design import explore
+
+    print("note: 'repro sweep' is deprecated; use 'repro explore pc' "
+          "(cached, parallel, ranked)", file=sys.stderr)
     library = ModelLibrary()
+    report = explore(_pc_space(args.messages), library=library)
     header = f"{'send port':26s}{'channel':28s}{'verdict':10s}{'states':>8s}"
     print(header)
     print("-" * len(header))
-    failures = 0
-    arch = simple_pair(SEND_PORT_SPECS[0], CHANNEL_SPECS[0],
-                       messages=args.messages)
+    results = iter(report.results)
     for channel in CHANNEL_SPECS:
-        arch.swap_channel("link", channel)
         for port in SEND_PORT_SPECS:
-            arch.swap_send_port("link", "Producer0", port)
-            report = verify_safety(arch, library=library, fused=True)
-            verdict = "ok" if report.ok else report.result.kind.upper()
-            failures += 0 if report.ok else 1
+            record = next(results)
+            safety = record["safety"]
+            verdict = "ok" if safety["ok"] else safety["kind"].upper()
             print(f"{port.kind:26s}{channel.display_name():28s}{verdict:10s}"
-                  f"{report.result.stats.states_stored:8d}")
+                  f"{record['states']:8d}")
     stats = library.stats
     print("-" * len(header))
     print(f"models built {stats.misses}, reused {stats.hits} "
           f"({stats.reuse_ratio:.0%} reuse)")
     return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.design import EXHAUSTIVE, FIRST_PASS, ResultCache, explore
+
+    if args.space == "bridge":
+        from repro.systems.bridge import (
+            BridgeConfig,
+            bridge_design_space,
+            bridge_fault_scenarios,
+            bridge_safety_prop,
+        )
+        space = bridge_design_space(
+            BridgeConfig(cars_per_side=args.cars, n_per_turn=args.n,
+                         trips=args.trips))
+        kwargs = {
+            "invariants": [bridge_safety_prop()],
+            "faults": bridge_fault_scenarios(),
+        }
+    else:
+        space = _pc_space(args.messages)
+        kwargs = {}
+
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get(
+            "REPRO_CACHE_DIR") or ".repro-cache"
+        cache = ResultCache(cache_dir)
+
+    reporter, collector = _build_reporter(args)
+    try:
+        report = explore(
+            space,
+            cache=cache,
+            jobs=args.jobs,
+            max_states=args.max_states,
+            max_seconds=args.max_seconds,
+            policy=FIRST_PASS if args.first_pass else EXHAUSTIVE,
+            reporter=reporter,
+            **kwargs,
+        )
+        if args.report:
+            run = report.to_run_report(
+                command=_command_line(args),
+                events=collector.events if collector is not None else None,
+            )
+            run.save(args.report)
+            print(f"report written to {args.report}")
+    finally:
+        if reporter is not None:
+            reporter.close()
+    print(f"design-space exploration: {report.space} "
+          f"({len(report.results)} variants, jobs={report.jobs})")
+    print()
+    print(report.table())
+    if report.any_budget_hit:
+        return 2
+    return 0 if report.any_pass else 1
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -425,7 +507,44 @@ def build_parser() -> argparse.ArgumentParser:
                           "serial when the design does not pickle)")
     _add_obs_flags(res)
 
-    sweep = sub.add_parser("sweep", help="verify all port/channel combos")
+    exp = sub.add_parser(
+        "explore", help="enumerate and verify a design space (cached)")
+    exp.add_argument("space", choices=["bridge", "pc"],
+                     help="bridge: enter-send axes over the exactly-n and "
+                          "at-most-n designs; pc: every send-port/channel "
+                          "combination on a producer/consumer pair")
+    exp.add_argument("--jobs", type=int, default=1,
+                     help="verify variants in parallel over N worker "
+                          "processes (default 1 = serial; falls back to "
+                          "serial when the design does not pickle)")
+    exp.add_argument("--cache-dir", default=None,
+                     help="persistent result cache directory (default "
+                          "$REPRO_CACHE_DIR or .repro-cache)")
+    exp.add_argument("--no-cache", action="store_true",
+                     help="verify every variant afresh, touch no cache")
+    exp.add_argument("--first-pass", action="store_true",
+                     help="stop at the first PASS verdict (cheapest-first "
+                          "order) instead of exploring exhaustively")
+    exp.add_argument("--max-states", type=int, default=None,
+                     help="per-variant state budget; any hit yields exit "
+                          "code 2")
+    exp.add_argument("--max-seconds", type=float, default=None,
+                     help="per-variant time budget; any hit yields exit "
+                          "code 2")
+    exp.add_argument("--cars", type=int, default=1,
+                     help="bridge space: cars per side (default 1)")
+    exp.add_argument("--n", type=int, default=1,
+                     help="bridge space: crossings per turn (default 1)")
+    exp.add_argument("--trips", type=int, default=1,
+                     help="bridge space: trips per car, 0 = forever "
+                          "(default 1)")
+    exp.add_argument("--messages", type=int, default=2,
+                     help="pc space: messages to deliver (default 2)")
+    _add_obs_flags(exp)
+
+    sweep = sub.add_parser(
+        "sweep", help="verify all port/channel combos (deprecated: "
+                      "use 'explore pc')")
     sweep.add_argument("--messages", type=int, default=2)
 
     export = sub.add_parser("export", help="emit Promela for Figure 2(a)")
@@ -449,6 +568,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "bridge": _cmd_bridge,
         "resilience": _cmd_resilience,
+        "explore": _cmd_explore,
         "sweep": _cmd_sweep,
         "export": _cmd_export,
         "graph": _cmd_graph,

@@ -114,3 +114,20 @@ class ModelLibrary:
     def snapshot(self) -> Tuple[int, int, int]:
         """(models cached, hits so far, misses so far)."""
         return (len(self._cache), self.stats.hits, self.stats.misses)
+
+    def canonical(self) -> str:
+        """Stable canonical serialization of the cached model *content*.
+
+        A sorted JSON list of ``[name, digest]`` pairs, one per cached
+        :class:`ProcessDef` (see :meth:`ProcessDef.canonical_digest`).
+        Cache *keys* are deliberately excluded: component keys embed a
+        per-run uid, so only content identity is stable across runs.
+        Two libraries holding semantically identical models serialize
+        identically regardless of insertion order or interpreter run.
+        """
+        import json
+        entries = sorted(
+            [model.name, model.canonical_digest()]
+            for model in self._cache.values()
+        )
+        return json.dumps(entries, sort_keys=True, separators=(",", ":"))

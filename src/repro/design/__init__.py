@@ -1,0 +1,93 @@
+"""repro.design — design-space exploration with a persistent result cache.
+
+The paper makes "experimenting with alternative design choices of
+interaction semantics" cheap by reusing block and component models
+across design iterations.  This package makes the experiment itself a
+first-class, resumable object:
+
+* :mod:`~repro.design.space` — declare a :class:`DesignSpace`: base
+  architecture(s) plus per-connector variation axes and constraints;
+* :mod:`~repro.design.fingerprint` — content-hash each variant's
+  verification job so identical jobs run once;
+* :mod:`~repro.design.cache` — persist verdicts on disk, keyed by
+  fingerprint, so re-runs only verify what changed;
+* :mod:`~repro.design.scheduler` — :func:`explore`: parallel,
+  cheapest-first, cache-aware execution with early-exit policies;
+* :mod:`~repro.design.rank` — Pareto-rank the surviving variants by
+  (verdict, states explored, resilience).
+
+Typical use::
+
+    from repro.design import (ChannelAxis, DesignSpace, ResultCache,
+                              SendPortAxis, explore)
+
+    space = DesignSpace("pc", simple_pair(...), axes=[
+        ChannelAxis("link", [SingleSlotBuffer(), FifoQueue(size=2)]),
+        SendPortAxis("link", [AsynBlockingSend(), SynBlockingSend()]),
+    ])
+    report = explore(space, invariants=[safe], jobs=4,
+                     cache=ResultCache(".repro-cache"))
+    print(report.table())
+"""
+
+from .cache import CACHE_SCHEMA, ResultCache
+from .fingerprint import (
+    FINGERPRINT_SCHEMA,
+    fingerprint_job,
+    fingerprint_prop,
+    fingerprint_system,
+)
+from .rank import ExplorationReport, rank_records, resilience_rank, verdict_rank
+from .scheduler import (
+    EXHAUSTIVE,
+    FAIL,
+    FIRST_PASS,
+    PASS,
+    SKIPPED,
+    UNKNOWN,
+    explore,
+)
+from .space import (
+    COMPOSED,
+    FUSED,
+    Axis,
+    ChannelAxis,
+    DesignSpace,
+    DesignSpaceError,
+    EncodingAxis,
+    FaultAxis,
+    ReceivePortAxis,
+    SendPortAxis,
+    Variant,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "FINGERPRINT_SCHEMA",
+    "ResultCache",
+    "fingerprint_job",
+    "fingerprint_prop",
+    "fingerprint_system",
+    "ExplorationReport",
+    "rank_records",
+    "resilience_rank",
+    "verdict_rank",
+    "EXHAUSTIVE",
+    "FIRST_PASS",
+    "PASS",
+    "FAIL",
+    "UNKNOWN",
+    "SKIPPED",
+    "explore",
+    "COMPOSED",
+    "FUSED",
+    "Axis",
+    "ChannelAxis",
+    "DesignSpace",
+    "DesignSpaceError",
+    "EncodingAxis",
+    "FaultAxis",
+    "ReceivePortAxis",
+    "SendPortAxis",
+    "Variant",
+]

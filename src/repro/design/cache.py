@@ -1,0 +1,158 @@
+"""Disk-backed, content-addressed store for verification results.
+
+The paper's reuse claim — block and component models carry over
+unchanged across design iterations — made incremental *across runs*:
+a verification verdict is stored under the fingerprint of the job that
+produced it (:mod:`repro.design.fingerprint`), so re-running an
+exploration after editing one connector re-verifies only the variants
+whose fingerprints changed.
+
+Layout (schema ``repro.design-cache/1``), under one cache directory:
+
+``results.jsonl``
+    Append-only JSONL, one record per completed job::
+
+        {"schema": "repro.design-cache/1", "fingerprint": "<sha256>",
+         "verdict": ..., ...}
+
+    Append-only means a crashed run loses at most its unflushed tail;
+    on open, records are replayed in file order and the *last* record
+    per fingerprint wins, so re-verifications supersede stale entries
+    without compaction.  Lines that fail to parse, carry a different
+    schema, or lack a fingerprint are skipped (a foreign or corrupt
+    cache degrades to misses, never to wrong verdicts).
+
+``index.json``
+    A convenience snapshot — schema, record count, and the sorted
+    fingerprint list — written on :meth:`ResultCache.flush`.  It exists
+    for humans and tooling (``jq``-able inventory); the JSONL is the
+    source of truth and the index is never read back for lookups.
+
+Invalidation is purely content-driven: there is no TTL and no manual
+purge protocol.  A fingerprint changes when (and only when) the job
+content changes — edited process definitions, swapped blocks, different
+properties or budgets, a bumped fingerprint/cache schema — and old
+records simply stop being referenced.  Delete the cache directory to
+reclaim space.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+__all__ = ["CACHE_SCHEMA", "ResultCache"]
+
+CACHE_SCHEMA = "repro.design-cache/1"
+
+_RESULTS_NAME = "results.jsonl"
+_INDEX_NAME = "index.json"
+
+
+class ResultCache:
+    """A content-addressed verification-result store in one directory.
+
+    Records are plain JSON dicts keyed by job fingerprint.  ``get`` and
+    ``put`` count hits, misses, and stores so explorations can report
+    exactly how much verification work the cache absorbed.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._skipped_lines = 0
+        os.makedirs(directory, exist_ok=True)
+        self._load()
+
+    @property
+    def results_path(self) -> str:
+        return os.path.join(self.directory, _RESULTS_NAME)
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.directory, _INDEX_NAME)
+
+    def _load(self) -> None:
+        if not os.path.exists(self.results_path):
+            return
+        with open(self.results_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    self._skipped_lines += 1
+                    continue
+                if (not isinstance(record, dict)
+                        or record.get("schema") != CACHE_SCHEMA
+                        or not isinstance(record.get("fingerprint"), str)):
+                    self._skipped_lines += 1
+                    continue
+                # Last record per fingerprint wins (append-only updates).
+                self._records[record["fingerprint"]] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._records
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The cached record for ``fingerprint``, or None (counted)."""
+        record = self._records.get(fingerprint)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, fingerprint: str, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Store ``record`` under ``fingerprint`` (appended immediately).
+
+        The schema and fingerprint fields are stamped on; the caller's
+        payload must be JSON-able.
+        """
+        stamped = dict(record)
+        stamped["schema"] = CACHE_SCHEMA
+        stamped["fingerprint"] = fingerprint
+        line = json.dumps(stamped, sort_keys=True, separators=(",", ":"))
+        with open(self.results_path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+        self._records[fingerprint] = stamped
+        self.stored += 1
+        return stamped
+
+    def flush(self) -> None:
+        """Write the ``index.json`` snapshot for the current contents."""
+        index = {
+            "schema": CACHE_SCHEMA,
+            "records": len(self._records),
+            "results_bytes": (os.path.getsize(self.results_path)
+                              if os.path.exists(self.results_path) else 0),
+            "fingerprints": sorted(self._records),
+        }
+        tmp = self.index_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(index, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.index_path)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/store accounting since this cache was opened."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stored": self.stored,
+            "records": len(self._records),
+            "skipped_lines": self._skipped_lines,
+        }
+
+    def __repr__(self) -> str:
+        return (f"ResultCache({self.directory!r}, {len(self._records)} "
+                f"records, {self.hits} hits / {self.misses} misses)")

@@ -1,0 +1,192 @@
+"""Pareto ranking of explored design variants.
+
+An exploration produces one record per variant; this module orders
+them.  Three objectives, all minimized:
+
+1. **verdict rank** — PASS < UNKNOWN < FAIL < SKIPPED.  A design that
+   verifies beats one that might, which beats one that doesn't.
+2. **states explored** — the size of the variant's reachable state
+   space, the paper's own cost proxy for a design's interaction
+   complexity (and for how expensive it is to re-verify).
+3. **resilience rank** — the worst fault-scenario verdict of a passing
+   variant (robust < unknown < degraded < broken); variants that were
+   never swept (no faults requested, or they failed outright) rank as
+   robust so the objective never punishes a missing measurement.
+
+Variants are grouped into Pareto *fronts*: front 1 is the set of
+non-dominated records, front 2 is non-dominated once front 1 is
+removed, and so on.  Within a front — where, by construction, no
+variant is strictly better — the presentation order is lexicographic
+(verdict, resilience, states, name), which is what puts a robust
+design with a larger state space ahead of a fragile smaller one.
+Ranking is a pure function of the records, so serial, parallel, and
+cache-served explorations rank identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.report import RunReport
+
+__all__ = ["ExplorationReport", "rank_records", "verdict_rank",
+           "resilience_rank"]
+
+_VERDICT_RANK = {"PASS": 0, "UNKNOWN": 1, "FAIL": 2, "SKIPPED": 3}
+_RESILIENCE_RANK = {"robust": 0, "unknown": 1, "degraded": 2, "broken": 3}
+
+
+def verdict_rank(record: Dict[str, Any]) -> int:
+    """Position of the record's verdict on the PASS-first ladder."""
+    return _VERDICT_RANK.get(record.get("verdict", "SKIPPED"), 3)
+
+
+def resilience_rank(record: Dict[str, Any]) -> int:
+    """Position of the record's worst fault verdict (0 when not swept)."""
+    resilience = record.get("resilience")
+    if not resilience:
+        return 0
+    return _RESILIENCE_RANK.get(resilience.get("worst", "robust"), 3)
+
+
+def _objectives(record: Dict[str, Any]) -> Tuple[int, int, int]:
+    return (verdict_rank(record), int(record.get("states") or 0),
+            resilience_rank(record))
+
+
+def _dominates(a: Tuple[int, int, int], b: Tuple[int, int, int]) -> bool:
+    return all(x <= y for x, y in zip(a, b)) and a != b
+
+
+def rank_records(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Records annotated with their Pareto ``front``, best first.
+
+    Returns *copies* of the input records (the originals keep their
+    enumeration order untouched), sorted by front and, within a front,
+    by (verdict rank, resilience rank, states, name).
+    """
+    remaining = [(record, _objectives(record)) for record in records]
+    ranked: List[Dict[str, Any]] = []
+    front = 0
+    while remaining:
+        front += 1
+        nondominated = [
+            (record, obj) for record, obj in remaining
+            if not any(_dominates(other, obj) for _, other in remaining
+                       if other != obj)
+        ]
+        if not nondominated:  # pragma: no cover - defensive: ties only
+            nondominated = remaining
+        members = []
+        for record, obj in nondominated:
+            annotated = dict(record)
+            annotated["front"] = front
+            members.append((annotated, obj))
+        members.sort(key=lambda pair: (
+            pair[1][0], pair[1][2], pair[1][1],
+            pair[0].get("variant", "")))
+        ranked.extend(record for record, _ in members)
+        dropped = {id(record) for record, _ in nondominated}
+        remaining = [(r, o) for r, o in remaining if id(r) not in dropped]
+    return ranked
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of one design-space exploration.
+
+    ``results`` holds every variant's record in enumeration order (the
+    stable order tables are printed in); ``ranked`` holds the same
+    records annotated with Pareto fronts, best first.
+    """
+
+    space: str
+    results: List[Dict[str, Any]] = field(default_factory=list)
+    ranked: List[Dict[str, Any]] = field(default_factory=list)
+    policy: str = "exhaustive"
+    jobs: int = 1
+    stopped_early: bool = False
+    cache_stats: Optional[Dict[str, int]] = None
+    library_snapshot: Tuple[int, int, int] = (0, 0, 0)
+
+    @property
+    def best(self) -> Optional[Dict[str, Any]]:
+        """The top-ranked record, or None for an empty space."""
+        return self.ranked[0] if self.ranked else None
+
+    @property
+    def passed(self) -> List[Dict[str, Any]]:
+        return [r for r in self.results if r["verdict"] == "PASS"]
+
+    @property
+    def any_pass(self) -> bool:
+        return bool(self.passed)
+
+    @property
+    def any_budget_hit(self) -> bool:
+        """True when any variant's verdict was limited by a budget."""
+        return any(r.get("budget_hit") or r["verdict"] == "UNKNOWN"
+                   for r in self.results)
+
+    @property
+    def complete(self) -> bool:
+        return not self.any_budget_hit and not self.stopped_early
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for r in self.results if r.get("cached"))
+
+    def result_for(self, variant_name: str) -> Dict[str, Any]:
+        for record in self.results:
+            if record["variant"] == variant_name:
+                return record
+        raise KeyError(f"no variant named {variant_name!r}")
+
+    def table(self) -> str:
+        """The ranked variant matrix (deterministic: no wall-clock).
+
+        Serial and parallel explorations of the same space print this
+        byte-identically; times live in the records, not the table.
+        """
+        rows = [("#", "variant", "verdict", "states", "resilience", "cache")]
+        for record in self.ranked:
+            resilience = record.get("resilience")
+            rows.append((
+                str(record["front"]),
+                record["variant"],
+                record["verdict"],
+                str(record.get("states") or 0),
+                (resilience or {}).get("worst", "-") if resilience else "-",
+                "hit" if record.get("cached") else
+                ("dedup" if record.get("deduplicated") else "run"),
+            ))
+        widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+        lines = []
+        for j, row in enumerate(rows):
+            lines.append("  ".join(
+                c.ljust(w) for c, w in zip(row, widths)).rstrip())
+            if j == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        lines.append("")
+        best = self.best
+        if best is not None:
+            lines.append(f"best: {best['variant']} ({best['verdict']})")
+        if self.stopped_early:
+            lines.append("exploration stopped at the first PASS "
+                         "(first_pass policy)")
+        if self.cache_stats is not None:
+            lines.append(
+                f"cache: {self.cache_stats['hits']} hits, "
+                f"{self.cache_stats['misses']} misses, "
+                f"{self.cache_stats['stored']} stored")
+        return "\n".join(lines)
+
+    def to_run_report(self, *, title: Optional[str] = None,
+                      command: Optional[str] = None,
+                      events: Optional[List[Any]] = None) -> "RunReport":
+        """This exploration as a renderable, saveable RunReport."""
+        from ..obs.report import RunReport
+        return RunReport.from_exploration(
+            self, title=title, command=command, events=events)

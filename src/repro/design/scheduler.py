@@ -1,0 +1,538 @@
+"""Parallel, cached execution of design-space explorations.
+
+``explore`` drives a :class:`~repro.design.space.DesignSpace` end to
+end: enumerate variants, fingerprint each one's verification job
+(:mod:`repro.design.fingerprint`), serve what it can from the
+content-addressed cache (:mod:`repro.design.cache`), and fan the
+remaining jobs out over the same process-pool/pickle-probe machinery
+the resilience sweeps use — with cheapest-first submission ordering and
+an optional stop-on-first-pass policy.
+
+Determinism contract (pinned by the design tests):
+
+* results are reported in **enumeration order** regardless of
+  ``jobs``, caching, or submission order, so serial and parallel
+  explorations produce identical ranked output;
+* engine events are streamed per variant in a fixed order — cache hits
+  first (enumeration order, bracketed with ``cached=True``), then each
+  executed variant's buffered stream in submission order between its
+  ``variant_started`` / ``variant_finished`` brackets;
+* two variants whose jobs share a fingerprint are verified once; the
+  duplicate is served the same record, marked as deduplicated.
+
+Each variant's verdict is one of ``PASS`` (safety, optional LTL, and
+optional goal reachability all hold; fault scenarios are then swept and
+their worst resilience verdict recorded), ``FAIL`` (a property is
+violated or the goal is unreachable), ``UNKNOWN`` (a budget ran out
+first), or ``SKIPPED`` (the first-pass policy stopped the exploration
+before this variant ran).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..core.resilience import (
+    Fault,
+    FaultScenario,
+    _as_scenario,
+    verify_resilience,
+)
+from ..core.spec import ModelLibrary
+from ..mc.budget import BudgetExceeded
+from ..mc.engine import StateGraph
+from ..mc.explore import check_safety, find_state
+from ..mc.ndfs import check_ltl
+from ..mc.props import Prop
+from ..obs.events import EngineEvent, variant_finished, variant_started
+from ..obs.events import exploration_finished, exploration_started
+from ..obs.report import _stats_payload
+from ..obs.reporters import CollectingReporter, Reporter, ScenarioScope
+from .cache import ResultCache
+from .fingerprint import fingerprint_job
+from .rank import ExplorationReport, rank_records
+from .space import DesignSpace, Variant
+
+__all__ = [
+    "EXHAUSTIVE",
+    "FIRST_PASS",
+    "PASS",
+    "FAIL",
+    "UNKNOWN",
+    "SKIPPED",
+    "explore",
+]
+
+#: Early-exit policies.
+EXHAUSTIVE = "exhaustive"
+FIRST_PASS = "first_pass"
+
+#: Variant verdicts.
+PASS = "PASS"
+FAIL = "FAIL"
+UNKNOWN = "UNKNOWN"
+SKIPPED = "SKIPPED"
+
+
+def _result_payload(result) -> Dict[str, Any]:
+    """The JSON-able slice of a VerificationResult a record keeps."""
+    return {
+        "ok": result.ok,
+        "kind": result.kind,
+        "message": result.message,
+        "incomplete": result.incomplete,
+        "budget_exhausted": result.budget_exhausted,
+        "statistics": _stats_payload(result.stats),
+    }
+
+
+def _verify_variant(
+    variant: Variant,
+    invariants: Sequence[Prop],
+    check_deadlock: bool,
+    goal: Optional[Prop],
+    ltl: Optional[str],
+    ltl_props: Optional[Mapping[str, Prop]],
+    scenarios: Sequence[FaultScenario],
+    library: ModelLibrary,
+    max_states: Optional[int],
+    max_seconds: Optional[float],
+    reporter: Optional[Reporter] = None,
+) -> Dict[str, Any]:
+    """Verify one variant; the unit of work for serial and pooled runs.
+
+    Safety, the optional LTL check, and the optional goal search all
+    run on one shared :class:`~repro.mc.engine.StateGraph`, so they pay
+    successor generation once between them.  Fault scenarios are swept
+    (serially, with the same library) only for variants that PASS —
+    resilience is a tie-breaker between survivors, not a verdict input.
+    Returns a plain JSON-able record, ready for the result cache.
+    """
+    scoped: Optional[Reporter] = None
+    if reporter is not None:
+        scoped = ScenarioScope(reporter, variant.name)
+    hits0, misses0 = library.stats.hits, library.stats.misses
+    t0 = time.perf_counter()
+    arch = variant.build()
+    system = arch.to_system(library, fused=variant.fused)
+    graph = StateGraph(system)
+    safety = check_safety(
+        graph, invariants=invariants, check_deadlock=check_deadlock,
+        max_states=max_states, max_seconds=max_seconds, reporter=scoped,
+    )
+
+    verdict = PASS
+    detail = "all properties hold"
+    budget_hit = bool(safety.incomplete)
+    if not safety.ok:
+        verdict, detail = FAIL, f"safety violated: {safety.message}"
+    elif safety.incomplete:
+        verdict = UNKNOWN
+        detail = (f"{safety.budget_exhausted or 'budget'} exhausted "
+                  "before a safety verdict")
+
+    ltl_payload: Optional[Dict[str, Any]] = None
+    if ltl is not None:
+        # Always checked (on the same shared graph): a variant's record
+        # carries both verdicts even when safety already failed, so
+        # tables can show the two columns independently.
+        ltl_result = check_ltl(
+            graph, ltl, ltl_props or {}, max_states=max_states,
+            max_seconds=max_seconds, reporter=scoped,
+        )
+        ltl_payload = _result_payload(ltl_result)
+        ltl_payload["formula"] = ltl
+        budget_hit = budget_hit or ltl_result.incomplete
+        if verdict is PASS:
+            if not ltl_result.ok:
+                verdict, detail = FAIL, f"LTL violated: {ltl_result.message}"
+            elif ltl_result.incomplete:
+                verdict = UNKNOWN
+                detail = (f"{ltl_result.budget_exhausted or 'budget'} "
+                          "exhausted before an LTL verdict")
+
+    goal_payload: Optional[Dict[str, Any]] = None
+    if goal is not None and verdict is PASS:
+        try:
+            witness = find_state(graph, goal, max_states=max_states,
+                                 max_seconds=max_seconds, reporter=scoped)
+        except BudgetExceeded as exc:
+            budget_hit = True
+            verdict = UNKNOWN
+            detail = f"goal search stopped early: {exc}"
+            goal_payload = {"name": goal.name, "reachable": None}
+        else:
+            reachable = witness is not None
+            goal_payload = {"name": goal.name, "reachable": reachable}
+            if not reachable:
+                verdict = FAIL
+                detail = f"goal {goal.name!r} is unreachable"
+
+    resilience_payload: Optional[Dict[str, Any]] = None
+    if scenarios and verdict is PASS:
+        sweep = verify_resilience(
+            arch, list(scenarios), invariants=invariants, goal=goal,
+            check_deadlock=check_deadlock, library=library,
+            max_states=max_states, max_seconds=max_seconds,
+            fused=variant.fused, include_baseline=False, jobs=1,
+        )
+        budget_hit = budget_hit or not sweep.complete
+        resilience_payload = {
+            "worst": sweep.worst,
+            "complete": sweep.complete,
+            "scenarios": [
+                {"name": s.name, "verdict": s.verdict, "detail": s.detail}
+                for s in sweep.scenarios
+            ],
+        }
+        detail = f"{detail}; worst fault verdict {sweep.worst}"
+
+    return {
+        "space": variant.space,
+        "variant": variant.name,
+        "index": variant.index,
+        "base": variant.base_label,
+        "labels": variant.labels,
+        "fused": variant.fused,
+        "verdict": verdict,
+        "detail": detail,
+        "states": safety.stats.states_stored,
+        "seconds": round(time.perf_counter() - t0, 6),
+        "budget_hit": budget_hit,
+        "safety": _result_payload(safety),
+        "ltl": ltl_payload,
+        "goal": goal_payload,
+        "resilience": resilience_payload,
+        "models_reused": library.stats.hits - hits0,
+        "models_built": library.stats.misses - misses0,
+    }
+
+
+def _run_variant_task(payload: bytes) -> Tuple[Dict[str, Any],
+                                               List[EngineEvent]]:
+    """Process-pool entry point: unpickle one variant's job and run it.
+
+    Mirrors the resilience pool protocol: each worker holds a private
+    :class:`ModelLibrary` (reuse accounting becomes per-variant), and
+    when the parent has a reporter its progress interval travels in the
+    payload so the worker buffers events in a
+    :class:`~repro.obs.reporters.CollectingReporter` for deterministic
+    replay after the join.
+    """
+    (variant, invariants, check_deadlock, goal, ltl, ltl_props, scenarios,
+     max_states, max_seconds, interval) = pickle.loads(payload)
+    collector = None if interval is None else CollectingReporter(interval)
+    record = _verify_variant(
+        variant, invariants, check_deadlock, goal, ltl, ltl_props,
+        scenarios, ModelLibrary(), max_states, max_seconds,
+        reporter=collector,
+    )
+    return record, ([] if collector is None else collector.events)
+
+
+def _skipped_record(variant: Variant, reason: str) -> Dict[str, Any]:
+    return {
+        "space": variant.space,
+        "variant": variant.name,
+        "index": variant.index,
+        "base": variant.base_label,
+        "labels": variant.labels,
+        "fused": variant.fused,
+        "verdict": SKIPPED,
+        "detail": reason,
+        "states": 0,
+        "seconds": 0.0,
+        "budget_hit": False,
+        "safety": None,
+        "ltl": None,
+        "goal": None,
+        "resilience": None,
+        "models_reused": 0,
+        "models_built": 0,
+    }
+
+
+def explore(
+    space: DesignSpace,
+    *,
+    invariants: Sequence[Prop] = (),
+    check_deadlock: bool = True,
+    goal: Optional[Prop] = None,
+    ltl: Optional[str] = None,
+    ltl_props: Optional[Mapping[str, Prop]] = None,
+    faults: Sequence[Union[Fault, FaultScenario]] = (),
+    library: Optional[ModelLibrary] = None,
+    cache: Optional[ResultCache] = None,
+    jobs: int = 1,
+    max_states: Optional[int] = None,
+    max_seconds: Optional[float] = None,
+    policy: str = EXHAUSTIVE,
+    reporter: Optional[Reporter] = None,
+) -> ExplorationReport:
+    """Explore a design space and rank the surviving variants.
+
+    Every variant is elaborated once in the parent (through the shared
+    ``library``, so block/component models are reused across the whole
+    space) to compute its job fingerprint.  Fingerprints then decide the
+    work: cached jobs are served from ``cache``, duplicated jobs are
+    verified once, and the rest are submitted cheapest-first — serially,
+    or over a process pool when ``jobs > 1`` (falling back to serial
+    when the work does not pickle, exactly like the resilience sweeps).
+
+    ``policy=FIRST_PASS`` stops after the first PASS in submission
+    order; variants that never ran are reported as ``SKIPPED``.  Fresh
+    verdicts are written back to ``cache``, and the cache index is
+    flushed before returning.
+    """
+    if policy not in (EXHAUSTIVE, FIRST_PASS):
+        raise ValueError(f"unknown exploration policy {policy!r}")
+    library = library if library is not None else ModelLibrary()
+    scenarios = tuple(_as_scenario(f) for f in faults)
+    fault_names = [f"{s.name}={s.describe()}" for s in scenarios]
+    variants = space.variants()
+    total = len(variants)
+
+    # Fingerprint every variant's job up front (cheap: elaboration reuses
+    # the shared library; verification is where the time goes).
+    fingerprints: List[str] = []
+    for variant in variants:
+        system = variant.build().to_system(library, fused=variant.fused)
+        fingerprints.append(fingerprint_job(
+            system, invariants=invariants, check_deadlock=check_deadlock,
+            goal=goal, ltl=ltl, ltl_props=ltl_props, faults=fault_names,
+            max_states=max_states, max_seconds=max_seconds,
+        ))
+
+    records: List[Optional[Dict[str, Any]]] = [None] * total
+    served_from_cache = [False] * total
+
+    # Cache hits resolve in the parent; the rest dedupe by fingerprint.
+    first_for: Dict[str, int] = {}
+    to_run: List[int] = []
+    for i, fp in enumerate(fingerprints):
+        cached = cache.get(fp) if cache is not None else None
+        if cached is not None:
+            records[i] = _rebind(cached, variants[i])
+            served_from_cache[i] = True
+            continue
+        if fp in first_for:
+            continue  # verified once; filled in from the twin's record
+        first_for[fp] = i
+        to_run.append(i)
+
+    # Cheapest-first submission order (stable on enumeration index).
+    to_run.sort(key=lambda i: (variants[i].cost_hint(), i))
+
+    if reporter is not None:
+        reporter.emit(exploration_started(
+            space.name, variants=total, jobs=jobs,
+            cached=sum(served_from_cache), to_run=len(to_run)))
+        for i in range(total):
+            if served_from_cache[i]:
+                _emit_brackets(reporter, variants[i], records[i], i, total,
+                               cached=True)
+
+    stopped_early = False
+    if to_run:
+        ran: Optional[List[Tuple[int, Dict[str, Any],
+                                 List[EngineEvent]]]] = None
+        if jobs > 1 and len(to_run) > 1:
+            ran = _explore_parallel(
+                variants, to_run, invariants, check_deadlock, goal, ltl,
+                ltl_props, scenarios, max_states, max_seconds, jobs, policy,
+                reporter,
+            )
+        if ran is None:
+            ran = _explore_serial(
+                variants, to_run, invariants, check_deadlock, goal, ltl,
+                ltl_props, scenarios, library, max_states, max_seconds,
+                policy, reporter, total,
+            )
+        completed = {i for i, _, _ in ran}
+        stopped_early = len(completed) < len(to_run)
+        for i, record, _events in ran:
+            records[i] = record
+            if cache is not None:
+                cache.put(fingerprints[i], record)
+
+    # Twin variants (same fingerprint) share the executed record.
+    for i, fp in enumerate(fingerprints):
+        if records[i] is not None:
+            continue
+        twin = first_for.get(fp)
+        if twin is not None and records[twin] is not None:
+            records[i] = _rebind(records[twin], variants[i],
+                                 deduplicated=True)
+        else:
+            records[i] = _skipped_record(
+                variants[i], "skipped: first-pass policy stopped the "
+                "exploration before this variant ran")
+
+    final: List[Dict[str, Any]] = []
+    for i, record in enumerate(records):
+        assert record is not None
+        record = dict(record)
+        record["cached"] = served_from_cache[i]
+        final.append(record)
+
+    ranked = rank_records(final)
+    report = ExplorationReport(
+        space=space.name,
+        results=final,
+        ranked=ranked,
+        policy=policy,
+        jobs=jobs,
+        stopped_early=stopped_early,
+        cache_stats=(cache.stats() if cache is not None else None),
+        library_snapshot=library.snapshot(),
+    )
+    if cache is not None:
+        cache.flush()
+    if reporter is not None:
+        reporter.emit(exploration_finished(
+            space.name, best=(report.best["variant"] if report.best else None),
+            complete=report.complete,
+            cache_hits=(cache.hits if cache is not None else 0),
+            cache_misses=(cache.misses if cache is not None else 0)))
+    return report
+
+
+def _rebind(record: Mapping[str, Any], variant: Variant,
+            deduplicated: bool = False) -> Dict[str, Any]:
+    """A cached/twin record re-labelled with *this* variant's identity.
+
+    The verdict and evidence are content-addressed (same fingerprint =
+    same job), but the variant name/index/labels belong to the current
+    enumeration, not to whoever first produced the record.
+    """
+    out = dict(record)
+    out.pop("schema", None)
+    out.pop("fingerprint", None)
+    out["space"] = variant.space
+    out["variant"] = variant.name
+    out["index"] = variant.index
+    out["base"] = variant.base_label
+    out["labels"] = variant.labels
+    out["fused"] = variant.fused
+    if deduplicated:
+        out["deduplicated"] = True
+    return out
+
+
+def _emit_brackets(reporter: Reporter, variant: Variant,
+                   record: Mapping[str, Any], index: int, total: int, *,
+                   cached: bool,
+                   events: Sequence[EngineEvent] = ()) -> None:
+    reporter.emit(variant_started(
+        variant.name, index=index, total=total, cached=cached))
+    for event in events:
+        reporter.emit(event)
+    reporter.emit(variant_finished(
+        variant.name, verdict=record["verdict"],
+        states_stored=record["states"], seconds=record["seconds"],
+        cached=cached))
+
+
+def _explore_serial(
+    variants: Sequence[Variant],
+    to_run: Sequence[int],
+    invariants: Sequence[Prop],
+    check_deadlock: bool,
+    goal: Optional[Prop],
+    ltl: Optional[str],
+    ltl_props: Optional[Mapping[str, Prop]],
+    scenarios: Sequence[FaultScenario],
+    library: ModelLibrary,
+    max_states: Optional[int],
+    max_seconds: Optional[float],
+    policy: str,
+    reporter: Optional[Reporter],
+    total: int,
+) -> List[Tuple[int, Dict[str, Any], List[EngineEvent]]]:
+    out: List[Tuple[int, Dict[str, Any], List[EngineEvent]]] = []
+    for i in to_run:
+        variant = variants[i]
+        if reporter is not None:
+            reporter.emit(variant_started(
+                variant.name, index=i, total=total, cached=False))
+        record = _verify_variant(
+            variant, invariants, check_deadlock, goal, ltl, ltl_props,
+            scenarios, library, max_states, max_seconds, reporter=reporter,
+        )
+        out.append((i, record, []))
+        if reporter is not None:
+            reporter.emit(variant_finished(
+                variant.name, verdict=record["verdict"],
+                states_stored=record["states"], seconds=record["seconds"],
+                cached=False))
+        if policy == FIRST_PASS and record["verdict"] == PASS:
+            break
+    return out
+
+
+def _explore_parallel(
+    variants: Sequence[Variant],
+    to_run: Sequence[int],
+    invariants: Sequence[Prop],
+    check_deadlock: bool,
+    goal: Optional[Prop],
+    ltl: Optional[str],
+    ltl_props: Optional[Mapping[str, Prop]],
+    scenarios: Sequence[FaultScenario],
+    max_states: Optional[int],
+    max_seconds: Optional[float],
+    jobs: int,
+    policy: str,
+    reporter: Optional[Reporter],
+) -> Optional[List[Tuple[int, Dict[str, Any], List[EngineEvent]]]]:
+    """Fan variant jobs over a process pool; None = fall back serial.
+
+    ``pool.map`` preserves submission order, so the lazily consumed
+    result stream lets the first-pass policy stop without waiting for
+    (or starting) the jobs queued behind the first PASS.  Workers buffer
+    their event streams; the parent replays each between its variant
+    brackets, in submission order, matching the serial sweep's sequence.
+    """
+    interval = None
+    if reporter is not None:
+        interval = int(getattr(reporter, "interval", 1000))
+    try:
+        payloads = [
+            pickle.dumps((
+                variants[i], tuple(invariants), check_deadlock, goal, ltl,
+                dict(ltl_props) if ltl_props else None, tuple(scenarios),
+                max_states, max_seconds, interval,
+            ))
+            for i in to_run
+        ]
+    except Exception:
+        return None
+    workers = min(jobs, len(to_run))
+    out: List[Tuple[int, Dict[str, Any], List[EngineEvent]]] = []
+    total = len(variants)
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            stream = pool.map(_run_variant_task, payloads)
+            for i, (record, events) in zip(to_run, stream):
+                out.append((i, record, events))
+                if reporter is not None:
+                    _emit_brackets(reporter, variants[i], record, i, total,
+                                   cached=False, events=events)
+                if policy == FIRST_PASS and record["verdict"] == PASS:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    break
+    except Exception:
+        return None
+    return out

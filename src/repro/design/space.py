@@ -1,0 +1,391 @@
+"""Declarative design spaces: a base architecture plus variation axes.
+
+The paper's pitch is that plug-and-play connectors make "experimenting
+with alternative design choices of interaction semantics" cheap.  A
+:class:`DesignSpace` makes the experiment itself the first-class
+object: it names one or more base :class:`~repro.core.architecture.Architecture`
+designs and, per connector, the *axes* along which the design may vary —
+send-port kind, receive-port kind, channel kind (and with it capacity),
+fused-vs-composed elaboration, and fault-injection wrappers.
+
+Enumeration is deterministic: variants are produced in the axis order
+the space declares them (last axis fastest, like ``itertools.product``),
+bases outermost, and constraint predicates filter combinations *before*
+indices are assigned.  Two runs of the same spec therefore see the same
+variants with the same indices and names — which is what lets the
+scheduler promise serial/parallel result equality and the cache promise
+stable identity.
+
+Every axis and variant is picklable (specs and architectures already
+are, for the resilience sweeps), so variants ship to worker processes
+as-is.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.architecture import Architecture
+from ..core.channels import ChannelSpec
+from ..core.ports import ReceivePortSpec, SendPortSpec
+from ..core.resilience import FaultScenario
+
+__all__ = [
+    "Axis",
+    "SendPortAxis",
+    "ReceivePortAxis",
+    "ChannelAxis",
+    "EncodingAxis",
+    "FaultAxis",
+    "Variant",
+    "DesignSpace",
+    "DesignSpaceError",
+]
+
+COMPOSED = "composed"
+FUSED = "fused"
+
+
+class DesignSpaceError(ValueError):
+    """Raised for ill-formed design spaces (empty axes, bad encodings)."""
+
+
+@dataclass(frozen=True)
+class SendPortAxis:
+    """Vary the send-port kind on one connector.
+
+    ``component=None`` swaps *every* send port of the connector (the
+    paper's Figure 13 fix replaces all enter-request sends at once);
+    naming a component (and, for multi-attachment components, a port)
+    swaps just that attachment.
+    """
+
+    connector: str
+    choices: Tuple[SendPortSpec, ...]
+    component: Optional[str] = None
+    port: Optional[str] = None
+    label: Optional[str] = None
+
+    def __init__(self, connector: str, choices: Sequence[SendPortSpec],
+                 component: Optional[str] = None, port: Optional[str] = None,
+                 label: Optional[str] = None) -> None:
+        object.__setattr__(self, "connector", connector)
+        object.__setattr__(self, "choices", tuple(choices))
+        object.__setattr__(self, "component", component)
+        object.__setattr__(self, "port", port)
+        object.__setattr__(self, "label", label)
+
+    @property
+    def name(self) -> str:
+        if self.label is not None:
+            return self.label
+        target = self.connector if self.component is None else (
+            f"{self.connector}.{self.component}")
+        return f"send[{target}]"
+
+    def choice_label(self, choice: SendPortSpec) -> str:
+        return choice.display_name()
+
+    def apply(self, arch: Architecture, choice: SendPortSpec) -> None:
+        if self.component is None:
+            arch.connector(self.connector).swap_all_send_ports(choice)
+        else:
+            arch.swap_send_port(self.connector, self.component, choice,
+                                self.port)
+
+    def choice_cost(self, choice: SendPortSpec) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class ReceivePortAxis:
+    """Vary the receive-port kind on one connector (see SendPortAxis)."""
+
+    connector: str
+    choices: Tuple[ReceivePortSpec, ...]
+    component: Optional[str] = None
+    port: Optional[str] = None
+    label: Optional[str] = None
+
+    def __init__(self, connector: str, choices: Sequence[ReceivePortSpec],
+                 component: Optional[str] = None, port: Optional[str] = None,
+                 label: Optional[str] = None) -> None:
+        object.__setattr__(self, "connector", connector)
+        object.__setattr__(self, "choices", tuple(choices))
+        object.__setattr__(self, "component", component)
+        object.__setattr__(self, "port", port)
+        object.__setattr__(self, "label", label)
+
+    @property
+    def name(self) -> str:
+        if self.label is not None:
+            return self.label
+        target = self.connector if self.component is None else (
+            f"{self.connector}.{self.component}")
+        return f"recv[{target}]"
+
+    def choice_label(self, choice: ReceivePortSpec) -> str:
+        return choice.display_name()
+
+    def apply(self, arch: Architecture, choice: ReceivePortSpec) -> None:
+        if self.component is None:
+            arch.connector(self.connector).swap_all_receive_ports(choice)
+        else:
+            arch.swap_receive_port(self.connector, self.component, choice,
+                                   self.port)
+
+    def choice_cost(self, choice: ReceivePortSpec) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class ChannelAxis:
+    """Vary the channel block (kind and capacity) of one connector."""
+
+    connector: str
+    choices: Tuple[ChannelSpec, ...]
+    label: Optional[str] = None
+
+    def __init__(self, connector: str, choices: Sequence[ChannelSpec],
+                 label: Optional[str] = None) -> None:
+        object.__setattr__(self, "connector", connector)
+        object.__setattr__(self, "choices", tuple(choices))
+        object.__setattr__(self, "label", label)
+
+    @property
+    def name(self) -> str:
+        return self.label if self.label is not None else f"chan[{self.connector}]"
+
+    def choice_label(self, choice: ChannelSpec) -> str:
+        return choice.display_name()
+
+    def apply(self, arch: Architecture, choice: ChannelSpec) -> None:
+        arch.swap_channel(self.connector, choice)
+
+    def choice_cost(self, choice: ChannelSpec) -> float:
+        # Bigger buffers mean bigger state spaces; a rough but monotone
+        # signal for the scheduler's cheapest-first ordering.
+        return float(choice.capacity)
+
+
+@dataclass(frozen=True)
+class EncodingAxis:
+    """Vary the connector elaboration: composed blocks vs fused process."""
+
+    choices: Tuple[str, ...] = (COMPOSED, FUSED)
+    label: Optional[str] = None
+
+    def __init__(self, choices: Sequence[str] = (COMPOSED, FUSED),
+                 label: Optional[str] = None) -> None:
+        bad = set(choices) - {COMPOSED, FUSED}
+        if bad:
+            raise DesignSpaceError(
+                f"EncodingAxis choices must be {COMPOSED!r}/{FUSED!r}, "
+                f"got {sorted(bad)}")
+        object.__setattr__(self, "choices", tuple(choices))
+        object.__setattr__(self, "label", label)
+
+    @property
+    def name(self) -> str:
+        return self.label if self.label is not None else "encoding"
+
+    def choice_label(self, choice: str) -> str:
+        return choice
+
+    def apply(self, arch: Architecture, choice: str) -> None:
+        pass  # consumed by Variant.fused, not an architecture edit
+
+    def choice_cost(self, choice: str) -> float:
+        # Fused connectors collapse port/channel interleavings: cheaper.
+        return -0.5 if choice == FUSED else 0.0
+
+
+@dataclass(frozen=True)
+class FaultAxis:
+    """Vary fault injection: each choice is a FaultScenario or None."""
+
+    choices: Tuple[Optional[FaultScenario], ...]
+    label: Optional[str] = None
+
+    def __init__(self, choices: Sequence[Optional[FaultScenario]],
+                 label: Optional[str] = None) -> None:
+        object.__setattr__(self, "choices", tuple(choices))
+        object.__setattr__(self, "label", label)
+
+    @property
+    def name(self) -> str:
+        return self.label if self.label is not None else "fault"
+
+    def choice_label(self, choice: Optional[FaultScenario]) -> str:
+        return "none" if choice is None else choice.name
+
+    def apply(self, arch: Architecture, choice: Optional[FaultScenario]) -> None:
+        pass  # consumed by Variant.scenario (applied after all swaps)
+
+    def choice_cost(self, choice: Optional[FaultScenario]) -> float:
+        return 0.0 if choice is None else 0.25
+
+
+Axis = Union[SendPortAxis, ReceivePortAxis, ChannelAxis, EncodingAxis,
+             FaultAxis]
+
+
+@dataclass(eq=False)
+class Variant:
+    """One point of a design space: a base plus one choice per axis.
+
+    ``build()`` materializes the concrete architecture: a fresh copy of
+    the base with every axis choice applied (fault scenarios last, so
+    faults wrap the *chosen* blocks, not the base's).  The elaboration
+    encoding travels separately in :attr:`fused` because it is an
+    argument of ``Architecture.to_system``, not an architecture edit.
+    """
+
+    space: str
+    index: int
+    base_label: str
+    base: Architecture
+    choices: Tuple[Tuple[Axis, object], ...]
+    fused: bool = False
+    scenario: Optional[FaultScenario] = None
+
+    @property
+    def labels(self) -> Dict[str, str]:
+        """Axis name -> chosen label (plus the base under ``"base"``)."""
+        out = {"base": self.base_label}
+        for axis, choice in self.choices:
+            out[axis.name] = axis.choice_label(choice)
+        return out
+
+    @property
+    def name(self) -> str:
+        parts = [self.base_label] if self.base_label else []
+        parts.extend(
+            f"{axis.name}={axis.choice_label(choice)}"
+            for axis, choice in self.choices
+        )
+        return "/".join(parts) or "(base)"
+
+    def choice(self, axis_name: str) -> str:
+        """The chosen label on the named axis (KeyError if absent)."""
+        return self.labels[axis_name]
+
+    def cost_hint(self) -> float:
+        """A rough relative verification cost, for cheapest-first order."""
+        return sum(axis.choice_cost(choice) for axis, choice in self.choices)
+
+    def build(self) -> Architecture:
+        arch = self.base.copy()
+        for axis, choice in self.choices:
+            axis.apply(arch, choice)
+        if self.scenario is not None:
+            arch = self.scenario.apply_to(arch)
+        return arch
+
+
+class DesignSpace:
+    """A named space of design variants to explore.
+
+    Parameters
+    ----------
+    name:
+        Space name, used in reports and cache records.
+    bases:
+        A single base architecture, or a list of ``(label, architecture)``
+        pairs when the space spans structurally different designs (e.g.
+        the bridge's exactly-N and at-most-N shapes).
+    axes:
+        Variation axes, applied in declaration order.  Axes that name a
+        connector absent from some base raise at enumeration time —
+        constrain the space instead of relying on silent skips.
+    constraints:
+        Predicates over a :class:`Variant`; a variant survives only if
+        every constraint returns True.  Use :meth:`Variant.choice` /
+        :attr:`Variant.labels` to express cross-axis rules.
+    fused:
+        Default elaboration encoding for every variant (overridden per
+        variant by an :class:`EncodingAxis` when the space has one).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bases: Union[Architecture, Sequence[Tuple[str, Architecture]]],
+        axes: Sequence[Axis] = (),
+        constraints: Sequence[Callable[[Variant], bool]] = (),
+        fused: bool = False,
+    ) -> None:
+        self.name = name
+        if isinstance(bases, Architecture):
+            self.bases: List[Tuple[str, Architecture]] = [("", bases)]
+        else:
+            self.bases = list(bases)
+            if not self.bases:
+                raise DesignSpaceError(f"space {name!r} has no base designs")
+            labels = [label for label, _ in self.bases]
+            if len(set(labels)) != len(labels):
+                raise DesignSpaceError(
+                    f"space {name!r} has duplicate base labels")
+        self.axes: List[Axis] = list(axes)
+        for axis in self.axes:
+            if not axis.choices:
+                raise DesignSpaceError(
+                    f"space {name!r}: axis {axis.name!r} has no choices")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise DesignSpaceError(f"space {name!r} has duplicate axis names")
+        self.constraints: List[Callable[[Variant], bool]] = list(constraints)
+        self.fused = fused
+
+    def _check_axes(self, label: str, base: Architecture) -> None:
+        for axis in self.axes:
+            connector = getattr(axis, "connector", None)
+            if connector is not None and connector not in base.connectors:
+                raise DesignSpaceError(
+                    f"space {self.name!r}: axis {axis.name!r} names connector "
+                    f"{connector!r}, absent from base {label or base.name!r}")
+
+    def variants(self) -> List[Variant]:
+        """Enumerate surviving variants, deterministically ordered.
+
+        Bases vary outermost; each axis varies faster than the one
+        declared before it.  Constraints filter before index assignment,
+        so indices are dense and stable for a given spec.
+        """
+        out: List[Variant] = []
+        for label, base in self.bases:
+            self._check_axes(label, base)
+            choice_lists = [
+                [(axis, choice) for choice in axis.choices]
+                for axis in self.axes
+            ]
+            for combo in itertools.product(*choice_lists):
+                fused = self.fused
+                scenario: Optional[FaultScenario] = None
+                for axis, choice in combo:
+                    if isinstance(axis, EncodingAxis):
+                        fused = choice == FUSED
+                    elif isinstance(axis, FaultAxis):
+                        scenario = choice
+                variant = Variant(
+                    space=self.name,
+                    index=len(out),
+                    base_label=label,
+                    base=base,
+                    choices=tuple(combo),
+                    fused=fused,
+                    scenario=scenario,
+                )
+                if all(ok(variant) for ok in self.constraints):
+                    variant.index = len(out)
+                    out.append(variant)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.variants())
+
+    def __repr__(self) -> str:
+        return (f"DesignSpace({self.name!r}, {len(self.bases)} bases, "
+                f"{len(self.axes)} axes)")

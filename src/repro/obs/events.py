@@ -59,10 +59,16 @@ __all__ = [
     "EVENT_SCENARIO_FINISHED",
     "EVENT_SWEEP_STARTED",
     "EVENT_SWEEP_FINISHED",
+    "EVENT_VARIANT_STARTED",
+    "EVENT_VARIANT_FINISHED",
+    "EVENT_EXPLORATION_STARTED",
+    "EVENT_EXPLORATION_FINISHED",
     "PHASE_COLD",
     "PHASE_WARM",
     "budget_exhausted",
     "counterexample",
+    "exploration_finished",
+    "exploration_started",
     "phase",
     "progress",
     "run_finished",
@@ -71,6 +77,8 @@ __all__ = [
     "scenario_started",
     "sweep_finished",
     "sweep_started",
+    "variant_finished",
+    "variant_started",
 ]
 
 #: Event taxonomy (see docs/observability.md).
@@ -84,6 +92,10 @@ EVENT_SCENARIO_STARTED = "scenario_started"
 EVENT_SCENARIO_FINISHED = "scenario_finished"
 EVENT_SWEEP_STARTED = "sweep_started"
 EVENT_SWEEP_FINISHED = "sweep_finished"
+EVENT_VARIANT_STARTED = "variant_started"
+EVENT_VARIANT_FINISHED = "variant_finished"
+EVENT_EXPLORATION_STARTED = "exploration_started"
+EVENT_EXPLORATION_FINISHED = "exploration_finished"
 
 #: Cache phases: *cold* = the run is computing new successor lists,
 #: *warm* = it is replaying the shared graph's memoized relation.
@@ -222,6 +234,39 @@ def sweep_finished(architecture: str, *, worst: str, ok: bool,
     return EngineEvent(EVENT_SWEEP_FINISHED, "resilience", data={
         "architecture": architecture, "worst": worst, "ok": ok,
         "complete": complete,
+    })
+
+
+def variant_started(name: str, *, index: int, total: int,
+                    cached: bool) -> EngineEvent:
+    """A design-space variant's verification began (or was served cached)."""
+    return EngineEvent(EVENT_VARIANT_STARTED, "explore", scenario=name,
+                       data={"index": index, "total": total,
+                             "cached": cached})
+
+
+def variant_finished(name: str, *, verdict: str, states_stored: int,
+                     seconds: float, cached: bool) -> EngineEvent:
+    return EngineEvent(EVENT_VARIANT_FINISHED, "explore", scenario=name,
+                       data={"verdict": verdict,
+                             "states_stored": states_stored,
+                             "seconds": round(seconds, 6),
+                             "cached": cached})
+
+
+def exploration_started(space: str, *, variants: int, jobs: int,
+                        cached: int, to_run: int) -> EngineEvent:
+    return EngineEvent(EVENT_EXPLORATION_STARTED, "explore", data={
+        "space": space, "variants": variants, "jobs": jobs,
+        "cached": cached, "to_run": to_run,
+    })
+
+
+def exploration_finished(space: str, *, best: Optional[str], complete: bool,
+                         cache_hits: int, cache_misses: int) -> EngineEvent:
+    return EngineEvent(EVENT_EXPLORATION_FINISHED, "explore", data={
+        "space": space, "best": best, "complete": complete,
+        "cache_hits": cache_hits, "cache_misses": cache_misses,
     })
 
 

@@ -33,6 +33,7 @@ from ..msc.chart import chart_from_trace, events_from_trace
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.architecture import Architecture
     from ..core.resilience import ResilienceReport
+    from ..design.rank import ExplorationReport
     from ..mc.result import Statistics, Trace, VerificationResult
     from ..psl.system import System
     from .events import EngineEvent
@@ -222,6 +223,47 @@ class RunReport:
         }
         return cls(payload)
 
+    @classmethod
+    def from_exploration(
+        cls,
+        exploration: "ExplorationReport",
+        *,
+        title: Optional[str] = None,
+        command: Optional[str] = None,
+        events: Optional[List["EngineEvent"]] = None,
+    ) -> "RunReport":
+        """Report for a whole design-space exploration.
+
+        The exploration's records are already plain JSON (they are what
+        the design cache stores), so the payload embeds them as-is:
+        ``results`` in enumeration order, ``ranked`` best-first with
+        Pareto fronts.
+        """
+        cached, stored = exploration.library_snapshot[0], 0
+        if exploration.cache_stats is not None:
+            stored = exploration.cache_stats.get("stored", 0)
+        payload: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "kind": "exploration",
+            "title": title or f"Design-space exploration of "
+                              f"{exploration.space}",
+            "space": exploration.space,
+            "command": command,
+            "policy": exploration.policy,
+            "jobs": exploration.jobs,
+            "complete": exploration.complete,
+            "stopped_early": exploration.stopped_early,
+            "best": (exploration.best["variant"]
+                     if exploration.best else None),
+            "cache": exploration.cache_stats,
+            "models_cached": cached,
+            "records_stored": stored,
+            "results": exploration.results,
+            "ranked": exploration.ranked,
+            "events": [e.to_dict() for e in events] if events else [],
+        }
+        return cls(payload)
+
     # -- persistence ------------------------------------------------------
 
     def to_json(self) -> str:
@@ -258,6 +300,8 @@ class RunReport:
             lines += [f"`{p['command']}`", ""]
         if p["kind"] == "verification":
             lines += _md_result_section(p["run"], heading_level=2)
+        elif p["kind"] == "exploration":
+            lines += _md_exploration_body(p)
         else:
             lines += _md_resilience_body(p)
         if p.get("events"):
@@ -381,6 +425,36 @@ def _md_resilience_body(p: Dict[str, Any]) -> List[str]:
         run["property"] = ""
         lines += _md_result_section(
             run, heading_level=2, name=f"Scenario: {s['name']}")
+    return lines
+
+
+def _md_exploration_body(p: Dict[str, Any]) -> List[str]:
+    lines = [
+        "## Exploration outcome", "",
+        f"Space `{p['space']}` — {len(p['results'])} variants, "
+        f"policy `{p['policy']}`, jobs {p['jobs']}"
+        + ("" if p["complete"] else " (incomplete)"),
+        "",
+    ]
+    if p.get("best"):
+        lines += [f"**Best variant:** `{p['best']}`", ""]
+    if p.get("cache"):
+        c = p["cache"]
+        lines += [f"Cache: {c.get('hits', 0)} hits, "
+                  f"{c.get('misses', 0)} misses, "
+                  f"{c.get('stored', 0)} stored", ""]
+    lines += [
+        "| front | variant | verdict | states | resilience | detail |",
+        "| --- | --- | --- | --- | --- | --- |",
+    ]
+    for r in p["ranked"]:
+        resilience = r.get("resilience") or {}
+        lines.append(
+            f"| {r.get('front', '-')} | {r['variant']} | {r['verdict']} "
+            f"| {r.get('states') or 0:,} "
+            f"| {resilience.get('worst', '-')} "
+            f"| {r.get('detail', '')} |")
+    lines.append("")
     return lines
 
 

@@ -1,0 +1,180 @@
+"""Canonical serialization of PSL process definitions.
+
+Content-addressed caching of verification results (see
+:mod:`repro.design`) needs a *stable* identity for a compiled model:
+two :class:`~repro.psl.system.ProcessDef` objects with the same
+semantic content must serialize to the same bytes in every interpreter
+run, and any semantic difference must change the bytes.  Neither of the
+existing renderings qualifies on its own:
+
+* Python's ``repr``/``id`` change between runs;
+* :class:`~repro.psl.expr.Expr` overloads ``__eq__`` to *build* syntax
+  (``V("x") == 1`` is a ``BinOp``), so AST nodes cannot be compared;
+* dict and set iteration order must never leak into the output.
+
+This module walks the statement/expression/pattern AST and produces a
+plain JSON-able structure with **explicitly ordered collections**:
+statement and argument sequences keep their (semantic) order, while
+name-keyed collections (local variables) are sorted.  Comments are
+excluded — they carry no semantics.  The canonical *text* is the
+sorted-keys, compact-separator JSON dump of that structure, and the
+canonical *digest* is its SHA-256, which is independent of
+``PYTHONHASHSEED`` and stable across interpreter runs.
+
+    >>> from repro.psl.system import ProcessDef
+    >>> from repro.psl.stmt import Assign
+    >>> a = ProcessDef("p", Assign("x", 1), local_vars={"x": 0})
+    >>> b = ProcessDef("p", Assign("x", 1), local_vars={"x": 0})
+    >>> a.canonical() == b.canonical()
+    True
+    >>> a.canonical_digest() == b.canonical_digest()
+    True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional
+
+from .errors import CompileError
+from .expr import BinOp, Const, Expr, Not, Var
+from .stmt import (
+    AnyField,
+    Assert,
+    Assign,
+    Bind,
+    Break,
+    DStep,
+    Do,
+    Else,
+    EndLabel,
+    Guard,
+    If,
+    MatchEq,
+    Pattern,
+    Recv,
+    Send,
+    Seq,
+    Skip,
+    Stmt,
+)
+
+__all__ = [
+    "canon_expr",
+    "canon_pattern",
+    "canon_stmt",
+    "canon_def",
+    "canonical_text",
+    "canonical_digest",
+]
+
+
+def canon_expr(expr: Expr) -> List[Any]:
+    """A JSON-able canonical form of an expression tree."""
+    if isinstance(expr, Const):
+        return ["const", expr.value]
+    if isinstance(expr, Var):
+        return ["var", expr.name]
+    if isinstance(expr, BinOp):
+        return ["binop", expr.op, canon_expr(expr.left), canon_expr(expr.right)]
+    if isinstance(expr, Not):
+        return ["not", canon_expr(expr.operand)]
+    raise CompileError(f"cannot canonicalize expression {expr!r}")
+
+
+def canon_pattern(pattern: Pattern) -> List[Any]:
+    """A JSON-able canonical form of a receive pattern."""
+    if isinstance(pattern, Bind):
+        return ["bind", pattern.name]
+    if isinstance(pattern, MatchEq):
+        return ["match", canon_expr(pattern.expr)]
+    if isinstance(pattern, AnyField):
+        return ["any"]
+    raise CompileError(f"cannot canonicalize pattern {pattern!r}")
+
+
+def canon_stmt(stmt: Stmt) -> List[Any]:
+    """A JSON-able canonical form of a statement tree.
+
+    Statement order inside sequences and branches is semantic and is
+    preserved; comments are dropped.
+    """
+    if isinstance(stmt, Seq):
+        return ["seq", [canon_stmt(s) for s in stmt.stmts]]
+    if isinstance(stmt, Assign):
+        return ["assign", stmt.name, canon_expr(stmt.expr)]
+    if isinstance(stmt, Guard):
+        return ["guard", canon_expr(stmt.expr)]
+    if isinstance(stmt, Else):
+        return ["else"]
+    if isinstance(stmt, Send):
+        return ["send", stmt.chan, [canon_expr(a) for a in stmt.args]]
+    if isinstance(stmt, Recv):
+        return [
+            "recv",
+            stmt.chan,
+            [canon_pattern(p) for p in stmt.patterns],
+            int(stmt.matching),
+            int(stmt.peek),
+            canon_expr(stmt.when) if stmt.when is not None else None,
+        ]
+    if isinstance(stmt, If):
+        return ["if", [canon_stmt(b.body) for b in stmt.branches]]
+    if isinstance(stmt, Do):
+        return ["do", [canon_stmt(b.body) for b in stmt.branches]]
+    if isinstance(stmt, Break):
+        return ["break"]
+    if isinstance(stmt, Assert):
+        return ["assert", canon_expr(stmt.expr)]
+    if isinstance(stmt, Skip):
+        return ["skip"]
+    if isinstance(stmt, DStep):
+        return ["dstep", [canon_stmt(s) for s in stmt.stmts]]
+    if isinstance(stmt, EndLabel):
+        return ["end"]
+    raise CompileError(f"cannot canonicalize statement {stmt!r}")
+
+
+def canon_def(definition) -> Dict[str, Any]:
+    """A JSON-able canonical form of a :class:`ProcessDef`.
+
+    Name-keyed collections are sorted so the output never depends on
+    declaration (dict insertion) order; the body keeps its semantic
+    statement order.
+    """
+    return {
+        "name": definition.name,
+        "chan_params": sorted(definition.chan_params),
+        "params": sorted(definition.params),
+        "local_vars": sorted(
+            [name, value] for name, value in definition.local_vars.items()
+        ),
+        "body": canon_stmt(definition.body),
+    }
+
+
+def canonical_text(definition) -> str:
+    """The canonical JSON text of a :class:`ProcessDef` (sorted keys)."""
+    return json.dumps(canon_def(definition), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def canonical_digest(definition) -> str:
+    """SHA-256 hex digest of :func:`canonical_text` (run-independent)."""
+    return hashlib.sha256(
+        canonical_text(definition).encode("utf-8")).hexdigest()
+
+
+def digest_payload(payload: Any, *, schema: Optional[str] = None) -> str:
+    """SHA-256 of an arbitrary JSON-able payload, canonically encoded.
+
+    The shared hashing primitive for every fingerprint in the design
+    subsystem: sorted keys, compact separators, UTF-8.  ``schema`` is
+    folded into the hash so payloads of different fingerprint kinds can
+    never collide by shape.
+    """
+    wrapped = payload if schema is None else {"schema": schema,
+                                             "payload": payload}
+    text = json.dumps(wrapped, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -83,6 +83,21 @@ class ProcessDef:
                 f"proctype {self.name!r} uses undeclared channel params: {sorted(undeclared)}"
             )
 
+    def canonical(self) -> str:
+        """Stable canonical JSON serialization of this definition.
+
+        Two definitions with the same semantic content produce identical
+        text in every interpreter run (sorted keys, no ``id()`` or
+        dict/set iteration order); see :mod:`repro.psl.canon`.
+        """
+        from .canon import canonical_text
+        return canonical_text(self)
+
+    def canonical_digest(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical` (run-independent)."""
+        from .canon import canonical_digest
+        return canonical_digest(self)
+
     def __repr__(self) -> str:
         return f"ProcessDef({self.name!r})"
 

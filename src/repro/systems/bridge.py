@@ -280,6 +280,51 @@ def bridge_fault_scenarios() -> List[FaultScenario]:
     ]
 
 
+def _enter_sends_agree(variant) -> bool:
+    """Both sides' enter connectors must use the same send-port kind.
+
+    The paper's experiment varies the enter-request semantics of the
+    *design*, not of one side; mixed blue-async/red-sync combinations
+    are not part of the Figure 13/14 narrative.
+    """
+    return variant.choice("send[BlueEnter]") == variant.choice("send[RedEnter]")
+
+
+def bridge_design_space(config: Optional[BridgeConfig] = None):
+    """The single-lane-bridge design space (paper Section 4 as a space).
+
+    Two bases — the exactly-N (Figure 13) and at-most-N (Figure 14)
+    shapes — crossed with the enter-request send-port kind on both
+    sides (asynchronous blocking, the paper's flawed default, vs
+    synchronous blocking, its fix), constrained so both sides agree:
+    four variants.  Exploring it with ``invariants=[bridge_safety_prop()]``
+    and ``faults=bridge_fault_scenarios()`` rediscovers the paper's
+    arc: the async designs FAIL, the sync designs PASS, and the
+    at-most-N design — whose controllers tolerate a timed-out enter
+    receive by yielding the turn instead of burning a grant — ranks
+    first on resilience.
+    """
+    from ..design import DesignSpace, SendPortAxis
+
+    cfg = config if config is not None else BridgeConfig()
+    sends = [AsynBlockingSend(), SynBlockingSend()]
+    return DesignSpace(
+        "single_lane_bridge",
+        bases=[
+            ("exactly_n", build_exactly_n_bridge(cfg)),
+            ("at_most_n", build_at_most_n_bridge(cfg)),
+        ],
+        axes=[
+            SendPortAxis("BlueEnter", sends),
+            SendPortAxis("RedEnter", sends),
+        ],
+        constraints=[_enter_sends_agree],
+        # The bridge state spaces are only tractable against the fused
+        # connector models (same encoding the CLI uses throughout).
+        fused=True,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Figure 14: at-most-N-cars-per-turn
 # ---------------------------------------------------------------------------

@@ -1,0 +1,83 @@
+"""The persistent content-addressed result cache."""
+
+import json
+
+from repro.design import CACHE_SCHEMA, ResultCache
+
+FP_A = "a" * 64
+FP_B = "b" * 64
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP_A, {"verdict": "PASS", "states": 42})
+        got = cache.get(FP_A)
+        assert got["verdict"] == "PASS"
+        assert got["schema"] == CACHE_SCHEMA
+        assert got["fingerprint"] == FP_A
+        assert cache.get(FP_B) is None
+
+    def test_persistence_across_instances(self, tmp_path):
+        ResultCache(tmp_path).put(FP_A, {"verdict": "FAIL"})
+        reopened = ResultCache(tmp_path)
+        assert FP_A in reopened
+        assert len(reopened) == 1
+        assert reopened.get(FP_A)["verdict"] == "FAIL"
+
+    def test_records_are_appended_immediately(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP_A, {"verdict": "PASS"})
+        # No flush() — a crashed run must not lose completed work.
+        lines = (tmp_path / "results.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["fingerprint"] == FP_A
+
+    def test_last_record_wins(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP_A, {"verdict": "UNKNOWN"})
+        cache.put(FP_A, {"verdict": "PASS"})
+        assert ResultCache(tmp_path).get(FP_A)["verdict"] == "PASS"
+
+    def test_stats_count_hits_misses_stored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.get(FP_A)
+        cache.put(FP_A, {"verdict": "PASS"})
+        cache.get(FP_A)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["stored"] == 1
+
+
+class TestResilienceToDamage:
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP_A, {"verdict": "PASS"})
+        with open(tmp_path / "results.jsonl", "a") as fh:
+            fh.write("{not json\n")
+            fh.write(json.dumps({"schema": "other/1",
+                                 "fingerprint": FP_B}) + "\n")
+            fh.write(json.dumps({"schema": CACHE_SCHEMA}) + "\n")
+        reopened = ResultCache(tmp_path)
+        assert len(reopened) == 1  # only the well-formed record survives
+        assert reopened.get(FP_A)["verdict"] == "PASS"
+        assert reopened.get(FP_B) is None
+        assert reopened.stats()["skipped_lines"] == 3
+
+    def test_missing_directory_is_created(self, tmp_path):
+        nested = tmp_path / "deep" / "cache"
+        ResultCache(nested).put(FP_A, {"verdict": "PASS"})
+        assert (nested / "results.jsonl").exists()
+
+
+class TestIndex:
+    def test_flush_writes_index(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP_B, {"verdict": "PASS"})
+        cache.put(FP_A, {"verdict": "FAIL"})
+        cache.flush()
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["schema"] == CACHE_SCHEMA
+        assert index["records"] == 2
+        assert index["fingerprints"] == sorted([FP_A, FP_B])

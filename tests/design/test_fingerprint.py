@@ -1,0 +1,123 @@
+"""Fingerprint stability and sensitivity.
+
+The cache is only sound if fingerprints are (a) identical for
+semantically identical jobs — across processes, interpreter runs, and
+``PYTHONHASHSEED`` values — and (b) different whenever anything that
+could change the verdict changes.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.core import FifoQueue, SingleSlotBuffer
+from repro.core.channels import CHANNEL_SPECS
+from repro.core.ports import SEND_PORT_SPECS
+from repro.design import fingerprint_job, fingerprint_system
+from repro.mc import global_prop
+from repro.systems.bridge import bridge_safety_prop
+from repro.systems.producer_consumer import simple_pair
+
+SRC = str(Path(__file__).resolve().parent.parent.parent / "src")
+
+
+def _system(fused=True, channel=None):
+    arch = simple_pair(SEND_PORT_SPECS[0],
+                       channel or CHANNEL_SPECS[0], messages=1)
+    return arch.to_system(fused=fused)
+
+
+class TestStability:
+    def test_same_job_same_fingerprint(self):
+        a = fingerprint_job(_system(), invariants=[bridge_safety_prop()])
+        b = fingerprint_job(_system(), invariants=[bridge_safety_prop()])
+        assert a == b
+
+    def test_fingerprint_is_hex_sha256(self):
+        for fp in (fingerprint_system(_system()), fingerprint_job(_system())):
+            assert len(fp) == 64
+            int(fp, 16)  # hex or this raises
+
+    def test_ltl_props_mapping_and_sequence_agree(self):
+        p = global_prop("done", lambda v: v.global_("consumed_0") == 1,
+                        "consumed_0")
+        a = fingerprint_job(_system(), ltl="F done", ltl_props={"done": p})
+        b = fingerprint_job(_system(), ltl="F done", ltl_props=[p])
+        assert a == b
+
+
+class TestSensitivity:
+    def test_encoding_changes_fingerprint(self):
+        assert (fingerprint_job(_system(fused=True))
+                != fingerprint_job(_system(fused=False)))
+
+    def test_channel_changes_fingerprint(self):
+        assert (fingerprint_job(_system(channel=SingleSlotBuffer()))
+                != fingerprint_job(_system(channel=FifoQueue(size=2))))
+
+    def test_invariants_change_fingerprint(self):
+        assert (fingerprint_job(_system())
+                != fingerprint_job(_system(),
+                                   invariants=[bridge_safety_prop()]))
+
+    def test_budgets_change_fingerprint(self):
+        assert (fingerprint_job(_system())
+                != fingerprint_job(_system(), max_states=1000))
+        assert (fingerprint_job(_system(), max_states=1000)
+                != fingerprint_job(_system(), max_states=2000))
+
+    def test_deadlock_flag_changes_fingerprint(self):
+        assert (fingerprint_job(_system(), check_deadlock=True)
+                != fingerprint_job(_system(), check_deadlock=False))
+
+
+# What a fresh interpreter must agree on: the job fingerprint, the
+# ProcessDef canonical digests backing it, and the library canonical
+# form — the satellite contract behind cross-run cache hits.
+_PIN_SCRIPT = textwrap.dedent("""
+    import json
+    from repro.core import ModelLibrary
+    from repro.core.channels import CHANNEL_SPECS
+    from repro.core.ports import SEND_PORT_SPECS
+    from repro.design import fingerprint_job
+    from repro.systems.producer_consumer import simple_pair
+
+    library = ModelLibrary()
+    arch = simple_pair(SEND_PORT_SPECS[0], CHANNEL_SPECS[0], messages=1)
+    system = arch.to_system(library=library, fused=True)
+    print(json.dumps({
+        "job": fingerprint_job(system, max_states=5000),
+        "defs": [d.canonical_digest() for d in system.definitions()],
+        "library": library.canonical(),
+    }))
+""")
+
+
+def _pin_in_subprocess(hash_seed):
+    env = dict(os.environ, PYTHONPATH=SRC, PYTHONHASHSEED=hash_seed)
+    out = subprocess.run([sys.executable, "-c", _PIN_SCRIPT], env=env,
+                         capture_output=True, text=True, check=True)
+    import json
+    return json.loads(out.stdout)
+
+
+class TestCrossInterpreterPin:
+    def test_fingerprints_survive_interpreter_restarts(self):
+        """Two interpreters with adversarial hash seeds must agree."""
+        seed0 = _pin_in_subprocess("0")
+        seed1 = _pin_in_subprocess("1")
+        assert seed0 == seed1
+
+    def test_subprocess_agrees_with_this_process(self):
+        from repro.core import ModelLibrary
+        library = ModelLibrary()
+        arch = simple_pair(SEND_PORT_SPECS[0], CHANNEL_SPECS[0], messages=1)
+        system = arch.to_system(library=library, fused=True)
+        here = {
+            "job": fingerprint_job(system, max_states=5000),
+            "defs": [d.canonical_digest() for d in system.definitions()],
+            "library": library.canonical(),
+        }
+        assert here == _pin_in_subprocess("0")

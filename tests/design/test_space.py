@@ -1,0 +1,170 @@
+"""Tests for declarative design spaces: axes, constraints, enumeration."""
+
+import pytest
+
+from repro.core import (
+    AsynBlockingSend,
+    DroppingBuffer,
+    FifoQueue,
+    SingleSlotBuffer,
+    SynBlockingSend,
+    TimeoutReceive,
+)
+from repro.core.resilience import ChannelFault, FaultScenario
+from repro.design import (
+    COMPOSED,
+    FUSED,
+    ChannelAxis,
+    DesignSpace,
+    DesignSpaceError,
+    EncodingAxis,
+    FaultAxis,
+    ReceivePortAxis,
+    SendPortAxis,
+)
+from repro.systems.producer_consumer import simple_pair
+
+CHANNELS = [SingleSlotBuffer(), FifoQueue(size=2)]
+PORTS = [AsynBlockingSend(), SynBlockingSend()]
+
+
+def _arch():
+    return simple_pair(PORTS[0], CHANNELS[0], messages=1)
+
+
+def _space(**kwargs):
+    return DesignSpace(
+        "pc",
+        _arch(),
+        axes=[ChannelAxis("link", CHANNELS),
+              SendPortAxis("link", PORTS, component="Producer0")],
+        **kwargs,
+    )
+
+
+class TestEnumeration:
+    def test_product_order_last_axis_fastest(self):
+        names = [v.name for v in _space().variants()]
+        assert names == [
+            "chan[link]=single_slot_buffer/send[link.Producer0]=asyn_blocking_send",
+            "chan[link]=single_slot_buffer/send[link.Producer0]=syn_blocking_send",
+            "chan[link]=fifo_queue(2)/send[link.Producer0]=asyn_blocking_send",
+            "chan[link]=fifo_queue(2)/send[link.Producer0]=syn_blocking_send",
+        ]
+
+    def test_enumeration_is_deterministic(self):
+        first = [(v.index, v.name) for v in _space().variants()]
+        second = [(v.index, v.name) for v in _space().variants()]
+        assert first == second
+        assert [i for i, _ in first] == [0, 1, 2, 3]
+
+    def test_variant_labels_and_choice(self):
+        v = _space().variants()[3]
+        assert v.labels["chan[link]"] == "fifo_queue(2)"
+        assert v.labels["send[link.Producer0]"] == "syn_blocking_send"
+        assert v.choice("send[link.Producer0]") == "syn_blocking_send"
+        with pytest.raises(KeyError):
+            v.choice("no_such_axis")
+
+    def test_multiple_bases_prefix_names(self):
+        space = DesignSpace(
+            "pc", [("small", _arch()), ("large", _arch())],
+            axes=[SendPortAxis("link", PORTS, component="Producer0")])
+        names = [v.name for v in space.variants()]
+        assert names[0].startswith("small/")
+        assert names[2].startswith("large/")
+        assert len(names) == 4
+
+    def test_constraints_filter_and_reindex(self):
+        space = _space(constraints=[
+            lambda v: v.choice("send[link.Producer0]") == "syn_blocking_send"])
+        variants = space.variants()
+        assert len(variants) == 2
+        assert [v.index for v in variants] == [0, 1]
+        assert all("syn_blocking_send" in v.name for v in variants)
+
+
+class TestBuild:
+    def test_build_applies_channel_and_port_swaps(self):
+        v = _space().variants()[3]
+        arch = v.build()
+        conn = arch.connector("link")
+        assert conn.channel.key() == FifoQueue(size=2).key()
+        senders = {a.component: a.spec for a in conn.senders}
+        assert senders["Producer0"].key() == SynBlockingSend().key()
+
+    def test_build_does_not_mutate_base(self):
+        space = _space()
+        space.variants()[3].build()
+        base = space.bases[0][1]
+        assert base.connector("link").channel.key() == CHANNELS[0].key()
+
+    def test_receive_port_axis_swaps_all_receivers(self):
+        space = DesignSpace(
+            "pc", _arch(),
+            axes=[ReceivePortAxis("link", [TimeoutReceive()])])
+        arch = space.variants()[0].build()
+        specs = {a.spec.key() for a in arch.connector("link").receivers}
+        assert specs == {TimeoutReceive().key()}
+
+    def test_encoding_axis_overrides_space_default(self):
+        space = DesignSpace("pc", _arch(), axes=[EncodingAxis()], fused=True)
+        by_label = {v.labels["encoding"]: v for v in space.variants()}
+        assert by_label[COMPOSED].fused is False
+        assert by_label[FUSED].fused is True
+
+    def test_space_fused_default_applies_without_encoding_axis(self):
+        assert all(v.fused for v in _space(fused=True).variants())
+        assert not any(v.fused for v in _space().variants())
+
+    def test_fault_axis_attaches_scenario(self):
+        scenario = FaultScenario(
+            "lossy", [ChannelFault("link", DroppingBuffer(size=1))])
+        space = DesignSpace(
+            "pc", _arch(), axes=[FaultAxis([None, scenario])])
+        variants = space.variants()
+        assert variants[0].labels["fault"] == "none"
+        assert variants[0].scenario is None
+        assert variants[1].labels["fault"] == "lossy"
+        faulted = variants[1].build()
+        assert (faulted.connector("link").channel.key()
+                == DroppingBuffer(size=1).key())
+
+
+class TestValidation:
+    def test_empty_axis_choices_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace("pc", _arch(), axes=[ChannelAxis("link", [])])
+
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace("pc", _arch(), axes=[
+                ChannelAxis("link", CHANNELS),
+                ChannelAxis("link", CHANNELS),
+            ])
+
+    def test_unknown_connector_rejected_at_enumeration(self):
+        space = DesignSpace("pc", _arch(),
+                            axes=[ChannelAxis("no_such_connector", CHANNELS)])
+        with pytest.raises(DesignSpaceError):
+            space.variants()
+
+    def test_duplicate_base_labels_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace("pc", [("a", _arch()), ("a", _arch())])
+
+    def test_encoding_axis_validates_choices(self):
+        with pytest.raises(DesignSpaceError):
+            EncodingAxis(choices=("composed", "promela"))
+
+
+class TestCostHints:
+    def test_bigger_channels_cost_more(self):
+        space = _space()
+        small, large = space.variants()[0], space.variants()[2]
+        assert small.cost_hint() < large.cost_hint()
+
+    def test_fused_encoding_is_preferred(self):
+        space = DesignSpace("pc", _arch(), axes=[EncodingAxis()])
+        by_label = {v.labels["encoding"]: v for v in space.variants()}
+        assert by_label[FUSED].cost_hint() < by_label[COMPOSED].cost_hint()

@@ -171,6 +171,81 @@ class TestVerifyCommand:
         assert "exploring" not in captured.out
 
 
+class TestExploreCommand:
+    def _explore_pc(self, tmp_path, *extra):
+        return ["explore", "pc", "--messages", "1",
+                "--cache-dir", str(tmp_path / "cache"), *extra]
+
+    def test_pc_exploration_prints_ranked_table(self, tmp_path, capsys):
+        assert main(self._explore_pc(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "design-space exploration: producer_consumer" in out
+        assert "best:" in out
+        assert "PASS" in out
+        assert "cache: 0 hits, 20 misses" in out
+
+    def test_warm_run_serves_from_cache(self, tmp_path, capsys):
+        assert main(self._explore_pc(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._explore_pc(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "cache: 20 hits, 0 misses" in out
+        assert "hit" in out
+
+    def test_no_cache_touches_nothing(self, tmp_path, capsys):
+        assert main(["explore", "pc", "--messages", "1", "--no-cache",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert not (tmp_path / "cache").exists()
+        assert "cache:" not in capsys.readouterr().out
+
+    def test_cache_dir_env_var_is_honored(self, tmp_path, capsys,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "from_env"))
+        assert main(["explore", "pc", "--messages", "1"]) == 0
+        assert (tmp_path / "from_env" / "results.jsonl").exists()
+
+    def test_first_pass_stops_early(self, tmp_path, capsys):
+        assert main(self._explore_pc(tmp_path, "--first-pass")) == 0
+        out = capsys.readouterr().out
+        assert "SKIPPED" in out
+        assert "stopped at the first PASS" in out
+
+    def test_budget_exhaustion_exits_2(self, tmp_path, capsys):
+        assert main(self._explore_pc(tmp_path, "--max-states", "10")) == 2
+        assert "UNKNOWN" in capsys.readouterr().out
+
+    def test_jobs_flag_matches_serial_table(self, tmp_path, capsys):
+        assert main(["explore", "pc", "--messages", "1", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["explore", "pc", "--messages", "1", "--no-cache",
+                     "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def strip(text):
+            return [line for line in text.splitlines()
+                    if "jobs=" not in line]
+
+        assert strip(parallel) == strip(serial)
+
+    def test_report_round_trips_through_report_command(self, tmp_path,
+                                                       capsys):
+        out_json = tmp_path / "exploration.json"
+        assert main(self._explore_pc(tmp_path, "--report",
+                                     str(out_json))) == 0
+        capsys.readouterr()
+        assert main(["report", str(out_json)]) == 0
+        md = capsys.readouterr().out
+        assert md.startswith("# Design-space exploration")
+        assert "best" in md.lower()
+
+    def test_sweep_is_deprecated_in_favor_of_explore(self, capsys):
+        assert main(["sweep", "--messages", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "explore pc" in captured.err
+        assert "models built" in captured.out
+
+
 class TestResilienceCommand:
     def test_bridge_sweep_prints_matrix(self, capsys):
         assert main(["resilience", "bridge"]) == 0

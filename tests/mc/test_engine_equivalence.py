@@ -257,3 +257,63 @@ class TestParallelResilience:
         assert len(report.scenarios) == 2  # baseline + 1 fault
         assert report.ok
         assert report.scenario("baseline").verdict == "robust"
+
+
+class TestExplorationEncodingEquivalence:
+    """Fused vs composed inside a design-space exploration.
+
+    The two encodings of one design are *different jobs* to the cache
+    (distinct state vectors, distinct fingerprints) but must agree on
+    every verdict — the fused optimization is supposed to be invisible
+    to verification outcomes.  A cache-served second exploration must
+    reproduce the first verdict-for-verdict.
+    """
+
+    def _space(self):
+        from repro.design import (
+            ChannelAxis,
+            DesignSpace,
+            EncodingAxis,
+            SendPortAxis,
+        )
+        return DesignSpace(
+            "pc_encodings",
+            simple_pair(SEND_PORT_SPECS[0], CHANNEL_SPECS[0], messages=1),
+            axes=[
+                ChannelAxis("link", CHANNEL_SPECS[:2]),
+                SendPortAxis("link", SEND_PORT_SPECS[:2],
+                             component="Producer0"),
+                EncodingAxis(),  # fastest axis: composed/fused adjacent
+            ],
+        )
+
+    def test_encodings_fingerprint_apart_but_verify_alike(self):
+        from repro.design import explore, fingerprint_job
+        space = self._space()
+        fingerprints = [
+            fingerprint_job(v.build().to_system(fused=v.fused))
+            for v in space.variants()
+        ]
+        assert len(set(fingerprints)) == len(fingerprints)
+
+        report = explore(space)
+        # The encoding axis is declared last, so records pair up as
+        # (composed, fused) runs of the same port/channel design.
+        for composed, fused in zip(report.results[0::2],
+                                   report.results[1::2]):
+            assert composed["fused"] is False and fused["fused"] is True
+            assert composed["verdict"] == fused["verdict"]
+            assert composed["detail"] == fused["detail"]
+            assert composed["safety"]["ok"] == fused["safety"]["ok"]
+
+    def test_cached_second_exploration_is_identical(self, tmp_path):
+        from repro.design import ResultCache, explore
+        cold = explore(self._space(), cache=ResultCache(tmp_path))
+        warm = explore(self._space(), cache=ResultCache(tmp_path))
+        assert all(r["cached"] for r in warm.results)
+        for first, second in zip(cold.results, warm.results):
+            assert first["verdict"] == second["verdict"]
+            assert first["states"] == second["states"]
+            assert first["detail"] == second["detail"]
+        assert ([(r["variant"], r["front"]) for r in warm.ranked]
+                == [(r["variant"], r["front"]) for r in cold.ranked])
