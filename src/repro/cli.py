@@ -18,11 +18,18 @@ Commands:
   print the verdict matrix; ``--jobs`` fans independent scenarios out
   over a process pool;
 * ``explore {bridge | pc} [--jobs N] [--cache-dir DIR] [--no-cache]
-  [--first-pass] [--max-states S] [--max-seconds T]`` — enumerate a
+  [--first-pass] [--max-states S] [--max-seconds T] [--run-id ID]
+  [--resume ID] [--retries N] [--job-timeout T]`` — enumerate a
   design space, verify every variant (served from the persistent
   content-addressed cache when fingerprints match a previous run), and
   print the Pareto-ranked verdict table.  ``--cache-dir`` defaults to
-  ``$REPRO_CACHE_DIR`` or ``.repro-cache``;
+  ``$REPRO_CACHE_DIR`` or ``.repro-cache``.  Every cached run journals
+  per-job progress under ``<cache>/runs/<run-id>``; an interrupted run
+  (Ctrl-C exits with code 2) resumes with ``--resume ID``, re-running
+  only the jobs that never finished;
+* ``cache {info | verify | compact} [--cache-dir DIR]`` — inspect the
+  result cache, audit its checksummed journal and index snapshot, or
+  rewrite the journal to one live record per fingerprint;
 * ``sweep [--messages K]`` — verify every send-port/channel combination
   on a producer/consumer pair and tabulate the verdicts (deprecated:
   a fixed-function subset of ``explore``);
@@ -40,8 +47,17 @@ re-renderable format).
 The CLI is a thin veneer over the library — everything it does is two
 or three calls on the public API.
 
-Exit codes: 0 = expected outcome, 1 = violation (or unexpected pass),
-2 = a verification was stopped by an exploration budget (incomplete).
+Exit codes (pinned by the integration tests):
+
+====  =====================================================================
+code  meaning
+====  =====================================================================
+0     the run completed and the outcome was the expected one
+1     a property violation (or an unexpected pass) — the *model* failed
+2     partial result: an exploration budget ran out, or the run was
+      interrupted (SIGINT/SIGTERM) — resumable where a journal exists
+3     internal failure: the *tool* (not the model) errored out
+====  =====================================================================
 """
 
 from __future__ import annotations
@@ -287,6 +303,8 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     print(f"resilience sweep: {report.architecture}")
     print()
     print(report.table())
+    for message in report.warnings:
+        print(f"warning: {message}")
     total_states = sum(s.safety.stats.states_stored for s in report)
     total_seconds = sum(s.safety.stats.elapsed_seconds for s in report)
     peak_frontier = max(
@@ -353,7 +371,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_explore(args: argparse.Namespace) -> int:
     import os
 
-    from repro.design import EXHAUSTIVE, FIRST_PASS, ResultCache, explore
+    from repro.design import (
+        EXHAUSTIVE,
+        FIRST_PASS,
+        ResultCache,
+        RetryPolicy,
+        explore,
+    )
 
     if args.space == "bridge":
         from repro.systems.bridge import (
@@ -379,6 +403,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             "REPRO_CACHE_DIR") or ".repro-cache"
         cache = ResultCache(cache_dir)
 
+    retry = None
+    if args.retries is not None:
+        retry = RetryPolicy(max_retries=args.retries)
+
     reporter, collector = _build_reporter(args)
     try:
         report = explore(
@@ -389,6 +417,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             max_seconds=args.max_seconds,
             policy=FIRST_PASS if args.first_pass else EXHAUSTIVE,
             reporter=reporter,
+            run_id=args.run_id,
+            resume=args.resume,
+            retry=retry,
+            job_timeout=args.job_timeout,
             **kwargs,
         )
         if args.report:
@@ -403,11 +435,46 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             reporter.close()
     print(f"design-space exploration: {report.space} "
           f"({len(report.results)} variants, jobs={report.jobs})")
+    if report.run_id is not None:
+        print(f"run id: {report.run_id}")
     print()
     print(report.table())
-    if report.any_budget_hit:
+    if report.interrupted or report.any_budget_hit or report.failures:
         return 2
     return 0 if report.any_pass else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.design import ResultCache, list_runs
+
+    cache_dir = args.cache_dir or os.environ.get(
+        "REPRO_CACHE_DIR") or ".repro-cache"
+    cache = ResultCache(cache_dir)
+    if args.action == "verify":
+        audit = cache.verify()
+        print(f"cache: {cache.directory}")
+        for key in ("records", "lines", "superseded_lines", "corrupt_lines",
+                    "legacy_lines", "index_fresh"):
+            print(f"  {key.replace('_', ' ')}: {audit[key]}")
+        print("ok" if audit["ok"] else "NOT OK")
+        return 0 if audit["ok"] else 3
+    if args.action == "compact":
+        outcome = cache.compact()
+        print(f"compacted {cache.directory}: {outcome['before_lines']} -> "
+              f"{outcome['after_lines']} journal lines")
+        return 0
+    stats = cache.stats()
+    print(f"cache: {cache.directory}")
+    print(f"  records: {stats['records']}")
+    print(f"  skipped lines: {stats['skipped_lines']}")
+    print(f"  legacy lines: {stats['legacy_lines']}")
+    runs = list_runs(os.path.join(cache.directory, "runs"))
+    print(f"  runs journaled: {len(runs)}")
+    for run in runs:
+        print(f"    {run}")
+    return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -540,7 +607,31 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default 1)")
     exp.add_argument("--messages", type=int, default=2,
                      help="pc space: messages to deliver (default 2)")
+    exp.add_argument("--run-id", default=None,
+                     help="name this run's journal (default: a minted "
+                          "timestamped id)")
+    exp.add_argument("--resume", metavar="RUN_ID", default=None,
+                     help="resume a journaled run: completed variants are "
+                          "served from the journal, only pending or failed "
+                          "ones re-run")
+    exp.add_argument("--retries", type=int, default=None,
+                     help="retries per failed job before it degrades to an "
+                          "INCOMPLETE verdict (default 1)")
+    exp.add_argument("--job-timeout", type=float, default=None,
+                     help="per-job wall-clock timeout in seconds for "
+                          "parallel workers (default: none)")
     _add_obs_flags(exp)
+
+    cache = sub.add_parser(
+        "cache", help="inspect, audit, or compact the result cache")
+    cache.add_argument("action", choices=["info", "verify", "compact"],
+                       help="info: summary + journaled runs; verify: audit "
+                            "journal checksums and the index snapshot; "
+                            "compact: rewrite to one live record per "
+                            "fingerprint")
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache directory (default $REPRO_CACHE_DIR or "
+                            ".repro-cache)")
 
     sweep = sub.add_parser(
         "sweep", help="verify all port/channel combos (deprecated: "
@@ -569,11 +660,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bridge": _cmd_bridge,
         "resilience": _cmd_resilience,
         "explore": _cmd_explore,
+        "cache": _cmd_cache,
         "sweep": _cmd_sweep,
         "export": _cmd_export,
         "graph": _cmd_graph,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # A graceful interrupt inside explore() never gets here (the
+        # handler flag drains the run); this is the blunt path.
+        print("interrupted", file=sys.stderr)
+        return 2
+    except Exception as exc:  # noqa: BLE001 - the CLI's last line of defense
+        print(f"repro: internal failure: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

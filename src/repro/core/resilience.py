@@ -46,6 +46,7 @@ from ..obs.events import (
     scenario_started,
     sweep_finished,
     sweep_started,
+    warning,
 )
 from ..obs.reporters import CollectingReporter, Reporter, ScenarioScope
 from .architecture import Architecture
@@ -176,6 +177,9 @@ class ResilienceReport:
 
     architecture: str
     scenarios: List[ScenarioReport] = field(default_factory=list)
+    #: Non-fatal degradations (e.g. a parallel sweep that fell back to
+    #: the serial path because the work did not pickle).
+    warnings: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -373,7 +377,9 @@ def verify_resilience(
     serial sweep and arrive in the same order; only the model-reuse
     accounting changes (each worker holds a private library).  When the
     work does not pickle (e.g. a ``goal`` or invariant closing over a
-    lambda) the sweep silently falls back to the serial path.
+    lambda) the sweep falls back to the serial path; the degradation is
+    recorded in ``report.warnings`` and, when a reporter is attached,
+    announced with a ``warning`` engine event.
 
     ``reporter`` receives the sweep's engine events.  The event sequence
     is identical for serial and parallel sweeps: per scenario, in input
@@ -408,7 +414,13 @@ def verify_resilience(
         if reports is not None:
             report.scenarios.extend(reports)
             return finish_sweep()
-        # Unpicklable work or a broken pool: degrade to the serial sweep.
+        # Unpicklable work or a broken pool: degrade to the serial
+        # sweep — audibly, so nobody mistakes it for a parallel run.
+        message = ("parallel fault sweep degraded to a serial run: the "
+                   "verification jobs do not pickle across the worker pool")
+        report.warnings.append(message)
+        if reporter is not None:
+            reporter.emit(warning("resilience", message=message))
 
     total = len(scenarios)
     for index, scenario in enumerate(scenarios):

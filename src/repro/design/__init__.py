@@ -13,6 +13,10 @@ first-class, resumable object:
   fingerprint, so re-runs only verify what changed;
 * :mod:`~repro.design.scheduler` — :func:`explore`: parallel,
   cheapest-first, cache-aware execution with early-exit policies;
+* :mod:`~repro.design.supervise` — the fault-tolerant worker pool:
+  per-job timeouts, bounded retries, crash classification;
+* :mod:`~repro.design.journal` — the checksummed per-run journal
+  behind checkpoint/resume (``explore(resume=RUN_ID)``);
 * :mod:`~repro.design.rank` — Pareto-rank the surviving variants by
   (verdict, states explored, resilience).
 
@@ -37,15 +41,27 @@ from .fingerprint import (
     fingerprint_prop,
     fingerprint_system,
 )
+from .journal import JOURNAL_SCHEMA, JournalState, RunJournal, list_runs
 from .rank import ExplorationReport, rank_records, resilience_rank, verdict_rank
 from .scheduler import (
     EXHAUSTIVE,
     FAIL,
     FIRST_PASS,
+    INCOMPLETE,
     PASS,
     SKIPPED,
     UNKNOWN,
     explore,
+)
+from .supervise import (
+    CAUSE_EXCEPTION,
+    CAUSE_TIMEOUT,
+    CAUSE_UNPICKLABLE,
+    CAUSE_WORKER_DIED,
+    JobFailure,
+    JobOutcome,
+    RetryPolicy,
+    SupervisedPool,
 )
 from .space import (
     COMPOSED,
@@ -64,7 +80,19 @@ from .space import (
 __all__ = [
     "CACHE_SCHEMA",
     "FINGERPRINT_SCHEMA",
+    "JOURNAL_SCHEMA",
+    "CAUSE_EXCEPTION",
+    "CAUSE_TIMEOUT",
+    "CAUSE_UNPICKLABLE",
+    "CAUSE_WORKER_DIED",
+    "JobFailure",
+    "JobOutcome",
+    "JournalState",
     "ResultCache",
+    "RetryPolicy",
+    "RunJournal",
+    "SupervisedPool",
+    "list_runs",
     "fingerprint_job",
     "fingerprint_prop",
     "fingerprint_system",
@@ -77,6 +105,7 @@ __all__ = [
     "PASS",
     "FAIL",
     "UNKNOWN",
+    "INCOMPLETE",
     "SKIPPED",
     "explore",
     "COMPOSED",

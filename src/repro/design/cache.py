@@ -10,30 +10,43 @@ whose fingerprints changed.
 Layout (schema ``repro.design-cache/1``), under one cache directory:
 
 ``results.jsonl``
-    Append-only JSONL, one record per completed job::
+    The **source of truth**: a crash-consistent append-only journal,
+    one record per completed job::
 
         {"schema": "repro.design-cache/1", "fingerprint": "<sha256>",
-         "verdict": ..., ...}
+         "crc": <crc32-of-the-rest>, "verdict": ..., ...}
 
-    Append-only means a crashed run loses at most its unflushed tail;
-    on open, records are replayed in file order and the *last* record
-    per fingerprint wins, so re-verifications supersede stale entries
-    without compaction.  Lines that fail to parse, carry a different
-    schema, or lack a fingerprint are skipped (a foreign or corrupt
-    cache degrades to misses, never to wrong verdicts).
+    Each append is flushed and fsynced before ``put`` returns, so a
+    record handed back to a caller is on disk; a crash loses at most
+    the record being appended.  On open, records are replayed in file
+    order and the *last* record per fingerprint wins, so
+    re-verifications supersede stale entries without compaction.
+    Lines that fail to parse, fail their CRC-32 checksum (torn tail,
+    bit rot), carry a different schema, or lack a fingerprint are
+    skipped — a damaged or foreign cache degrades to misses, never to
+    wrong verdicts.  Pre-checksum records (no ``crc`` field) are still
+    accepted and counted as *legacy*.
 
 ``index.json``
     A convenience snapshot — schema, record count, and the sorted
-    fingerprint list — written on :meth:`ResultCache.flush`.  It exists
-    for humans and tooling (``jq``-able inventory); the JSONL is the
-    source of truth and the index is never read back for lookups.
+    fingerprint list — rebuilt from the journal whenever it is missing,
+    stale, or corrupt, and rewritten atomically on
+    :meth:`ResultCache.flush`.  It exists for humans and tooling
+    (``jq``-able inventory); lookups never trust it, so a corrupt index
+    can cost a rebuild but never a verdict.
+
+Maintenance goes through :meth:`ResultCache.verify` (integrity audit:
+re-scan the journal, classify every line, check the index snapshot)
+and :meth:`ResultCache.compact` (rewrite the journal to one live
+record per fingerprint via a temp file and an atomic ``os.replace``).
+Both are exposed as ``repro cache verify`` / ``repro cache compact``.
 
 Invalidation is purely content-driven: there is no TTL and no manual
 purge protocol.  A fingerprint changes when (and only when) the job
 content changes — edited process definitions, swapped blocks, different
 properties or budgets, a bumped fingerprint/cache schema — and old
-records simply stop being referenced.  Delete the cache directory to
-reclaim space.
+records simply stop being referenced.  ``compact`` (or deleting the
+cache directory) reclaims the space they occupied.
 """
 
 from __future__ import annotations
@@ -41,6 +54,9 @@ from __future__ import annotations
 import json
 import os
 from typing import Any, Dict, Optional
+
+from . import failpoints
+from .journal import append_entry, verify_entry
 
 __all__ = ["CACHE_SCHEMA", "ResultCache"]
 
@@ -56,17 +72,30 @@ class ResultCache:
     Records are plain JSON dicts keyed by job fingerprint.  ``get`` and
     ``put`` count hits, misses, and stores so explorations can report
     exactly how much verification work the cache absorbed.
+
+    ``durable=False`` skips the per-append ``fsync`` (tests, throwaway
+    sweeps); everything else about the format is identical.
     """
 
-    def __init__(self, directory: str) -> None:
-        self.directory = directory
+    def __init__(self, directory: str, *, durable: bool = True) -> None:
+        self.directory = str(directory)
+        self.durable = durable
         self.hits = 0
         self.misses = 0
         self.stored = 0
         self._records: Dict[str, Dict[str, Any]] = {}
         self._skipped_lines = 0
-        os.makedirs(directory, exist_ok=True)
+        self._legacy_lines = 0
+        self._fh = None
+        os.makedirs(self.directory, exist_ok=True)
         self._load()
+        has_state = (os.path.exists(self.results_path)
+                     or os.path.exists(self.index_path))
+        if has_state and not self._index_fresh():
+            # Missing, stale, or corrupt snapshot: rebuild it from the
+            # journal we just replayed (never raises on damage).  A
+            # brand-new cache has nothing to snapshot yet.
+            self.flush()
 
     @property
     def results_path(self) -> str:
@@ -75,6 +104,24 @@ class ResultCache:
     @property
     def index_path(self) -> str:
         return os.path.join(self.directory, _INDEX_NAME)
+
+    def _accept(self, record: Any) -> Optional[str]:
+        """Classify one journal line; return its fingerprint if live.
+
+        Updates the skipped/legacy counters as a side effect.
+        """
+        if (not isinstance(record, dict)
+                or record.get("schema") != CACHE_SCHEMA
+                or not isinstance(record.get("fingerprint"), str)):
+            self._skipped_lines += 1
+            return None
+        if "crc" in record:
+            if not verify_entry(record):
+                self._skipped_lines += 1
+                return None
+        else:
+            self._legacy_lines += 1
+        return record["fingerprint"]
 
     def _load(self) -> None:
         if not os.path.exists(self.results_path):
@@ -89,13 +136,26 @@ class ResultCache:
                 except ValueError:
                     self._skipped_lines += 1
                     continue
-                if (not isinstance(record, dict)
-                        or record.get("schema") != CACHE_SCHEMA
-                        or not isinstance(record.get("fingerprint"), str)):
-                    self._skipped_lines += 1
-                    continue
-                # Last record per fingerprint wins (append-only updates).
-                self._records[record["fingerprint"]] = record
+                fingerprint = self._accept(record)
+                if fingerprint is not None:
+                    # Last record per fingerprint wins (append-only
+                    # updates).
+                    self._records[fingerprint] = record
+
+    def _index_fresh(self) -> bool:
+        """True when ``index.json`` parses and matches the journal."""
+        try:
+            with open(self.index_path, "r", encoding="utf-8") as fh:
+                index = json.load(fh)
+        except FileNotFoundError:
+            return False
+        except (ValueError, OSError):
+            return False  # corrupt snapshot: caller rebuilds it
+        if not isinstance(index, dict):
+            return False
+        return (index.get("schema") == CACHE_SCHEMA
+                and index.get("records") == len(self._records)
+                and index.get("fingerprints") == sorted(self._records))
 
     def __len__(self) -> int:
         return len(self._records)
@@ -113,23 +173,26 @@ class ResultCache:
         return record
 
     def put(self, fingerprint: str, record: Dict[str, Any]) -> Dict[str, Any]:
-        """Store ``record`` under ``fingerprint`` (appended immediately).
+        """Store ``record`` under ``fingerprint``, durably.
 
-        The schema and fingerprint fields are stamped on; the caller's
-        payload must be JSON-able.
+        The schema, fingerprint, and checksum fields are stamped on;
+        the caller's payload must be JSON-able.  The appended line is
+        flushed and fsynced before this returns.
         """
+        failpoints.hit("cache.put", token=fingerprint)
         stamped = dict(record)
         stamped["schema"] = CACHE_SCHEMA
         stamped["fingerprint"] = fingerprint
-        line = json.dumps(stamped, sort_keys=True, separators=(",", ":"))
-        with open(self.results_path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
+        if self._fh is None or self._fh.closed:
+            self._fh = open(self.results_path, "a", encoding="utf-8")
+        append_entry(self._fh, stamped, durable=self.durable)
         self._records[fingerprint] = stamped
         self.stored += 1
         return stamped
 
     def flush(self) -> None:
-        """Write the ``index.json`` snapshot for the current contents."""
+        """Atomically rewrite the ``index.json`` snapshot."""
+        failpoints.hit("cache.index")
         index = {
             "schema": CACHE_SCHEMA,
             "records": len(self._records),
@@ -143,6 +206,87 @@ class ResultCache:
             fh.write("\n")
         os.replace(tmp, self.index_path)
 
+    def close(self) -> None:
+        """Close the journal's append handle (reopened lazily by put)."""
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+
+    def verify(self) -> Dict[str, Any]:
+        """Audit the journal and index; never raises on damage.
+
+        Re-scans ``results.jsonl`` line by line, classifying each as
+        live, superseded (an older record for a fingerprint that
+        appears again later), legacy (pre-checksum), or corrupt, and
+        checks that the index snapshot matches.  ``ok`` means no
+        corrupt lines and a fresh index.
+        """
+        lines = 0
+        corrupt = 0
+        legacy = 0
+        last_for: Dict[str, int] = {}
+        if os.path.exists(self.results_path):
+            with open(self.results_path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    raw = line.strip()
+                    if not raw:
+                        continue
+                    lines += 1
+                    try:
+                        record = json.loads(raw)
+                    except ValueError:
+                        corrupt += 1
+                        continue
+                    if (not isinstance(record, dict)
+                            or record.get("schema") != CACHE_SCHEMA
+                            or not isinstance(record.get("fingerprint"),
+                                              str)):
+                        corrupt += 1
+                        continue
+                    if "crc" in record:
+                        if not verify_entry(record):
+                            corrupt += 1
+                            continue
+                    else:
+                        legacy += 1
+                    last_for[record["fingerprint"]] = lines
+        index_fresh = self._index_fresh()
+        return {
+            "records": len(last_for),
+            "lines": lines,
+            "superseded_lines": lines - corrupt - len(last_for),
+            "corrupt_lines": corrupt,
+            "legacy_lines": legacy,
+            "index_fresh": index_fresh,
+            "ok": corrupt == 0 and index_fresh,
+        }
+
+    def compact(self) -> Dict[str, int]:
+        """Rewrite the journal to one live record per fingerprint.
+
+        The replacement is built in a temp file, fsynced, and swapped
+        in with an atomic ``os.replace`` — a crash at any point leaves
+        either the old journal or the new one, never a mix.  Records
+        are re-checksummed, so compaction also upgrades legacy lines.
+        Returns the line counts before and after.
+        """
+        before = 0
+        if os.path.exists(self.results_path):
+            with open(self.results_path, "r", encoding="utf-8") as fh:
+                before = sum(1 for line in fh if line.strip())
+        self.close()
+        tmp = self.results_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for fingerprint in sorted(self._records):
+                record = dict(self._records[fingerprint])
+                append_entry(fh, record, durable=False)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.results_path)
+        self._skipped_lines = 0
+        self._legacy_lines = 0
+        self.flush()
+        return {"before_lines": before, "after_lines": len(self._records)}
+
     def stats(self) -> Dict[str, int]:
         """Hit/miss/store accounting since this cache was opened."""
         return {
@@ -151,6 +295,7 @@ class ResultCache:
             "stored": self.stored,
             "records": len(self._records),
             "skipped_lines": self._skipped_lines,
+            "legacy_lines": self._legacy_lines,
         }
 
     def __repr__(self) -> str:

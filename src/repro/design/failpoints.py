@@ -1,0 +1,96 @@
+"""Test-only fault-injection points for the exploration runtime.
+
+The chaos suite (``tests/chaos/``) needs to make the *platform* fail on
+demand — kill a worker mid-job, raise during a cache append, stall a
+job past its timeout — without patching private internals that may not
+survive a process boundary.  This module provides named failpoints that
+production code calls at its failure-prone seams; they are inert unless
+the ``REPRO_FAILPOINTS`` environment variable selects them, so they
+work identically in-process, across ``fork``, and across ``spawn``
+(children inherit the environment either way).
+
+Specification grammar (entries separated by ``;``)::
+
+    REPRO_FAILPOINTS="<name>=<action>[:<arg>][@tok1,tok2];..."
+
+Actions:
+
+``kill``
+    ``os._exit(KILL_EXIT_CODE)`` — an abrupt worker death that skips
+    ``finally`` blocks and atexit handlers, exactly like an OOM kill.
+``raise``
+    Raise :class:`FailpointError` on the *arg*-th hit of this failpoint
+    in the current process (default: the first).
+``sleep``
+    Sleep *arg* seconds (default 60) — used to trip per-job wall-clock
+    timeouts.
+
+A ``@tok1,tok2`` suffix restricts the action to calls whose ``token``
+matches (tokens are compared as strings); with no suffix every call
+triggers.  Failpoints sit only at job/cache boundaries, never in hot
+loops — one environment lookup per verification job is noise.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+__all__ = ["ENV_VAR", "KILL_EXIT_CODE", "FailpointError", "hit"]
+
+ENV_VAR = "REPRO_FAILPOINTS"
+
+#: Exit status used by the ``kill`` action, distinctive enough that a
+#: chaos test can tell an injected death from a real crash.
+KILL_EXIT_CODE = 86
+
+#: Per-process hit counters for the ``raise`` action.
+_counters: Dict[str, int] = {}
+
+
+class FailpointError(RuntimeError):
+    """The error injected by a ``raise`` failpoint."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"injected failure at failpoint {name!r}")
+        self.failpoint = name
+
+
+def reset() -> None:
+    """Forget the per-process ``raise`` hit counters (test isolation)."""
+    _counters.clear()
+
+
+def hit(name: str, token: Optional[object] = None) -> None:
+    """Trigger failpoint ``name`` if the environment selects it.
+
+    No-op (one env lookup) when ``REPRO_FAILPOINTS`` is unset or names
+    other failpoints.
+    """
+    spec = os.environ.get(ENV_VAR)
+    if not spec:
+        return
+    for entry in spec.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        point, _, action = entry.partition("=")
+        if point != name:
+            continue
+        action, _, tokens = action.partition("@")
+        if tokens and str(token) not in tokens.split(","):
+            continue
+        verb, _, arg = action.partition(":")
+        if verb == "kill":
+            os._exit(KILL_EXIT_CODE)
+        elif verb == "raise":
+            nth = int(arg) if arg else 1
+            count = _counters[name] = _counters.get(name, 0) + 1
+            if count == nth:
+                raise FailpointError(name)
+        elif verb == "sleep":
+            time.sleep(float(arg) if arg else 60.0)
+        else:
+            raise ValueError(f"unknown failpoint action {verb!r} in "
+                             f"{ENV_VAR}={spec!r}")

@@ -3,8 +3,12 @@
 An exploration produces one record per variant; this module orders
 them.  Three objectives, all minimized:
 
-1. **verdict rank** — PASS < UNKNOWN < FAIL < SKIPPED.  A design that
-   verifies beats one that might, which beats one that doesn't.
+1. **verdict rank** — PASS < UNKNOWN < INCOMPLETE < FAIL < SKIPPED.
+   A design that verifies beats one that might, which beats one whose
+   job the platform lost (worker died / timed out), which beats one
+   that doesn't verify.  INCOMPLETE sits between UNKNOWN and FAIL: the
+   run learned nothing against the design, but unlike UNKNOWN it
+   cannot even bound the explored state space.
 2. **states explored** — the size of the variant's reachable state
    space, the paper's own cost proxy for a design's interaction
    complexity (and for how expensive it is to re-verify).
@@ -34,13 +38,14 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["ExplorationReport", "rank_records", "verdict_rank",
            "resilience_rank"]
 
-_VERDICT_RANK = {"PASS": 0, "UNKNOWN": 1, "FAIL": 2, "SKIPPED": 3}
+_VERDICT_RANK = {"PASS": 0, "UNKNOWN": 1, "INCOMPLETE": 2, "FAIL": 3,
+                 "SKIPPED": 4}
 _RESILIENCE_RANK = {"robust": 0, "unknown": 1, "degraded": 2, "broken": 3}
 
 
 def verdict_rank(record: Dict[str, Any]) -> int:
     """Position of the record's verdict on the PASS-first ladder."""
-    return _VERDICT_RANK.get(record.get("verdict", "SKIPPED"), 3)
+    return _VERDICT_RANK.get(record.get("verdict", "SKIPPED"), 4)
 
 
 def resilience_rank(record: Dict[str, Any]) -> int:
@@ -110,6 +115,9 @@ class ExplorationReport:
     stopped_early: bool = False
     cache_stats: Optional[Dict[str, int]] = None
     library_snapshot: Tuple[int, int, int] = (0, 0, 0)
+    run_id: Optional[str] = None
+    interrupted: bool = False
+    warnings: List[str] = field(default_factory=list)
 
     @property
     def best(self) -> Optional[Dict[str, Any]]:
@@ -131,8 +139,14 @@ class ExplorationReport:
                    for r in self.results)
 
     @property
+    def failures(self) -> List[Dict[str, Any]]:
+        """Records whose job the platform lost (verdict INCOMPLETE)."""
+        return [r for r in self.results if r["verdict"] == "INCOMPLETE"]
+
+    @property
     def complete(self) -> bool:
-        return not self.any_budget_hit and not self.stopped_early
+        return (not self.any_budget_hit and not self.stopped_early
+                and not self.interrupted and not self.failures)
 
     @property
     def cached_count(self) -> int:
@@ -176,6 +190,15 @@ class ExplorationReport:
         if self.stopped_early:
             lines.append("exploration stopped at the first PASS "
                          "(first_pass policy)")
+        if self.interrupted:
+            hint = (f" (resume with --resume {self.run_id})"
+                    if self.run_id else "")
+            lines.append(f"exploration interrupted; partial results{hint}")
+        if self.failures:
+            names = ", ".join(r["variant"] for r in self.failures)
+            lines.append(f"incomplete (job failed after retries): {names}")
+        for message in self.warnings:
+            lines.append(f"warning: {message}")
         if self.cache_stats is not None:
             lines.append(
                 f"cache: {self.cache_stats['hits']} hits, "

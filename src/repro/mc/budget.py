@@ -15,11 +15,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 #: ``budget_exhausted`` markers carried by partial results.
 BUDGET_STATES = "state budget"
 BUDGET_TIME = "time budget"
+BUDGET_INTERRUPT = "interrupt"
 
 
 class BudgetExceeded(Exception):
@@ -48,23 +49,37 @@ class Budget:
 
     The clock starts when the instance is created; ``exceeded`` is meant
     to be called once per newly stored state.
+
+    ``stop`` is an optional zero-argument callable polled alongside the
+    numeric limits: when it returns True the exploration stops with the
+    :data:`BUDGET_INTERRUPT` marker.  The fault-tolerant exploration
+    runtime threads a signal-handler flag through here so Ctrl-C ends a
+    long-running serial check at the next stored state — gracefully and
+    with partial statistics — rather than unwinding it mid-BFS.  The
+    interrupt marker never raises, even under ``raise_on_limit``.
     """
 
     max_states: Optional[int] = None
     max_seconds: Optional[float] = None
     raise_on_limit: bool = False
+    stop: Optional[Callable[[], bool]] = None
     started_at: float = field(default_factory=time.perf_counter)
 
     @property
     def unbounded(self) -> bool:
-        return self.max_states is None and self.max_seconds is None
+        return (self.max_states is None and self.max_seconds is None
+                and self.stop is None)
 
     def exceeded(self, states_stored: int) -> Optional[str]:
         """Return the exhausted-budget marker, or ``None`` while in budget.
 
         In ``raise_on_limit`` mode the corresponding
-        :class:`BudgetExceeded` subclass is raised instead.
+        :class:`BudgetExceeded` subclass is raised instead (the
+        interrupt marker excepted — an interrupt is a request for a
+        graceful partial result by definition).
         """
+        if self.stop is not None and self.stop():
+            return BUDGET_INTERRUPT
         if self.max_states is not None and states_stored > self.max_states:
             if self.raise_on_limit:
                 raise StateLimitExceeded(self.max_states)

@@ -36,7 +36,7 @@ import sys
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..obs.events import RunInstrument
 from ..obs.reporters import Reporter
@@ -123,13 +123,16 @@ def check_safety(
     stop_at_first: bool = True,
     raise_on_limit: bool = False,
     reporter: Optional[Reporter] = None,
+    stop: Optional[Callable[[], bool]] = None,
 ) -> VerificationResult:
     """Run a safety sweep and return the first (or only) result.
 
     When ``stop_at_first`` is false and several violations exist, the
     returned result is the first one found; use :func:`sweep_safety` for
     the full report.  ``reporter`` receives the run's engine events
-    (see :mod:`repro.obs`).
+    (see :mod:`repro.obs`).  ``stop`` is polled like a budget limit so
+    an external interrupt (Ctrl-C in an exploration) yields a graceful
+    partial result.
     """
     report = sweep_safety(
         target,
@@ -141,6 +144,7 @@ def check_safety(
         stop_at_first=stop_at_first,
         raise_on_limit=raise_on_limit,
         reporter=reporter,
+        stop=stop,
     )
     for r in report.results:
         if not r.ok:
@@ -183,12 +187,13 @@ def sweep_safety(
     stop_at_first: bool = True,
     raise_on_limit: bool = False,
     reporter: Optional[Reporter] = None,
+    stop: Optional[Callable[[], bool]] = None,
 ) -> SafetyReport:
     """Breadth-first safety exploration; see :func:`check_safety`."""
     graph = as_graph(target)
     system = graph.system
     budget = Budget(max_states=max_states, max_seconds=max_seconds,
-                    raise_on_limit=raise_on_limit)
+                    raise_on_limit=raise_on_limit, stop=stop)
     start = budget.started_at
     obs = None if reporter is None else RunInstrument(
         reporter, "safety-bfs", graph, max_states=max_states,

@@ -20,7 +20,10 @@ within 3% of the uninstrumented engine.
 
 from .events import (
     EVENT_BUDGET_EXHAUSTED,
+    EVENT_CHECKPOINT,
     EVENT_COUNTEREXAMPLE,
+    EVENT_JOB_FAILED,
+    EVENT_JOB_RETRY,
     EVENT_PHASE,
     EVENT_PROGRESS,
     EVENT_RUN_FINISHED,
@@ -29,6 +32,7 @@ from .events import (
     EVENT_SCENARIO_STARTED,
     EVENT_SWEEP_FINISHED,
     EVENT_SWEEP_STARTED,
+    EVENT_WARNING,
     PHASE_COLD,
     PHASE_WARM,
     EngineEvent,
@@ -46,7 +50,10 @@ from .reporters import (
 
 __all__ = [
     "EVENT_BUDGET_EXHAUSTED",
+    "EVENT_CHECKPOINT",
     "EVENT_COUNTEREXAMPLE",
+    "EVENT_JOB_FAILED",
+    "EVENT_JOB_RETRY",
     "EVENT_PHASE",
     "EVENT_PROGRESS",
     "EVENT_RUN_FINISHED",
@@ -55,6 +62,7 @@ __all__ = [
     "EVENT_SCENARIO_STARTED",
     "EVENT_SWEEP_FINISHED",
     "EVENT_SWEEP_STARTED",
+    "EVENT_WARNING",
     "PHASE_COLD",
     "PHASE_WARM",
     "CollectingReporter",

@@ -63,12 +63,19 @@ __all__ = [
     "EVENT_VARIANT_FINISHED",
     "EVENT_EXPLORATION_STARTED",
     "EVENT_EXPLORATION_FINISHED",
+    "EVENT_JOB_RETRY",
+    "EVENT_JOB_FAILED",
+    "EVENT_CHECKPOINT",
+    "EVENT_WARNING",
     "PHASE_COLD",
     "PHASE_WARM",
     "budget_exhausted",
+    "checkpoint",
     "counterexample",
     "exploration_finished",
     "exploration_started",
+    "job_failed",
+    "job_retry",
     "phase",
     "progress",
     "run_finished",
@@ -79,6 +86,7 @@ __all__ = [
     "sweep_started",
     "variant_finished",
     "variant_started",
+    "warning",
 ]
 
 #: Event taxonomy (see docs/observability.md).
@@ -96,6 +104,10 @@ EVENT_VARIANT_STARTED = "variant_started"
 EVENT_VARIANT_FINISHED = "variant_finished"
 EVENT_EXPLORATION_STARTED = "exploration_started"
 EVENT_EXPLORATION_FINISHED = "exploration_finished"
+EVENT_JOB_RETRY = "job_retry"
+EVENT_JOB_FAILED = "job_failed"
+EVENT_CHECKPOINT = "checkpoint"
+EVENT_WARNING = "warning"
 
 #: Cache phases: *cold* = the run is computing new successor lists,
 #: *warm* = it is replaying the shared graph's memoized relation.
@@ -268,6 +280,39 @@ def exploration_finished(space: str, *, best: Optional[str], complete: bool,
         "space": space, "best": best, "complete": complete,
         "cache_hits": cache_hits, "cache_misses": cache_misses,
     })
+
+
+def job_retry(name: str, *, cause: str, attempt: int, max_attempts: int,
+              backoff: float) -> EngineEvent:
+    """A supervised job failed and is being retried after ``backoff``s."""
+    return EngineEvent(EVENT_JOB_RETRY, "explore", scenario=name, data={
+        "cause": cause, "attempt": attempt, "max_attempts": max_attempts,
+        "backoff": round(backoff, 6),
+    })
+
+
+def job_failed(name: str, *, cause: str, attempts: int,
+               detail: str) -> EngineEvent:
+    """A supervised job exhausted its retries; the variant degrades to
+    an INCOMPLETE verdict instead of aborting the run."""
+    return EngineEvent(EVENT_JOB_FAILED, "explore", scenario=name, data={
+        "cause": cause, "attempts": attempts, "detail": detail,
+    })
+
+
+def checkpoint(run_id: str, *, completed: int, failed: int, pending: int,
+               path: str) -> EngineEvent:
+    """The run journal absorbed another job outcome (resume point)."""
+    return EngineEvent(EVENT_CHECKPOINT, "explore", data={
+        "run_id": run_id, "completed": completed, "failed": failed,
+        "pending": pending, "path": path,
+    })
+
+
+def warning(source: str, *, message: str) -> EngineEvent:
+    """A non-fatal degradation the run wants on the record (e.g. a
+    parallel sweep silently falling back to serial is now audible)."""
+    return EngineEvent(EVENT_WARNING, source, data={"message": message})
 
 
 # -- per-run instrumentation ----------------------------------------------

@@ -1,0 +1,26 @@
+"""Shared fixtures for the chaos (fault-injection) suite.
+
+Every test runs with a clean ``REPRO_FAILPOINTS`` environment and a
+clean per-process failpoint counter, so one test's injected faults
+never leak into the next.
+"""
+
+import pytest
+
+from repro.design import failpoints
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints(monkeypatch):
+    monkeypatch.delenv(failpoints.ENV_VAR, raising=False)
+    failpoints.reset()
+    yield
+    failpoints.reset()
+
+
+@pytest.fixture
+def inject(monkeypatch):
+    """Set the failpoint spec for this test: ``inject("worker.run=kill")``."""
+    def _inject(spec: str) -> None:
+        monkeypatch.setenv(failpoints.ENV_VAR, spec)
+    return _inject

@@ -70,6 +70,71 @@ class TestResilienceToDamage:
         ResultCache(nested).put(FP_A, {"verdict": "PASS"})
         assert (nested / "results.jsonl").exists()
 
+    def test_corrupt_index_json_is_rebuilt_from_journal(self, tmp_path):
+        # Regression: a truncated/garbled index.json used to be fatal;
+        # the journal is the source of truth, the index only a snapshot.
+        cache = ResultCache(tmp_path)
+        cache.put(FP_A, {"verdict": "PASS"})
+        cache.flush()
+        (tmp_path / "index.json").write_text('{"schema": "repro.desi')
+        reopened = ResultCache(tmp_path)
+        assert reopened.get(FP_A)["verdict"] == "PASS"
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["fingerprints"] == [FP_A]
+        assert reopened.verify()["ok"]
+
+    def test_stale_index_is_refreshed_on_open(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP_A, {"verdict": "PASS"})
+        cache.flush()
+        cache.put(FP_B, {"verdict": "FAIL"})  # journaled, not snapshotted
+        reopened = ResultCache(tmp_path)
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["fingerprints"] == sorted([FP_A, FP_B])
+        assert reopened.verify()["index_fresh"]
+
+    def test_checksum_detects_flipped_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP_A, {"verdict": "PASS"})
+        path = tmp_path / "results.jsonl"
+        path.write_text(path.read_text().replace('"PASS"', '"FAIL"'))
+        reopened = ResultCache(tmp_path)
+        assert reopened.get(FP_A) is None  # damaged record is not served
+        audit = reopened.verify()
+        assert audit["corrupt_lines"] == 1
+        assert not audit["ok"]
+
+    def test_legacy_lines_without_crc_still_load(self, tmp_path):
+        record = {"schema": CACHE_SCHEMA, "fingerprint": FP_A,
+                  "verdict": "PASS"}
+        (tmp_path / "results.jsonl").write_text(json.dumps(record) + "\n")
+        cache = ResultCache(tmp_path)
+        assert cache.get(FP_A)["verdict"] == "PASS"
+        assert cache.stats()["legacy_lines"] == 1
+
+
+class TestVerifyAndCompact:
+    def test_verify_clean_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP_A, {"verdict": "PASS"})
+        cache.flush()
+        audit = cache.verify()
+        assert audit == {"records": 1, "lines": 1, "superseded_lines": 0,
+                         "corrupt_lines": 0, "legacy_lines": 0,
+                         "index_fresh": True, "ok": True}
+
+    def test_compact_drops_superseded_and_upgrades_legacy(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP_A, {"verdict": "UNKNOWN"})
+        cache.put(FP_A, {"verdict": "PASS"})
+        cache.put(FP_B, {"verdict": "FAIL"})
+        outcome = cache.compact()
+        assert outcome == {"before_lines": 3, "after_lines": 2}
+        reopened = ResultCache(tmp_path)
+        assert reopened.get(FP_A)["verdict"] == "PASS"
+        assert reopened.get(FP_B)["verdict"] == "FAIL"
+        assert reopened.verify()["superseded_lines"] == 0
+
 
 class TestIndex:
     def test_flush_writes_index(self, tmp_path):

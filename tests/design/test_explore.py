@@ -139,9 +139,21 @@ class TestParallel:
         from repro.mc import global_prop
         lam = global_prop("bound", lambda v: v.global_("consumed_0") in (0, 1),
                           "consumed_0")
-        report = explore(_space(), invariants=[lam], jobs=4)
+        collector = CollectingReporter()
+        report = explore(_space(), invariants=[lam], jobs=4,
+                         reporter=collector)
         assert len(report.results) == 4
         assert all(r["verdict"] == "PASS" for r in report.results)
+        # The degradation is audible: a warning on the report and an
+        # engine event, not a silent serial run.
+        assert any("degraded to a serial run" in w for w in report.warnings)
+        warnings = [e for e in collector.events if e.type == "warning"]
+        assert len(warnings) == 1
+        assert "pickle" in warnings[0].data["message"]
+
+    def test_fault_free_parallel_run_has_no_warnings(self):
+        report = explore(_space(), jobs=2)
+        assert report.warnings == []
 
 
 class TestPolicies:

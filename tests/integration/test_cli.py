@@ -78,9 +78,11 @@ class TestCommands:
         assert main(["graph", "bridge", "--out", str(target)]) == 0
         assert "BlueController" in target.read_text()
 
-    def test_graph_unknown_block(self):
-        with pytest.raises(KeyError):
-            main(["graph", "warp_drive"])
+    def test_graph_unknown_block_exits_3(self, capsys):
+        # Internal failures (bad input to the tool, not the model) are
+        # trapped at the top level and mapped to exit code 3.
+        assert main(["graph", "warp_drive"]) == 3
+        assert "internal failure" in capsys.readouterr().err
 
     def test_graph_fault_block(self, capsys):
         assert main(["graph", "lossy_channel"]) == 0
@@ -244,6 +246,97 @@ class TestExploreCommand:
         assert "deprecated" in captured.err
         assert "explore pc" in captured.err
         assert "models built" in captured.out
+
+
+class TestExitCodeContract:
+    """The documented exit-code table: 0 ok, 1 violation, 2 partial,
+    3 internal failure.  Pinned here so scripts can rely on it."""
+
+    def test_internal_failure_exits_3_with_stderr_note(self, capsys):
+        assert main(["graph", "warp_drive"]) == 3
+        err = capsys.readouterr().err
+        assert "internal failure" in err
+
+    def test_keyboard_interrupt_exits_2(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_cmd_catalog", boom)
+        assert main(["catalog"]) == 2
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_unknown_resume_run_id_exits_3(self, tmp_path, capsys):
+        assert main(["explore", "pc", "--messages", "1",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--resume", "no-such-run"]) == 3
+        assert "no journal for run" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def _populate(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(["explore", "pc", "--messages", "1",
+                     "--cache-dir", str(cache_dir),
+                     "--run-id", "r1"]) == 0
+        return cache_dir
+
+    def test_info_lists_records_and_runs(self, tmp_path, capsys):
+        cache_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        # 20 variants, one deduplicated fingerprint pair -> 19 records.
+        assert "records: 19" in out
+        assert "runs journaled: 1" in out
+        assert "r1" in out
+
+    def test_verify_clean_cache_exits_0(self, tmp_path, capsys):
+        cache_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "corrupt lines: 0" in out
+        assert out.rstrip().endswith("ok")
+
+    def test_verify_damaged_cache_exits_3(self, tmp_path, capsys):
+        cache_dir = self._populate(tmp_path)
+        journal = cache_dir / "results.jsonl"
+        damaged = journal.read_text().splitlines()
+        damaged[0] = damaged[0].replace('"verdict"', '"verdikt"', 1)
+        journal.write_text("\n".join(damaged) + "\n")
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 3
+        assert "NOT OK" in capsys.readouterr().out
+
+    def test_compact_rewrites_journal(self, tmp_path, capsys):
+        cache_dir = self._populate(tmp_path)
+        # A second exploration with a different budget adds 20 records.
+        assert main(["explore", "pc", "--messages", "1", "--max-states",
+                     "10", "--cache-dir", str(cache_dir)]) == 2
+        capsys.readouterr()
+        assert main(["cache", "compact", "--cache-dir",
+                     str(cache_dir)]) == 0
+        assert "38 -> 38" in capsys.readouterr().out  # distinct fingerprints
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0
+
+
+class TestResumeFlags:
+    def test_run_id_is_printed_and_resumable(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["explore", "pc", "--messages", "1",
+                     "--cache-dir", str(cache_dir),
+                     "--run-id", "nightly"]) == 0
+        out = capsys.readouterr().out
+        assert "run id: nightly" in out
+        # Resuming the finished run re-verifies nothing and touches no
+        # cache entries: everything is served from the journal.
+        assert main(["explore", "pc", "--messages", "1",
+                     "--cache-dir", str(cache_dir),
+                     "--resume", "nightly"]) == 0
+        out = capsys.readouterr().out
+        assert "cache: 0 hits, 0 misses" in out
 
 
 class TestResilienceCommand:

@@ -242,7 +242,7 @@ class TestParallelResilience:
     def test_unpicklable_goal_falls_back_to_serial(self):
         from repro.mc import global_prop
         # A lambda prop cannot cross a process boundary; the sweep must
-        # silently fall back to the serial path and still be correct.
+        # fall back to the serial path, still be correct, and say so.
         lam = global_prop("delivered", lambda v: v.global_("delivered") == 1,
                           "delivered")
         report = verify_resilience(
@@ -257,6 +257,7 @@ class TestParallelResilience:
         assert len(report.scenarios) == 2  # baseline + 1 fault
         assert report.ok
         assert report.scenario("baseline").verdict == "robust"
+        assert any("degraded to a serial run" in w for w in report.warnings)
 
 
 class TestExplorationEncodingEquivalence:
