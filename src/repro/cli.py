@@ -18,18 +18,25 @@ Commands:
   print the verdict matrix; ``--jobs`` fans independent scenarios out
   over a process pool;
 * ``explore {bridge | pc} [--jobs N] [--cache-dir DIR] [--no-cache]
-  [--first-pass] [--max-states S] [--max-seconds T] [--run-id ID]
-  [--resume ID] [--retries N] [--job-timeout T]`` — enumerate a
-  design space, verify every variant (served from the persistent
-  content-addressed cache when fingerprints match a previous run), and
-  print the Pareto-ranked verdict table.  ``--cache-dir`` defaults to
-  ``$REPRO_CACHE_DIR`` or ``.repro-cache``.  Every cached run journals
+  [--backend {auto,jsonl,sqlite}] [--cache-max-mb MB] [--first-pass]
+  [--max-states S] [--max-seconds T] [--run-id ID] [--resume ID]
+  [--retries N] [--job-timeout T]`` — enumerate a design space, verify
+  every variant (served from the persistent content-addressed cache
+  when fingerprints match a previous run), and print the Pareto-ranked
+  verdict table.  ``--cache-dir`` defaults to ``$REPRO_CACHE_DIR`` or
+  ``.repro-cache``; ``--backend`` picks the verdict store (default
+  auto-detect: an existing directory keeps its format, a fresh one
+  gets the concurrent-safe sqlite store).  Every cached run journals
   per-job progress under ``<cache>/runs/<run-id>``; an interrupted run
   (Ctrl-C exits with code 2) resumes with ``--resume ID``, re-running
   only the jobs that never finished;
-* ``cache {info | verify | compact} [--cache-dir DIR]`` — inspect the
-  result cache, audit its checksummed journal and index snapshot, or
-  rewrite the journal to one live record per fingerprint;
+* ``cache {info | verify | compact | migrate | fsck} [--cache-dir DIR]
+  [--backend B] [--cache-max-mb MB]`` — inspect the result cache,
+  audit its checksums and integrity, compact/vacuum it, convert a
+  JSONL cache to the sqlite backend verdict-equivalently, or repair
+  damage (``fsck`` drops corrupt records, or quarantines an unreadable
+  sqlite store and starts fresh — verdicts degrade to misses, never to
+  wrong answers);
 * ``sweep [--messages K]`` — verify every send-port/channel combination
   on a producer/consumer pair and tabulate the verdicts (deprecated:
   a fixed-function subset of ``explore``);
@@ -374,9 +381,9 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     from repro.design import (
         EXHAUSTIVE,
         FIRST_PASS,
-        ResultCache,
         RetryPolicy,
         explore,
+        open_cache,
     )
 
     if args.space == "bridge":
@@ -401,7 +408,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     if not args.no_cache:
         cache_dir = args.cache_dir or os.environ.get(
             "REPRO_CACHE_DIR") or ".repro-cache"
-        cache = ResultCache(cache_dir)
+        cache = open_cache(cache_dir, backend=args.backend,
+                           max_bytes=_cache_max_bytes(args))
 
     retry = None
     if args.retries is not None:
@@ -431,6 +439,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             run.save(args.report)
             print(f"report written to {args.report}")
     finally:
+        if cache is not None:
+            cache.close()  # explore() closes too; this covers errors
         if reporter is not None:
             reporter.close()
     print(f"design-space exploration: {report.space} "
@@ -444,36 +454,75 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0 if report.any_pass else 1
 
 
+def _cache_max_bytes(args: argparse.Namespace) -> Optional[int]:
+    """``--cache-max-mb`` converted to bytes (None = uncapped)."""
+    max_mb = getattr(args, "cache_max_mb", None)
+    if max_mb is None:
+        return None
+    return int(max_mb * 1024 * 1024)
+
+
+def _print_kv(mapping, *, skip=("ok", "backend")) -> None:
+    for key, value in mapping.items():
+        if key in skip or value is None:
+            continue
+        print(f"  {key.replace('_', ' ')}: {value}")
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     import os
 
-    from repro.design import ResultCache, list_runs
+    from repro.design import (
+        detect_backend,
+        list_runs,
+        migrate_jsonl_to_sqlite,
+        open_cache,
+    )
 
     cache_dir = args.cache_dir or os.environ.get(
         "REPRO_CACHE_DIR") or ".repro-cache"
-    cache = ResultCache(cache_dir)
-    if args.action == "verify":
-        audit = cache.verify()
-        print(f"cache: {cache.directory}")
-        for key in ("records", "lines", "superseded_lines", "corrupt_lines",
-                    "legacy_lines", "index_fresh"):
-            print(f"  {key.replace('_', ' ')}: {audit[key]}")
-        print("ok" if audit["ok"] else "NOT OK")
-        return 0 if audit["ok"] else 3
-    if args.action == "compact":
-        outcome = cache.compact()
-        print(f"compacted {cache.directory}: {outcome['before_lines']} -> "
-              f"{outcome['after_lines']} journal lines")
+
+    if args.action == "migrate":
+        if detect_backend(cache_dir) == "sqlite":
+            print(f"cache: {cache_dir}\n  already on the sqlite backend; "
+                  "nothing to migrate")
+            return 0
+        summary = migrate_jsonl_to_sqlite(cache_dir)
+        print(f"migrated {cache_dir} to sqlite:")
+        _print_kv(summary)
         return 0
-    stats = cache.stats()
-    print(f"cache: {cache.directory}")
-    print(f"  records: {stats['records']}")
-    print(f"  skipped lines: {stats['skipped_lines']}")
-    print(f"  legacy lines: {stats['legacy_lines']}")
-    runs = list_runs(os.path.join(cache.directory, "runs"))
-    print(f"  runs journaled: {len(runs)}")
-    for run in runs:
-        print(f"    {run}")
+
+    with open_cache(cache_dir, backend=args.backend,
+                    max_bytes=_cache_max_bytes(args)) as cache:
+        if args.action == "verify":
+            audit = cache.verify()
+            print(f"cache: {cache.directory} ({audit['backend']} backend)")
+            _print_kv(audit)
+            print("ok" if audit["ok"] else "NOT OK")
+            return 0 if audit["ok"] else 3
+        if args.action == "compact":
+            outcome = cache.compact()
+            print(f"compacted {cache.directory}: "
+                  f"{outcome['before_lines']} -> "
+                  f"{outcome['after_lines']} records")
+            return 0
+        if args.action == "fsck":
+            outcome = cache.fsck()
+            print(f"fsck {cache.directory} ({outcome['backend']} backend):")
+            _print_kv(outcome)
+            if outcome.get("quarantined"):
+                print(f"  damaged store quarantined to "
+                      f"{outcome['quarantined']}; verdicts degrade to "
+                      "misses")
+            print("ok")
+            return 0
+        stats = cache.stats()
+        print(f"cache: {cache.directory} ({stats['backend']} backend)")
+        _print_kv(stats, skip=("ok", "backend", "hits", "misses", "stored"))
+        runs = list_runs(os.path.join(cache.directory, "runs"))
+        print(f"  runs journaled: {len(runs)}")
+        for run in runs:
+            print(f"    {run}")
     return 0
 
 
@@ -589,6 +638,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "$REPRO_CACHE_DIR or .repro-cache)")
     exp.add_argument("--no-cache", action="store_true",
                      help="verify every variant afresh, touch no cache")
+    exp.add_argument("--backend", choices=["auto", "jsonl", "sqlite"],
+                     default="auto",
+                     help="cache backend: jsonl (single-writer journal), "
+                          "sqlite (concurrent multi-process WAL store), or "
+                          "auto (default: whatever the directory already "
+                          "holds; sqlite for a fresh one)")
+    exp.add_argument("--cache-max-mb", type=float, default=None,
+                     metavar="MB",
+                     help="cap the sqlite cache size; coldest records "
+                          "(LRU by last hit) are evicted past the cap")
     exp.add_argument("--first-pass", action="store_true",
                      help="stop at the first PASS verdict (cheapest-first "
                           "order) instead of exploring exhaustively")
@@ -623,15 +682,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(exp)
 
     cache = sub.add_parser(
-        "cache", help="inspect, audit, or compact the result cache")
-    cache.add_argument("action", choices=["info", "verify", "compact"],
+        "cache",
+        help="inspect, audit, repair, or migrate the result cache")
+    cache.add_argument("action",
+                       choices=["info", "verify", "compact", "migrate",
+                                "fsck"],
                        help="info: summary + journaled runs; verify: audit "
-                            "journal checksums and the index snapshot; "
-                            "compact: rewrite to one live record per "
-                            "fingerprint")
+                            "record checksums and store integrity; "
+                            "compact: rewrite/vacuum to live records only; "
+                            "migrate: convert a JSONL cache to sqlite, "
+                            "verdict-equivalently; fsck: repair damage "
+                            "(drop corrupt records, or quarantine an "
+                            "unreadable sqlite store)")
     cache.add_argument("--cache-dir", default=None,
                        help="cache directory (default $REPRO_CACHE_DIR or "
                             ".repro-cache)")
+    cache.add_argument("--backend", choices=["auto", "jsonl", "sqlite"],
+                       default="auto",
+                       help="cache backend (default auto: detect from the "
+                            "directory)")
+    cache.add_argument("--cache-max-mb", type=float, default=None,
+                       metavar="MB",
+                       help="sqlite size cap applied while this command "
+                            "has the store open (LRU eviction)")
 
     sweep = sub.add_parser(
         "sweep", help="verify all port/channel combos (deprecated: "

@@ -10,7 +10,14 @@ first-class, resumable object:
 * :mod:`~repro.design.fingerprint` — content-hash each variant's
   verification job so identical jobs run once;
 * :mod:`~repro.design.cache` — persist verdicts on disk, keyed by
-  fingerprint, so re-runs only verify what changed;
+  fingerprint, so re-runs only verify what changed (the single-writer
+  JSONL journal);
+* :mod:`~repro.design.sqlcache` — the concurrent-safe SQLite/WAL
+  verdict store: many reader/writer processes, LRU eviction,
+  quarantine-on-corruption;
+* :mod:`~repro.design.backend` — the :class:`CacheBackend` protocol
+  and :func:`open_cache`, which picks the right backend for a
+  directory;
 * :mod:`~repro.design.scheduler` — :func:`explore`: parallel,
   cheapest-first, cache-aware execution with early-exit policies;
 * :mod:`~repro.design.supervise` — the fault-tolerant worker pool:
@@ -30,18 +37,25 @@ Typical use::
         SendPortAxis("link", [AsynBlockingSend(), SynBlockingSend()]),
     ])
     report = explore(space, invariants=[safe], jobs=4,
-                     cache=ResultCache(".repro-cache"))
+                     cache=open_cache(".repro-cache"))
     print(report.table())
 """
 
-from .cache import CACHE_SCHEMA, ResultCache
+from .backend import BACKENDS, CacheBackend, detect_backend, open_cache
+from .cache import CACHE_SCHEMA, CacheLockedError, ResultCache, classify_line
 from .fingerprint import (
     FINGERPRINT_SCHEMA,
     fingerprint_job,
     fingerprint_prop,
     fingerprint_system,
 )
-from .journal import JOURNAL_SCHEMA, JournalState, RunJournal, list_runs
+from .journal import (
+    JOURNAL_SCHEMA,
+    FileLockedError,
+    JournalState,
+    RunJournal,
+    list_runs,
+)
 from .rank import ExplorationReport, rank_records, resilience_rank, verdict_rank
 from .scheduler import (
     EXHAUSTIVE,
@@ -63,6 +77,13 @@ from .supervise import (
     RetryPolicy,
     SupervisedPool,
 )
+from .sqlcache import (
+    CAUSE_DB_LOCKED,
+    SQLITE_CONTAINER_SCHEMA,
+    CacheCorruptionWarning,
+    SqliteResultCache,
+    migrate_jsonl_to_sqlite,
+)
 from .space import (
     COMPOSED,
     FUSED,
@@ -78,21 +99,33 @@ from .space import (
 )
 
 __all__ = [
+    "BACKENDS",
     "CACHE_SCHEMA",
     "FINGERPRINT_SCHEMA",
     "JOURNAL_SCHEMA",
+    "SQLITE_CONTAINER_SCHEMA",
+    "CAUSE_DB_LOCKED",
     "CAUSE_EXCEPTION",
     "CAUSE_TIMEOUT",
     "CAUSE_UNPICKLABLE",
     "CAUSE_WORKER_DIED",
+    "CacheBackend",
+    "CacheCorruptionWarning",
+    "CacheLockedError",
+    "FileLockedError",
     "JobFailure",
     "JobOutcome",
     "JournalState",
     "ResultCache",
     "RetryPolicy",
     "RunJournal",
+    "SqliteResultCache",
     "SupervisedPool",
+    "classify_line",
+    "detect_backend",
     "list_runs",
+    "migrate_jsonl_to_sqlite",
+    "open_cache",
     "fingerprint_job",
     "fingerprint_prop",
     "fingerprint_system",

@@ -1,0 +1,128 @@
+"""The cache backend protocol and the ``open_cache`` factory.
+
+Two interchangeable verdict stores implement :class:`CacheBackend`:
+
+===========  ====================  ========================================
+backend      module                concurrency contract
+===========  ====================  ========================================
+``jsonl``    :mod:`.cache`         single writer (advisory ``flock``;
+                                   a second writer fails loudly), any
+                                   number of read-only openers
+``sqlite``   :mod:`.sqlcache`      many concurrent reader/writer
+                                   processes (WAL mode, retried busy
+                                   errors, LRU eviction, quarantine)
+===========  ====================  ========================================
+
+Both journal verdict records under the same record schema
+(``repro.design-cache/1``) with the same per-record CRC-32, so
+:func:`~repro.design.sqlcache.migrate_jsonl_to_sqlite` converts a
+directory verdict-equivalently and checksum-identically.
+
+:func:`open_cache` picks a backend by what is already on disk
+(:func:`detect_backend`), so callers — ``explore()``, the CLI, tests —
+never hard-code one: an existing corpus keeps its format, and a fresh
+directory gets the concurrent-safe SQLite store.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import (Any, Dict, Iterator, Optional, Protocol, Tuple,
+                    runtime_checkable)
+
+from .cache import ResultCache
+from .sqlcache import SqliteResultCache
+
+__all__ = [
+    "BACKENDS",
+    "CacheBackend",
+    "detect_backend",
+    "open_cache",
+]
+
+BACKENDS = ("jsonl", "sqlite")
+
+_SQLITE_DB = "cache.sqlite"
+_JSONL_RESULTS = "results.jsonl"
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What ``explore()`` and the CLI require of a verdict store.
+
+    Structural, not nominal: :class:`~repro.design.cache.ResultCache`
+    and :class:`~repro.design.sqlcache.SqliteResultCache` both satisfy
+    it without inheriting anything.
+    """
+
+    directory: str
+    hits: int
+    misses: int
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]: ...
+
+    def put(self, fingerprint: str,
+            record: Dict[str, Any]) -> Dict[str, Any]: ...
+
+    def items(self) -> Iterator[Tuple[str, Dict[str, Any]]]: ...
+
+    def flush(self) -> None: ...
+
+    def close(self) -> None: ...
+
+    def verify(self) -> Dict[str, Any]: ...
+
+    def compact(self) -> Dict[str, Any]: ...
+
+    def fsck(self) -> Dict[str, Any]: ...
+
+    def stats(self) -> Dict[str, Any]: ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, fingerprint: str) -> bool: ...
+
+    def __enter__(self) -> "CacheBackend": ...
+
+    def __exit__(self, *exc: Any) -> None: ...
+
+
+def detect_backend(directory: str) -> str:
+    """Which backend a cache directory holds (or should get).
+
+    An existing ``cache.sqlite`` wins; otherwise an existing
+    ``results.jsonl`` keeps the directory on JSONL; a fresh (or empty)
+    directory defaults to SQLite — the backend that stays safe when a
+    second process shows up.
+    """
+    directory = str(directory)
+    if os.path.exists(os.path.join(directory, _SQLITE_DB)):
+        return "sqlite"
+    if os.path.exists(os.path.join(directory, _JSONL_RESULTS)):
+        return "jsonl"
+    return "sqlite"
+
+
+def open_cache(directory: str, *, backend: str = "auto",
+               durable: bool = True,
+               max_bytes: Optional[int] = None) -> CacheBackend:
+    """Open the verdict store in ``directory``.
+
+    ``backend`` is ``"auto"`` (detect from disk), ``"jsonl"``, or
+    ``"sqlite"``.  ``max_bytes`` caps the SQLite store (LRU eviction);
+    the JSONL journal has no cap and rejects the option loudly rather
+    than silently ignoring it.
+    """
+    if backend == "auto":
+        backend = detect_backend(directory)
+    if backend == "sqlite":
+        return SqliteResultCache(directory, durable=durable,
+                                 max_bytes=max_bytes)
+    if backend == "jsonl":
+        if max_bytes is not None:
+            raise ValueError(
+                "max_bytes (--cache-max-mb) requires the sqlite backend; "
+                "the JSONL journal does not evict")
+        return ResultCache(directory, durable=durable)
+    raise ValueError(f"unknown cache backend {backend!r} "
+                     f"(expected one of {('auto',) + BACKENDS})")

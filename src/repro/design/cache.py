@@ -7,6 +7,14 @@ produced it (:mod:`repro.design.fingerprint`), so re-running an
 exploration after editing one connector re-verifies only the variants
 whose fingerprints changed.
 
+This module holds the original **JSONL journal backend**
+(:class:`ResultCache`); the concurrent multi-process **SQLite/WAL
+backend** lives in :mod:`repro.design.sqlcache`, and the
+backend-agnostic protocol plus the :func:`~repro.design.backend.open_cache`
+factory in :mod:`repro.design.backend`.  Both backends store the same
+record schema, so :func:`~repro.design.sqlcache.migrate_jsonl_to_sqlite`
+converts a cache verdict-equivalently.
+
 Layout (schema ``repro.design-cache/1``), under one cache directory:
 
 ``results.jsonl``
@@ -21,11 +29,12 @@ Layout (schema ``repro.design-cache/1``), under one cache directory:
     the record being appended.  On open, records are replayed in file
     order and the *last* record per fingerprint wins, so
     re-verifications supersede stale entries without compaction.
-    Lines that fail to parse, fail their CRC-32 checksum (torn tail,
-    bit rot), carry a different schema, or lack a fingerprint are
-    skipped — a damaged or foreign cache degrades to misses, never to
-    wrong verdicts.  Pre-checksum records (no ``crc`` field) are still
-    accepted and counted as *legacy*.
+    Lines are classified uniformly (see :func:`classify_line`):
+    *corrupt* lines (unparseable, failed CRC-32 — torn tail, bit rot)
+    and *skipped* lines (well-formed but foreign: another schema, no
+    fingerprint) are never served — a damaged or foreign cache
+    degrades to misses, never to wrong verdicts.  Pre-checksum records
+    (no ``crc`` field) are still accepted and counted as *legacy*.
 
 ``index.json``
     A convenience snapshot — schema, record count, and the sorted
@@ -35,11 +44,23 @@ Layout (schema ``repro.design-cache/1``), under one cache directory:
     (``jq``-able inventory); lookups never trust it, so a corrupt index
     can cost a rebuild but never a verdict.
 
+``.cache.lock``
+    The advisory writer lock.  The journal is strictly single-writer:
+    the first mutation (``put``/``compact``/``fsck``) takes an
+    exclusive ``flock`` held until :meth:`ResultCache.close`, and a
+    second concurrent writer raises
+    :class:`~repro.design.journal.FileLockedError` loudly instead of
+    interleaving appends or racing the compaction ``os.replace``
+    window.  Readers never lock; use the SQLite backend for
+    multi-process writer workloads.
+
 Maintenance goes through :meth:`ResultCache.verify` (integrity audit:
-re-scan the journal, classify every line, check the index snapshot)
-and :meth:`ResultCache.compact` (rewrite the journal to one live
-record per fingerprint via a temp file and an atomic ``os.replace``).
-Both are exposed as ``repro cache verify`` / ``repro cache compact``.
+re-scan the journal, classify every line, check the index snapshot),
+:meth:`ResultCache.compact` (rewrite the journal to one live record
+per fingerprint via a temp file and an atomic ``os.replace``), and
+:meth:`ResultCache.fsck` (compact + a report of every line the rewrite
+dropped).  All three are exposed as ``repro cache
+{verify,compact,fsck}``.
 
 Invalidation is purely content-driven: there is no TTL and no manual
 purge protocol.  A fingerprint changes when (and only when) the job
@@ -53,17 +74,63 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Optional
+import tempfile
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from . import failpoints
-from .journal import append_entry, verify_entry
+from .journal import (
+    FileLockedError,
+    append_entry,
+    try_lock,
+    unlock,
+    verify_entry,
+)
 
-__all__ = ["CACHE_SCHEMA", "ResultCache"]
+__all__ = ["CACHE_SCHEMA", "CacheLockedError", "ResultCache",
+           "classify_line"]
 
 CACHE_SCHEMA = "repro.design-cache/1"
 
 _RESULTS_NAME = "results.jsonl"
 _INDEX_NAME = "index.json"
+_LOCK_NAME = ".cache.lock"
+
+#: Line classes shared by ``_load``, ``verify`` and ``fsck``.
+LIVE = "live"
+LEGACY = "legacy"
+SKIPPED = "skipped"
+CORRUPT = "corrupt"
+
+
+class CacheLockedError(FileLockedError):
+    """Another process holds the JSONL cache's exclusive writer lock."""
+
+
+def classify_line(record: Any) -> str:
+    """Classify one *parsed* journal line, uniformly for every auditor.
+
+    ``corrupt``
+        damaged: the CRC-32 checksum does not match (unparseable lines
+        are classified ``corrupt`` by the caller before parsing);
+    ``skipped``
+        well-formed but foreign: not a dict, another schema, or no
+        fingerprint — never served, but not damage either;
+    ``legacy``
+        a live pre-checksum record (no ``crc`` field);
+    ``live``
+        a good checksummed record.
+
+    ``stats()``, ``verify()``, and ``fsck()`` all count through this
+    one function, so ``repro cache verify`` and a freshly opened
+    cache's ``stats()`` always agree on what a given line is.
+    """
+    if (not isinstance(record, dict)
+            or record.get("schema") != CACHE_SCHEMA
+            or not isinstance(record.get("fingerprint"), str)):
+        return SKIPPED
+    if "crc" not in record:
+        return LEGACY
+    return LIVE if verify_entry(record) else CORRUPT
 
 
 class ResultCache:
@@ -75,6 +142,11 @@ class ResultCache:
 
     ``durable=False`` skips the per-append ``fsync`` (tests, throwaway
     sweeps); everything else about the format is identical.
+
+    Instances are context managers; ``close()`` (or leaving the
+    ``with`` block) drops the append handle and the writer lock, after
+    which the instance still serves reads and transparently re-locks on
+    the next mutation.
     """
 
     def __init__(self, directory: str, *, durable: bool = True) -> None:
@@ -85,8 +157,11 @@ class ResultCache:
         self.stored = 0
         self._records: Dict[str, Dict[str, Any]] = {}
         self._skipped_lines = 0
+        self._corrupt_lines = 0
         self._legacy_lines = 0
+        self._loaded_bytes = 0
         self._fh = None
+        self._lock_fd: Optional[int] = None
         os.makedirs(self.directory, exist_ok=True)
         self._load()
         has_state = (os.path.exists(self.results_path)
@@ -105,28 +180,15 @@ class ResultCache:
     def index_path(self) -> str:
         return os.path.join(self.directory, _INDEX_NAME)
 
-    def _accept(self, record: Any) -> Optional[str]:
-        """Classify one journal line; return its fingerprint if live.
-
-        Updates the skipped/legacy counters as a side effect.
-        """
-        if (not isinstance(record, dict)
-                or record.get("schema") != CACHE_SCHEMA
-                or not isinstance(record.get("fingerprint"), str)):
-            self._skipped_lines += 1
-            return None
-        if "crc" in record:
-            if not verify_entry(record):
-                self._skipped_lines += 1
-                return None
-        else:
-            self._legacy_lines += 1
-        return record["fingerprint"]
-
     def _load(self) -> None:
         if not os.path.exists(self.results_path):
             return
-        with open(self.results_path, "r", encoding="utf-8") as fh:
+        self._loaded_bytes = os.path.getsize(self.results_path)
+        # errors="replace": undecodable bytes become U+FFFD, the line
+        # then fails to parse or to checksum and is counted corrupt —
+        # binary garbage in the journal must not abort the open.
+        with open(self.results_path, "r", encoding="utf-8",
+                  errors="replace") as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
@@ -134,13 +196,125 @@ class ResultCache:
                 try:
                     record = json.loads(line)
                 except ValueError:
-                    self._skipped_lines += 1
+                    self._corrupt_lines += 1
                     continue
-                fingerprint = self._accept(record)
-                if fingerprint is not None:
+                kind = classify_line(record)
+                if kind is CORRUPT:
+                    self._corrupt_lines += 1
+                elif kind is SKIPPED:
+                    self._skipped_lines += 1
+                else:
+                    if kind is LEGACY:
+                        self._legacy_lines += 1
                     # Last record per fingerprint wins (append-only
                     # updates).
-                    self._records[fingerprint] = record
+                    self._records[record["fingerprint"]] = record
+
+    def _reload(self) -> None:
+        """Re-sync the in-memory view from the journal on disk."""
+        self._records.clear()
+        self._skipped_lines = 0
+        self._corrupt_lines = 0
+        self._legacy_lines = 0
+        self._loaded_bytes = 0
+        self._load()
+
+    # -- the writer lock ---------------------------------------------------
+
+    def _acquire_writer(self) -> None:
+        """Take (or keep) this directory's exclusive writer lock.
+
+        The JSONL backend is strictly single-writer.  The lock is held
+        until :meth:`close`; a second concurrent writer gets a
+        :class:`CacheLockedError` instead of interleaved appends or a
+        compaction that silently drops its acknowledged records.  On a
+        fresh acquisition the in-memory view is re-synced from disk, so
+        records another (now closed) writer appended while this
+        instance was unlocked survive a later :meth:`compact`.
+        """
+        if self._lock_fd is not None:
+            return
+        fd = os.open(os.path.join(self.directory, _LOCK_NAME),
+                     os.O_RDWR | os.O_CREAT, 0o644)
+        if not try_lock(fd):
+            os.close(fd)
+            raise CacheLockedError(self.results_path, "result cache journal")
+        self._lock_fd = fd
+        on_disk = (os.path.getsize(self.results_path)
+                   if os.path.exists(self.results_path) else 0)
+        if on_disk != self._loaded_bytes:
+            self._reload()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._records
+
+    def items(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Live ``(fingerprint, record)`` pairs, sorted (uncounted)."""
+        yield from sorted(self._records.items())
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The cached record for ``fingerprint``, or None (counted)."""
+        record = self._records.get(fingerprint)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, fingerprint: str, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Store ``record`` under ``fingerprint``, durably.
+
+        The schema, fingerprint, and checksum fields are stamped on;
+        the caller's payload must be JSON-able.  The appended line is
+        flushed and fsynced before this returns.  The first ``put``
+        takes the writer lock (see :meth:`_acquire_writer`).
+        """
+        failpoints.hit("cache.put", token=fingerprint)
+        self._acquire_writer()
+        stamped = dict(record)
+        stamped["schema"] = CACHE_SCHEMA
+        stamped["fingerprint"] = fingerprint
+        if self._fh is None or self._fh.closed:
+            self._fh = open(self.results_path, "a", encoding="utf-8")
+        append_entry(self._fh, stamped, durable=self.durable)
+        self._loaded_bytes = os.path.getsize(self.results_path)
+        self._records[fingerprint] = stamped
+        self.stored += 1
+        return stamped
+
+    def flush(self) -> None:
+        """Atomically rewrite the ``index.json`` snapshot.
+
+        The snapshot is built in a uniquely named temp file
+        (:func:`tempfile.mkstemp` in the cache directory) before the
+        atomic ``os.replace`` — two processes flushing concurrently
+        each publish a complete snapshot and the last replace wins,
+        instead of interleaving writes through one shared temp path.
+        """
+        failpoints.hit("cache.index")
+        index = {
+            "schema": CACHE_SCHEMA,
+            "records": len(self._records),
+            "results_bytes": (os.path.getsize(self.results_path)
+                              if os.path.exists(self.results_path) else 0),
+            "fingerprints": sorted(self._records),
+        }
+        fd, tmp = tempfile.mkstemp(prefix=_INDEX_NAME + ".",
+                                   suffix=".tmp", dir=self.directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(index, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.index_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def _index_fresh(self) -> bool:
         """True when ``index.json`` parses and matches the journal."""
@@ -157,75 +331,53 @@ class ResultCache:
                 and index.get("records") == len(self._records)
                 and index.get("fingerprints") == sorted(self._records))
 
-    def __len__(self) -> int:
-        return len(self._records)
-
-    def __contains__(self, fingerprint: str) -> bool:
-        return fingerprint in self._records
-
-    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
-        """The cached record for ``fingerprint``, or None (counted)."""
-        record = self._records.get(fingerprint)
-        if record is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return record
-
-    def put(self, fingerprint: str, record: Dict[str, Any]) -> Dict[str, Any]:
-        """Store ``record`` under ``fingerprint``, durably.
-
-        The schema, fingerprint, and checksum fields are stamped on;
-        the caller's payload must be JSON-able.  The appended line is
-        flushed and fsynced before this returns.
-        """
-        failpoints.hit("cache.put", token=fingerprint)
-        stamped = dict(record)
-        stamped["schema"] = CACHE_SCHEMA
-        stamped["fingerprint"] = fingerprint
-        if self._fh is None or self._fh.closed:
-            self._fh = open(self.results_path, "a", encoding="utf-8")
-        append_entry(self._fh, stamped, durable=self.durable)
-        self._records[fingerprint] = stamped
-        self.stored += 1
-        return stamped
-
-    def flush(self) -> None:
-        """Atomically rewrite the ``index.json`` snapshot."""
-        failpoints.hit("cache.index")
-        index = {
-            "schema": CACHE_SCHEMA,
-            "records": len(self._records),
-            "results_bytes": (os.path.getsize(self.results_path)
-                              if os.path.exists(self.results_path) else 0),
-            "fingerprints": sorted(self._records),
-        }
-        tmp = self.index_path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(index, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        os.replace(tmp, self.index_path)
-
-    def close(self) -> None:
-        """Close the journal's append handle (reopened lazily by put)."""
+    def _close_fh(self) -> None:
         if self._fh is not None and not self._fh.closed:
             self._fh.close()
+
+    def close(self) -> None:
+        """Close the append handle and release the writer lock.
+
+        The instance stays usable: reads keep serving the loaded view
+        and the next mutation re-locks (re-syncing from disk first).
+        """
+        self._close_fh()
+        if self._lock_fd is not None:
+            unlock(self._lock_fd)
+            os.close(self._lock_fd)
+            self._lock_fd = None
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # backstop; close() is the contract
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
 
     def verify(self) -> Dict[str, Any]:
         """Audit the journal and index; never raises on damage.
 
-        Re-scans ``results.jsonl`` line by line, classifying each as
-        live, superseded (an older record for a fingerprint that
-        appears again later), legacy (pre-checksum), or corrupt, and
-        checks that the index snapshot matches.  ``ok`` means no
-        corrupt lines and a fresh index.
+        Re-scans ``results.jsonl`` line by line through
+        :func:`classify_line` — the same classifier ``stats()`` counts
+        with, so the two always agree — plus *superseded* (an older
+        record for a fingerprint that appears again later) and an index
+        freshness check.  ``ok`` means no corrupt lines and a fresh
+        index; skipped (foreign) lines are surfaced but are not
+        damage.
         """
         lines = 0
         corrupt = 0
+        skipped = 0
         legacy = 0
         last_for: Dict[str, int] = {}
         if os.path.exists(self.results_path):
-            with open(self.results_path, "r", encoding="utf-8") as fh:
+            with open(self.results_path, "r", encoding="utf-8",
+                      errors="replace") as fh:
                 for line in fh:
                     raw = line.strip()
                     if not raw:
@@ -236,25 +388,24 @@ class ResultCache:
                     except ValueError:
                         corrupt += 1
                         continue
-                    if (not isinstance(record, dict)
-                            or record.get("schema") != CACHE_SCHEMA
-                            or not isinstance(record.get("fingerprint"),
-                                              str)):
+                    kind = classify_line(record)
+                    if kind is CORRUPT:
                         corrupt += 1
                         continue
-                    if "crc" in record:
-                        if not verify_entry(record):
-                            corrupt += 1
-                            continue
-                    else:
+                    if kind is SKIPPED:
+                        skipped += 1
+                        continue
+                    if kind is LEGACY:
                         legacy += 1
                     last_for[record["fingerprint"]] = lines
         index_fresh = self._index_fresh()
         return {
+            "backend": "jsonl",
             "records": len(last_for),
             "lines": lines,
-            "superseded_lines": lines - corrupt - len(last_for),
+            "superseded_lines": lines - corrupt - skipped - len(last_for),
             "corrupt_lines": corrupt,
+            "skipped_lines": skipped,
             "legacy_lines": legacy,
             "index_fresh": index_fresh,
             "ok": corrupt == 0 and index_fresh,
@@ -263,38 +414,82 @@ class ResultCache:
     def compact(self) -> Dict[str, int]:
         """Rewrite the journal to one live record per fingerprint.
 
-        The replacement is built in a temp file, fsynced, and swapped
-        in with an atomic ``os.replace`` — a crash at any point leaves
-        either the old journal or the new one, never a mix.  Records
-        are re-checksummed, so compaction also upgrades legacy lines.
+        Runs under the writer lock: the view is first re-synced from
+        disk (so another writer's acknowledged appends are never
+        dropped), then the replacement is built in a uniquely named
+        temp file, fsynced, and swapped in with an atomic
+        ``os.replace`` — a crash at any point leaves either the old
+        journal or the new one, never a mix.  Records are
+        re-checksummed, so compaction also upgrades legacy lines.
         Returns the line counts before and after.
         """
+        self._acquire_writer()
+        self._close_fh()
+        self._reload()
         before = 0
         if os.path.exists(self.results_path):
-            with open(self.results_path, "r", encoding="utf-8") as fh:
+            with open(self.results_path, "r", encoding="utf-8",
+                      errors="replace") as fh:
                 before = sum(1 for line in fh if line.strip())
-        self.close()
-        tmp = self.results_path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            for fingerprint in sorted(self._records):
-                record = dict(self._records[fingerprint])
-                append_entry(fh, record, durable=False)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self.results_path)
+        fd, tmp = tempfile.mkstemp(prefix=_RESULTS_NAME + ".",
+                                   suffix=".tmp", dir=self.directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                for fingerprint in sorted(self._records):
+                    record = dict(self._records[fingerprint])
+                    append_entry(fh, record, durable=False)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.results_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._loaded_bytes = os.path.getsize(self.results_path)
         self._skipped_lines = 0
+        self._corrupt_lines = 0
         self._legacy_lines = 0
         self.flush()
         return {"before_lines": before, "after_lines": len(self._records)}
 
+    def fsck(self) -> Dict[str, Any]:
+        """Repair the journal in place; never serves a wrong verdict.
+
+        Audits first (:meth:`verify`), then compacts: corrupt lines
+        and foreign (skipped) lines are dropped, superseded records
+        collapse to the newest, legacy records gain checksums, and the
+        index snapshot is rebuilt.  Returns the audit counts plus what
+        the rewrite dropped.  Like every mutation this takes the writer
+        lock and fails loudly when another writer holds it.
+        """
+        audit = self.verify()
+        outcome = self.compact()
+        return {
+            "backend": "jsonl",
+            "before_lines": outcome["before_lines"],
+            "after_lines": outcome["after_lines"],
+            "dropped_corrupt": audit["corrupt_lines"],
+            "dropped_skipped": audit["skipped_lines"],
+            "dropped_superseded": audit["superseded_lines"],
+            "repaired": audit["corrupt_lines"] + audit["skipped_lines"],
+            "quarantined": None,
+            "ok": True,
+        }
+
     def stats(self) -> Dict[str, int]:
         """Hit/miss/store accounting since this cache was opened."""
         return {
+            "backend": "jsonl",
             "hits": self.hits,
             "misses": self.misses,
             "stored": self.stored,
             "records": len(self._records),
+            "results_bytes": (os.path.getsize(self.results_path)
+                              if os.path.exists(self.results_path) else 0),
             "skipped_lines": self._skipped_lines,
+            "corrupt_lines": self._corrupt_lines,
             "legacy_lines": self._legacy_lines,
         }
 

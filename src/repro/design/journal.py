@@ -55,20 +55,76 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+try:  # POSIX advisory locks; degrade to no-op where absent
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - non-POSIX host
+    _fcntl = None
+
 __all__ = [
     "JOURNAL_SCHEMA",
+    "FileLockedError",
     "JournalState",
     "RunJournal",
     "append_entry",
     "entry_crc",
     "list_runs",
     "read_entries",
+    "try_lock",
+    "unlock",
     "verify_entry",
 ]
 
 JOURNAL_SCHEMA = "repro.design-run/1"
 
 _JOURNAL_NAME = "journal.jsonl"
+
+
+# -- advisory file locking -------------------------------------------------
+
+class FileLockedError(RuntimeError):
+    """Another process already holds an exclusive advisory lock.
+
+    Raised *instead of* corrupting a single-writer file: the JSONL
+    cache journal and the per-run journal both take an ``flock`` before
+    their first append, so a second concurrent writer fails loudly and
+    immediately rather than tearing records or losing acknowledged
+    writes through a compaction window.
+    """
+
+    def __init__(self, path: str, what: str) -> None:
+        super().__init__(
+            f"{what} is locked by another writer: {path!r} (retry after "
+            "the holder closes, or use the sqlite cache backend for "
+            "concurrent multi-process access)")
+        self.path = path
+
+
+def try_lock(fd: int) -> bool:
+    """Try the exclusive, non-blocking advisory lock on ``fd``.
+
+    Returns True when the lock was taken (always, on platforms without
+    :mod:`fcntl` — locking degrades to a no-op there).  The lock is
+    released by :func:`unlock` or automatically when every descriptor
+    of the open file description closes (including on process death,
+    which is what makes a crashed writer's lock disappear).
+    """
+    if _fcntl is None:  # pragma: no cover - non-POSIX host
+        return True
+    try:
+        _fcntl.flock(fd, _fcntl.LOCK_EX | _fcntl.LOCK_NB)
+    except OSError:
+        return False
+    return True
+
+
+def unlock(fd: int) -> None:
+    """Release an advisory lock taken by :func:`try_lock`."""
+    if _fcntl is None:  # pragma: no cover - non-POSIX host
+        return
+    try:
+        _fcntl.flock(fd, _fcntl.LOCK_UN)
+    except OSError:  # pragma: no cover - already closed
+        pass
 
 
 # -- checksummed line format ----------------------------------------------
@@ -147,7 +203,10 @@ class RunJournal:
 
     Opening an existing run directory appends (that is how resume
     continues a journal); a fresh ``run_id`` is minted when none is
-    given.
+    given.  The journal file is advisory-locked for the writer's
+    lifetime, so two explorations resuming the same run id concurrently
+    fail loudly (:class:`FileLockedError`) instead of interleaving
+    lifecycle records.
     """
 
     def __init__(self, directory: str, run_id: Optional[str] = None, *,
@@ -158,6 +217,9 @@ class RunJournal:
         self.path = os.path.join(self.directory, _JOURNAL_NAME)
         self.durable = durable
         self._fh = open(self.path, "a", encoding="utf-8")
+        if not try_lock(self._fh.fileno()):
+            self._fh.close()
+            raise FileLockedError(self.path, f"run journal {self.run_id!r}")
 
     def record(self, event: str, **fields: Any) -> None:
         """Append one checksummed lifecycle record."""
@@ -167,13 +229,19 @@ class RunJournal:
 
     def close(self) -> None:
         if not self._fh.closed:
-            self._fh.close()
+            self._fh.close()  # closing the fd releases the flock
 
     def __enter__(self) -> "RunJournal":
         return self
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+    def __del__(self) -> None:  # backstop; close() is the contract
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
 
     @classmethod
     def load(cls, directory: str, run_id: str) -> JournalState:

@@ -101,7 +101,7 @@ from ..obs.events import (
 from ..obs.report import _stats_payload
 from ..obs.reporters import CollectingReporter, Reporter, ScenarioScope
 from . import failpoints
-from .cache import ResultCache
+from .backend import CacheBackend
 from .fingerprint import fingerprint_job
 from .journal import RunJournal
 from .rank import ExplorationReport, rank_records
@@ -377,7 +377,7 @@ def explore(
     ltl_props: Optional[Mapping[str, Prop]] = None,
     faults: Sequence[Union[Fault, FaultScenario]] = (),
     library: Optional[ModelLibrary] = None,
-    cache: Optional[ResultCache] = None,
+    cache: Optional[CacheBackend] = None,
     jobs: int = 1,
     max_states: Optional[int] = None,
     max_seconds: Optional[float] = None,
@@ -402,8 +402,12 @@ def explore(
 
     ``policy=FIRST_PASS`` stops after the first PASS in submission
     order; variants that never ran are reported as ``SKIPPED``.  Fresh
-    verdicts are written back to ``cache`` and journaled as they
-    finalize, and the cache index is flushed before returning.
+    verdicts are written back to ``cache`` (any
+    :class:`~repro.design.backend.CacheBackend` — the JSONL journal or
+    the concurrent SQLite store from
+    :func:`~repro.design.backend.open_cache`) and journaled as they
+    finalize; the cache is flushed and closed before returning (both
+    backends transparently reopen if used again).
 
     Fault tolerance knobs: ``retry`` (a
     :class:`~repro.design.supervise.RetryPolicy`; default one retry
@@ -601,6 +605,11 @@ def explore(
     )
     if cache is not None:
         cache.flush()
+        # Release the append handle / writer lock / connection eagerly;
+        # both backends transparently reopen if the caller keeps using
+        # the instance.  Long-lived processes stop leaking handles and
+        # (JSONL) stop holding the directory's exclusive writer lock.
+        cache.close()
     if reporter is not None:
         reporter.emit(exploration_finished(
             space.name, best=(report.best["variant"] if report.best else None),

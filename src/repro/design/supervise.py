@@ -81,6 +81,11 @@ class RetryPolicy:
     retries spread out, yet two runs of the same job back off
     identically.  Timeouts are not retried by default: a job that blew
     its wall-clock budget once will almost surely blow it again.
+
+    The policy is cause-agnostic: besides the worker-supervision causes
+    here, :mod:`repro.design.sqlcache` reuses it (with its own
+    ``CAUSE_DB_LOCKED``) to pace retries on SQLite writer contention,
+    so every retry loop in the runtime backs off with one discipline.
     """
 
     max_retries: int = 1

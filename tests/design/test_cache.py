@@ -1,11 +1,14 @@
-"""The persistent content-addressed result cache."""
+"""The persistent content-addressed result cache (JSONL backend)."""
 
 import json
 
-from repro.design import CACHE_SCHEMA, ResultCache
+import pytest
+
+from repro.design import CACHE_SCHEMA, CacheLockedError, ResultCache
 
 FP_A = "a" * 64
 FP_B = "b" * 64
+FP_C = "c" * 64
 
 
 class TestRoundTrip:
@@ -63,7 +66,39 @@ class TestResilienceToDamage:
         assert len(reopened) == 1  # only the well-formed record survives
         assert reopened.get(FP_A)["verdict"] == "PASS"
         assert reopened.get(FP_B) is None
-        assert reopened.stats()["skipped_lines"] == 3
+        stats = reopened.stats()
+        # Unparseable line = corrupt (damage); well-formed-but-foreign
+        # lines (other schema, no fingerprint) = skipped.
+        assert stats["corrupt_lines"] == 1
+        assert stats["skipped_lines"] == 2
+
+    def test_stats_and_verify_classify_lines_identically(self, tmp_path):
+        # One of each line class: live, superseded, legacy, foreign
+        # schema, no fingerprint, unparseable, failed checksum.
+        cache = ResultCache(tmp_path)
+        cache.put(FP_A, {"verdict": "UNKNOWN"})
+        cache.put(FP_A, {"verdict": "PASS"})
+        with open(tmp_path / "results.jsonl", "a") as fh:
+            fh.write(json.dumps({"schema": CACHE_SCHEMA,
+                                 "fingerprint": FP_B,
+                                 "verdict": "PASS"}) + "\n")  # legacy
+            fh.write(json.dumps({"schema": "other/1",
+                                 "fingerprint": FP_B}) + "\n")
+            fh.write(json.dumps({"schema": CACHE_SCHEMA}) + "\n")
+            fh.write("{not json\n")
+            fh.write(json.dumps({"schema": CACHE_SCHEMA,
+                                 "fingerprint": FP_B, "crc": 1,
+                                 "verdict": "FAIL"}) + "\n")  # bad crc
+        reopened = ResultCache(tmp_path)
+        stats = reopened.stats()
+        audit = reopened.verify()
+        for key in ("corrupt_lines", "skipped_lines", "legacy_lines"):
+            assert stats[key] == audit[key], key
+        assert audit["corrupt_lines"] == 2
+        assert audit["skipped_lines"] == 2
+        assert audit["legacy_lines"] == 1
+        assert audit["superseded_lines"] == 1
+        assert audit["records"] == len(reopened) == 2
 
     def test_missing_directory_is_created(self, tmp_path):
         nested = tmp_path / "deep" / "cache"
@@ -119,8 +154,9 @@ class TestVerifyAndCompact:
         cache.put(FP_A, {"verdict": "PASS"})
         cache.flush()
         audit = cache.verify()
-        assert audit == {"records": 1, "lines": 1, "superseded_lines": 0,
-                         "corrupt_lines": 0, "legacy_lines": 0,
+        assert audit == {"backend": "jsonl", "records": 1, "lines": 1,
+                         "superseded_lines": 0, "corrupt_lines": 0,
+                         "skipped_lines": 0, "legacy_lines": 0,
                          "index_fresh": True, "ok": True}
 
     def test_compact_drops_superseded_and_upgrades_legacy(self, tmp_path):
@@ -145,4 +181,86 @@ class TestIndex:
         index = json.loads((tmp_path / "index.json").read_text())
         assert index["schema"] == CACHE_SCHEMA
         assert index["records"] == 2
+        assert index["results_bytes"] > 0
         assert index["fingerprints"] == sorted([FP_A, FP_B])
+
+    def test_flush_uses_unique_temp_names(self, tmp_path):
+        # Regression: the fixed "index.json.tmp" path let two processes
+        # interleave write/replace and publish a torn snapshot.  A
+        # squatter at the old path must survive a flush untouched.
+        sentinel = tmp_path / "index.json.tmp"
+        sentinel.write_text("squatter")
+        cache = ResultCache(tmp_path)
+        cache.put(FP_A, {"verdict": "PASS"})
+        cache.flush()
+        assert sentinel.read_text() == "squatter"
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["fingerprints"] == [FP_A]
+        # and no temp litter is left behind
+        stray = [p.name for p in tmp_path.iterdir()
+                 if p.name.startswith("index.json.") and p != sentinel
+                 and p.name != "index.json"]
+        assert stray == []
+
+
+class TestWriterLock:
+    def test_second_concurrent_writer_fails_loudly(self, tmp_path):
+        first = ResultCache(tmp_path)
+        first.put(FP_A, {"verdict": "PASS"})
+        second = ResultCache(tmp_path)
+        assert second.get(FP_A)["verdict"] == "PASS"  # reads never lock
+        with pytest.raises(CacheLockedError):
+            second.put(FP_B, {"verdict": "FAIL"})
+        with pytest.raises(CacheLockedError):
+            second.compact()
+        first.close()
+
+    def test_close_releases_the_lock(self, tmp_path):
+        first = ResultCache(tmp_path)
+        first.put(FP_A, {"verdict": "PASS"})
+        first.close()
+        second = ResultCache(tmp_path)
+        second.put(FP_B, {"verdict": "FAIL"})  # lock is free again
+        second.close()
+        assert len(ResultCache(tmp_path)) == 2
+
+    def test_context_manager_closes(self, tmp_path):
+        with ResultCache(tmp_path) as cache:
+            cache.put(FP_A, {"verdict": "PASS"})
+        with ResultCache(tmp_path) as cache:  # would raise if still held
+            cache.put(FP_B, {"verdict": "FAIL"})
+
+    def test_relock_resyncs_from_disk(self, tmp_path):
+        # Regression for the lost-acknowledged-write window: writer A
+        # appends and closes; writer B (opened *before* that append)
+        # compacts.  B must first re-read the journal under the lock, or
+        # A's acknowledged record vanishes through the os.replace.
+        b = ResultCache(tmp_path)
+        with ResultCache(tmp_path) as a:
+            a.put(FP_A, {"verdict": "PASS"})
+        b.compact()
+        b.close()
+        assert ResultCache(tmp_path).get(FP_A)["verdict"] == "PASS"
+
+
+class TestFsck:
+    def test_fsck_drops_damage_and_rewrites(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP_A, {"verdict": "UNKNOWN"})
+        cache.put(FP_A, {"verdict": "PASS"})
+        with open(tmp_path / "results.jsonl", "a") as fh:
+            fh.write("{torn\n")
+            fh.write(json.dumps({"schema": "other/1"}) + "\n")
+        cache.close()
+        fixer = ResultCache(tmp_path)
+        outcome = fixer.fsck()
+        fixer.close()
+        assert outcome["backend"] == "jsonl"
+        assert outcome["dropped_corrupt"] == 1
+        assert outcome["dropped_skipped"] == 1
+        assert outcome["dropped_superseded"] == 1
+        assert outcome["after_lines"] == 1
+        clean = ResultCache(tmp_path)
+        assert clean.get(FP_A)["verdict"] == "PASS"
+        audit = clean.verify()
+        assert audit["ok"] and audit["corrupt_lines"] == 0

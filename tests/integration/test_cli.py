@@ -204,7 +204,8 @@ class TestExploreCommand:
                                           monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "from_env"))
         assert main(["explore", "pc", "--messages", "1"]) == 0
-        assert (tmp_path / "from_env" / "results.jsonl").exists()
+        # Fresh directories default to the sqlite backend.
+        assert (tmp_path / "from_env" / "cache.sqlite").exists()
 
     def test_first_pass_stops_early(self, tmp_path, capsys):
         assert main(self._explore_pc(tmp_path, "--first-pass")) == 0
@@ -275,11 +276,11 @@ class TestExitCodeContract:
 
 
 class TestCacheCommand:
-    def _populate(self, tmp_path):
+    def _populate(self, tmp_path, *extra):
         cache_dir = tmp_path / "cache"
         assert main(["explore", "pc", "--messages", "1",
                      "--cache-dir", str(cache_dir),
-                     "--run-id", "r1"]) == 0
+                     "--run-id", "r1", *extra]) == 0
         return cache_dir
 
     def test_info_lists_records_and_runs(self, tmp_path, capsys):
@@ -297,11 +298,11 @@ class TestCacheCommand:
         capsys.readouterr()
         assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0
         out = capsys.readouterr().out
-        assert "corrupt lines: 0" in out
+        assert "corrupt records: 0" in out
         assert out.rstrip().endswith("ok")
 
-    def test_verify_damaged_cache_exits_3(self, tmp_path, capsys):
-        cache_dir = self._populate(tmp_path)
+    def test_verify_damaged_jsonl_cache_exits_3(self, tmp_path, capsys):
+        cache_dir = self._populate(tmp_path, "--backend", "jsonl")
         journal = cache_dir / "results.jsonl"
         damaged = journal.read_text().splitlines()
         damaged[0] = damaged[0].replace('"verdict"', '"verdikt"', 1)
@@ -309,6 +310,20 @@ class TestCacheCommand:
         capsys.readouterr()
         assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 3
         assert "NOT OK" in capsys.readouterr().out
+
+    def test_verify_damaged_sqlite_cache_exits_3(self, tmp_path, capsys):
+        import sqlite3
+
+        cache_dir = self._populate(tmp_path)
+        conn = sqlite3.connect(cache_dir / "cache.sqlite")
+        conn.execute("UPDATE records SET record = '{torn' WHERE rowid = 1")
+        conn.commit()
+        conn.close()
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 3
+        out = capsys.readouterr().out
+        assert "corrupt records: 1" in out
+        assert "NOT OK" in out
 
     def test_compact_rewrites_journal(self, tmp_path, capsys):
         cache_dir = self._populate(tmp_path)
