@@ -22,9 +22,8 @@ from pathlib import Path
 
 from conftest import record
 
-from repro.core import ModelLibrary, verify_resilience
 from repro.mc import StateGraph, check_safety, count_states, find_state, global_prop
-from repro.systems.abp import abp_delivery_prop, abp_fault_scenarios, build_abp
+from repro.systems.abp import abp_delivery_prop, build_abp
 from repro.systems.gas_station import all_fueled_prop, build_gas_station
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -105,6 +104,10 @@ def test_multi_property_reuse(benchmark):
 
     speedup = fresh_seconds / shared_seconds
     stats = shared_results[4]
+    # Per-phase honesty: compilation is front-loaded into the first
+    # graph build, exploration is the remainder of the shared session.
+    compile_seconds = stats.compile_seconds
+    explore_seconds = max(shared_seconds - compile_seconds, 0.0)
     record(benchmark, stats=stats, checks=len(checks),
            fresh_seconds=round(fresh_seconds, 3),
            shared_seconds=round(shared_seconds, 3),
@@ -117,6 +120,13 @@ def test_multi_property_reuse(benchmark):
         "fresh_seconds": round(fresh_seconds, 3),
         "shared_seconds": round(shared_seconds, 3),
         "speedup": round(speedup, 2),
+        "states_per_second": round(stats.states_stored / shared_seconds),
+        "phases": {
+            "compile_seconds": round(compile_seconds, 3),
+            "explore_seconds": round(explore_seconds, 3),
+            "programs_compiled": stats.programs_compiled,
+            "compile_cache_hits": stats.compile_cache_hits,
+        },
     })
     assert speedup >= 2.0, (
         f"shared graph gave only {speedup:.2f}x over fresh engines")
@@ -173,44 +183,67 @@ def test_scenario_safety_plus_goal_fusion(benchmark):
         f"graph sharing gave only {speedup:.2f}x for safety+goal")
 
 
-def test_parallel_resilience_sweep(benchmark):
-    """Serial vs ``jobs=2`` fault sweep, recorded for the trajectory.
+def test_parallel_shard_exploration(benchmark):
+    """Serial vs sharded (``jobs=2``) frontier exploration, honestly.
 
-    Wall-clock parallel speedup is machine-dependent (this container may
-    expose a single core, where the pool only adds process overhead), so
-    the numbers are recorded but only correctness is asserted; on a
-    multi-core runner the speedup approaches min(jobs, scenarios).
+    Parallel wall-clock only pays when there is more than one core to
+    run workers on.  On a single-CPU host the parallel leg is *skipped*
+    and the skip is recorded in BENCH_engine.json — an honest "not
+    measurable here" beats a recorded slowdown that the pool's process
+    overhead guarantees.  On a multi-core runner the speedup is recorded
+    and asserted to beat 1x.
     """
-    def _sweep(jobs):
-        return verify_resilience(
-            build_abp(messages=1, max_sends=2, receiver_polls=2),
-            faults=abp_fault_scenarios()[:2],
-            goal=abp_delivery_prop(messages=1),
-            check_deadlock=False,
-            library=ModelLibrary(),
-            max_states=30_000,
-            fused=True,
-            jobs=jobs,
-        )
+    from repro.mc import parallel_worthwhile, shard_explore
 
-    serial, serial_seconds = _timed(lambda: _sweep(1))
-    parallel, parallel_seconds = benchmark.pedantic(
-        lambda: _timed(lambda: _sweep(2)), rounds=1, iterations=1)
+    system = _gas_system()
 
-    assert [s.verdict for s in parallel] == [s.verdict for s in serial]
-    assert ([s.safety.stats.states_stored for s in parallel]
-            == [s.safety.stats.states_stored for s in serial])
+    def serial_explore():
+        graph = StateGraph(system)
+        graph.explore()
+        return graph
+
+    serial_graph, serial_seconds = benchmark.pedantic(
+        lambda: _timed(serial_explore), rounds=1, iterations=1)
+    payload = {
+        "system": "gas_station(customers=2, fused)",
+        "states": len(serial_graph.store),
+        "jobs_requested": 2,
+        "serial_seconds": round(serial_seconds, 3),
+    }
+
+    if not parallel_worthwhile():
+        payload["jobs_effective"] = 1
+        payload["parallel_seconds"] = None
+        payload["speedup"] = None
+        payload["note"] = (
+            f"parallel leg skipped: {os.cpu_count() or 1} CPU available, "
+            "worker pool is pure overhead (REPRO_FORCE_PARALLEL=1 forces it)")
+        record(benchmark, jobs=1, serial_seconds=round(serial_seconds, 3),
+               note=payload["note"])
+        _record_json("parallel_exploration", payload)
+        return
+
+    def sharded_explore():
+        graph = StateGraph(system)
+        report = shard_explore(graph, jobs=2)
+        return graph, report
+
+    (sharded_graph, report), parallel_seconds = _timed(sharded_explore)
+    assert len(sharded_graph.store) == len(serial_graph.store)
+    assert report.jobs == 2 and report.note is None
 
     speedup = serial_seconds / parallel_seconds
-    record(benchmark, scenarios=len(serial.scenarios), jobs=2,
+    payload.update({
+        "jobs_effective": report.jobs,
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(speedup, 2),
+        "waves": report.waves,
+    })
+    record(benchmark, jobs=report.jobs,
            serial_seconds=round(serial_seconds, 3),
            parallel_seconds=round(parallel_seconds, 3),
            speedup=round(speedup, 2))
-    _record_json("parallel_resilience", {
-        "system": "abp(messages=1, max_sends=2, receiver_polls=2, fused)",
-        "scenarios": len(serial.scenarios),
-        "jobs": 2,
-        "serial_seconds": round(serial_seconds, 3),
-        "parallel_seconds": round(parallel_seconds, 3),
-        "speedup": round(speedup, 2),
-    })
+    _record_json("parallel_exploration", payload)
+    assert speedup > 1.0, (
+        f"sharded exploration gave only {speedup:.2f}x with "
+        f"{report.jobs} workers on {os.cpu_count()} CPUs")

@@ -70,8 +70,16 @@ code  meaning
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Tuple
+
+
+def _add_jit_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--no-jit", action="store_true",
+                   help="force the tree-walk interpreter instead of the "
+                        "compiled hot path (debugging fallback; equivalent "
+                        "to REPRO_NO_JIT=1, verdicts are identical)")
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -121,6 +129,15 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     from repro.core import figure1_table
     print(figure1_table())
     return 0
+
+
+def _compile_line(stats) -> Optional[str]:
+    """One-line JIT accounting, or ``None`` on the tree-walk path."""
+    if stats.programs_compiled == 0 and stats.compile_cache_hits == 0:
+        return None
+    return (f"compile: {stats.programs_compiled} programs lowered, "
+            f"{stats.compile_cache_hits} served from cache, "
+            f"{stats.compile_seconds * 1000:.1f} ms")
 
 
 def _bridge_arch(args: argparse.Namespace):
@@ -174,6 +191,9 @@ def _cmd_bridge(args: argparse.Namespace) -> int:
         stats = report.result.stats
         print(f"throughput: {stats.states_per_second:,.0f} states/s, "
               f"peak frontier ≈ {stats.peak_frontier_bytes} bytes")
+        compile_line = _compile_line(stats)
+        if compile_line:
+            print(compile_line)
         if not report.ok and report.result.trace is not None:
             from repro.core import explain_trace
             print("\ncounterexample:")
@@ -220,6 +240,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             reporter=reporter,
         )
         print(report.summary())
+        compile_line = _compile_line(report.result.stats)
+        if compile_line:
+            print(compile_line)
         if args.report:
             system = arch.to_system(fused=fused)
             _write_verification_report(args, arch, system, report.result,
@@ -594,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="bridge: single-lane bridge (--variant picks "
                              "the design); abp: alternating-bit protocol")
     _add_design_flags(verify)
+    _add_jit_flag(verify)
     _add_obs_flags(verify)
 
     rep = sub.add_parser(
@@ -606,6 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bridge = sub.add_parser("bridge", help="verify a single-lane bridge design")
     _add_design_flags(bridge)
+    _add_jit_flag(bridge)
     _add_obs_flags(bridge)
 
     res = sub.add_parser(
@@ -620,7 +645,9 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument("--jobs", type=int, default=1,
                      help="verify scenarios in parallel over N worker "
                           "processes (default 1 = serial; falls back to "
-                          "serial when the design does not pickle)")
+                          "serial when the design does not pickle or "
+                          "only 1 CPU is available)")
+    _add_jit_flag(res)
     _add_obs_flags(res)
 
     exp = sub.add_parser(
@@ -679,6 +706,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--job-timeout", type=float, default=None,
                      help="per-job wall-clock timeout in seconds for "
                           "parallel workers (default: none)")
+    _add_jit_flag(exp)
     _add_obs_flags(exp)
 
     cache = sub.add_parser(
@@ -738,6 +766,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "graph": _cmd_graph,
     }
+    if getattr(args, "no_jit", False):
+        # The flag travels as the documented environment escape hatch so
+        # worker processes (resilience/explore pools) inherit it too.
+        os.environ["REPRO_NO_JIT"] = "1"
     try:
         return handlers[args.command](args)
     except KeyboardInterrupt:

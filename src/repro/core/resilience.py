@@ -29,6 +29,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -406,21 +407,36 @@ def verify_resilience(
             architecture.name, scenarios=len(scenarios), jobs=jobs))
 
     if jobs > 1 and len(scenarios) > 1:
-        reports = _sweep_parallel(
-            architecture, scenarios, invariants, goal, check_deadlock,
-            deadlock_is_fatal, max_states, max_seconds, fused, jobs,
-            reporter,
-        )
-        if reports is not None:
-            report.scenarios.extend(reports)
-            return finish_sweep()
-        # Unpicklable work or a broken pool: degrade to the serial
-        # sweep — audibly, so nobody mistakes it for a parallel run.
-        message = ("parallel fault sweep degraded to a serial run: the "
-                   "verification jobs do not pickle across the worker pool")
-        report.warnings.append(message)
-        if reporter is not None:
-            reporter.emit(warning("resilience", message=message))
+        from ..mc.shard import parallel_worthwhile
+        if not parallel_worthwhile():
+            # One CPU: a process pool is pure overhead (measured 0.87x
+            # on the 1-CPU bench machine).  Degrade audibly — the sweep
+            # stays correct, only the fan-out is skipped.
+            message = (
+                "parallel fault sweep degraded to a serial run: only "
+                f"{os.cpu_count() or 1} CPU is available, so a worker "
+                "pool is pure overhead (set REPRO_FORCE_PARALLEL=1 to "
+                "override)")
+            report.warnings.append(message)
+            if reporter is not None:
+                reporter.emit(warning("resilience", message=message))
+        else:
+            reports = _sweep_parallel(
+                architecture, scenarios, invariants, goal, check_deadlock,
+                deadlock_is_fatal, max_states, max_seconds, fused, jobs,
+                reporter,
+            )
+            if reports is not None:
+                report.scenarios.extend(reports)
+                return finish_sweep()
+            # Unpicklable work or a broken pool: degrade to the serial
+            # sweep — audibly, so nobody mistakes it for a parallel run.
+            message = ("parallel fault sweep degraded to a serial run: the "
+                       "verification jobs do not pickle across the worker "
+                       "pool")
+            report.warnings.append(message)
+            if reporter is not None:
+                reporter.emit(warning("resilience", message=message))
 
     total = len(scenarios)
     for index, scenario in enumerate(scenarios):

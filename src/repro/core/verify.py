@@ -80,6 +80,7 @@ def verify_safety(
     engine: Optional[StateGraph] = None,
     keep_engine: bool = False,
     reporter: Optional[Reporter] = None,
+    jit: Optional[bool] = None,
 ) -> VerificationReport:
     """Check assertions, invariants, and deadlock-freedom of a design.
 
@@ -94,6 +95,10 @@ def verify_safety(
     entirely — the architecture is then only used for naming);
     ``keep_engine=True`` returns the graph used on the report so
     follow-up checks reuse the explored space.
+
+    ``jit`` overrides the execution backend: ``False`` forces the
+    tree-walk interpreter (the debugging fallback, same verdicts),
+    ``True`` forces compilation, ``None`` defers to ``REPRO_NO_JIT``.
     """
     library = library if library is not None else ModelLibrary()
     hits0, misses0 = library.stats.hits, library.stats.misses
@@ -101,7 +106,7 @@ def verify_safety(
         t0 = time.perf_counter()
         system = architecture.to_system(library, fused=fused)
         elab = time.perf_counter() - t0
-        engine = StateGraph(system)
+        engine = StateGraph(system, jit=jit)
     else:
         elab = 0.0
     if use_por:

@@ -89,7 +89,7 @@ class TransitionCache:
     shared :class:`StateStore`.
     """
 
-    __slots__ = ("interp", "store", "_succ", "misses")
+    __slots__ = ("interp", "store", "_succ", "_drive", "misses")
 
     def __init__(self, interp: Interpreter, store: StateStore) -> None:
         self.interp = interp
@@ -97,15 +97,24 @@ class TransitionCache:
         self._succ: Dict[int, Tuple[CachedTransition, ...]] = {}
         #: Number of distinct states actually expanded by the interpreter.
         self.misses = 0
+        # A compiled interpreter provides a fused driver that interns
+        # targets and emits CachedTransition directly, skipping the
+        # wrap-and-intern second pass below.
+        bind_engine = getattr(interp, "bind_engine", None)
+        self._drive = None if bind_engine is None else bind_engine(store)
 
     def transitions(self, sid: int) -> Tuple[CachedTransition, ...]:
         cached = self._succ.get(sid)
         if cached is None:
-            intern = self.store.intern
-            cached = tuple(
-                CachedTransition(t.label, intern(t.target), t.violation)
-                for t in self.interp.transitions(self.store.state(sid))
-            )
+            if self._drive is not None:
+                cached = tuple(self._drive(self.store.state(sid)))
+            else:
+                intern = self.store.intern
+                cached = tuple([
+                    CachedTransition(label, intern(target), violation)
+                    for label, target, violation
+                    in self.interp.transitions(self.store.state(sid))
+                ])
             self._succ[sid] = cached
             self.misses += 1
         return cached
@@ -131,10 +140,13 @@ class StateGraph:
 
     __slots__ = ("interp", "store", "cache", "initial_id")
 
-    def __init__(self, target: Union[System, Interpreter]) -> None:
-        self.interp = (
-            target if isinstance(target, Interpreter) else Interpreter(target)
-        )
+    def __init__(self, target: Union[System, Interpreter],
+                 jit: Optional[bool] = None) -> None:
+        if isinstance(target, Interpreter):
+            self.interp = target
+        else:
+            from ..psl.jit import make_interpreter
+            self.interp = make_interpreter(target, jit=jit)
         self.store = StateStore()
         self.cache = TransitionCache(self.interp, self.store)
         self.initial_id = self.store.intern(self.interp.initial_state())
@@ -163,6 +175,11 @@ class StateGraph:
     # -- introspection ------------------------------------------------------
 
     @property
+    def compile_stats(self) -> Optional[Dict[str, float]]:
+        """JIT compilation counters, or ``None`` on the tree-walk path."""
+        return getattr(self.interp, "compile_stats", None)
+
+    @property
     def n_states_seen(self) -> int:
         """Distinct states interned so far (explored plus frontier)."""
         return len(self.store)
@@ -173,14 +190,22 @@ class StateGraph:
         return len(self.cache)
 
     def explore(self, max_states: Optional[int] = None,
-                reporter=None) -> int:
+                reporter=None, jobs: Optional[int] = None) -> int:
         """Eagerly expand the whole reachable graph (pre-warming helper).
 
         Returns the number of distinct states interned.  ``max_states``
         caps the expansion; the graph stays usable (and lazily
         completable) either way.  ``reporter`` receives engine events
-        for the warm-up sweep (see :mod:`repro.obs`).
+        for the warm-up sweep (see :mod:`repro.obs`).  ``jobs > 1``
+        shards the BFS frontier across worker processes (see
+        :mod:`repro.mc.shard`); the sharded path degrades to this
+        serial walk — with a note on the returned report, which this
+        convenience wrapper discards — when parallelism cannot pay.
         """
+        if jobs is not None and jobs > 1:
+            from .shard import shard_explore
+            return shard_explore(self, jobs=jobs, max_states=max_states,
+                                 reporter=reporter).states
         obs = None
         if reporter is not None:
             from ..obs.events import RunInstrument
@@ -197,6 +222,7 @@ class StateGraph:
                 stats = Statistics(states_stored=len(self.store),
                                    states_expanded=expanded,
                                    transitions=ntrans)
+                stats.apply_compile_stats(self.compile_stats)
                 stats.elapsed_seconds = obs.elapsed()
                 obs.finish(ok=True, stats=stats)
             return len(self.store)

@@ -77,6 +77,13 @@ class Statistics:
     #: Set when the run stopped on an exhausted exploration budget.
     incomplete: bool = False
     budget_exhausted: Optional[str] = None
+    #: JIT compilation accounting for the interpreter behind this run:
+    #: process programs lowered to bytecode (cache misses), programs
+    #: served from the digest-keyed cache, and total codegen + bind +
+    #: link time.  All zero on the tree-walk path (``REPRO_NO_JIT``).
+    programs_compiled: int = 0
+    compile_cache_hits: int = 0
+    compile_seconds: float = 0.0
 
     @property
     def states_per_second(self) -> float:
@@ -96,7 +103,19 @@ class Statistics:
                                     other.peak_frontier_bytes),
             incomplete=self.incomplete or other.incomplete,
             budget_exhausted=self.budget_exhausted or other.budget_exhausted,
+            programs_compiled=self.programs_compiled + other.programs_compiled,
+            compile_cache_hits=(self.compile_cache_hits
+                                + other.compile_cache_hits),
+            compile_seconds=self.compile_seconds + other.compile_seconds,
         )
+
+    def apply_compile_stats(self, compile_stats) -> None:
+        """Copy an interpreter's compile counters onto this run's stats."""
+        if not compile_stats:
+            return
+        self.programs_compiled = compile_stats.get("programs_compiled", 0)
+        self.compile_cache_hits = compile_stats.get("digest_hits", 0)
+        self.compile_seconds = compile_stats.get("compile_seconds", 0.0)
 
 
 #: Violation kinds reported by the checkers.

@@ -21,6 +21,7 @@ within 3% of the uninstrumented engine.
 from .events import (
     EVENT_BUDGET_EXHAUSTED,
     EVENT_CHECKPOINT,
+    EVENT_COMPILE,
     EVENT_COUNTEREXAMPLE,
     EVENT_JOB_FAILED,
     EVENT_JOB_RETRY,
@@ -51,6 +52,7 @@ from .reporters import (
 __all__ = [
     "EVENT_BUDGET_EXHAUSTED",
     "EVENT_CHECKPOINT",
+    "EVENT_COMPILE",
     "EVENT_COUNTEREXAMPLE",
     "EVENT_JOB_FAILED",
     "EVENT_JOB_RETRY",

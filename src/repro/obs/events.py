@@ -50,6 +50,7 @@ __all__ = [
     "EngineEvent",
     "RunInstrument",
     "EVENT_RUN_STARTED",
+    "EVENT_COMPILE",
     "EVENT_PROGRESS",
     "EVENT_PHASE",
     "EVENT_COUNTEREXAMPLE",
@@ -71,6 +72,7 @@ __all__ = [
     "PHASE_WARM",
     "budget_exhausted",
     "checkpoint",
+    "compile_phase",
     "counterexample",
     "exploration_finished",
     "exploration_started",
@@ -91,6 +93,7 @@ __all__ = [
 
 #: Event taxonomy (see docs/observability.md).
 EVENT_RUN_STARTED = "run_started"
+EVENT_COMPILE = "compile"
 EVENT_PROGRESS = "progress"
 EVENT_PHASE = "phase"
 EVENT_COUNTEREXAMPLE = "counterexample"
@@ -159,6 +162,22 @@ def run_started(checker: str, *, system: str = "", processes: int = 0,
         "cache": cache,
         "max_states": max_states,
         "max_seconds": max_seconds,
+    })
+
+
+def compile_phase(checker: str, *, programs_compiled: int,
+                  compile_cache_hits: int,
+                  compile_seconds: float) -> EngineEvent:
+    """The run's interpreter was JIT-compiled (or served from cache).
+
+    Emitted once per compiled interpreter, by the first instrumented
+    run that uses it, right after ``run_started`` — so reports show the
+    compile phase where its time was actually spent.
+    """
+    return EngineEvent(EVENT_COMPILE, checker, data={
+        "programs_compiled": programs_compiled,
+        "compile_cache_hits": compile_cache_hits,
+        "compile_seconds": round(compile_seconds, 6),
     })
 
 
@@ -353,6 +372,19 @@ class RunInstrument:
             max_states=max_states,
             max_seconds=max_seconds,
         ))
+        # One-shot compile event: the first instrumented run on a
+        # compiled interpreter reports its codegen bill, so a report's
+        # timeline shows compilation exactly once, where it happened.
+        compile_stats = graph.compile_stats
+        if compile_stats and not getattr(graph.interp,
+                                         "_compile_reported", False):
+            graph.interp._compile_reported = True
+            reporter.emit(compile_phase(
+                checker,
+                programs_compiled=compile_stats.get("programs_compiled", 0),
+                compile_cache_hits=compile_stats.get("digest_hits", 0),
+                compile_seconds=compile_stats.get("compile_seconds", 0.0),
+            ))
 
     def elapsed(self) -> float:
         return time.perf_counter() - self.started_at

@@ -66,6 +66,9 @@ def _stats_payload(stats: "Statistics") -> Dict[str, Any]:
         "states_per_second": round(stats.states_per_second, 1),
         "incomplete": stats.incomplete,
         "budget_exhausted": stats.budget_exhausted,
+        "programs_compiled": stats.programs_compiled,
+        "compile_cache_hits": stats.compile_cache_hits,
+        "compile_seconds": round(stats.compile_seconds, 6),
     }
 
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from .channels import Channel
 from .compiler import (
@@ -88,9 +88,12 @@ def _fmt_msg(msg: Optional[Message]) -> str:
     return "<" + ", ".join(str(v) for v in msg) + ">"
 
 
-@dataclass(frozen=True)
-class Transition:
-    """A labeled step from an implicit source state to ``target``."""
+class Transition(NamedTuple):
+    """A labeled step from an implicit source state to ``target``.
+
+    A ``NamedTuple`` rather than a dataclass: transitions are built once
+    per (state, edge) during exploration, so cheap construction matters.
+    """
 
     label: TransitionLabel
     target: State

@@ -191,6 +191,12 @@ def test_por_matches_fresh_runs(build, invariants, check_deadlock):
 
 
 class TestParallelResilience:
+    @pytest.fixture(autouse=True)
+    def _force_parallel(self, monkeypatch):
+        # The pool is CPU-gated (1 CPU => serial fallback); these tests
+        # pin pool behavior itself, so they must run it even on 1-CPU CI.
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+
     """jobs=N must reproduce the serial sweep verdict-for-verdict."""
 
     def _sweep(self, jobs):
@@ -258,6 +264,15 @@ class TestParallelResilience:
         assert report.ok
         assert report.scenario("baseline").verdict == "robust"
         assert any("degraded to a serial run" in w for w in report.warnings)
+
+    def test_single_cpu_degrades_to_serial_with_warning(self, monkeypatch):
+        import repro.core.resilience as resilience_mod
+        monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+        monkeypatch.setattr(resilience_mod.os, "cpu_count", lambda: 1)
+        report = self._sweep(jobs=2)
+        assert report.ok
+        assert report.scenario("baseline").verdict == "robust"
+        assert any("only 1 CPU" in w for w in report.warnings)
 
 
 class TestExplorationEncodingEquivalence:

@@ -1,0 +1,115 @@
+"""Sharded exploration: serial ≡ sharded graphs, honest degradation."""
+
+import pytest
+
+import repro.mc.shard as shard_mod
+from repro.mc import StateGraph, check_safety, shard_explore
+from repro.systems.bridge import (
+    bridge_safety_prop,
+    build_exactly_n_bridge,
+    fix_exactly_n_bridge,
+)
+from repro.systems.gas_station import build_gas_station
+
+
+def _bridge_system():
+    return fix_exactly_n_bridge(build_exactly_n_bridge()).to_system(
+        fused=True)
+
+
+def _gas_system():
+    # Rendezvous-heavy: exercises handshake labels across the pickle
+    # boundary.
+    return build_gas_station(customers=2,
+                             selective_delivery=True).to_system(fused=True)
+
+
+class TestShardedEquivalence:
+    @pytest.fixture(autouse=True)
+    def _force_parallel(self, monkeypatch):
+        # The sharded path is CPU-gated; these tests pin the pool
+        # itself, so they must run it even on 1-CPU CI runners.
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+
+    @pytest.mark.parametrize("build", [_bridge_system, _gas_system])
+    def test_sharded_graph_is_identical_to_serial(self, build):
+        system = build()
+        serial = StateGraph(system)
+        serial.explore()
+        sharded = StateGraph(system)
+        report = shard_explore(sharded, jobs=2)
+        assert report.jobs == 2
+        assert report.note is None
+        assert report.states == len(serial.store)
+        assert len(sharded.cache) == len(serial.cache)
+        # Same successor structure state-by-state (ids may be assigned
+        # in a different order; the *graphs* must be isomorphic under
+        # the identity map on state tuples).
+        for sid in range(len(serial.store)):
+            state = serial.store.state(sid)
+            other = sharded.store.id_of(state)
+            assert other is not None
+            mine = [(t.label, serial.store.state(t.target), t.violation)
+                    for t in serial.transitions(sid)]
+            theirs = [(t.label, sharded.store.state(t.target), t.violation)
+                      for t in sharded.transitions(other)]
+            assert mine == theirs
+
+    def test_checkers_on_sharded_graph_match(self):
+        system = _bridge_system()
+        fresh = check_safety(StateGraph(system),
+                             invariants=[bridge_safety_prop()])
+        sharded = StateGraph(system)
+        shard_explore(sharded, jobs=2)
+        warm = check_safety(sharded, invariants=[bridge_safety_prop()])
+        assert warm.ok == fresh.ok
+        assert warm.stats.states_stored == fresh.stats.states_stored
+        assert warm.stats.transitions == fresh.stats.transitions
+        assert warm.stats.states_expanded == fresh.stats.states_expanded
+
+    def test_state_budget_leaves_graph_lazily_completable(self):
+        graph = StateGraph(_bridge_system())
+        report = shard_explore(graph, jobs=2, max_states=500)
+        assert report.states >= 500
+        assert "budget" in report.note
+        full = StateGraph(_bridge_system())
+        full.explore()
+        assert graph.explore() == len(full.store)
+
+    def test_stategraph_explore_jobs_wrapper(self):
+        system = _bridge_system()
+        serial = StateGraph(system)
+        n_serial = serial.explore()
+        sharded = StateGraph(system)
+        assert sharded.explore(jobs=2) == n_serial
+
+
+class TestShardedDegradation:
+    def test_single_cpu_degrades_to_serial_with_note(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+        monkeypatch.setattr(shard_mod.os, "cpu_count", lambda: 1)
+        graph = StateGraph(_bridge_system())
+        report = shard_explore(graph, jobs=4)
+        assert report.jobs == 1
+        assert "only 1 CPU" in report.note
+        assert report.states == len(graph.store)
+        assert len(graph.cache) == report.states  # fully expanded anyway
+
+    def test_unpicklable_system_degrades_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+
+        def boom(_obj):
+            raise TypeError("nope")
+
+        monkeypatch.setattr(shard_mod.pickle, "dumps", boom)
+        graph = StateGraph(_bridge_system())
+        report = shard_explore(graph, jobs=2)
+        assert report.jobs == 1
+        assert "does not pickle" in report.note
+        assert len(graph.cache) == report.states
+
+    def test_jobs_one_is_plain_serial(self):
+        graph = StateGraph(_bridge_system())
+        report = shard_explore(graph, jobs=1)
+        assert report.jobs == 1
+        assert report.note is None

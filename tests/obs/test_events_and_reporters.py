@@ -5,6 +5,7 @@ import json
 import pickle
 
 from repro.obs import (
+    EVENT_COMPILE,
     EVENT_PHASE,
     EVENT_PROGRESS,
     EVENT_RUN_FINISHED,
@@ -160,9 +161,31 @@ class TestRunInstrument:
 
     def test_emits_run_started_on_construction(self):
         rep = CollectingReporter()
-        RunInstrument(rep, "safety-bfs", self._graph())
-        assert [e.type for e in rep.events] == [EVENT_RUN_STARTED]
+        graph = self._graph()
+        RunInstrument(rep, "safety-bfs", graph)
+        kinds = [e.type for e in rep.events]
+        if graph.compile_stats is not None:
+            # A compiled graph reports its codegen bill exactly once,
+            # right after run_started.
+            assert kinds == [EVENT_RUN_STARTED, EVENT_COMPILE]
+        else:
+            assert kinds == [EVENT_RUN_STARTED]
         assert rep.events[0].data["cache"] == PHASE_COLD
+
+    def test_compile_event_is_one_shot_per_interpreter(self):
+        graph = self._graph()
+        if graph.compile_stats is None:
+            return  # tree-walk fallback: nothing to report
+        rep = CollectingReporter()
+        RunInstrument(rep, "safety-bfs", graph)
+        RunInstrument(rep, "count-states", graph)
+        kinds = [e.type for e in rep.events]
+        assert kinds.count(EVENT_COMPILE) == 1
+        compile_event = next(e for e in rep.events
+                             if e.type == EVENT_COMPILE)
+        data = compile_event.data
+        assert data["programs_compiled"] + data["compile_cache_hits"] > 0
+        assert data["compile_seconds"] >= 0.0
 
     def test_tick_respects_reporter_interval(self):
         rep = CollectingReporter(interval=3)

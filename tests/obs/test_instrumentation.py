@@ -1,5 +1,7 @@
 """Checker-side instrumentation: event streams from real verification runs."""
 
+import pytest
+
 from repro.mc import check_ltl, check_safety, check_safety_por
 from repro.mc.engine import StateGraph
 from repro.mc.explore import count_states, find_state
@@ -126,6 +128,13 @@ class TestOtherCheckers:
 class TestSweepEventDelivery:
     """The acceptance-pinned property: parallel sweeps deliver the same
     event sequence as serial ones, in deterministic per-scenario order."""
+
+    @pytest.fixture(autouse=True)
+    def _force_parallel(self, monkeypatch):
+        # The sweep pool is CPU-gated (1 CPU => serial fallback with a
+        # warning event); this class pins the *pool's* event delivery,
+        # so force it on regardless of the host's core count.
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
 
     def _sweep_events(self, jobs):
         from repro.core import verify_resilience

@@ -1,0 +1,149 @@
+"""Differential suite: compiled execution ≡ tree-walk on every system.
+
+Every architecture shipped in ``repro.systems`` runs through both
+backends, fused and composed: identical transition labels, identical
+successor sets, and identical ``check_safety`` verdicts (down to
+``states_expanded``).  This is the safety net behind ``--no-jit`` — the
+flag may change speed, never a verdict.
+
+Exploration is capped per case so the whole suite stays fast; both
+backends get the same cap, so any divergence still trips the asserts.
+"""
+
+import pytest
+
+from repro.core import SingleSlotBuffer, SynBlockingSend
+from repro.mc import StateGraph, check_safety
+from repro.psl.interp import Interpreter
+from repro.psl.jit import CompiledInterpreter, make_interpreter
+from repro.systems.abp import build_abp
+from repro.systems.bridge import (
+    bridge_safety_prop,
+    build_exactly_n_bridge,
+    fix_exactly_n_bridge,
+)
+from repro.systems.dining import build_dining
+from repro.systems.gas_station import build_gas_station
+from repro.systems.producer_consumer import simple_pair
+from repro.systems.pubsub import build_pubsub
+from repro.systems.rpc import build_rpc
+
+ARCHES = {
+    "bridge": lambda: fix_exactly_n_bridge(build_exactly_n_bridge()),
+    "bridge_buggy": lambda: build_exactly_n_bridge(),
+    "abp": lambda: build_abp(messages=1, max_sends=2),
+    "gas_station": lambda: build_gas_station(customers=2,
+                                             selective_delivery=True),
+    "producer_consumer": lambda: simple_pair(
+        SynBlockingSend(), SingleSlotBuffer(), messages=2),
+    "dining": lambda: build_dining(philosophers=2),
+    "pubsub": lambda: build_pubsub(),
+    "rpc": lambda: build_rpc(),
+}
+
+CASES = [
+    pytest.param(name, fused, id=f"{name}-{'fused' if fused else 'composed'}")
+    for name in ARCHES for fused in (True, False)
+]
+
+#: State budget per case — big enough to cover whole small systems and
+#: a meaningful prefix of the large ones, small enough to keep the
+#: 32-case matrix under a few seconds per backend.
+CAP = 2000
+
+
+def _label_key(label):
+    return (label.pid, label.process, label.kind, label.desc, label.chan,
+            label.message, label.partner_pid, label.partner)
+
+
+def _walk(interp, limit=CAP):
+    """Deterministic bounded BFS: (edge list, number of distinct states).
+
+    States are numbered in encounter order, so two interpreters with
+    identical per-state transition lists produce identical edge lists —
+    any reordering, relabeling, or divergent successor shows up as a
+    plain list inequality.
+    """
+    init = interp.initial_state()
+    ids = {init: 0}
+    order = [init]
+    edges = []
+    frontier = 0
+    while frontier < len(order) and frontier < limit:
+        state = order[frontier]
+        for t in interp.transitions(state):
+            tid = ids.get(t.target)
+            if tid is None:
+                tid = len(order)
+                ids[t.target] = tid
+                order.append(t.target)
+            edges.append((frontier, _label_key(t.label), tid, t.violation))
+        frontier += 1
+    return edges, len(order)
+
+
+class TestTransitionEquivalence:
+    @pytest.mark.parametrize("name,fused", CASES)
+    def test_same_labels_and_successors(self, name, fused):
+        system = ARCHES[name]().to_system(fused=fused)
+        compiled = make_interpreter(system, jit=True)
+        treewalk = make_interpreter(system, jit=False)
+        assert isinstance(compiled, CompiledInterpreter)
+        assert type(treewalk) is Interpreter
+        assert compiled.initial_state() == treewalk.initial_state()
+        assert _walk(compiled) == _walk(treewalk)
+
+
+class TestVerdictEquivalence:
+    @pytest.mark.parametrize("name,fused", CASES)
+    def test_check_safety_agrees(self, name, fused):
+        arch = ARCHES[name]()
+        invariants = [bridge_safety_prop()] if name.startswith("bridge") \
+            else []
+        results = []
+        for jit in (True, False):
+            graph = StateGraph(arch.to_system(fused=fused), jit=jit)
+            results.append(check_safety(graph, invariants=invariants,
+                                        max_states=CAP))
+        jitted, walked = results
+        assert jitted.ok == walked.ok
+        assert jitted.incomplete == walked.incomplete
+        assert jitted.kind == walked.kind
+        assert jitted.message == walked.message
+        assert jitted.stats.states_stored == walked.stats.states_stored
+        assert jitted.stats.states_expanded == walked.stats.states_expanded
+        assert jitted.stats.transitions == walked.stats.transitions
+        if jitted.trace is not None or walked.trace is not None:
+            mine = [s.label.pretty() for s in jitted.trace.steps]
+            theirs = [s.label.pretty() for s in walked.trace.steps]
+            assert mine == theirs
+
+    def test_buggy_bridge_fails_identically_in_full(self):
+        # One uncapped failing run: the counterexample itself must match.
+        arch = build_exactly_n_bridge()
+        runs = [
+            check_safety(StateGraph(arch.to_system(fused=True), jit=jit),
+                         invariants=[bridge_safety_prop()],
+                         check_deadlock=False)
+            for jit in (True, False)
+        ]
+        assert not runs[0].ok and not runs[1].ok
+        assert runs[0].kind == runs[1].kind
+        assert runs[0].message == runs[1].message
+        assert ([s.label.pretty() for s in runs[0].trace.steps]
+                == [s.label.pretty() for s in runs[1].trace.steps])
+
+
+class TestBackendSelection:
+    def test_env_escape_hatch_forces_tree_walk(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_JIT", "1")
+        system = ARCHES["rpc"]().to_system(fused=True)
+        assert type(make_interpreter(system)) is Interpreter
+        monkeypatch.delenv("REPRO_NO_JIT")
+        assert isinstance(make_interpreter(system), CompiledInterpreter)
+
+    def test_tree_walk_graph_reports_no_compile_stats(self):
+        system = ARCHES["rpc"]().to_system(fused=True)
+        assert StateGraph(system, jit=False).compile_stats is None
+        assert StateGraph(system, jit=True).compile_stats is not None
