@@ -29,6 +29,10 @@ Quickstart::
     print(verify_safety(arch).summary())
 """
 
-__version__ = "1.0.0"
+# The single source of truth for the package version.  ``pyproject.toml``
+# reads it at build time (``[tool.setuptools.dynamic]``), the CLI surfaces
+# it as ``repro --version``, and run reports / service responses stamp it
+# so an artifact names the code that produced it.
+__version__ = "0.2.0"
 
 __all__ = ["__version__"]

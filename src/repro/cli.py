@@ -3,10 +3,12 @@
 Commands:
 
 * ``catalog`` — print the building-block library (the paper's Figure 1);
-* ``verify {bridge | abp} [--report PATH] [--progress]
+* ``verify {bridge | abp | gas} [--report PATH] [--progress]
   [--log-jsonl PATH]`` — verify a case study and optionally write a
   self-contained run report (verdict, statistics, counterexample MSC,
-  block-level explanation);
+  block-level explanation); ``gas`` takes ``--customers N`` and
+  ``--selective`` (the fixed design; plain delivery is expected to
+  FAIL on the crossed-delivery race);
 * ``report PATH [--format {md,html,json}] [--out FILE]`` — re-render a
   saved run report (renders are pure functions of the JSON payload, so
   re-rendering is byte-identical);
@@ -37,6 +39,22 @@ Commands:
   damage (``fsck`` drops corrupt records, or quarantines an unreadable
   sqlite store and starts fresh — verdicts degrade to misses, never to
   wrong answers);
+* ``serve [--host H] [--port P] [--cache-dir DIR] [--workers N]
+  [--inline] [--retries N] [--job-timeout T] [--drain-timeout T]`` —
+  run the verification service: a stdlib HTTP daemon that schedules
+  submitted jobs on a worker pool, coalesces identical in-flight
+  submissions onto one computation, serves warm verdicts from the
+  shared sqlite cache, and streams per-job events as NDJSON.  SIGTERM
+  drains gracefully: in-flight jobs finish (bounded by
+  ``--drain-timeout``), the rest stay journaled for the next daemon
+  (exit 0 on a clean drain, 2 when jobs were left behind);
+* ``submit {gas | bridge | abp | explore-bridge | explore-pc}
+  [--url U] [--no-wait] [--follow] [--report PATH] ...`` — submit a
+  job to a running service and (by default) wait for its verdict; the
+  exit code is the job's own, and ``--report`` saves the same run
+  report a local run would have written;
+* ``status [JOB_ID] [--url U] [--events]`` — service summary and job
+  list, or one job's detail (``--events`` dumps its event stream);
 * ``sweep [--messages K]`` — verify every send-port/channel combination
   on a producer/consumer pair and tabulate the verdicts (deprecated:
   a fixed-function subset of ``explore``);
@@ -221,6 +239,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         invariants = [bridge_safety_prop()]
         check_deadlock = args.variant != "initial"
         expect_ok = args.variant != "initial"
+    elif args.system == "gas":
+        from repro.systems.gas_station import build_gas_station
+        arch = build_gas_station(customers=args.customers,
+                                 selective_delivery=args.selective)
+        invariants = []
+        check_deadlock = True
+        # Plain delivery races crossed deliveries into an assertion
+        # violation; selective delivery is the paper's fix.
+        expect_ok = args.selective
     else:
         from repro.systems.abp import build_abp
         arch = build_abp(messages=1, max_sends=2, receiver_polls=2)
@@ -584,11 +611,179 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_cache_dir(args: argparse.Namespace) -> str:
+    return (args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+            or ".repro-cache")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.design import RetryPolicy
+    from repro.serve import JobManager, VerificationServer, serve_until
+
+    cache_dir = _serve_cache_dir(args)
+    retry = (RetryPolicy(max_retries=args.retries)
+             if args.retries is not None else None)
+    manager = JobManager(
+        cache_dir,
+        workers=args.workers,
+        supervised=not args.inline,
+        retry=retry,
+        job_timeout=args.job_timeout,
+    )
+    server = VerificationServer((args.host, args.port), manager)
+    host, port = server.server_address[:2]
+    mode = "inline" if args.inline else "supervised"
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(cache {cache_dir}, {args.workers} workers, {mode} jobs)")
+    sys.stdout.flush()
+
+    stop = threading.Event()
+
+    def _request_stop(signum: int, frame: object) -> None:
+        stop.set()
+
+    old_term = signal.signal(signal.SIGTERM, _request_stop)
+    old_int = signal.signal(signal.SIGINT, _request_stop)
+    try:
+        serve_until(server, stop)
+    finally:
+        signal.signal(signal.SIGTERM, old_term)
+        signal.signal(signal.SIGINT, old_int)
+    print("repro serve: draining...")
+    sys.stdout.flush()
+    summary = manager.drain(timeout=args.drain_timeout)
+    server.server_close()
+    manager.close()
+    if summary["drained"]:
+        print(f"repro serve: drained cleanly "
+              f"({summary['finished']} in-flight jobs finished)")
+        return 0
+    print(f"repro serve: drain timed out; {len(summary['leftover'])} "
+          f"jobs journaled for resume", file=sys.stderr)
+    return 2
+
+
+def _submit_spec(args: argparse.Namespace) -> dict:
+    """The JSON job spec a ``repro submit`` invocation describes."""
+    budgets = {}
+    if args.max_states is not None:
+        budgets["max_states"] = args.max_states
+    if args.max_seconds is not None:
+        budgets["max_seconds"] = args.max_seconds
+    if args.target == "gas":
+        return {"kind": "verify", "system": "gas",
+                "options": {"customers": args.customers,
+                            "selective": args.selective, **budgets}}
+    if args.target == "bridge":
+        return {"kind": "verify", "system": "bridge",
+                "options": {"variant": args.variant, "cars": args.cars,
+                            "n": args.n, "trips": args.trips, **budgets}}
+    if args.target == "abp":
+        return {"kind": "verify", "system": "abp", "options": budgets}
+    if args.target == "explore-bridge":
+        return {"kind": "explore", "space": "bridge",
+                "options": {"cars": args.cars, "n": args.n,
+                            "trips": args.trips,
+                            "first_pass": args.first_pass, **budgets}}
+    return {"kind": "explore", "space": "pc",
+            "options": {"messages": args.messages,
+                        "first_pass": args.first_pass, **budgets}}
+
+
+def _describe_view(view: dict) -> str:
+    """One status line for a job view (submit/status output)."""
+    line = f"job {view['job_id']}: {view['status']}"
+    if view.get("cached"):
+        line += " (served from cache)"
+    elif view.get("coalesced_with"):
+        line += f" (coalesced with {view['coalesced_with']})"
+    if view.get("verdict"):
+        line += f" — {view['verdict']}"
+        if view.get("detail"):
+            line += f": {view['detail']}"
+    return line
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.url)
+    view = client.submit(_submit_spec(args))
+    job_id = view["job_id"]
+    terminal = view["status"] in ("done", "failed")
+    if args.no_wait or not terminal:
+        print(_describe_view(view))
+    if args.no_wait:
+        return 0
+    if args.follow:
+        for event in client.events(job_id):
+            print(_json.dumps(event, sort_keys=True))
+    view = client.wait(job_id, timeout=args.timeout)
+    if view["status"] not in ("done", "failed"):
+        print(f"job {job_id} still {view['status']} after "
+              f"{args.timeout}s", file=sys.stderr)
+        return 2
+    print(_describe_view(view))
+    if args.report:
+        from repro.obs.report import RunReport
+        RunReport(client.report(job_id)).save(args.report)
+        print(f"report written to {args.report}")
+    exit_code = view.get("exit_code")
+    return exit_code if exit_code is not None else 3
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.url)
+    if args.job_id:
+        view = client.job(args.job_id)
+        print(_describe_view(view))
+        for key in ("kind", "fingerprint", "command", "exit_code", "error"):
+            if view.get(key) is not None:
+                print(f"  {key.replace('_', ' ')}: {view[key]}")
+        if args.events:
+            for event in client.events(args.job_id, follow=False):
+                print(_json.dumps(event, sort_keys=True))
+        return 0
+    stats = client.stats()
+    counters = stats.get("counters", {})
+    print(f"repro serve at http://{client.host}:{client.port} "
+          f"(version {stats.get('repro_version', '?')}, "
+          f"{'draining' if stats.get('draining') else 'accepting'})")
+    print(f"  workers: {stats.get('workers')} "
+          f"({'supervised' if stats.get('supervised') else 'inline'}), "
+          f"in-flight fingerprints: {stats.get('inflight')}")
+    print("  jobs: " + (", ".join(
+        f"{status} {count}"
+        for status, count in sorted(stats.get("jobs", {}).items()))
+        or "none"))
+    print("  counters: " + ", ".join(
+        f"{key} {value}" for key, value in sorted(counters.items())))
+    cache = stats.get("cache", {})
+    print(f"  cache: {cache.get('records')} records "
+          f"({cache.get('backend')} backend)")
+    for view in client.jobs():
+        print("  " + _describe_view(view))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Plug-and-Play architectural design and verification",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("catalog", help="print the block library (Figure 1)")
@@ -613,10 +808,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify = sub.add_parser(
         "verify", help="verify a case study, optionally writing a report")
-    verify.add_argument("system", choices=["bridge", "abp"],
+    verify.add_argument("system", choices=["bridge", "abp", "gas"],
                         help="bridge: single-lane bridge (--variant picks "
-                             "the design); abp: alternating-bit protocol")
+                             "the design); abp: alternating-bit protocol; "
+                             "gas: the gas-station case study "
+                             "(--selective picks the fixed design)")
     _add_design_flags(verify)
+    verify.add_argument("--customers", type=int, default=2,
+                        help="gas station: customers at the pump (default 2)")
+    verify.add_argument("--selective", action="store_true",
+                        help="gas station: selective delivery (the fix; "
+                             "expected PASS, plain delivery expected FAIL)")
     _add_jit_flag(verify)
     _add_obs_flags(verify)
 
@@ -734,6 +936,90 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sqlite size cap applied while this command "
                             "has the store open (LRU eviction)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the verification service daemon (HTTP, stdlib only)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7477,
+                       help="listen port; 0 picks a free one "
+                            "(default 7477)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="shared verdict store, sqlite backend required "
+                            "(default $REPRO_CACHE_DIR or .repro-cache)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent job slots (default 2)")
+    serve.add_argument("--inline", action="store_true",
+                       help="run jobs on worker threads instead of "
+                            "supervised sandbox processes (faster startup, "
+                            "no crash isolation)")
+    serve.add_argument("--retries", type=int, default=None,
+                       help="retries per failed job (default 1)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       help="per-job wall-clock timeout for supervised "
+                            "jobs (default: none)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds to let in-flight jobs finish on "
+                            "SIGTERM before journaling the rest "
+                            "(default 30)")
+
+    def _add_submit_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", default="http://127.0.0.1:7477",
+                       help="service URL (default http://127.0.0.1:7477)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running verification service")
+    submit.add_argument("target",
+                        choices=["gas", "bridge", "abp",
+                                 "explore-bridge", "explore-pc"],
+                        help="what to verify: a case study (gas/bridge/abp) "
+                             "or a design space to explore")
+    _add_submit_flags(submit)
+    submit.add_argument("--customers", type=int, default=2,
+                        help="gas: customers at the pump (default 2)")
+    submit.add_argument("--selective", action="store_true",
+                        help="gas: selective delivery (the fixed design)")
+    submit.add_argument("--variant",
+                        choices=["initial", "fixed", "atmostn"],
+                        default="fixed",
+                        help="bridge: design variant (default fixed)")
+    submit.add_argument("--cars", type=int, default=1,
+                        help="bridge: cars per side (default 1)")
+    submit.add_argument("--n", type=int, default=1,
+                        help="bridge: cars per turn (default 1)")
+    submit.add_argument("--trips", type=int, default=1,
+                        help="bridge: trips per car (default 1)")
+    submit.add_argument("--messages", type=int, default=2,
+                        help="explore-pc: messages to deliver (default 2)")
+    submit.add_argument("--first-pass", action="store_true",
+                        help="explore: stop at the first PASS verdict")
+    submit.add_argument("--max-states", type=int, default=None,
+                        help="state budget (INCOMPLETE verdict when hit)")
+    submit.add_argument("--max-seconds", type=float, default=None,
+                        help="time budget (INCOMPLETE verdict when hit)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="return after submission; poll with "
+                             "'repro status JOB_ID'")
+    submit.add_argument("--follow", action="store_true",
+                        help="stream the job's events (NDJSON) while "
+                             "waiting")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="give up waiting after this many seconds "
+                             "(exit code 2)")
+    submit.add_argument("--report", metavar="PATH", default=None,
+                        help="save the finished job's run report (same "
+                             "format as a local run's --report)")
+
+    status = sub.add_parser(
+        "status", help="inspect a running verification service")
+    status.add_argument("job_id", nargs="?", default=None,
+                        help="a job id (default: service summary + job "
+                             "list)")
+    _add_submit_flags(status)
+    status.add_argument("--events", action="store_true",
+                        help="with a job id: dump its event stream "
+                             "snapshot (NDJSON)")
+
     sweep = sub.add_parser(
         "sweep", help="verify all port/channel combos (deprecated: "
                       "use 'explore pc')")
@@ -762,6 +1048,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "resilience": _cmd_resilience,
         "explore": _cmd_explore,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
         "sweep": _cmd_sweep,
         "export": _cmd_export,
         "graph": _cmd_graph,

@@ -68,6 +68,10 @@ __all__ = [
     "EVENT_JOB_FAILED",
     "EVENT_CHECKPOINT",
     "EVENT_WARNING",
+    "EVENT_JOB_QUEUED",
+    "EVENT_JOB_STARTED",
+    "EVENT_JOB_FINISHED",
+    "EVENT_SERVER_DRAIN",
     "PHASE_COLD",
     "PHASE_WARM",
     "budget_exhausted",
@@ -77,7 +81,11 @@ __all__ = [
     "exploration_finished",
     "exploration_started",
     "job_failed",
+    "job_finished",
+    "job_queued",
     "job_retry",
+    "job_started",
+    "server_drain",
     "phase",
     "progress",
     "run_finished",
@@ -111,6 +119,10 @@ EVENT_JOB_RETRY = "job_retry"
 EVENT_JOB_FAILED = "job_failed"
 EVENT_CHECKPOINT = "checkpoint"
 EVENT_WARNING = "warning"
+EVENT_JOB_QUEUED = "job_queued"
+EVENT_JOB_STARTED = "job_started"
+EVENT_JOB_FINISHED = "job_finished"
+EVENT_SERVER_DRAIN = "server_drain"
 
 #: Cache phases: *cold* = the run is computing new successor lists,
 #: *warm* = it is replaying the shared graph's memoized relation.
@@ -332,6 +344,47 @@ def warning(source: str, *, message: str) -> EngineEvent:
     """A non-fatal degradation the run wants on the record (e.g. a
     parallel sweep silently falling back to serial is now audible)."""
     return EngineEvent(EVENT_WARNING, source, data={"message": message})
+
+
+# -- verification-service (repro.serve) lifecycle --------------------------
+#
+# The daemon narrates every job's lifecycle with these events; they open
+# and close the job's NDJSON event stream, bracketing whatever engine
+# events the computation itself emits in between.
+
+def job_queued(job_id: str, *, kind: str, fingerprint: str,
+               coalesced: bool = False, cached: bool = False) -> EngineEvent:
+    """A service job was accepted.  ``coalesced`` marks a submission that
+    attached to an identical in-flight computation; ``cached`` one that
+    was answered straight from the shared verdict store."""
+    return EngineEvent(EVENT_JOB_QUEUED, "serve", scenario=job_id, data={
+        "kind": kind, "fingerprint": fingerprint,
+        "coalesced": coalesced, "cached": cached,
+    })
+
+
+def job_started(job_id: str, *, kind: str, fingerprint: str) -> EngineEvent:
+    """A service job's computation began on a worker."""
+    return EngineEvent(EVENT_JOB_STARTED, "serve", scenario=job_id, data={
+        "kind": kind, "fingerprint": fingerprint,
+    })
+
+
+def job_finished(job_id: str, *, verdict: str, seconds: float,
+                 cached: bool = False, coalesced: bool = False,
+                 exit_code: int = 0) -> EngineEvent:
+    """A service job reached a terminal state (verdict or failure)."""
+    return EngineEvent(EVENT_JOB_FINISHED, "serve", scenario=job_id, data={
+        "verdict": verdict, "seconds": round(seconds, 6),
+        "cached": cached, "coalesced": coalesced, "exit_code": exit_code,
+    })
+
+
+def server_drain(*, running: int, queued: int) -> EngineEvent:
+    """The daemon began a graceful drain (SIGTERM or an admin request)."""
+    return EngineEvent(EVENT_SERVER_DRAIN, "serve", data={
+        "running": running, "queued": queued,
+    })
 
 
 # -- per-run instrumentation ----------------------------------------------

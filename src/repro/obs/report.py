@@ -27,6 +27,7 @@ import html as _html
 import json
 from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
+from .. import __version__
 from ..core.explain import diagnose_deadlock, explain_trace
 from ..msc.chart import chart_from_trace, events_from_trace
 
@@ -160,6 +161,7 @@ class RunReport:
         payload: Dict[str, Any] = {
             "schema": SCHEMA,
             "kind": "verification",
+            "repro_version": __version__,
             "title": title or f"Verification of {architecture.name}",
             "architecture": architecture.name,
             "command": command,
@@ -215,6 +217,7 @@ class RunReport:
         payload: Dict[str, Any] = {
             "schema": SCHEMA,
             "kind": "resilience",
+            "repro_version": __version__,
             "title": title or f"Resilience sweep of {report.architecture}",
             "architecture": report.architecture,
             "command": command,
@@ -248,6 +251,7 @@ class RunReport:
         payload: Dict[str, Any] = {
             "schema": SCHEMA,
             "kind": "exploration",
+            "repro_version": __version__,
             "title": title or f"Design-space exploration of "
                               f"{exploration.space}",
             "space": exploration.space,

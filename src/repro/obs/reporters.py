@@ -117,11 +117,20 @@ class JsonlReporter(Reporter):
     Accepts an open text stream or a path (opened for append on first
     use, closed by :meth:`close`).  Keys are sorted so the log is
     byte-stable for identical runs.
+
+    Every event is flushed to the stream as it is emitted, so a
+    tail-following consumer (``tail -f``, the ``repro serve`` event
+    stream) sees events while the run is still going.  ``flush_every=N``
+    batches the flush to every N-th event for hot runs where per-event
+    flushing measurably costs; :meth:`close` always flushes the tail.
     """
 
     def __init__(self, target: Union[str, IO[str]],
-                 interval: int = DEFAULT_INTERVAL) -> None:
+                 interval: int = DEFAULT_INTERVAL,
+                 flush_every: int = 1) -> None:
         self.interval = interval
+        self.flush_every = max(1, int(flush_every))
+        self._unflushed = 0
         if isinstance(target, str):
             self._stream: IO[str] = open(target, "a", encoding="utf-8")
             self._owns_stream = True
@@ -133,8 +142,13 @@ class JsonlReporter(Reporter):
         self._stream.write(
             json.dumps(event.to_dict(), sort_keys=True,
                        separators=(",", ":")) + "\n")
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self._stream.flush()
+            self._unflushed = 0
 
     def close(self) -> None:
+        self._unflushed = 0
         self._stream.flush()
         if self._owns_stream:
             self._stream.close()

@@ -1,0 +1,56 @@
+"""Verification-as-a-service: the ``repro serve`` daemon.
+
+The paper's workflow is interactive — design, verify, adjust, verify
+again — and a team iterating on one architecture re-verifies the same
+designs constantly.  This package turns the local verification stack
+into a long-running service so those repeated questions are answered
+once:
+
+* :mod:`~repro.serve.jobs` — JSON job specs, canonicalization, and the
+  ``repro.serve-job/1`` content fingerprint (built on the design
+  layer's ``repro.design-fingerprint/1`` scheme);
+* :mod:`~repro.serve.manager` — scheduling over a shared sqlite/WAL
+  verdict store, with **cross-request coalescing**: a submission
+  identical to an in-flight job attaches to the running computation
+  instead of duplicating it;
+* :mod:`~repro.serve.daemon` — the stdlib HTTP layer, including the
+  live NDJSON event stream per job and graceful drain;
+* :mod:`~repro.serve.client` — the stdlib client the ``repro submit``
+  and ``repro status`` commands wrap.
+
+See ``docs/service.md`` for the HTTP API and semantics.
+"""
+
+from .client import ServeClient, ServiceError
+from .daemon import VerificationServer, serve_until
+from .jobs import BuiltJob, JobSpecError, build_job, canonical_spec, run_job
+from .manager import (
+    DrainingError,
+    JobManager,
+    ServeError,
+    STATUS_DONE,
+    STATUS_FAILED,
+    STATUS_QUEUED,
+    STATUS_RUNNING,
+    TERMINAL_STATUSES,
+)
+
+__all__ = [
+    "BuiltJob",
+    "DrainingError",
+    "JobManager",
+    "JobSpecError",
+    "ServeClient",
+    "ServeError",
+    "ServiceError",
+    "VerificationServer",
+    "build_job",
+    "canonical_spec",
+    "run_job",
+    "serve_until",
+    "STATUS_DONE",
+    "STATUS_FAILED",
+    "STATUS_QUEUED",
+    "STATUS_RUNNING",
+    "TERMINAL_STATUSES",
+]

@@ -1,0 +1,180 @@
+"""Stdlib client for the verification service.
+
+:class:`ServeClient` speaks the daemon's JSON protocol with nothing but
+``http.client``: submit jobs, poll or block on their views, iterate the
+live NDJSON event stream, and fetch the finished run-report payload —
+which renders through :class:`~repro.obs.report.RunReport` exactly like
+a local run's.  The ``repro submit`` / ``repro status`` CLI commands
+are thin wrappers over this class; tests drive it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Any, Dict, Iterator, List, Optional
+from urllib.parse import urlsplit
+
+__all__ = ["ServeClient", "ServiceError", "poll_until_running"]
+
+DEFAULT_URL = "http://127.0.0.1:7477"
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """One verification-service endpoint.
+
+    Each call opens its own connection (the daemon handles requests on
+    per-connection threads; streams hold theirs open), so a client is
+    safe to share across threads.
+    """
+
+    def __init__(self, url: str = DEFAULT_URL, *,
+                 timeout: float = 30.0) -> None:
+        split = urlsplit(url if "//" in url else "//" + url)
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"only http:// service URLs are supported, "
+                             f"got {url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 7477
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 timeout: Optional[float] = None) -> Dict[str, Any]:
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=timeout or self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, ValueError):
+                data = {}
+            if response.status >= 400:
+                raise ServiceError(response.status,
+                                   data.get("error") or raw.decode(
+                                       "utf-8", "replace")[:200])
+            return data
+        finally:
+            conn.close()
+
+    # -- API --------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs").get("jobs", [])
+
+    def submit(self, spec: Dict[str, Any], *, wait: bool = False,
+               timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Submit one job spec; returns the job view.
+
+        With ``wait=True`` the daemon blocks the request until the job
+        is terminal (bounded by ``timeout`` seconds), so the returned
+        view already carries the verdict and exit code.
+        """
+        body = dict(spec)
+        if wait:
+            body["wait"] = True
+            if timeout is not None:
+                body["timeout"] = timeout
+        request_timeout = None
+        if wait:
+            # The HTTP timeout must outlive the job, not the default.
+            request_timeout = (timeout + 10.0) if timeout else 24 * 3600.0
+        return self._request("POST", "/v1/jobs", body,
+                             timeout=request_timeout)["job"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def wait(self, job_id: str, *, timeout: Optional[float] = None,
+             poll: float = 0.05) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final view."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view["status"] in ("done", "failed"):
+                return view
+            if deadline is not None and time.monotonic() >= deadline:
+                return view
+            time.sleep(poll)
+
+    def report(self, job_id: str) -> Dict[str, Any]:
+        """The finished job's run-report payload (raises until done)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/report")["report"]
+
+    def events(self, job_id: str, *, follow: bool = True,
+               timeout: Optional[float] = None
+               ) -> Iterator[Dict[str, Any]]:
+        """Iterate the job's NDJSON event stream, one dict per event.
+
+        With ``follow=True`` (default) the stream stays live until the
+        job is terminal; ``timeout`` bounds each read, not the whole
+        stream.
+        """
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=timeout or max(self.timeout, 300.0))
+        try:
+            suffix = "" if follow else "?follow=0"
+            conn.request("GET", f"/v1/jobs/{job_id}/events{suffix}")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw.decode("utf-8"))["error"]
+                except Exception:
+                    message = raw.decode("utf-8", "replace")[:200]
+                raise ServiceError(response.status, message)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def drain(self, *, timeout: Optional[float] = None) -> Dict[str, Any]:
+        body: Dict[str, Any] = {}
+        if timeout is not None:
+            body["timeout"] = timeout
+        request_timeout = (timeout + 10.0) if timeout else 24 * 3600.0
+        return self._request("POST", "/v1/drain", body,
+                             timeout=request_timeout)
+
+
+def poll_until_running(client: ServeClient, job_id: str, *,
+                       timeout: float = 10.0) -> Dict[str, Any]:
+    """Wait until a job has left the queue (test helper).
+
+    Returns the first view whose status is not ``queued`` — i.e. the
+    job is running (the coalescing window is provably open) or already
+    terminal.  Raises :class:`TimeoutError` otherwise.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        view = client.job(job_id)
+        if view["status"] != "queued":
+            return view
+        time.sleep(0.01)
+    raise TimeoutError(f"job {job_id} still queued after {timeout}s")

@@ -1,0 +1,70 @@
+"""Pin JsonlReporter's flush contract (the serve streaming substrate).
+
+The daemon's live event stream tails a job's ``events.jsonl`` while the
+worker is still writing it, which only works if the reporter flushes as
+it emits.  These tests pin per-event flushing as the default and the
+``flush_every`` batching knob's exact semantics.
+"""
+
+import json
+
+from repro.obs import JsonlReporter
+from repro.obs.events import progress
+
+
+def _event(n):
+    return progress("safety-bfs", states_stored=n, states_expanded=n,
+                    transitions=n, frontier=1, elapsed=0.5)
+
+
+def _lines(path):
+    with open(path, encoding="utf-8") as fh:
+        return [line for line in fh if line.strip()]
+
+
+class TestJsonlReporterFlush:
+    def test_each_event_is_readable_before_close(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        reporter = JsonlReporter(path)
+        try:
+            for n in range(1, 4):
+                reporter.emit(_event(n))
+                # A concurrent tail (the serve event stream) must see
+                # every event the moment emit() returns.
+                assert len(_lines(path)) == n
+        finally:
+            reporter.close()
+        assert json.loads(_lines(path)[0])["type"] == "progress"
+
+    def test_flush_every_batches_but_close_flushes_the_tail(self,
+                                                            tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        reporter = JsonlReporter(path, flush_every=3)
+        reporter.emit(_event(1))
+        reporter.emit(_event(2))
+        assert _lines(path) == []  # batched: nothing flushed yet
+        reporter.emit(_event(3))
+        assert len(_lines(path)) == 3  # the 3rd emit flushed the batch
+        reporter.emit(_event(4))
+        assert len(_lines(path)) == 3  # a new batch is buffering
+        reporter.close()
+        assert len(_lines(path)) == 4  # close never strands the tail
+
+    def test_flush_every_floors_at_one(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        reporter = JsonlReporter(path, flush_every=0)
+        try:
+            reporter.emit(_event(1))
+            assert len(_lines(path)) == 1
+        finally:
+            reporter.close()
+
+    def test_stream_appends_across_reporters(self, tmp_path):
+        # The serve job file is written by the parent (lifecycle events)
+        # and then the worker's reporter: append mode, never truncate.
+        path = str(tmp_path / "events.jsonl")
+        for n in (1, 2):
+            reporter = JsonlReporter(path)
+            reporter.emit(_event(n))
+            reporter.close()
+        assert len(_lines(path)) == 2

@@ -1,0 +1,65 @@
+"""Shared fixtures for the verification-service suite.
+
+``service`` boots the full stack — manager, HTTP daemon, client — on a
+free port over a fresh sqlite cache, in *inline* mode (jobs run on the
+worker threads: no sandbox processes, so the suite stays fast and the
+``serve.run`` failpoint can hold a job deterministically in-process).
+"""
+
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.design import failpoints
+from repro.serve import (
+    JobManager,
+    ServeClient,
+    VerificationServer,
+    serve_until,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints(monkeypatch):
+    monkeypatch.delenv(failpoints.ENV_VAR, raising=False)
+    failpoints.reset()
+    yield
+    failpoints.reset()
+
+
+@pytest.fixture
+def inject(monkeypatch):
+    """Set the failpoint spec for this test: ``inject("serve.run=sleep:2")``."""
+    def _inject(spec: str) -> None:
+        monkeypatch.setenv(failpoints.ENV_VAR, spec)
+    return _inject
+
+
+def start_service(cache_dir, **manager_kwargs):
+    """Boot a manager + daemon + client; returns a handle with .close()."""
+    manager_kwargs.setdefault("workers", 2)
+    manager_kwargs.setdefault("supervised", False)
+    manager = JobManager(str(cache_dir), **manager_kwargs)
+    server = VerificationServer(("127.0.0.1", 0), manager)
+    stop = threading.Event()
+    thread = threading.Thread(target=serve_until,
+                              args=(server, stop, 0.05), daemon=True)
+    thread.start()
+    client = ServeClient(f"http://127.0.0.1:{server.server_address[1]}")
+
+    def close():
+        stop.set()
+        thread.join(timeout=5.0)
+        server.server_close()
+        manager.close()
+
+    return SimpleNamespace(manager=manager, server=server, client=client,
+                           stop=stop, close=close)
+
+
+@pytest.fixture
+def service(tmp_path):
+    handle = start_service(tmp_path / "cache")
+    yield handle
+    handle.close()

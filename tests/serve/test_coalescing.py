@@ -1,0 +1,120 @@
+"""Cross-request coalescing: N identical submissions, one computation.
+
+The headline mechanism of ``repro.serve``.  The ``serve.run=sleep``
+failpoint holds the first job's computation open so the coalescing
+window is provably live when the duplicates arrive; the proof that only
+one computation ran comes from two independent witnesses — the
+manager's counters and the jobs' event streams (exactly one stream
+carries engine events).
+"""
+
+import json
+import threading
+import time
+
+from repro.serve.client import poll_until_running
+
+SPEC = {"kind": "verify", "system": "gas",
+        "options": {"customers": 2, "selective": True}}
+
+
+def _events(service, job_id):
+    path = service.manager.events_path(job_id)
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+class TestCoalescing:
+    def test_concurrent_identical_submissions_compute_once(self, service,
+                                                           inject):
+        inject("serve.run=sleep:1.5")
+        first = service.client.submit(SPEC)
+        # Only attach duplicates once the primary is provably running.
+        poll_until_running(service.client, first["job_id"])
+        second = service.client.submit(SPEC)
+        assert second["coalesced_with"] == first["job_id"]
+
+        done_first = service.client.wait(first["job_id"], timeout=60)
+        done_second = service.client.wait(second["job_id"], timeout=60)
+        assert done_first["status"] == done_second["status"] == "done"
+        assert done_first["verdict"] == done_second["verdict"] == "PASS"
+        assert done_first["exit_code"] == done_second["exit_code"] == 0
+
+        counters = service.manager.counters
+        assert counters["submitted"] == 2
+        assert counters["computed"] == 1
+        assert counters["coalesced"] == 1
+        assert counters["cache_hits"] == 0
+
+        # Both clients receive the *same* record: identical reports.
+        assert (service.client.report(first["job_id"])
+                == service.client.report(second["job_id"]))
+
+        # Event-stream witness: the primary's stream carries the
+        # engine's run_started/run_finished; the attached job's stream
+        # has only its (coalesced-tagged) lifecycle brackets.
+        primary_types = [e["type"] for e in _events(service,
+                                                    first["job_id"])]
+        attached = _events(service, second["job_id"])
+        assert "run_started" in primary_types
+        assert "run_finished" in primary_types
+        assert [e["type"] for e in attached] == ["job_queued",
+                                                 "job_finished"]
+        assert all(e["coalesced"] for e in attached)
+
+    def test_many_concurrent_submissions_still_one_computation(
+            self, service, inject):
+        inject("serve.run=sleep:1.5")
+        first = service.client.submit(SPEC)
+        poll_until_running(service.client, first["job_id"])
+        views = [None] * 4
+
+        def submit(i):
+            views[i] = service.client.submit(SPEC)
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        finals = [service.client.wait(v["job_id"], timeout=60)
+                  for v in views]
+        finals.append(service.client.wait(first["job_id"], timeout=60))
+        assert all(v["verdict"] == "PASS" for v in finals)
+        assert service.manager.counters["computed"] == 1
+        assert service.manager.counters["coalesced"] == 4
+
+    def test_submission_after_completion_is_a_pure_cache_hit(self,
+                                                             service):
+        first = service.client.submit(SPEC, wait=True, timeout=60)
+        assert first["verdict"] == "PASS"
+        assert service.manager.counters["computed"] == 1
+
+        t0 = time.monotonic()
+        # Warm hits resolve at the manager layer before submit returns:
+        # the returned view is already terminal.
+        warm = service.manager.submit(SPEC)
+        warm_seconds = time.monotonic() - t0
+        assert warm["status"] == "done"
+        assert warm["cached"] is True
+        assert warm["verdict"] == "PASS"
+        assert service.manager.counters["computed"] == 1  # unchanged
+        assert service.manager.counters["cache_hits"] == 1
+        # The acceptance bar is <100ms; a warm hit is one sqlite read
+        # plus a fingerprint, typically single-digit milliseconds.
+        assert warm_seconds < 0.1
+
+    def test_different_options_do_not_coalesce(self, service, inject):
+        inject("serve.run=sleep:1")
+        first = service.client.submit(SPEC)
+        poll_until_running(service.client, first["job_id"])
+        other_spec = {"kind": "verify", "system": "gas",
+                      "options": {"customers": 2, "selective": False}}
+        other = service.client.submit(other_spec)
+        assert other["coalesced_with"] is None
+        done = service.client.wait(other["job_id"], timeout=60)
+        service.client.wait(first["job_id"], timeout=60)
+        assert done["verdict"] == "FAIL"  # plain delivery: expected FAIL
+        assert service.manager.counters["computed"] == 2
+        assert service.manager.counters["coalesced"] == 0

@@ -1,0 +1,95 @@
+"""Job specs: canonicalization, fingerprints, and direct execution."""
+
+import pytest
+
+from repro.serve import JobSpecError, build_job, canonical_spec, run_job
+
+
+class TestCanonicalSpec:
+    def test_defaults_are_filled(self):
+        spec = canonical_spec({"kind": "verify", "system": "gas"})
+        assert spec == {
+            "kind": "verify",
+            "system": "gas",
+            "options": {"customers": 2, "selective": False,
+                        "max_states": None, "max_seconds": None},
+        }
+
+    def test_kind_defaults_to_verify(self):
+        assert canonical_spec({"system": "abp"})["kind"] == "verify"
+
+    def test_sparse_and_explicit_specs_canonicalize_identically(self):
+        sparse = canonical_spec({"system": "gas",
+                                 "options": {"selective": True}})
+        explicit = canonical_spec({
+            "kind": "verify", "system": "gas",
+            "options": {"customers": 2, "selective": True,
+                        "max_states": None, "max_seconds": None},
+        })
+        assert sparse == explicit
+
+    @pytest.mark.parametrize("bad", [
+        None,
+        [],
+        "gas",
+        {"kind": "nonsense"},
+        {"kind": "verify", "system": "unknown"},
+        {"kind": "verify", "system": "gas", "options": {"bogus": 1}},
+        {"kind": "verify", "system": "gas", "options": {"customers": "2"}},
+        {"kind": "verify", "system": "gas", "options": {"customers": 0}},
+        {"kind": "verify", "system": "gas", "options": {"selective": 1}},
+        {"kind": "verify", "system": "bridge",
+         "options": {"variant": "warp"}},
+        {"kind": "explore", "space": "unknown"},
+        {"kind": "explore", "space": "pc", "options": {"cars": 1}},
+    ])
+    def test_unrunnable_specs_are_rejected(self, bad):
+        with pytest.raises(JobSpecError):
+            canonical_spec(bad)
+
+
+class TestFingerprints:
+    def test_equal_jobs_get_equal_fingerprints(self):
+        a = build_job({"system": "gas", "options": {"selective": True}})
+        b = build_job({"kind": "verify", "system": "gas",
+                       "options": {"customers": 2, "selective": True}})
+        assert a.fingerprint == b.fingerprint
+
+    def test_options_change_the_fingerprint(self):
+        base = build_job({"system": "gas"})
+        for options in ({"selective": True}, {"customers": 3},
+                        {"max_states": 100}):
+            assert build_job({"system": "gas", "options": options}
+                             ).fingerprint != base.fingerprint
+
+    def test_kinds_never_collide(self):
+        verify = build_job({"system": "bridge"})
+        explore = build_job({"kind": "explore", "space": "bridge"})
+        assert verify.fingerprint != explore.fingerprint
+
+    def test_command_records_the_equivalent_cli_run(self):
+        built = build_job({"system": "gas", "options": {"selective": True}})
+        assert built.command == "repro verify gas --customers 2 --selective"
+
+
+class TestRunJob:
+    def test_gas_selective_passes(self):
+        record = run_job({"system": "gas", "options": {"selective": True}})
+        assert record["verdict"] == "PASS"
+        assert record["exit_code"] == 0
+        assert record["expected"] is True
+        assert record["report"]["kind"] == "verification"
+
+    def test_gas_plain_fails_as_expected(self):
+        # The crossed-delivery race is the paper's motivating bug: a
+        # FAIL verdict *is* the expected outcome, so the exit code is 0.
+        record = run_job({"system": "gas"})
+        assert record["verdict"] == "FAIL"
+        assert record["exit_code"] == 0
+        assert record["expected"] is False
+
+    def test_budget_hit_is_incomplete(self):
+        record = run_job({"system": "gas",
+                          "options": {"max_states": 10}})
+        assert record["verdict"] == "INCOMPLETE"
+        assert record["exit_code"] == 2

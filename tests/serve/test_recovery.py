@@ -1,0 +1,107 @@
+"""Journal-for-resume and backend guardrails on the manager."""
+
+import json
+import os
+
+import pytest
+
+from repro.serve import JobManager, ServeError
+
+SPEC = {"kind": "verify", "system": "gas",
+        "options": {"customers": 2, "selective": True}}
+
+
+def _journal_job(cache_dir, job_id, spec, status="queued", **extra):
+    """Author a journaled job the way a dying daemon leaves it."""
+    job_dir = os.path.join(cache_dir, "serve", "jobs", job_id)
+    os.makedirs(job_dir, exist_ok=True)
+    state = {"job_id": job_id, "kind": spec.get("kind", "verify"),
+             "spec": spec, "status": status, "submitted_at": 1.0,
+             "fingerprint": "", "command": "", **extra}
+    with open(os.path.join(job_dir, "job.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump(state, fh)
+
+
+class TestRecovery:
+    def test_queued_jobs_are_reenqueued_and_finish(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        os.makedirs(cache_dir)
+        _journal_job(cache_dir, "jrecovered001", SPEC)
+        manager = JobManager(cache_dir, workers=1, supervised=False)
+        try:
+            assert manager.counters["recovered"] == 1
+            view = manager.wait("jrecovered001", timeout=60)
+            assert view["status"] == "done"
+            assert view["verdict"] == "PASS"
+        finally:
+            manager.close()
+
+    def test_recovered_duplicates_recoalesce(self, tmp_path, monkeypatch):
+        from repro.design import failpoints
+        monkeypatch.setenv(failpoints.ENV_VAR, "serve.run=sleep:1")
+        cache_dir = str(tmp_path / "cache")
+        os.makedirs(cache_dir)
+        _journal_job(cache_dir, "jprimary00001", SPEC, submitted_at=1.0)
+        _journal_job(cache_dir, "jduplicate001", SPEC, submitted_at=2.0)
+        manager = JobManager(cache_dir, workers=2, supervised=False)
+        try:
+            assert manager.counters["recovered"] == 2
+            assert manager.counters["coalesced"] == 1
+            first = manager.wait("jprimary00001", timeout=60)
+            second = manager.wait("jduplicate001", timeout=60)
+            assert first["verdict"] == second["verdict"] == "PASS"
+            assert manager.counters["computed"] == 1
+        finally:
+            manager.close()
+
+    def test_terminal_jobs_stay_queryable_across_restart(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        manager = JobManager(cache_dir, workers=1, supervised=False)
+        try:
+            view = manager.submit(SPEC)
+            done = manager.wait(view["job_id"], timeout=60)
+            assert done["status"] == "done"
+        finally:
+            manager.close()
+        reopened = JobManager(cache_dir, workers=1, supervised=False)
+        try:
+            again = reopened.job(view["job_id"])
+            assert again["status"] == "done"
+            assert again["verdict"] == "PASS"
+            assert reopened.report(view["job_id"]) is not None
+            # And a fresh identical submission is a pure warm hit.
+            warm = reopened.submit(SPEC)
+            assert warm["cached"] is True
+            assert warm["status"] == "done"
+        finally:
+            reopened.close()
+
+    def test_recovered_job_whose_verdict_landed_is_served_warm(
+            self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        manager = JobManager(cache_dir, workers=1, supervised=False)
+        try:
+            manager.wait(manager.submit(SPEC)["job_id"], timeout=60)
+        finally:
+            manager.close()
+        # A queued duplicate left behind by a crash: its verdict is
+        # already in the shared store, so recovery resolves it warm.
+        _journal_job(cache_dir, "jorphaned0001", SPEC)
+        reopened = JobManager(cache_dir, workers=1, supervised=False)
+        try:
+            view = reopened.wait("jorphaned0001", timeout=10)
+            assert view["status"] == "done"
+            assert view["cached"] is True
+            assert reopened.counters["computed"] == 0
+        finally:
+            reopened.close()
+
+
+class TestBackendGuardrail:
+    def test_jsonl_cache_directories_are_refused(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "results.jsonl").write_text("")
+        with pytest.raises(ServeError, match="cache migrate"):
+            JobManager(str(cache_dir))
